@@ -1,0 +1,86 @@
+// Ablation of DESIGN.md's partitioning design choices (paper §6.1.1): on a
+// skewed graph at 16 simulated nodes, compares PageRank under
+//   - naive 1-D vertex partitioning (equal vertex counts: Giraph/SociaLite),
+//   - edge-balanced 1-D partitioning (the native scheme),
+//   - 2-D grid partitioning (the matblas/CombBLAS scheme),
+// reporting runtime and the per-rank work imbalance that explains it ("2D
+// partitioning as in CombBLAS or advanced 1D ... gives better load balancing").
+#include "bench/bench_common.h"
+
+#include "core/graph.h"
+#include "native/pagerank.h"
+#include "rt/partition.h"
+#include "util/table.h"
+
+namespace maze::bench {
+namespace {
+
+constexpr int kRanks = 16;
+
+// Max-over-ranks / mean-over-ranks of in-edges per rank for a 1-D partition.
+double Imbalance1D(const Graph& g, const rt::Partition1D& part) {
+  EdgeId max_edges = 0;
+  for (int p = 0; p < part.num_parts(); ++p) {
+    EdgeId count = 0;
+    for (VertexId v = part.Begin(p); v < part.End(p); ++v) {
+      count += g.InDegree(v);
+    }
+    max_edges = std::max(max_edges, count);
+  }
+  double mean = static_cast<double>(g.num_edges()) / part.num_parts();
+  return static_cast<double>(max_edges) / std::max(1.0, mean);
+}
+
+void Run() {
+  Banner("Partitioning ablation: PageRank load balance at 16 nodes");
+  int adjust = ScaleAdjust();
+  EdgeList el = LoadGraphDataset("twitter", adjust);  // The most skewed stand-in.
+  Graph g = Graph::FromEdges(el, GraphDirections::kBoth);
+
+  rt::PageRankOptions opt;
+  opt.iterations = 5;
+  rt::EngineConfig config;
+  config.num_ranks = kRanks;
+
+  TextTable table("Scheme vs runtime and work imbalance (max/mean edges per "
+                  "rank)");
+  table.SetHeader({"Scheme", "s/iter", "Imbalance"});
+  {
+    native::NativeOptions naive = native::NativeOptions::AllOn();
+    naive.vertex_balanced_partition = true;
+    auto r = native::PageRank(g, opt, config, naive);
+    table.AddRow({"1-D vertex-balanced (naive)",
+                  FormatDouble(r.metrics.elapsed_seconds / 5, 5),
+                  FormatDouble(
+                      Imbalance1D(g, rt::Partition1D::VertexBalanced(
+                                         g.num_vertices(), kRanks)),
+                      2)});
+  }
+  {
+    auto r = native::PageRank(g, opt, config, native::NativeOptions::AllOn());
+    table.AddRow({"1-D edge-balanced (native)",
+                  FormatDouble(r.metrics.elapsed_seconds / 5, 5),
+                  FormatDouble(Imbalance1D(g, rt::Partition1D::
+                                                  EdgeBalancedFromOffsets(
+                                                      g.in_offsets(), kRanks)),
+                               2)});
+  }
+  {
+    RunConfig rc;
+    rc.num_ranks = kRanks;
+    auto r = RunPageRank(EngineKind::kMatblas, el, opt, rc);
+    // 2-D tiles split both dimensions; imbalance is bounded by the tile grid.
+    table.AddRow({"2-D grid (matblas)",
+                  FormatDouble(r.metrics.elapsed_seconds / 5, 5), "~1 by "
+                  "construction"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace maze::bench
+
+int main() {
+  maze::bench::Run();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Reproduces Figure 7: the effect of the native-code optimizations on PageRank
+// and BFS, applied cumulatively — software prefetching, then message
+// compression, then computation/communication overlap, then (BFS only) the
+// bitvector data structure. Bars are speedups over the all-off baseline on a
+// 4-rank run, matching the paper's presentation.
+#include "bench/bench_common.h"
+
+#include "core/graph.h"
+#include "native/bfs.h"
+#include "native/options.h"
+#include "native/pagerank.h"
+#include "util/table.h"
+
+namespace maze::bench {
+namespace {
+
+void Run() {
+  Banner("Figure 7: native optimization ablation (PageRank & BFS, 4 nodes)");
+  int adjust = ScaleAdjust();
+
+  EdgeList directed = LoadGraphDataset("rmat", adjust);
+  EdgeList undirected = directed;
+  undirected.Symmetrize();
+  Graph pr_graph = Graph::FromEdges(directed, GraphDirections::kBoth);
+  Graph bfs_graph = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
+
+  rt::EngineConfig config;
+  config.num_ranks = 4;
+
+  struct Stage {
+    const char* label;
+    native::NativeOptions options;
+  };
+  auto stages = [](bool with_bitvector) {
+    std::vector<Stage> v;
+    native::NativeOptions o = native::NativeOptions::AllOff();
+    v.push_back({"baseline (all off)", o});
+    o.software_prefetch = true;
+    v.push_back({"+ s/w prefetching", o});
+    o.compress_messages = true;
+    v.push_back({"+ compression", o});
+    o.overlap_comm = true;
+    v.push_back({"+ overlap comp. and comm.", o});
+    if (with_bitvector) {
+      o.use_bitvector = true;
+      v.push_back({"+ data structure opt (bitvector)", o});
+    }
+    return v;
+  };
+
+  {
+    TextTable table("PageRank: cumulative speedup over unoptimized native");
+    table.SetHeader({"Optimizations", "s/iter", "Speedup"});
+    rt::PageRankOptions opt;
+    opt.iterations = 5;
+    double base = 0;
+    for (const Stage& s : stages(false)) {
+      auto r = native::PageRank(pr_graph, opt, config, s.options);
+      double t = r.metrics.elapsed_seconds / opt.iterations;
+      if (base == 0) base = t;
+      table.AddRow({s.label, FormatDouble(t, 5), FormatDouble(base / t, 2) + "x"});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  {
+    TextTable table("BFS: cumulative speedup over unoptimized native");
+    table.SetHeader({"Optimizations", "seconds", "Speedup"});
+    double base = 0;
+    for (const Stage& s : stages(true)) {
+      auto r = native::Bfs(bfs_graph, rt::BfsOptions{0}, config, s.options);
+      double t = r.metrics.elapsed_seconds;
+      if (base == 0) base = t;
+      table.AddRow({s.label, FormatDouble(t, 5), FormatDouble(base / t, 2) + "x"});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf(
+      "Paper shape: prefetching is the largest single win; compression helps\n"
+      "the network-bound runs ~2-3x; overlap adds 1.2-2x; the BFS bitvector\n"
+      "adds ~2x on top.\n");
+}
+
+}  // namespace
+}  // namespace maze::bench
+
+int main() {
+  maze::bench::Run();
+  return 0;
+}

@@ -1,0 +1,209 @@
+// google-benchmark microbenchmarks for the performance-critical substrate
+// pieces: CSR construction, the visited-set primitives, the message codecs, the
+// cuckoo set, and one native PageRank iteration. These are the building blocks
+// whose costs the paper's §6.1.1 optimization discussion is about.
+#include <benchmark/benchmark.h>
+
+#include "core/graph.h"
+#include "core/ratings_gen.h"
+#include "core/rmat.h"
+#include "core/weighted_graph.h"
+#include "datalog/table.h"
+#include "matrix/dist_matrix.h"
+#include "native/bfs.h"
+#include "native/cf.h"
+#include "native/pagerank.h"
+#include "native/sssp.h"
+#include "native/triangle.h"
+#include "task/algorithms.h"
+#include "util/bitvector.h"
+#include "util/codec.h"
+#include "util/cuckoo_set.h"
+#include "util/prng.h"
+
+namespace maze {
+namespace {
+
+EdgeList BenchEdges() {
+  static EdgeList* edges = [] {
+    auto* el = new EdgeList(GenerateRmat(RmatParams::Graph500(14, 8, 7)));
+    el->Deduplicate();
+    return el;
+  }();
+  return *edges;
+}
+
+void BM_CsrBuild(benchmark::State& state) {
+  EdgeList el = BenchEdges();
+  for (auto _ : state) {
+    Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(el.edges.size()));
+}
+BENCHMARK(BM_CsrBuild);
+
+void BM_RmatGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    EdgeList el = GenerateRmat(RmatParams::Graph500(12, 8, 5));
+    benchmark::DoNotOptimize(el.edges.data());
+  }
+}
+BENCHMARK(BM_RmatGenerate);
+
+void BM_BitvectorTestAndSet(benchmark::State& state) {
+  Bitvector bv(1 << 20);
+  Xorshift64Star rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bv.TestAndSetAtomic(rng.NextBounded(1 << 20)));
+  }
+}
+BENCHMARK(BM_BitvectorTestAndSet);
+
+void BM_CuckooInsertContains(benchmark::State& state) {
+  Xorshift64Star rng(5);
+  for (auto _ : state) {
+    CuckooSet set(256);
+    for (int i = 0; i < 256; ++i) set.Insert(static_cast<uint32_t>(rng.Next()));
+    benchmark::DoNotOptimize(set.Contains(42));
+  }
+}
+BENCHMARK(BM_CuckooInsertContains);
+
+void BM_DeltaEncodeIds(benchmark::State& state) {
+  Xorshift64Star rng(9);
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 4096; ++i) {
+    ids.push_back(static_cast<uint32_t>(rng.NextBounded(1 << 22)));
+  }
+  for (auto _ : state) {
+    std::vector<uint8_t> buf;
+    DeltaEncodeIds(ids, &buf);
+    benchmark::DoNotOptimize(buf.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_DeltaEncodeIds);
+
+void BM_EncodeIdsBestDense(benchmark::State& state) {
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 4096; i += 2) ids.push_back(100000 + i);
+  for (auto _ : state) {
+    std::vector<uint8_t> buf;
+    EncodeIdsBest(ids, &buf);
+    benchmark::DoNotOptimize(buf.size());
+  }
+}
+BENCHMARK(BM_EncodeIdsBestDense);
+
+void BM_NativePageRankIteration(benchmark::State& state) {
+  EdgeList el = BenchEdges();
+  Graph g = Graph::FromEdges(el, GraphDirections::kBoth);
+  rt::PageRankOptions opt;
+  opt.iterations = 1;
+  for (auto _ : state) {
+    auto result = native::PageRank(g, opt, rt::EngineConfig{});
+    benchmark::DoNotOptimize(result.ranks.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_NativePageRankIteration);
+
+void BM_NativeBfs(benchmark::State& state) {
+  EdgeList el = BenchEdges();
+  el.Symmetrize();
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  for (auto _ : state) {
+    auto result = native::Bfs(g, rt::BfsOptions{0}, rt::EngineConfig{});
+    benchmark::DoNotOptimize(result.distance.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_NativeBfs);
+
+void BM_SortedIntersection(benchmark::State& state) {
+  // The triangle-counting inner loop on two power-law adjacency lists.
+  EdgeList el = GenerateRmat(RmatParams::TriangleCounting(12, 12, 7));
+  el.OrientBySmallerId();
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  for (auto _ : state) {
+    auto result = native::TriangleCount(g, {}, rt::EngineConfig{});
+    benchmark::DoNotOptimize(result.triangles);
+  }
+}
+BENCHMARK(BM_SortedIntersection);
+
+void BM_SgdBlockPass(benchmark::State& state) {
+  RatingsParams params;
+  params.scale = 12;
+  params.num_items = 256;
+  BipartiteGraph g = GenerateRatings(params).ToGraph();
+  rt::CfOptions opt;
+  opt.method = rt::CfMethod::kSgd;
+  opt.k = 16;
+  opt.iterations = 1;
+  for (auto _ : state) {
+    auto result = native::CollaborativeFiltering(g, opt, rt::EngineConfig{});
+    benchmark::DoNotOptimize(result.final_rmse);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_ratings()));
+}
+BENCHMARK(BM_SgdBlockPass);
+
+void BM_DatalogTailNest(benchmark::State& state) {
+  EdgeList el = BenchEdges();
+  for (auto _ : state) {
+    datalog::Table t("EDGE", 2, 0);
+    for (const Edge& e : el.edges) {
+      int64_t row[2] = {e.src, e.dst};
+      t.AppendRow(row);
+    }
+    t.TailNest(el.num_vertices);
+    benchmark::DoNotOptimize(t.num_rows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(el.edges.size()));
+}
+BENCHMARK(BM_DatalogTailNest);
+
+void BM_DistMatrixBuild(benchmark::State& state) {
+  EdgeList el = BenchEdges();
+  for (auto _ : state) {
+    matrix::DistMatrix m = matrix::DistMatrix::FromEdges(el, 16);
+    benchmark::DoNotOptimize(m.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(el.edges.size()));
+}
+BENCHMARK(BM_DistMatrixBuild);
+
+void BM_DijkstraReference(benchmark::State& state) {
+  EdgeList el = BenchEdges();
+  el.Symmetrize();
+  WeightedGraph g = WeightedGraph::FromEdgesWithRandomWeights(el, 8.0f, 3);
+  for (auto _ : state) {
+    auto dist = native::ReferenceDijkstra(g, 0);
+    benchmark::DoNotOptimize(dist.data());
+  }
+}
+BENCHMARK(BM_DijkstraReference);
+
+void BM_TaskflowDeltaStepping(benchmark::State& state) {
+  EdgeList el = BenchEdges();
+  el.Symmetrize();
+  WeightedGraph g = WeightedGraph::FromEdgesWithRandomWeights(el, 8.0f, 3);
+  for (auto _ : state) {
+    auto result = task::Sssp(g, rt::SsspOptions{0, 0}, rt::EngineConfig{});
+    benchmark::DoNotOptimize(result.distance.data());
+  }
+}
+BENCHMARK(BM_TaskflowDeltaStepping);
+
+}  // namespace
+}  // namespace maze
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Section 6.2 made executable: the paper closes with a per-framework roadmap of
+// changes ("incorporate MPI", "boost network bandwidth by 10x", "run more
+// workers per node", "use bitvectors for BFS compression"). This bench applies
+// each recommendation to the corresponding engine and reports before/after
+// slowdowns vs native on 8-node runs — the quantitative version of the paper's
+// qualitative predictions (e.g. "should allow GraphLab to be within 5x").
+#include "bench/bench_common.h"
+
+#include "bsp/algorithms.h"
+#include "core/graph.h"
+#include "matrix/algorithms.h"
+#include "util/table.h"
+
+namespace maze::bench {
+namespace {
+
+constexpr int kRanks = 8;
+
+double NativePrSeconds(const EdgeList& directed) {
+  return MeasurePageRank(EngineKind::kNative, directed, "rmat", kRanks).seconds;
+}
+
+void Run() {
+  Banner("Section 6.2 roadmap: recommended fixes, applied and measured");
+  int adjust = ScaleAdjust();
+  EdgeList directed = LoadGraphDataset("twitter", adjust);
+  EdgeList undirected = directed;
+  undirected.Symmetrize();
+
+  double native_pr = NativePrSeconds(directed);
+
+  TextTable table("PageRank (8 nodes): slowdown vs native, before -> after");
+  table.SetHeader({"Engine", "Recommendation", "Before", "After"});
+
+  {
+    // vertexlab: "this 4-5x [network] gap can be minimized by incorporating
+    // MPI, or at least by using multiple sockets between pairs of nodes".
+    rt::PageRankOptions opt;
+    opt.iterations = 5;
+    RunConfig base;
+    base.num_ranks = kRanks;
+    auto before = RunPageRank(EngineKind::kVertexlab, directed, opt, base);
+    RunConfig multi = base;
+    multi.comm_override = rt::CommModel::MultiSocket();
+    auto mid = RunPageRank(EngineKind::kVertexlab, directed, opt, multi);
+    RunConfig mpi = base;
+    mpi.comm_override = rt::CommModel::Mpi();
+    auto after = RunPageRank(EngineKind::kVertexlab, directed, opt, mpi);
+    table.AddRow({"vertexlab", "multi-socket transport",
+                  FormatDouble(before.metrics.elapsed_seconds / 5 / native_pr,
+                               1) + "x",
+                  FormatDouble(mid.metrics.elapsed_seconds / 5 / native_pr, 1) +
+                      "x"});
+    table.AddRow({"vertexlab", "MPI transport", "",
+                  FormatDouble(after.metrics.elapsed_seconds / 5 / native_pr,
+                               1) + "x"});
+  }
+  {
+    // bspgraph: "boosting network bandwidth by 10x" and "run more workers per
+    // node, thereby improving CPU utilization".
+    Graph g = Graph::FromEdges(directed, GraphDirections::kOutOnly);
+    rt::PageRankOptions opt;
+    opt.iterations = 5;
+    rt::EngineConfig config;
+    config.num_ranks = kRanks;
+    config.comm = bsp::DefaultComm();
+    auto before = bsp::PageRank(g, opt, config, bsp::BspOptions{});
+
+    rt::EngineConfig fast_net = config;
+    fast_net.comm = rt::CommModel::Mpi();  // ~12x netty's bandwidth.
+    auto mid = bsp::PageRank(g, opt, fast_net, bsp::BspOptions{});
+
+    bsp::BspOptions full_workers;
+    full_workers.workers_per_node = bsp::BspOptions::kHardwareThreadsPerNode;
+    auto after = bsp::PageRank(g, opt, fast_net, full_workers);
+    table.AddRow({"bspgraph", "10x network (netty -> mpi)",
+                  FormatDouble(before.metrics.elapsed_seconds / 5 / native_pr,
+                               1) + "x",
+                  FormatDouble(mid.metrics.elapsed_seconds / 5 / native_pr, 1) +
+                      "x"});
+    table.AddRow({"bspgraph", "+ 24 workers/node (util " +
+                      FormatDouble(before.metrics.cpu_utilization * 100, 0) +
+                      "% -> " +
+                      FormatDouble(after.metrics.cpu_utilization * 100, 0) +
+                      "%)",
+                  "",
+                  FormatDouble(after.metrics.elapsed_seconds / 5 / native_pr,
+                               1) + "x"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  {
+    // matblas: "needs to use data structures such as bitvectors for
+    // compression in order to improve BFS performance". The direct engine call
+    // keeps CombBLAS's square-grid constraint: nearest square <= kRanks.
+    rt::EngineConfig config;
+    config.num_ranks = MatblasRanks(kRanks);
+    config.comm = matrix::DefaultComm();
+    auto before = matrix::Bfs(undirected, rt::BfsOptions{0}, config,
+                              matrix::MatblasOptions{});
+    matrix::MatblasOptions compressed;
+    compressed.compress_frontier = true;
+    auto after = matrix::Bfs(undirected, rt::BfsOptions{0}, config, compressed);
+    TextTable t2("matblas BFS (8 nodes): frontier compression recommendation");
+    t2.SetHeader({"Config", "Seconds", "Net bytes"});
+    t2.AddRow({"raw (id, parent) frontier",
+               FormatDouble(before.metrics.elapsed_seconds, 5),
+               std::to_string(before.metrics.bytes_sent)});
+    t2.AddRow({"bitvector/delta compressed",
+               FormatDouble(after.metrics.elapsed_seconds, 5),
+               std::to_string(after.metrics.bytes_sent)});
+    std::printf("%s\n", t2.Render().c_str());
+  }
+  std::printf(
+      "Paper's predictions: GraphLab within ~5x of native once off sockets;\n"
+      "Giraph 'very competitive' with a 10x network boost plus more workers.\n");
+}
+
+}  // namespace
+}  // namespace maze::bench
+
+int main() {
+  maze::bench::Run();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces the §3.2/§5.2 convergence observation: "for the Netflix dataset,
+// given a fixed convergence criterion, SGD converges in about 40x fewer
+// iterations than GD", while per-iteration times are comparable in native code —
+// the reason the paper compares CF frameworks by time per iteration.
+//
+// Like the paper ("we did do a coarse sweep over these parameters to obtain
+// best convergence"), each method gets a coarse learning-rate sweep and its
+// best configuration is reported. GD's gradient magnitude scales with vertex
+// degree, so its stable step sizes — and therefore its convergence — are far
+// behind SGD's on a skewed ratings matrix: that is the mechanism behind the
+// paper's 40x.
+#include <cmath>
+
+#include "bench/bench_common.h"
+
+#include "native/cf.h"
+#include "util/table.h"
+
+namespace maze::bench {
+namespace {
+
+struct SweepResult {
+  int iterations = -1;        // Iterations to reach the target (-1: never).
+  double learning_rate = 0;   // The sweep winner.
+  double per_iter_seconds = 0;
+};
+
+SweepResult SweepToTarget(const BipartiteGraph& g, rt::CfMethod method,
+                          const std::vector<double>& rates, double target,
+                          int max_iters) {
+  SweepResult best;
+  for (double lr : rates) {
+    rt::CfOptions opt;
+    opt.method = method;
+    opt.k = 16;
+    opt.iterations = max_iters;
+    opt.learning_rate = lr;
+    opt.step_decay = method == rt::CfMethod::kSgd ? 0.98 : 1.0;
+    auto result = native::CollaborativeFiltering(g, opt, rt::EngineConfig{});
+    for (size_t i = 0; i < result.rmse_per_iteration.size(); ++i) {
+      double rmse = result.rmse_per_iteration[i];
+      if (std::isnan(rmse) || rmse > 1e6) break;  // Diverged: next rate.
+      if (rmse <= target) {
+        int iters = static_cast<int>(i) + 1;
+        if (best.iterations < 0 || iters < best.iterations) {
+          best.iterations = iters;
+          best.learning_rate = lr;
+          best.per_iter_seconds =
+              result.metrics.elapsed_seconds / max_iters;
+        }
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+void Run() {
+  Banner("SGD vs GD convergence (native CF, netflix stand-in)");
+  int adjust = ScaleAdjust();
+  BipartiteGraph g = LoadRatingsDataset("netflix", adjust).ToGraph();
+
+  // Target: the RMSE SGD reaches after two iterations at its default rate.
+  rt::CfOptions probe;
+  probe.method = rt::CfMethod::kSgd;
+  probe.k = 16;
+  probe.iterations = 5;
+  probe.learning_rate = 0.01;
+  auto sgd_probe = native::CollaborativeFiltering(g, probe, rt::EngineConfig{});
+  double target = sgd_probe.rmse_per_iteration[1];
+
+  SweepResult sgd = SweepToTarget(g, rt::CfMethod::kSgd,
+                                  {0.003, 0.01, 0.03}, target, 50);
+  SweepResult gd = SweepToTarget(g, rt::CfMethod::kGd,
+                                 {1e-4, 3e-4, 1e-3, 2e-3}, target, 400);
+
+  TextTable table("Iterations to reach RMSE " + FormatDouble(target, 4) +
+                  " (best over a coarse learning-rate sweep)");
+  table.SetHeader({"Method", "Iterations", "Best lr", "s/iter"});
+  table.AddRow({"SGD (native/taskflow only)",
+                sgd.iterations < 0 ? ">50" : std::to_string(sgd.iterations),
+                FormatDouble(sgd.learning_rate, 4),
+                FormatDouble(sgd.per_iter_seconds, 6)});
+  table.AddRow({"GD (what the other engines express)",
+                gd.iterations < 0 ? ">400" : std::to_string(gd.iterations),
+                FormatDouble(gd.learning_rate, 4),
+                FormatDouble(gd.per_iter_seconds, 6)});
+  std::printf("%s\n", table.Render().c_str());
+  if (sgd.iterations > 0 && gd.iterations > 0) {
+    std::printf("GD needs %.0fx the iterations of SGD (paper: ~40x), at "
+                "similar per-iteration cost.\n",
+                static_cast<double>(gd.iterations) / sgd.iterations);
+  } else {
+    std::printf("GD did not reach the SGD target within 400 iterations "
+                "(paper: ~40x more iterations needed).\n");
+  }
+}
+
+}  // namespace
+}  // namespace maze::bench
+
+int main() {
+  maze::bench::Run();
+  return 0;
+}

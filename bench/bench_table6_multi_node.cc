@@ -1,0 +1,69 @@
+// Reproduces Table 6: multi-node slowdown geomeans vs native, combining the
+// synthetic weak-scaling points with the large "real-world" stand-ins, as the
+// paper's table does.
+#include "bench/bench_common.h"
+
+#include "core/rmat.h"
+
+namespace maze::bench {
+namespace {
+
+void Run() {
+  Banner("Table 6: multi-node slowdowns vs native (geomean)");
+  int adjust = ScaleAdjust();
+
+  SlowdownReport report;
+
+  // Synthetic points at 4 and 16 ranks. Sizes track the Figure 3 stand-ins so
+  // per-rank compute stays well above the fabric's per-message latency.
+  for (int ranks : {4, 16}) {
+    EdgeList directed = GenerateRmat(
+        RmatParams::Graph500(16 + adjust + (ranks == 16 ? 2 : 0), 16,
+                             900 + ranks));
+    directed.Deduplicate();
+    EdgeList undirected = directed;
+    undirected.Symmetrize();
+    EdgeList oriented = TriangleDataset("rmat", adjust + (ranks == 16 ? 2 : 0));
+    RatingsParams rp;
+    rp.scale = 15 + adjust + (ranks == 16 ? 2 : 0);
+    rp.num_items = 512;
+    rp.seed = 800 + ranks;
+    BipartiteGraph ratings = GenerateRatings(rp).ToGraph();
+    std::string tag = "rmat" + std::to_string(ranks);
+    for (EngineKind engine : MultiNodeEngines()) {
+      report.Add(MeasurePageRank(engine, directed, tag, ranks));
+      report.Add(MeasureBfs(engine, undirected, tag, ranks));
+      report.Add(MeasureTriangles(engine, oriented, tag, ranks));
+      report.Add(MeasureCf(engine, ratings, tag, ranks));
+    }
+  }
+
+  // Large "real-world" stand-ins at 4 ranks.
+  {
+    EdgeList twitter = LoadGraphDataset("twitter", adjust);
+    EdgeList twitter_sym = twitter;
+    twitter_sym.Symmetrize();
+    BipartiteGraph yahoo = LoadRatingsDataset("yahoomusic", adjust).ToGraph();
+    for (EngineKind engine : MultiNodeEngines()) {
+      report.Add(MeasurePageRank(engine, twitter, "twitter", 4));
+      report.Add(MeasureBfs(engine, twitter_sym, "twitter", 4));
+      report.Add(MeasureCf(engine, yahoo, "yahoomusic", 4));
+    }
+  }
+
+  std::printf("%s\n", report
+                          .RenderGeomeanTable(
+                              "Table 6: multi-node slowdown factors vs native")
+                          .c_str());
+  std::printf(
+      "Paper shape (Table 6): matblas 2.5-13x, vertexlab 3.6-29x, datalite\n"
+      "1.5-19x (best on triangle counting), bspgraph 54-494x.\n");
+}
+
+}  // namespace
+}  // namespace maze::bench
+
+int main() {
+  maze::bench::Run();
+  return 0;
+}

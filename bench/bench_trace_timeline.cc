@@ -1,0 +1,69 @@
+// Per-step timelines (extension): the sar/sysstat-style view behind Figure 6,
+// at step granularity instead of run aggregates. Prints CSV timelines of BFS
+// levels (frontier growth and decay in both compute and wire time) and PageRank
+// iterations on a 4-node run of the native engine, plus the bspgraph superstep
+// timeline for contrast.
+#include "bench/bench_common.h"
+
+#include "bsp/algorithms.h"
+#include "core/graph.h"
+#include "native/bfs.h"
+#include "native/pagerank.h"
+#include "rt/metrics.h"
+
+namespace maze::bench {
+namespace {
+
+void Run() {
+  Banner("Per-step timelines (CSV; plot step vs compute/wire seconds)");
+  int adjust = ScaleAdjust();
+  EdgeList directed = LoadGraphDataset("rmat", adjust);
+  EdgeList undirected = directed;
+  undirected.Symmetrize();
+
+  {
+    rt::BfsOptions opt;
+    opt.source = BusiestVertex(undirected);
+    rt::EngineConfig ec;
+    ec.num_ranks = 4;
+    ec.trace = true;
+    Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
+    auto r = native::Bfs(g, opt, ec);
+    std::printf("# native BFS, 4 nodes: one row per level\n%s\n",
+                rt::StepTraceCsv(r.metrics.steps).c_str());
+  }
+  {
+    rt::PageRankOptions opt;
+    opt.iterations = 5;
+    rt::EngineConfig ec;
+    ec.num_ranks = 4;
+    ec.trace = true;
+    Graph g = Graph::FromEdges(directed, GraphDirections::kBoth);
+    auto r = native::PageRank(g, opt, ec);
+    std::printf("# native PageRank, 4 nodes: one row per iteration\n%s\n",
+                rt::StepTraceCsv(r.metrics.steps).c_str());
+  }
+  {
+    rt::PageRankOptions opt;
+    opt.iterations = 5;
+    rt::EngineConfig ec;
+    ec.num_ranks = 4;
+    ec.comm = bsp::DefaultComm();
+    ec.trace = true;
+    Graph g = Graph::FromEdges(directed, GraphDirections::kOutOnly);
+    auto r = bsp::PageRank(g, opt, ec, bsp::BspOptions{});
+    std::printf("# bspgraph PageRank, 4 nodes (contrast: wire dominates)\n%s\n",
+                rt::StepTraceCsv(r.metrics.steps).c_str());
+  }
+  std::printf(
+      "Reading: BFS wire bytes peak at the fat middle levels; PageRank steps\n"
+      "are uniform; bspgraph's wire column dwarfs its compute column.\n");
+}
+
+}  // namespace
+}  // namespace maze::bench
+
+int main() {
+  maze::bench::Run();
+  return 0;
+}

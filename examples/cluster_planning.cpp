@@ -1,0 +1,53 @@
+// Cluster planning: use the simulated runtime to answer a deployment question —
+// "how does my PageRank workload scale with node count, and how much does the
+// interconnect matter?" Sweeps rank counts and communication layers with the
+// native engine, the experiment behind the paper's §6 recommendation that
+// frameworks adopt MPI-class transports.
+//
+//   ./cluster_planning [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/graph.h"
+#include "core/rmat.h"
+#include "native/pagerank.h"
+#include "rt/comm_model.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace maze;
+  int scale = argc > 1 ? std::atoi(argv[1]) : 15;
+
+  EdgeList edges = GenerateRmat(RmatParams::Graph500(scale, 16, 7));
+  edges.Deduplicate();
+  Graph g = Graph::FromEdges(edges, GraphDirections::kBoth);
+  std::printf("PageRank capacity planning on %u vertices / %llu edges\n\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  rt::PageRankOptions opt;
+  opt.iterations = 10;
+
+  TextTable table("Simulated time per iteration (s) by cluster size and fabric");
+  table.SetHeader({"Nodes", "mpi (5.5GB/s)", "multi-socket (2GB/s)",
+                   "socket (0.8GB/s)", "netty (0.45GB/s)"});
+  for (int ranks : {1, 2, 4, 8, 16, 32}) {
+    std::vector<std::string> row = {std::to_string(ranks)};
+    for (const rt::CommModel& comm :
+         {rt::CommModel::Mpi(), rt::CommModel::MultiSocket(),
+          rt::CommModel::Socket(), rt::CommModel::Netty()}) {
+      rt::EngineConfig config;
+      config.num_ranks = ranks;
+      config.comm = comm;
+      auto r = native::PageRank(g, opt, config);
+      row.push_back(FormatDouble(r.metrics.elapsed_seconds / opt.iterations, 5));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Takeaway (paper §6.2): once the workload is network bound, the\n"
+      "transport class dominates — a socket-based framework cannot scale a\n"
+      "communication-heavy algorithm no matter how fast its compute is.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Framework shootout: the paper's end-user question made executable — "which
+// engine should I use for this algorithm on my data?" Runs one algorithm on a
+// chosen dataset stand-in across all six engines and prints runtimes, slowdowns
+// vs native, and the system metrics that explain them.
+//
+//   ./framework_shootout [pagerank|bfs|triangles|cf] [dataset] [ranks]
+//
+// Defaults: pagerank on the livejournal stand-in, 4 simulated nodes.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_support/report.h"
+#include "bench_support/runner.h"
+#include "core/datasets.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace maze;
+  using namespace maze::bench;
+
+  std::string algorithm = argc > 1 ? argv[1] : "pagerank";
+  std::string dataset = argc > 2 ? argv[2] : "livejournal";
+  int ranks = argc > 3 ? std::atoi(argv[3]) : 4;
+  int adjust = -2;  // Stand-ins at quick-run scale.
+
+  std::printf("Shootout: %s on '%s' with %d simulated node(s)\n\n",
+              algorithm.c_str(), dataset.c_str(), ranks);
+
+  TextTable table("Results (simulated elapsed; lower is better)");
+  table.SetHeader({"Engine", "Seconds", "vs native", "Net MB", "Peak mem MB",
+                   "CPU util"});
+  double native_seconds = 0;
+
+  auto engines = ranks > 1 ? MultiNodeEngines() : AllEngines();
+  for (EngineKind engine : engines) {
+    RunConfig config;
+    config.num_ranks = ranks;
+    double seconds = 0;
+    rt::RunMetrics metrics;
+    if (algorithm == "pagerank") {
+      EdgeList el = LoadGraphDataset(dataset, adjust);
+      rt::PageRankOptions opt;
+      opt.iterations = 10;
+      auto r = RunPageRank(engine, el, opt, config);
+      seconds = r.metrics.elapsed_seconds;
+      metrics = r.metrics;
+    } else if (algorithm == "bfs") {
+      EdgeList el = LoadGraphDataset(dataset, adjust);
+      el.Symmetrize();
+      auto r = RunBfs(engine, el, rt::BfsOptions{0}, config);
+      seconds = r.metrics.elapsed_seconds;
+      metrics = r.metrics;
+    } else if (algorithm == "triangles") {
+      EdgeList el = LoadGraphDataset(dataset, adjust - 2);
+      el.OrientBySmallerId();
+      if (engine == EngineKind::kBspgraph) config.bsp_phases = 100;
+      auto r = RunTriangleCount(engine, el, {}, config);
+      seconds = r.metrics.elapsed_seconds;
+      metrics = r.metrics;
+    } else if (algorithm == "cf") {
+      BipartiteGraph g = LoadRatingsDataset(
+                             dataset == "livejournal" ? "netflix" : dataset,
+                             adjust)
+                             .ToGraph();
+      rt::CfOptions opt;
+      opt.k = 16;
+      opt.iterations = 3;
+      opt.method = rt::CfMethod::kSgd;
+      if (engine == EngineKind::kBspgraph) config.bsp_phases = 10;
+      auto r = RunCf(engine, g, opt, config);
+      seconds = r.metrics.elapsed_seconds;
+      metrics = r.metrics;
+    } else {
+      std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
+      return 1;
+    }
+    if (engine == EngineKind::kNative) native_seconds = seconds;
+    table.AddRow({EngineName(engine), FormatDouble(seconds, 4),
+                  native_seconds > 0
+                      ? FormatDouble(seconds / native_seconds, 1) + "x"
+                      : "-",
+                  FormatDouble(metrics.BytesPerRank(ranks) / 1e6, 1),
+                  FormatDouble(metrics.memory_peak_bytes / 1e6, 1),
+                  FormatDouble(metrics.cpu_utilization * 100, 0) + "%"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Reading the table the paper's way: a big 'vs native' factor with low\n"
+      "CPU utilization and low peak bandwidth points at the communication\n"
+      "layer; a big memory column points at message buffering.\n");
+  return 0;
+}

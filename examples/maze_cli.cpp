@@ -1,0 +1,4 @@
+// Thin wrapper around the cli library: the user-facing maze_cli binary.
+#include "cli/cli.h"
+
+int main(int argc, char** argv) { return maze::cli::Main(argc, argv); }

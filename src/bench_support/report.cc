@@ -1,0 +1,120 @@
+#include "bench_support/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace maze::bench {
+namespace {
+
+std::string RanksLabel(int ranks) {
+  return ranks == 1 ? "1 node" : std::to_string(ranks) + " nodes";
+}
+
+}  // namespace
+
+std::string SlowdownReport::RenderGeomeanTable(const std::string& title) const {
+  // native time per (algorithm, dataset, ranks).
+  std::map<std::string, double> native_time;
+  for (const Measurement& m : rows_) {
+    if (m.engine == EngineKind::kNative) {
+      native_time[m.algorithm + "|" + m.dataset + "|" +
+                  std::to_string(m.ranks)] = m.seconds;
+    }
+  }
+  // Slowdowns per (algorithm, engine).
+  std::map<std::string, std::map<EngineKind, std::vector<double>>> slowdowns;
+  std::vector<std::string> algo_order;
+  for (const Measurement& m : rows_) {
+    if (m.engine == EngineKind::kNative) continue;
+    auto it = native_time.find(m.algorithm + "|" + m.dataset + "|" +
+                               std::to_string(m.ranks));
+    if (it == native_time.end() || it->second <= 0 || m.seconds <= 0) continue;
+    if (slowdowns.find(m.algorithm) == slowdowns.end()) {
+      algo_order.push_back(m.algorithm);
+    }
+    slowdowns[m.algorithm][m.engine].push_back(m.seconds / it->second);
+  }
+
+  std::vector<EngineKind> engines;
+  for (EngineKind e : AllEngines()) {
+    if (e != EngineKind::kNative) engines.push_back(e);
+  }
+
+  TextTable table(title);
+  std::vector<std::string> header = {"Algorithm"};
+  for (EngineKind e : engines) header.push_back(EngineName(e));
+  table.SetHeader(header);
+  for (const std::string& algo : algo_order) {
+    std::vector<std::string> row = {algo};
+    for (EngineKind e : engines) {
+      auto it = slowdowns[algo].find(e);
+      row.push_back(it == slowdowns[algo].end() || it->second.empty()
+                        ? "-"
+                        : FormatDouble(GeometricMean(it->second), 1) + "x");
+    }
+    table.AddRow(row);
+  }
+  return table.Render();
+}
+
+std::string SlowdownReport::RenderRuntimeTable(const std::string& title) const {
+  // Columns: engines; rows: (dataset, ranks).
+  std::vector<EngineKind> engines = AllEngines();
+  std::map<std::string, std::map<EngineKind, double>> cells;
+  std::vector<std::string> row_order;
+  for (const Measurement& m : rows_) {
+    std::string key = m.dataset + " (" + RanksLabel(m.ranks) + ")";
+    if (cells.find(key) == cells.end()) row_order.push_back(key);
+    cells[key][m.engine] = m.seconds;
+  }
+
+  TextTable table(title);
+  std::vector<std::string> header = {"Dataset"};
+  for (EngineKind e : engines) header.push_back(EngineName(e));
+  table.SetHeader(header);
+  for (const std::string& key : row_order) {
+    std::vector<std::string> row = {key};
+    for (EngineKind e : engines) {
+      auto it = cells[key].find(e);
+      row.push_back(it == cells[key].end() ? "-"
+                                           : FormatDouble(it->second, 4) + "s");
+    }
+    table.AddRow(row);
+  }
+  return table.Render();
+}
+
+std::string RenderSystemMetrics(const std::string& title,
+                                const std::vector<Measurement>& rows,
+                                const Fig6Normalization& norm) {
+  // Normalize bytes sent per node against bspgraph's volume (Figure 6 caption).
+  double bsp_bytes = 0;
+  for (const Measurement& m : rows) {
+    if (m.engine == EngineKind::kBspgraph) {
+      bsp_bytes = m.metrics.BytesPerRank(m.ranks);
+    }
+  }
+  TextTable table(title);
+  table.SetHeader({"Engine", "CPU util (%)", "Peak net BW (% of 5.5GB/s)",
+                   "Memory (% of 64GB)", "Net bytes (% of bspgraph)"});
+  for (const Measurement& m : rows) {
+    double bytes_per_rank = m.metrics.BytesPerRank(m.ranks);
+    table.AddRow(
+        {EngineName(m.engine), FormatDouble(m.metrics.cpu_utilization * 100, 1),
+         FormatDouble(
+             m.metrics.peak_network_bw / norm.network_limit_bytes_per_sec * 100,
+             1),
+         FormatDouble(static_cast<double>(m.metrics.memory_peak_bytes) /
+                          static_cast<double>(norm.memory_capacity_bytes) * 100,
+                      2),
+         bsp_bytes > 0 ? FormatDouble(bytes_per_rank / bsp_bytes * 100, 1)
+                       : "-"});
+  }
+  return table.Render();
+}
+
+}  // namespace maze::bench

@@ -1,0 +1,59 @@
+// Report helpers: slowdown aggregation (Tables 5/6 style) and Figure 6 metric
+// normalization shared by the bench binaries.
+#ifndef MAZE_BENCH_SUPPORT_REPORT_H_
+#define MAZE_BENCH_SUPPORT_REPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_support/runner.h"
+#include "rt/metrics.h"
+
+namespace maze::bench {
+
+// One measured cell.
+struct Measurement {
+  EngineKind engine;
+  std::string algorithm;
+  std::string dataset;
+  int ranks = 1;
+  double seconds = 0;  // Simulated elapsed (per iteration where applicable).
+  rt::RunMetrics metrics;
+};
+
+// Collects measurements and renders slowdown-vs-native tables.
+class SlowdownReport {
+ public:
+  void Add(const Measurement& m) { rows_.push_back(m); }
+
+  // Geomean over datasets of engine_time / native_time per (algorithm, engine):
+  // the aggregation of Tables 5 and 6. Rows missing a native counterpart are
+  // skipped.
+  std::string RenderGeomeanTable(const std::string& title) const;
+
+  // Raw per-dataset runtimes (Figure 3/4/5 series).
+  std::string RenderRuntimeTable(const std::string& title) const;
+
+  const std::vector<Measurement>& rows() const { return rows_; }
+
+ private:
+  std::vector<Measurement> rows_;
+};
+
+// Figure 6 normalization constants (the figure's caption).
+struct Fig6Normalization {
+  double network_limit_bytes_per_sec = 5.5e9;
+  uint64_t memory_capacity_bytes = 64ull << 30;
+};
+
+// Renders one Figure 6 panel: CPU utilization, peak network BW, memory
+// footprint, and bytes sent per node, normalized as in the paper (bytes sent are
+// relative to bspgraph's volume).
+std::string RenderSystemMetrics(const std::string& title,
+                                const std::vector<Measurement>& rows,
+                                const Fig6Normalization& norm);
+
+}  // namespace maze::bench
+
+#endif  // MAZE_BENCH_SUPPORT_REPORT_H_

@@ -1,0 +1,243 @@
+#include "bench_support/runner.h"
+
+#include <cmath>
+
+#include "bsp/algorithms.h"
+#include "core/graph.h"
+#include "datalog/algorithms.h"
+#include "matrix/algorithms.h"
+#include "native/bfs.h"
+#include "native/cc.h"
+#include "native/cf.h"
+#include "native/pagerank.h"
+#include "native/triangle.h"
+#include "task/algorithms.h"
+#include "util/check.h"
+#include "vertex/algorithms.h"
+
+namespace maze::bench {
+namespace {
+
+rt::CommModel DefaultCommFor(EngineKind engine, const RunConfig& config) {
+  if (config.comm_override.has_value()) return *config.comm_override;
+  switch (engine) {
+    case EngineKind::kNative:
+      return rt::CommModel::Mpi();
+    case EngineKind::kVertexlab:
+      return vertex::DefaultComm();
+    case EngineKind::kMatblas:
+      return matrix::DefaultComm();
+    case EngineKind::kDatalite:
+      return config.datalite_as_published
+                 ? datalog::DataliteOptions::AsPublished().Comm()
+                 : datalog::DataliteOptions::Optimized().Comm();
+    case EngineKind::kTaskflow:
+      return rt::CommModel::Mpi();  // Single node: unused.
+    case EngineKind::kBspgraph:
+      return bsp::DefaultComm();
+  }
+  return rt::CommModel::Mpi();
+}
+
+rt::EngineConfig MakeConfig(EngineKind engine, const RunConfig& config) {
+  rt::EngineConfig ec;
+  ec.num_ranks = engine == EngineKind::kMatblas ? MatblasRanks(config.num_ranks)
+                                                : config.num_ranks;
+  if (engine == EngineKind::kTaskflow) ec.num_ranks = 1;
+  ec.comm = DefaultCommFor(engine, config);
+  return ec;
+}
+
+datalog::DataliteOptions DataliteFor(const RunConfig& config) {
+  return config.datalite_as_published ? datalog::DataliteOptions::AsPublished()
+                                      : datalog::DataliteOptions::Optimized();
+}
+
+bsp::BspOptions BspFor(const RunConfig& config) {
+  bsp::BspOptions options;
+  options.superstep_phases = config.bsp_phases;
+  return options;
+}
+
+}  // namespace
+
+const char* EngineName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNative:
+      return "native";
+    case EngineKind::kVertexlab:
+      return "vertexlab";
+    case EngineKind::kMatblas:
+      return "matblas";
+    case EngineKind::kDatalite:
+      return "datalite";
+    case EngineKind::kTaskflow:
+      return "taskflow";
+    case EngineKind::kBspgraph:
+      return "bspgraph";
+  }
+  return "?";
+}
+
+std::vector<EngineKind> AllEngines() {
+  return {EngineKind::kNative,   EngineKind::kMatblas,  EngineKind::kVertexlab,
+          EngineKind::kDatalite, EngineKind::kBspgraph, EngineKind::kTaskflow};
+}
+
+std::vector<EngineKind> MultiNodeEngines() {
+  return {EngineKind::kNative, EngineKind::kMatblas, EngineKind::kVertexlab,
+          EngineKind::kDatalite, EngineKind::kBspgraph};
+}
+
+int MatblasRanks(int requested) {
+  int side = static_cast<int>(std::sqrt(static_cast<double>(requested)));
+  while (side * side > requested) --side;
+  return std::max(1, side * side);
+}
+
+rt::PageRankResult RunPageRank(EngineKind engine, const EdgeList& directed,
+                               const rt::PageRankOptions& options,
+                               const RunConfig& config) {
+  rt::EngineConfig ec = MakeConfig(engine, config);
+  switch (engine) {
+    case EngineKind::kNative: {
+      Graph g = Graph::FromEdges(directed, GraphDirections::kBoth);
+      return native::PageRank(g, options, ec);
+    }
+    case EngineKind::kVertexlab: {
+      Graph g = Graph::FromEdges(directed, GraphDirections::kOutOnly);
+      return vertex::PageRank(g, options, ec);
+    }
+    case EngineKind::kMatblas:
+      return matrix::PageRank(directed, options, ec);
+    case EngineKind::kDatalite: {
+      Graph g = Graph::FromEdges(directed, GraphDirections::kOutOnly);
+      return datalog::PageRank(g, options, ec, DataliteFor(config));
+    }
+    case EngineKind::kTaskflow: {
+      Graph g = Graph::FromEdges(directed, GraphDirections::kBoth);
+      return task::PageRank(g, options, ec);
+    }
+    case EngineKind::kBspgraph: {
+      Graph g = Graph::FromEdges(directed, GraphDirections::kOutOnly);
+      return bsp::PageRank(g, options, ec, BspFor(config));
+    }
+  }
+  MAZE_CHECK(false);
+  return {};
+}
+
+rt::BfsResult RunBfs(EngineKind engine, const EdgeList& undirected,
+                     const rt::BfsOptions& options, const RunConfig& config) {
+  rt::EngineConfig ec = MakeConfig(engine, config);
+  switch (engine) {
+    case EngineKind::kNative: {
+      Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
+      return native::Bfs(g, options, ec);
+    }
+    case EngineKind::kVertexlab: {
+      Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
+      return vertex::Bfs(g, options, ec);
+    }
+    case EngineKind::kMatblas:
+      return matrix::Bfs(undirected, options, ec);
+    case EngineKind::kDatalite: {
+      Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
+      return datalog::Bfs(g, options, ec, DataliteFor(config));
+    }
+    case EngineKind::kTaskflow: {
+      Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
+      return task::Bfs(g, options, ec);
+    }
+    case EngineKind::kBspgraph: {
+      Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
+      return bsp::Bfs(g, options, ec, BspFor(config));
+    }
+  }
+  MAZE_CHECK(false);
+  return {};
+}
+
+rt::TriangleCountResult RunTriangleCount(EngineKind engine,
+                                         const EdgeList& oriented,
+                                         const rt::TriangleCountOptions& options,
+                                         const RunConfig& config) {
+  rt::EngineConfig ec = MakeConfig(engine, config);
+  Graph g = Graph::FromEdges(oriented, GraphDirections::kOutOnly);
+  switch (engine) {
+    case EngineKind::kNative:
+      return native::TriangleCount(g, options, ec);
+    case EngineKind::kVertexlab:
+      return vertex::TriangleCount(g, options, ec);
+    case EngineKind::kMatblas:
+      return matrix::TriangleCount(g, options, ec);
+    case EngineKind::kDatalite:
+      return datalog::TriangleCount(g, options, ec, DataliteFor(config));
+    case EngineKind::kTaskflow:
+      return task::TriangleCount(g, options, ec);
+    case EngineKind::kBspgraph:
+      return bsp::TriangleCount(g, options, ec, BspFor(config));
+  }
+  MAZE_CHECK(false);
+  return {};
+}
+
+rt::CfResult RunCf(EngineKind engine, const BipartiteGraph& ratings,
+                   const rt::CfOptions& options, const RunConfig& config) {
+  rt::EngineConfig ec = MakeConfig(engine, config);
+  rt::CfOptions opt = options;
+  if (engine != EngineKind::kNative && engine != EngineKind::kTaskflow) {
+    opt.method = rt::CfMethod::kGd;  // §3.2: only native/Galois express SGD.
+  }
+  switch (engine) {
+    case EngineKind::kNative:
+      return native::CollaborativeFiltering(ratings, opt, ec);
+    case EngineKind::kVertexlab:
+      return vertex::CollaborativeFiltering(ratings, opt, ec);
+    case EngineKind::kMatblas:
+      return matrix::CollaborativeFiltering(ratings, opt, ec);
+    case EngineKind::kDatalite:
+      return datalog::CollaborativeFiltering(ratings, opt, ec,
+                                             DataliteFor(config));
+    case EngineKind::kTaskflow:
+      return task::CollaborativeFiltering(ratings, opt, ec);
+    case EngineKind::kBspgraph:
+      return bsp::CollaborativeFiltering(ratings, opt, ec, BspFor(config));
+  }
+  MAZE_CHECK(false);
+  return {};
+}
+
+rt::ConnectedComponentsResult RunConnectedComponents(
+    EngineKind engine, const EdgeList& undirected,
+    const rt::ConnectedComponentsOptions& options, const RunConfig& config) {
+  rt::EngineConfig ec = MakeConfig(engine, config);
+  switch (engine) {
+    case EngineKind::kNative: {
+      Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
+      return native::ConnectedComponents(g, options, ec);
+    }
+    case EngineKind::kVertexlab: {
+      Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
+      return vertex::ConnectedComponents(g, options, ec);
+    }
+    case EngineKind::kMatblas:
+      return matrix::ConnectedComponents(undirected, options, ec);
+    case EngineKind::kDatalite: {
+      Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
+      return datalog::ConnectedComponents(g, options, ec, DataliteFor(config));
+    }
+    case EngineKind::kTaskflow: {
+      Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
+      return task::ConnectedComponents(g, options, ec);
+    }
+    case EngineKind::kBspgraph: {
+      Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
+      return bsp::ConnectedComponents(g, options, ec, BspFor(config));
+    }
+  }
+  MAZE_CHECK(false);
+  return {};
+}
+
+}  // namespace maze::bench

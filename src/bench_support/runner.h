@@ -1,0 +1,74 @@
+// Uniform engine dispatch for the benchmark harness: every (engine, algorithm,
+// dataset, rank-count) cell of the paper's tables and figures runs through these
+// entry points. Each engine gets its own graph representation and its default
+// communication layer (Table 2), unless the run config overrides them.
+#ifndef MAZE_BENCH_SUPPORT_RUNNER_H_
+#define MAZE_BENCH_SUPPORT_RUNNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bipartite.h"
+#include "core/edge_list.h"
+#include "rt/algo.h"
+
+namespace maze::bench {
+
+// The six execution substrates of the study.
+enum class EngineKind {
+  kNative,     // Hand-optimized C++ (the reference point).
+  kVertexlab,  // GraphLab-like vertex programs.
+  kMatblas,    // CombBLAS-like sparse linear algebra.
+  kDatalite,   // SociaLite-like Datalog.
+  kTaskflow,   // Galois-like task/worklist (single node only).
+  kBspgraph,   // Giraph-like BSP.
+};
+
+const char* EngineName(EngineKind kind);
+std::vector<EngineKind> AllEngines();
+std::vector<EngineKind> MultiNodeEngines();  // All but taskflow.
+
+struct RunConfig {
+  int num_ranks = 1;
+  // bspgraph superstep splitting (§6.1.3); used by TC/CF benches.
+  int bsp_phases = 1;
+  // datalite network optimizations off = the Table 7 "Before" configuration.
+  bool datalite_as_published = false;
+  // Override the engine's default communication layer (nullopt = Table 2).
+  std::optional<rt::CommModel> comm_override;
+};
+
+// matblas requires a perfect-square rank count (CombBLAS's 2-D grid); returns
+// the count the engine will actually use for `requested`.
+int MatblasRanks(int requested);
+
+// `directed` is the deduplicated directed edge list; engines build their own
+// representation (in-CSR for native, tiles for matblas, tables for datalite).
+rt::PageRankResult RunPageRank(EngineKind engine, const EdgeList& directed,
+                               const rt::PageRankOptions& options,
+                               const RunConfig& config);
+
+// `undirected` must be symmetric.
+rt::BfsResult RunBfs(EngineKind engine, const EdgeList& undirected,
+                     const rt::BfsOptions& options, const RunConfig& config);
+
+// `oriented` must satisfy src < dst (§4.1.2 preprocessing).
+rt::TriangleCountResult RunTriangleCount(EngineKind engine,
+                                         const EdgeList& oriented,
+                                         const rt::TriangleCountOptions& options,
+                                         const RunConfig& config);
+
+// Native/taskflow run the requested method; the other engines always run GD
+// (they cannot express SGD, §3.2) regardless of options.method.
+rt::CfResult RunCf(EngineKind engine, const BipartiteGraph& ratings,
+                   const rt::CfOptions& options, const RunConfig& config);
+
+// Connected components (extension algorithm). `undirected` must be symmetric.
+rt::ConnectedComponentsResult RunConnectedComponents(
+    EngineKind engine, const EdgeList& undirected,
+    const rt::ConnectedComponentsOptions& options, const RunConfig& config);
+
+}  // namespace maze::bench
+
+#endif  // MAZE_BENCH_SUPPORT_RUNNER_H_

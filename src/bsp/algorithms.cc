@@ -1,0 +1,363 @@
+#include "bsp/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "native/cc.h"
+#include "native/cf.h"
+#include "util/check.h"
+
+namespace maze::bsp {
+namespace {
+
+// --- PageRank (Algorithm 1) ---------------------------------------------------
+
+struct PrValue {
+  double pr = 1.0;
+  double partial = 0.0;
+};
+
+class PageRankBsp : public BspProgram<PrValue, double> {
+ public:
+  PageRankBsp(const Graph& g, const rt::PageRankOptions& options)
+      : g_(g), options_(options) {}
+
+  void Init(VertexId, const Graph&, PrValue* value) override {
+    *value = PrValue{};
+  }
+
+  void Fold(VertexId, PrValue* value,
+            const std::vector<std::unique_ptr<double>>& batch) override {
+    for (const auto& m : batch) value->partial += *m;
+  }
+
+  bool Compute(BspContext<double>* ctx, VertexId v, PrValue* value) override {
+    if (ctx->superstep() > 0) {
+      value->pr = options_.jump + (1.0 - options_.jump) * value->partial;
+      value->partial = 0.0;
+    }
+    if (ctx->superstep() < options_.iterations) {
+      EdgeId deg = g_.OutDegree(v);
+      if (deg > 0) {
+        ctx->SendToOutNeighbors(value->pr / static_cast<double>(deg));
+      }
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const Graph& g_;
+  rt::PageRankOptions options_;
+};
+
+// --- BFS (Algorithm 2) ----------------------------------------------------------
+
+struct BfsValue {
+  uint32_t dist = kInfiniteDistance;
+  uint32_t candidate = kInfiniteDistance;
+};
+
+class BfsBsp : public BspProgram<BfsValue, uint32_t> {
+ public:
+  explicit BfsBsp(VertexId source) : source_(source) {}
+
+  void Init(VertexId v, const Graph&, BfsValue* value) override {
+    value->dist = v == source_ ? 0 : kInfiniteDistance;
+    value->candidate = kInfiniteDistance;
+  }
+
+  void Fold(VertexId, BfsValue* value,
+            const std::vector<std::unique_ptr<uint32_t>>& batch) override {
+    for (const auto& m : batch) value->candidate = std::min(value->candidate, *m);
+  }
+
+  bool Compute(BspContext<uint32_t>* ctx, VertexId v, BfsValue* value) override {
+    if (ctx->superstep() == 0) {
+      if (v == source_) ctx->SendToOutNeighbors(0);
+      return false;
+    }
+    if (value->candidate != kInfiniteDistance &&
+        value->candidate + 1 < value->dist) {
+      value->dist = value->candidate + 1;
+      ctx->SendToOutNeighbors(value->dist);
+    }
+    value->candidate = kInfiniteDistance;
+    return false;
+  }
+
+  bool AllActive() const override { return false; }
+
+ private:
+  VertexId source_;
+};
+
+// --- Triangle Counting -----------------------------------------------------------
+
+class TriangleBsp : public BspProgram<uint64_t, std::vector<VertexId>> {
+ public:
+  explicit TriangleBsp(const Graph& g) : g_(g) {}
+
+  void Init(VertexId, const Graph&, uint64_t* value) override { *value = 0; }
+
+  void Fold(VertexId v, uint64_t* value,
+            const std::vector<std::unique_ptr<std::vector<VertexId>>>& batch)
+      override {
+    const auto own = g_.OutNeighbors(v);
+    for (const auto& list : batch) {
+      for (VertexId w : *list) {
+        if (std::binary_search(own.begin(), own.end(), w)) ++*value;
+      }
+    }
+  }
+
+  bool Compute(BspContext<std::vector<VertexId>>* ctx, VertexId v,
+               uint64_t*) override {
+    if (ctx->superstep() == 0) {
+      const auto neighbors = g_.OutNeighbors(v);
+      if (!neighbors.empty()) {
+        ctx->SendToOutNeighbors(
+            std::vector<VertexId>(neighbors.begin(), neighbors.end()));
+      }
+      return true;
+    }
+    return false;
+  }
+
+  size_t MessageWireBytes(const std::vector<VertexId>& m) const override {
+    return 4 + m.size() * sizeof(VertexId);
+  }
+
+ private:
+  const Graph& g_;
+};
+
+// --- Collaborative Filtering (GD) -------------------------------------------------
+
+struct CfValue {
+  std::vector<double> factor;
+  std::vector<double> grad;
+};
+
+using CfMessage = std::pair<VertexId, std::vector<double>>;
+
+class CfBsp : public BspProgram<CfValue, CfMessage> {
+ public:
+  CfBsp(const BipartiteGraph& ratings, const rt::CfOptions& options,
+        const std::vector<double>& init_users,
+        const std::vector<double>& init_items)
+      : ratings_(ratings),
+        options_(options),
+        init_users_(init_users),
+        init_items_(init_items) {}
+
+  void Init(VertexId v, const Graph&, CfValue* value) override {
+    bool is_user = v < ratings_.num_users();
+    const std::vector<double>& src = is_user ? init_users_ : init_items_;
+    size_t row = is_user ? v : v - ratings_.num_users();
+    value->factor.assign(
+        src.begin() + static_cast<ptrdiff_t>(row * options_.k),
+        src.begin() + static_cast<ptrdiff_t>((row + 1) * options_.k));
+    value->grad.assign(options_.k, 0.0);
+  }
+
+  void Fold(VertexId v, CfValue* value,
+            const std::vector<std::unique_ptr<CfMessage>>& batch) override {
+    bool is_user = v < ratings_.num_users();
+    double lambda = is_user ? options_.lambda_p : options_.lambda_q;
+    for (const auto& m : batch) {
+      double rating = RatingFor(v, m->first);
+      const auto& other = m->second;
+      double dot = 0;
+      for (int d = 0; d < options_.k; ++d) dot += value->factor[d] * other[d];
+      double err = rating - dot;
+      for (int d = 0; d < options_.k; ++d) {
+        value->grad[d] += err * other[d] - lambda * value->factor[d];
+      }
+    }
+  }
+
+  bool Compute(BspContext<CfMessage>* ctx, VertexId v, CfValue* value) override {
+    if (ctx->superstep() > 0) {
+      for (int d = 0; d < options_.k; ++d) {
+        value->factor[d] += options_.learning_rate * value->grad[d];
+        value->grad[d] = 0.0;
+      }
+    }
+    if (ctx->superstep() < options_.iterations) {
+      ctx->SendToOutNeighbors(CfMessage{v, value->factor});
+      return true;
+    }
+    return false;
+  }
+
+  size_t MessageWireBytes(const CfMessage& m) const override {
+    return 4 + m.second.size() * sizeof(double);
+  }
+
+ private:
+  float RatingFor(VertexId me, VertexId other) const {
+    bool is_user = me < ratings_.num_users();
+    auto adj = is_user ? ratings_.UserRatings(me)
+                       : ratings_.ItemRatings(me - ratings_.num_users());
+    VertexId key = is_user ? other - ratings_.num_users() : other;
+    auto it = std::lower_bound(
+        adj.begin(), adj.end(), key,
+        [](const BipartiteGraph::Entry& e, VertexId id) { return e.id < id; });
+    MAZE_CHECK(it != adj.end() && it->id == key);
+    return it->rating;
+  }
+
+  const BipartiteGraph& ratings_;
+  rt::CfOptions options_;
+  const std::vector<double>& init_users_;
+  const std::vector<double>& init_items_;
+};
+
+// --- Connected Components (extension): min-label propagation -----------------
+
+struct CcValue {
+  VertexId label = 0;
+  VertexId candidate = kInvalidVertex;
+};
+
+class CcBsp : public BspProgram<CcValue, VertexId> {
+ public:
+  void Init(VertexId v, const Graph&, CcValue* value) override {
+    value->label = v;
+    value->candidate = kInvalidVertex;
+  }
+
+  void Fold(VertexId, CcValue* value,
+            const std::vector<std::unique_ptr<VertexId>>& batch) override {
+    for (const auto& m : batch) value->candidate = std::min(value->candidate, *m);
+  }
+
+  bool Compute(BspContext<VertexId>* ctx, VertexId, CcValue* value) override {
+    if (ctx->superstep() == 0) {
+      ctx->SendToOutNeighbors(value->label);
+      return false;
+    }
+    if (value->candidate < value->label) {
+      value->label = value->candidate;
+      ctx->SendToOutNeighbors(value->label);
+    }
+    value->candidate = kInvalidVertex;
+    return false;
+  }
+
+  bool AllActive() const override { return false; }
+};
+
+}  // namespace
+
+rt::CommModel DefaultComm() { return rt::CommModel::Netty(); }
+
+rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
+                            rt::EngineConfig config, const BspOptions& bsp) {
+  MAZE_CHECK(g.has_out());
+  PageRankBsp program(g, options);
+  BspEngine<PrValue, double> engine(g, config, bsp);
+  engine.Run(&program, options.iterations + 1);
+  rt::PageRankResult result;
+  result.ranks.reserve(engine.values().size());
+  for (const PrValue& v : engine.values()) result.ranks.push_back(v.pr);
+  result.iterations = options.iterations;
+  result.metrics = engine.Finish();
+  return result;
+}
+
+rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
+                  rt::EngineConfig config, const BspOptions& bsp) {
+  MAZE_CHECK(g.has_out());
+  BfsBsp program(options.source);
+  BspEngine<BfsValue, uint32_t> engine(g, config, bsp);
+  int supersteps = engine.Run(&program, static_cast<int>(g.num_vertices()) + 2);
+  rt::BfsResult result;
+  result.distance.reserve(engine.values().size());
+  for (const BfsValue& v : engine.values()) result.distance.push_back(v.dist);
+  result.levels = std::max(0, supersteps - 1);
+  result.metrics = engine.Finish();
+  return result;
+}
+
+rt::TriangleCountResult TriangleCount(const Graph& g,
+                                      const rt::TriangleCountOptions&,
+                                      rt::EngineConfig config,
+                                      const BspOptions& bsp) {
+  MAZE_CHECK(g.has_out());
+  TriangleBsp program(g);
+  BspEngine<uint64_t, std::vector<VertexId>> engine(g, config, bsp);
+  engine.Run(&program, 2);
+  rt::TriangleCountResult result;
+  for (uint64_t v : engine.values()) result.triangles += v;
+  result.metrics = engine.Finish();
+  return result;
+}
+
+rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
+                                    const rt::CfOptions& options,
+                                    rt::EngineConfig config,
+                                    const BspOptions& bsp) {
+  MAZE_CHECK(options.method == rt::CfMethod::kGd);
+  EdgeList edges;
+  edges.num_vertices = g.num_users() + g.num_items();
+  edges.edges.reserve(g.num_ratings() * 2);
+  for (VertexId u = 0; u < g.num_users(); ++u) {
+    for (const auto& e : g.UserRatings(u)) {
+      edges.edges.push_back({u, g.num_users() + e.id});
+      edges.edges.push_back({g.num_users() + e.id, u});
+    }
+  }
+  Graph combined = Graph::FromEdges(edges, GraphDirections::kOutOnly);
+
+  rt::CfResult result;
+  result.k = options.k;
+  native::CfInitFactors(g.num_users(), options.k, options.seed,
+                        &result.user_factors);
+  native::CfInitFactors(g.num_items(), options.k, options.seed ^ 0x1234567ull,
+                        &result.item_factors);
+
+  CfBsp program(g, options, result.user_factors, result.item_factors);
+  BspEngine<CfValue, CfMessage> engine(combined, config, bsp);
+  engine.Run(&program, options.iterations + 1);
+
+  const auto& values = engine.values();
+  for (VertexId u = 0; u < g.num_users(); ++u) {
+    std::copy(values[u].factor.begin(), values[u].factor.end(),
+              result.user_factors.begin() +
+                  static_cast<ptrdiff_t>(u) * options.k);
+  }
+  for (VertexId v = 0; v < g.num_items(); ++v) {
+    std::copy(values[g.num_users() + v].factor.begin(),
+              values[g.num_users() + v].factor.end(),
+              result.item_factors.begin() +
+                  static_cast<ptrdiff_t>(v) * options.k);
+  }
+  result.iterations = options.iterations;
+  result.final_rmse = native::CfRmse(g, result.user_factors,
+                                     result.item_factors, options.k);
+  result.rmse_per_iteration.push_back(result.final_rmse);
+  result.metrics = engine.Finish();
+  return result;
+}
+
+rt::ConnectedComponentsResult ConnectedComponents(
+    const Graph& g, const rt::ConnectedComponentsOptions& options,
+    rt::EngineConfig config, const BspOptions& bsp) {
+  MAZE_CHECK(g.has_out());
+  CcBsp program;
+  BspEngine<CcValue, VertexId> engine(g, config, bsp);
+  int supersteps = engine.Run(&program, options.max_iterations);
+  rt::ConnectedComponentsResult result;
+  result.label.reserve(engine.values().size());
+  for (const CcValue& v : engine.values()) result.label.push_back(v.label);
+  result.num_components = native::CountComponents(result.label);
+  result.iterations = supersteps;
+  result.metrics = engine.Finish();
+  return result;
+}
+
+}  // namespace maze::bsp

@@ -1,0 +1,43 @@
+// The four study algorithms as bspgraph (Giraph-like) vertex programs. PageRank
+// and BFS follow Algorithms 1/2 verbatim. Triangle counting and CF-GD generate
+// message volumes far larger than the graph (Table 1), so they accept a
+// superstep-splitting phase count (§6.1.3) — the paper could only run Giraph
+// triangle counting at all with 100 phases.
+#ifndef MAZE_BSP_ALGORITHMS_H_
+#define MAZE_BSP_ALGORITHMS_H_
+
+#include "bsp/engine.h"
+#include "core/bipartite.h"
+#include "core/graph.h"
+#include "rt/algo.h"
+
+namespace maze::bsp {
+
+// Giraph's transport: netty (Table 2).
+rt::CommModel DefaultComm();
+
+rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
+                            rt::EngineConfig config,
+                            const BspOptions& bsp = BspOptions{});
+
+rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
+                  rt::EngineConfig config, const BspOptions& bsp = BspOptions{});
+
+rt::TriangleCountResult TriangleCount(const Graph& g,
+                                      const rt::TriangleCountOptions& options,
+                                      rt::EngineConfig config,
+                                      const BspOptions& bsp = BspOptions{});
+
+rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
+                                    const rt::CfOptions& options,
+                                    rt::EngineConfig config,
+                                    const BspOptions& bsp = BspOptions{});
+
+// Connected components via min-label propagation (extension algorithm).
+rt::ConnectedComponentsResult ConnectedComponents(
+    const Graph& g, const rt::ConnectedComponentsOptions& options,
+    rt::EngineConfig config, const BspOptions& bsp = BspOptions{});
+
+}  // namespace maze::bsp
+
+#endif  // MAZE_BSP_ALGORITHMS_H_

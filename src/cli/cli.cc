@@ -1,0 +1,325 @@
+#include "cli/cli.h"
+
+#include <iostream>
+#include <map>
+#include <optional>
+
+#include "bench_support/runner.h"
+#include "core/datasets.h"
+#include "core/degree.h"
+#include "core/graph.h"
+#include "core/io.h"
+#include "core/ratings_gen.h"
+#include "core/rmat.h"
+#include "native/cc.h"
+#include "util/table.h"
+
+namespace maze::cli {
+namespace {
+
+// --- Flag parsing ---------------------------------------------------------------
+
+// Splits "--flag value" pairs from positional arguments.
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+};
+
+StatusOr<ParsedArgs> Parse(const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i].rfind("--", 0) == 0) {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("flag " + args[i] + " needs a value");
+      }
+      parsed.flags[args[i].substr(2)] = args[i + 1];
+      ++i;
+    } else {
+      parsed.positional.push_back(args[i]);
+    }
+  }
+  return parsed;
+}
+
+std::string FlagOr(const ParsedArgs& parsed, const std::string& name,
+                   const std::string& fallback) {
+  auto it = parsed.flags.find(name);
+  return it == parsed.flags.end() ? fallback : it->second;
+}
+
+StatusOr<int> IntFlagOr(const ParsedArgs& parsed, const std::string& name,
+                        int fallback) {
+  auto it = parsed.flags.find(name);
+  if (it == parsed.flags.end()) return fallback;
+  char* end = nullptr;
+  long value = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name + " expects an integer, got " +
+                                   it->second);
+  }
+  return static_cast<int>(value);
+}
+
+// --- Format dispatch ---------------------------------------------------------------
+
+enum class Format { kText, kBinary, kMatrixMarket };
+
+StatusOr<Format> FormatOf(const std::string& path) {
+  auto ends_with = [&](const char* suffix) {
+    std::string s = suffix;
+    return path.size() >= s.size() &&
+           path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with(".txt") || ends_with(".el")) return Format::kText;
+  if (ends_with(".bin")) return Format::kBinary;
+  if (ends_with(".mtx")) return Format::kMatrixMarket;
+  return Status::InvalidArgument(
+      "cannot infer format from '" + path + "' (use .txt, .bin, or .mtx)");
+}
+
+Status WriteAs(const EdgeList& edges, const std::string& path) {
+  auto format = FormatOf(path);
+  MAZE_RETURN_IF_ERROR(format.status());
+  switch (format.value()) {
+    case Format::kText:
+      return WriteEdgeListText(edges, path);
+    case Format::kBinary:
+      return WriteEdgeListBinary(edges, path);
+    case Format::kMatrixMarket:
+      return WriteMatrixMarket(edges, path);
+  }
+  return Status::InvalidArgument("unreachable");
+}
+
+StatusOr<EdgeList> ReadAs(const std::string& path) {
+  auto format = FormatOf(path);
+  MAZE_RETURN_IF_ERROR(format.status());
+  switch (format.value()) {
+    case Format::kText:
+      return ReadEdgeListText(path);
+    case Format::kBinary:
+      return ReadEdgeListBinary(path);
+    case Format::kMatrixMarket:
+      return ReadMatrixMarket(path);
+  }
+  return Status::InvalidArgument("unreachable");
+}
+
+// --- Commands ------------------------------------------------------------------------
+
+Status CmdGenerate(const ParsedArgs& parsed, std::ostream& out) {
+  std::string kind = FlagOr(parsed, "kind", "graph");
+  auto scale = IntFlagOr(parsed, "scale", 14);
+  MAZE_RETURN_IF_ERROR(scale.status());
+  auto edge_factor = IntFlagOr(parsed, "edge-factor", 16);
+  MAZE_RETURN_IF_ERROR(edge_factor.status());
+  auto seed = IntFlagOr(parsed, "seed", 1);
+  MAZE_RETURN_IF_ERROR(seed.status());
+  std::string out_path = FlagOr(parsed, "out", "");
+  if (out_path.empty()) return Status::InvalidArgument("--out is required");
+
+  if (kind == "ratings") {
+    // Ratings matrices only have a text form: "user item rating" lines.
+    RatingsParams params;
+    params.scale = scale.value();
+    params.edge_factor = edge_factor.value();
+    auto items = IntFlagOr(parsed, "items", 1024);
+    MAZE_RETURN_IF_ERROR(items.status());
+    params.num_items = static_cast<VertexId>(items.value());
+    params.seed = static_cast<uint64_t>(seed.value());
+    RatingsDataset ds = GenerateRatings(params);
+    FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) return Status::IoError("cannot open " + out_path);
+    std::fprintf(f, "# users: %u items: %u\n", ds.num_users, ds.num_items);
+    for (const Rating& r : ds.ratings) {
+      std::fprintf(f, "%u %u %.1f\n", r.user, r.item, r.value);
+    }
+    std::fclose(f);
+    out << "wrote " << ds.ratings.size() << " ratings (" << ds.num_users
+        << " users x " << ds.num_items << " items) to " << out_path << "\n";
+    return Status::OK();
+  }
+
+  EdgeList edges;
+  if (kind == "graph") {
+    edges = GenerateRmat(RmatParams::Graph500(scale.value(), edge_factor.value(),
+                                              seed.value()));
+    edges.Deduplicate();
+  } else if (kind == "triangles") {
+    edges = GenerateRmat(RmatParams::TriangleCounting(
+        scale.value(), edge_factor.value(), seed.value()));
+    edges.OrientBySmallerId();
+  } else {
+    return Status::InvalidArgument("unknown --kind '" + kind +
+                                   "' (graph|triangles|ratings)");
+  }
+  MAZE_RETURN_IF_ERROR(WriteAs(edges, out_path));
+  out << "wrote " << edges.edges.size() << " edges over " << edges.num_vertices
+      << " vertices to " << out_path << "\n";
+  return Status::OK();
+}
+
+Status CmdConvert(const ParsedArgs& parsed, std::ostream& out) {
+  if (parsed.positional.size() != 2) {
+    return Status::InvalidArgument("usage: convert IN OUT");
+  }
+  auto edges = ReadAs(parsed.positional[0]);
+  MAZE_RETURN_IF_ERROR(edges.status());
+  MAZE_RETURN_IF_ERROR(WriteAs(edges.value(), parsed.positional[1]));
+  out << "converted " << parsed.positional[0] << " -> " << parsed.positional[1]
+      << " (" << edges.value().edges.size() << " edges)\n";
+  return Status::OK();
+}
+
+Status CmdStats(const ParsedArgs& parsed, std::ostream& out) {
+  if (parsed.positional.size() != 1) {
+    return Status::InvalidArgument("usage: stats PATH");
+  }
+  auto edges = ReadAs(parsed.positional[0]);
+  MAZE_RETURN_IF_ERROR(edges.status());
+  Graph g = Graph::FromEdges(edges.value(), GraphDirections::kOutOnly);
+  DegreeStats stats = ComputeOutDegreeStats(g);
+  TextTable table("Graph statistics: " + parsed.positional[0]);
+  table.SetHeader({"Metric", "Value"});
+  table.AddRow({"vertices", std::to_string(g.num_vertices())});
+  table.AddRow({"edges", std::to_string(g.num_edges())});
+  table.AddRow({"max out-degree", std::to_string(stats.max_degree)});
+  table.AddRow({"mean out-degree", FormatDouble(stats.mean_degree, 2)});
+  table.AddRow({"top-1% edge share", FormatDouble(stats.top1pct_edge_share, 3)});
+  table.AddRow({"power-law exponent",
+                FormatDouble(stats.power_law_exponent, 2)});
+  out << table.Render();
+  return Status::OK();
+}
+
+Status CmdDatasets(std::ostream& out) {
+  TextTable table("Registered dataset stand-ins");
+  table.SetHeader({"Name", "Replaces", "Paper |V|", "Paper |E|", "Kind"});
+  for (const DatasetInfo& info : AllDatasets()) {
+    table.AddRow({info.name, info.paper_name,
+                  std::to_string(info.paper_vertices),
+                  std::to_string(info.paper_edges),
+                  info.is_ratings ? "ratings" : "graph"});
+  }
+  out << table.Render();
+  return Status::OK();
+}
+
+StatusOr<bench::EngineKind> EngineByName(const std::string& name) {
+  for (bench::EngineKind e : bench::AllEngines()) {
+    if (name == bench::EngineName(e)) return e;
+  }
+  return Status::InvalidArgument("unknown engine '" + name + "'");
+}
+
+Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
+  std::string algo = FlagOr(parsed, "algo", "pagerank");
+  auto engine = EngineByName(FlagOr(parsed, "engine", "native"));
+  MAZE_RETURN_IF_ERROR(engine.status());
+  auto ranks = IntFlagOr(parsed, "ranks", 1);
+  MAZE_RETURN_IF_ERROR(ranks.status());
+  auto iterations = IntFlagOr(parsed, "iterations", 10);
+  MAZE_RETURN_IF_ERROR(iterations.status());
+
+  bench::RunConfig config;
+  config.num_ranks = ranks.value();
+
+  // Input: an edge-list file or a registry stand-in.
+  EdgeList edges;
+  std::string input = FlagOr(parsed, "input", "");
+  std::string dataset = FlagOr(parsed, "dataset", "");
+  if (algo != "cf") {
+    if (!input.empty()) {
+      auto loaded = ReadAs(input);
+      MAZE_RETURN_IF_ERROR(loaded.status());
+      edges = std::move(loaded).value();
+    } else if (!dataset.empty()) {
+      edges = LoadGraphDataset(dataset, -2);
+    } else {
+      return Status::InvalidArgument("run needs --input or --dataset");
+    }
+  }
+
+  rt::RunMetrics metrics;
+  std::string summary;
+  if (algo == "pagerank") {
+    rt::PageRankOptions opt;
+    opt.iterations = iterations.value();
+    auto r = bench::RunPageRank(engine.value(), edges, opt, config);
+    metrics = r.metrics;
+    summary = "pagerank: " + std::to_string(r.iterations) + " iterations";
+  } else if (algo == "bfs") {
+    EdgeList sym = edges;
+    sym.Symmetrize();
+    auto r = bench::RunBfs(engine.value(), sym, rt::BfsOptions{0}, config);
+    metrics = r.metrics;
+    uint64_t reached = 0;
+    for (uint32_t d : r.distance) reached += d != kInfiniteDistance;
+    summary = "bfs: reached " + std::to_string(reached) + " vertices in " +
+              std::to_string(r.levels) + " levels";
+  } else if (algo == "triangles") {
+    EdgeList oriented = edges;
+    oriented.OrientBySmallerId();
+    if (engine.value() == bench::EngineKind::kBspgraph) config.bsp_phases = 100;
+    auto r = bench::RunTriangleCount(engine.value(), oriented, {}, config);
+    metrics = r.metrics;
+    summary = "triangles: " + std::to_string(r.triangles);
+  } else if (algo == "cc") {
+    EdgeList sym = edges;
+    sym.Symmetrize();
+    auto r = bench::RunConnectedComponents(engine.value(), sym, {}, config);
+    metrics = r.metrics;
+    summary = "cc: " + std::to_string(r.num_components) + " components";
+  } else if (algo == "cf") {
+    std::string name = dataset.empty() ? "netflix" : dataset;
+    BipartiteGraph g = LoadRatingsDataset(name, -2).ToGraph();
+    rt::CfOptions opt;
+    opt.k = 16;
+    opt.iterations = iterations.value();
+    opt.method = rt::CfMethod::kSgd;
+    if (engine.value() == bench::EngineKind::kBspgraph) config.bsp_phases = 10;
+    auto r = bench::RunCf(engine.value(), g, opt, config);
+    metrics = r.metrics;
+    summary = "cf: rmse " + FormatDouble(r.final_rmse, 4);
+  } else {
+    return Status::InvalidArgument("unknown --algo '" + algo + "'");
+  }
+
+  out << summary << "\n";
+  out << "engine=" << bench::EngineName(engine.value())
+      << " ranks=" << config.num_ranks << " simulated_seconds="
+      << FormatDouble(metrics.elapsed_seconds, 5)
+      << " net_bytes=" << metrics.bytes_sent
+      << " peak_mem_bytes=" << metrics.memory_peak_bytes << "\n";
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunCommand(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty()) {
+    return Status::InvalidArgument(
+        "usage: maze_cli generate|convert|stats|datasets|run ...");
+  }
+  auto parsed = Parse(std::vector<std::string>(args.begin() + 1, args.end()));
+  MAZE_RETURN_IF_ERROR(parsed.status());
+  const std::string& command = args[0];
+  if (command == "generate") return CmdGenerate(parsed.value(), out);
+  if (command == "convert") return CmdConvert(parsed.value(), out);
+  if (command == "stats") return CmdStats(parsed.value(), out);
+  if (command == "datasets") return CmdDatasets(out);
+  if (command == "run") return CmdRun(parsed.value(), out);
+  return Status::InvalidArgument("unknown command '" + command + "'");
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  Status status = RunCommand(args, std::cout);
+  if (!status.ok()) {
+    std::cerr << "maze_cli: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace maze::cli

@@ -1,0 +1,36 @@
+// maze_cli: command-line front end over the library — generate datasets,
+// convert between graph formats, inspect degree statistics, and run any
+// algorithm on any engine. Implemented as a Status-returning library function
+// so the command surface is unit-testable; examples/maze_cli.cpp is the thin
+// binary wrapper.
+//
+// Commands:
+//   generate --kind graph|triangles|ratings --scale N [--edge-factor N]
+//            [--seed S] [--items N] --out PATH          (.txt/.bin/.mtx by ext)
+//   convert IN OUT                                       (formats by extension)
+//   stats PATH                                           (degree distribution)
+//   datasets                                             (stand-in registry)
+//   run --algo pagerank|bfs|triangles|cf|cc --engine native|vertexlab|matblas|
+//       datalite|taskflow|bspgraph [--ranks N] [--iterations N]
+//       (--input PATH | --dataset NAME)
+#ifndef MAZE_CLI_CLI_H_
+#define MAZE_CLI_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace maze::cli {
+
+// Executes one command line (argv without the program name). Human-readable
+// output goes to `out`; errors come back as Status.
+Status RunCommand(const std::vector<std::string>& args, std::ostream& out);
+
+// Binary entry point: maps RunCommand onto argc/argv and exit codes.
+int Main(int argc, char** argv);
+
+}  // namespace maze::cli
+
+#endif  // MAZE_CLI_CLI_H_

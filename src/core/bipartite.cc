@@ -1,0 +1,53 @@
+#include "core/bipartite.h"
+
+#include <algorithm>
+
+namespace maze {
+
+BipartiteGraph BipartiteGraph::FromRatings(VertexId num_users, VertexId num_items,
+                                           const std::vector<Rating>& ratings) {
+  BipartiteGraph g;
+  g.num_users_ = num_users;
+  g.num_items_ = num_items;
+  g.num_ratings_ = ratings.size();
+
+  g.user_offsets_.assign(static_cast<size_t>(num_users) + 1, 0);
+  g.item_offsets_.assign(static_cast<size_t>(num_items) + 1, 0);
+  for (const Rating& r : ratings) {
+    MAZE_CHECK(r.user < num_users);
+    MAZE_CHECK(r.item < num_items);
+    ++g.user_offsets_[r.user + 1];
+    ++g.item_offsets_[r.item + 1];
+  }
+  for (size_t i = 1; i < g.user_offsets_.size(); ++i) {
+    g.user_offsets_[i] += g.user_offsets_[i - 1];
+  }
+  for (size_t i = 1; i < g.item_offsets_.size(); ++i) {
+    g.item_offsets_[i] += g.item_offsets_[i - 1];
+  }
+
+  g.user_adj_.resize(ratings.size());
+  g.item_adj_.resize(ratings.size());
+  std::vector<EdgeId> ucur(g.user_offsets_.begin(), g.user_offsets_.end() - 1);
+  std::vector<EdgeId> icur(g.item_offsets_.begin(), g.item_offsets_.end() - 1);
+  for (const Rating& r : ratings) {
+    g.user_adj_[ucur[r.user]++] = Entry{r.item, r.value};
+    g.item_adj_[icur[r.item]++] = Entry{r.user, r.value};
+  }
+  // Sort adjacency lists by opposite-side id so engines can binary-search for an
+  // edge's rating.
+  auto by_id = [](const Entry& a, const Entry& b) { return a.id < b.id; };
+  for (VertexId u = 0; u < num_users; ++u) {
+    std::sort(g.user_adj_.begin() + static_cast<ptrdiff_t>(g.user_offsets_[u]),
+              g.user_adj_.begin() + static_cast<ptrdiff_t>(g.user_offsets_[u + 1]),
+              by_id);
+  }
+  for (VertexId v = 0; v < num_items; ++v) {
+    std::sort(g.item_adj_.begin() + static_cast<ptrdiff_t>(g.item_offsets_[v]),
+              g.item_adj_.begin() + static_cast<ptrdiff_t>(g.item_offsets_[v + 1]),
+              by_id);
+  }
+  return g;
+}
+
+}  // namespace maze

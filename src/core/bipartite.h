@@ -1,0 +1,77 @@
+// Bipartite ratings graph for collaborative filtering (Figure 1 of the paper):
+// users on one side, items on the other, edge weights are ratings.
+#ifndef MAZE_CORE_BIPARTITE_H_
+#define MAZE_CORE_BIPARTITE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "util/check.h"
+
+namespace maze {
+
+// One (user, item, rating) observation.
+struct Rating {
+  VertexId user;
+  VertexId item;
+  float value;
+};
+
+// Immutable CSR over both sides of the bipartite ratings graph: user -> (item,
+// rating) and item -> (user, rating). Both directions are needed because GD/SGD
+// update user vectors from item vectors and vice versa.
+class BipartiteGraph {
+ public:
+  // Entry in an adjacency list: the opposite-side vertex and the edge weight.
+  struct Entry {
+    VertexId id;
+    float rating;
+  };
+
+  BipartiteGraph() = default;
+
+  static BipartiteGraph FromRatings(VertexId num_users, VertexId num_items,
+                                    const std::vector<Rating>& ratings);
+
+  VertexId num_users() const { return num_users_; }
+  VertexId num_items() const { return num_items_; }
+  EdgeId num_ratings() const { return num_ratings_; }
+
+  std::span<const Entry> UserRatings(VertexId u) const {
+    MAZE_DCHECK(u < num_users_);
+    return {user_adj_.data() + user_offsets_[u],
+            user_adj_.data() + user_offsets_[u + 1]};
+  }
+
+  std::span<const Entry> ItemRatings(VertexId v) const {
+    MAZE_DCHECK(v < num_items_);
+    return {item_adj_.data() + item_offsets_[v],
+            item_adj_.data() + item_offsets_[v + 1]};
+  }
+
+  EdgeId UserDegree(VertexId u) const {
+    return user_offsets_[u + 1] - user_offsets_[u];
+  }
+  EdgeId ItemDegree(VertexId v) const {
+    return item_offsets_[v + 1] - item_offsets_[v];
+  }
+
+  size_t MemoryBytes() const {
+    return user_offsets_.size() * sizeof(EdgeId) + user_adj_.size() * sizeof(Entry) +
+           item_offsets_.size() * sizeof(EdgeId) + item_adj_.size() * sizeof(Entry);
+  }
+
+ private:
+  VertexId num_users_ = 0;
+  VertexId num_items_ = 0;
+  EdgeId num_ratings_ = 0;
+  std::vector<EdgeId> user_offsets_;
+  std::vector<Entry> user_adj_;
+  std::vector<EdgeId> item_offsets_;
+  std::vector<Entry> item_adj_;
+};
+
+}  // namespace maze
+
+#endif  // MAZE_CORE_BIPARTITE_H_

@@ -1,0 +1,87 @@
+#include "core/datasets.h"
+
+#include "core/rmat.h"
+#include "util/check.h"
+
+namespace maze {
+
+const std::vector<DatasetInfo>& AllDatasets() {
+  static const std::vector<DatasetInfo>& datasets = *new std::vector<DatasetInfo>{
+      {"facebook", "Facebook [34]", 2937612, 41919708,
+       "Facebook user interaction graph stand-in (RMAT, mild skew)", false},
+      {"wikipedia", "Wikipedia [14]", 3566908, 84751827,
+       "Wikipedia link graph stand-in", false},
+      {"livejournal", "LiveJournal [14]", 4847571, 85702475,
+       "LiveJournal follower graph stand-in", false},
+      {"netflix", "Netflix [9]", 480189 + 17770, 99072112,
+       "Netflix Prize ratings stand-in (folded power-law bipartite)", true},
+      {"twitter", "Twitter [20]", 61578415, 1468365182,
+       "Twitter follower graph stand-in (largest graph; multi-node only)", false},
+      {"yahoomusic", "Yahoo Music [7]", 1000990 + 624961, 252800275,
+       "Yahoo! KDDCup 2011 music ratings stand-in", true},
+      {"rmat", "Synthetic Graph500 [23]", 536870912, 8589926431,
+       "Graph500 RMAT synthetic (the paper's scaling workload)", false},
+      {"rmat_cf", "Synthetic Collaborative Filtering", 63367472 + 1342176,
+       16742847256ull, "Synthetic power-law ratings (the paper's CF scaling "
+       "workload)", true},
+  };
+  return datasets;
+}
+
+EdgeList LoadGraphDataset(const std::string& name, int scale_adjust) {
+  // Stand-in parameters: scale/edge-factor chosen so vertex:edge ratios track the
+  // real datasets at ~1/32 size; seeds differ per dataset so the graphs are not
+  // identical to each other.
+  RmatParams params;
+  if (name == "facebook") {
+    params = RmatParams::Graph500(17 + scale_adjust, 14, /*seed=*/101);
+    params.a = 0.55;  // Facebook's interaction graph is less hub-dominated.
+    params.b = params.c = 0.18;
+  } else if (name == "wikipedia") {
+    params = RmatParams::Graph500(17 + scale_adjust, 24, /*seed=*/202);
+  } else if (name == "livejournal") {
+    params = RmatParams::Graph500(17 + scale_adjust, 18, /*seed=*/303);
+  } else if (name == "twitter") {
+    params = RmatParams::Graph500(19 + scale_adjust, 24, /*seed=*/404);
+    params.a = 0.60;  // Twitter's follower graph is extremely skewed.
+    params.b = params.c = 0.17;
+  } else if (name == "rmat") {
+    params = RmatParams::Graph500(18 + scale_adjust, 16, /*seed=*/505);
+  } else {
+    MAZE_CHECK(false && "unknown graph dataset");
+  }
+  EdgeList edges = GenerateRmat(params);
+  edges.Deduplicate();
+  return edges;
+}
+
+RatingsDataset LoadRatingsDataset(const std::string& name, int scale_adjust) {
+  RatingsParams params;
+  if (name == "netflix") {
+    // Netflix: 480K users x 17.8K movies, 99M ratings -> 1/32 scale stand-in.
+    params.scale = 15 + scale_adjust;
+    params.edge_factor = 24;
+    params.num_items = 556;
+    params.seed = 606;
+  } else if (name == "yahoomusic") {
+    // Yahoo Music: 1M users x 625K items, 253M ratings.
+    params.scale = 16 + scale_adjust;
+    params.edge_factor = 16;
+    params.num_items = 4096;
+    params.seed = 707;
+  } else if (name == "rmat_cf") {
+    params.scale = 16 + scale_adjust;
+    params.edge_factor = 16;
+    params.num_items = 2048;
+    params.seed = 808;
+  } else {
+    MAZE_CHECK(false && "unknown ratings dataset");
+  }
+  return GenerateRatings(params);
+}
+
+std::vector<std::string> SingleNodeGraphDatasets() {
+  return {"livejournal", "facebook", "wikipedia", "rmat"};
+}
+
+}  // namespace maze

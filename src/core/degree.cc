@@ -1,0 +1,36 @@
+#include "core/degree.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace maze {
+
+DegreeStats ComputeOutDegreeStats(const Graph& g) {
+  DegreeStats stats;
+  VertexId n = g.num_vertices();
+  if (n == 0) return stats;
+
+  std::vector<uint64_t> degrees(n);
+  for (VertexId u = 0; u < n; ++u) {
+    degrees[u] = g.OutDegree(u);
+    stats.max_degree = std::max(stats.max_degree, degrees[u]);
+  }
+  stats.mean_degree = static_cast<double>(g.num_edges()) / n;
+
+  stats.histogram.assign(stats.max_degree + 1, 0);
+  for (uint64_t d : degrees) ++stats.histogram[d];
+  stats.power_law_exponent = PowerLawExponent(stats.histogram);
+
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  size_t top = std::max<size_t>(1, n / 100);
+  uint64_t top_edges = 0;
+  for (size_t i = 0; i < top; ++i) top_edges += degrees[i];
+  stats.top1pct_edge_share =
+      g.num_edges() == 0
+          ? 0.0
+          : static_cast<double>(top_edges) / static_cast<double>(g.num_edges());
+  return stats;
+}
+
+}  // namespace maze

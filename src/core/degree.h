@@ -1,0 +1,28 @@
+// Degree-distribution utilities: validates that generated graphs have the skewed
+// power-law shape the paper's study depends on (Section 4.1).
+#ifndef MAZE_CORE_DEGREE_H_
+#define MAZE_CORE_DEGREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+
+namespace maze {
+
+// Summary of an out-degree distribution.
+struct DegreeStats {
+  uint64_t max_degree = 0;
+  double mean_degree = 0.0;
+  double power_law_exponent = 0.0;  // From log-log regression on the histogram.
+  // Fraction of all edges owned by the top 1% highest-degree vertices — the
+  // "skewed towards a few items" property from the abstract.
+  double top1pct_edge_share = 0.0;
+  std::vector<uint64_t> histogram;  // histogram[d] = #vertices with out-degree d.
+};
+
+DegreeStats ComputeOutDegreeStats(const Graph& g);
+
+}  // namespace maze
+
+#endif  // MAZE_CORE_DEGREE_H_

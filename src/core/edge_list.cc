@@ -1,0 +1,31 @@
+#include "core/edge_list.h"
+
+#include <algorithm>
+
+namespace maze {
+
+void EdgeList::Deduplicate() {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const Edge& e) { return e.src == e.dst; }),
+              edges.end());
+}
+
+void EdgeList::Symmetrize() {
+  size_t original = edges.size();
+  edges.reserve(original * 2);
+  for (size_t i = 0; i < original; ++i) {
+    edges.push_back(Edge{edges[i].dst, edges[i].src});
+  }
+  Deduplicate();
+}
+
+void EdgeList::OrientBySmallerId() {
+  for (Edge& e : edges) {
+    if (e.src > e.dst) std::swap(e.src, e.dst);
+  }
+  Deduplicate();
+}
+
+}  // namespace maze

@@ -1,0 +1,46 @@
+// EdgeList: the interchange format between generators, I/O, and graph builders.
+#ifndef MAZE_CORE_EDGE_LIST_H_
+#define MAZE_CORE_EDGE_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace maze {
+
+// A single directed edge (or an undirected edge stored once as (min, max)).
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst;
+  }
+  friend auto operator<=>(const Edge& a, const Edge& b) = default;
+};
+
+// Unordered collection of edges over vertices [0, num_vertices).
+// Generators may emit duplicates and self-loops; builders normalize.
+struct EdgeList {
+  VertexId num_vertices = 0;
+  std::vector<Edge> edges;
+
+  size_t size() const { return edges.size(); }
+
+  // Removes self-loops and exact duplicates (sorts edges as a side effect).
+  void Deduplicate();
+
+  // Adds the reverse of every edge, making the list symmetric (undirected usage).
+  void Symmetrize();
+
+  // Keeps only edges with src < dst: the paper's triangle-counting preprocessing
+  // ("assign a direction to edges going from the vertex with smaller id to one
+  // with larger id to avoid cycles").
+  void OrientBySmallerId();
+};
+
+}  // namespace maze
+
+#endif  // MAZE_CORE_EDGE_LIST_H_

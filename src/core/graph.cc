@@ -1,0 +1,59 @@
+#include "core/graph.h"
+
+#include <algorithm>
+
+namespace maze {
+namespace {
+
+// Counting-sort CSR construction: one pass to count degrees, one to scatter.
+void BuildCsr(const std::vector<Edge>& edges, VertexId n, bool transpose,
+              std::vector<EdgeId>* offsets, std::vector<VertexId>* targets) {
+  offsets->assign(static_cast<size_t>(n) + 1, 0);
+  for (const Edge& e : edges) {
+    VertexId key = transpose ? e.dst : e.src;
+    MAZE_CHECK(key < n);
+    ++(*offsets)[key + 1];
+  }
+  for (size_t i = 1; i < offsets->size(); ++i) {
+    (*offsets)[i] += (*offsets)[i - 1];
+  }
+  targets->resize(edges.size());
+  std::vector<EdgeId> cursor(offsets->begin(), offsets->end() - 1);
+  for (const Edge& e : edges) {
+    VertexId key = transpose ? e.dst : e.src;
+    VertexId val = transpose ? e.src : e.dst;
+    MAZE_CHECK(val < n);
+    (*targets)[cursor[key]++] = val;
+  }
+  // Sort each adjacency list for binary-searchable, intersectable neighborhoods.
+  for (VertexId u = 0; u < n; ++u) {
+    std::sort(targets->begin() + static_cast<ptrdiff_t>((*offsets)[u]),
+              targets->begin() + static_cast<ptrdiff_t>((*offsets)[u + 1]));
+  }
+}
+
+}  // namespace
+
+Graph Graph::FromEdges(const EdgeList& edges, GraphDirections dirs) {
+  Graph g;
+  g.num_vertices_ = edges.num_vertices;
+  g.num_edges_ = edges.edges.size();
+  if (dirs == GraphDirections::kOutOnly || dirs == GraphDirections::kBoth) {
+    BuildCsr(edges.edges, edges.num_vertices, /*transpose=*/false,
+             &g.out_offsets_, &g.out_targets_);
+  }
+  if (dirs == GraphDirections::kInOnly || dirs == GraphDirections::kBoth) {
+    BuildCsr(edges.edges, edges.num_vertices, /*transpose=*/true, &g.in_offsets_,
+             &g.in_targets_);
+  }
+  return g;
+}
+
+size_t Graph::MemoryBytes() const {
+  return out_offsets_.size() * sizeof(EdgeId) +
+         out_targets_.size() * sizeof(VertexId) +
+         in_offsets_.size() * sizeof(EdgeId) +
+         in_targets_.size() * sizeof(VertexId);
+}
+
+}  // namespace maze

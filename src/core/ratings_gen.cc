@@ -1,0 +1,70 @@
+#include "core/ratings_gen.h"
+
+#include <algorithm>
+
+#include "core/rmat.h"
+#include "util/check.h"
+#include "util/prng.h"
+
+namespace maze {
+namespace {
+
+// Approximate Netflix Prize star distribution (1..5).
+constexpr double kStarCdf[5] = {0.046, 0.146, 0.432, 0.767, 1.0};
+
+float DrawStar(Xorshift64Star& rng) {
+  double u = rng.NextDouble();
+  for (int s = 0; s < 5; ++s) {
+    if (u <= kStarCdf[s]) return static_cast<float>(s + 1);
+  }
+  return 5.0f;
+}
+
+}  // namespace
+
+RatingsDataset GenerateRatings(const RatingsParams& params) {
+  MAZE_CHECK(params.num_items > 0);
+  RmatParams rmat = RmatParams::Ratings(params.scale, params.edge_factor,
+                                        params.seed);
+  // Keep the RMAT id structure: the fold below relies on the hierarchical column
+  // skew, which a random relabeling would destroy (the paper folds raw
+  // Graph500 output for the same reason).
+  rmat.permute_vertices = false;
+  EdgeList raw = GenerateRmat(rmat);
+
+  // Step 2: fold columns into [0, num_items) via modulo — equivalent to chunking
+  // the columns into blocks of num_items and OR-ing the chunks. Parallel edges
+  // collapse (the logical OR). EdgeList::Deduplicate is not used because it also
+  // drops src == dst pairs, which after folding are legitimate ratings.
+  for (Edge& e : raw.edges) {
+    e.dst %= params.num_items;
+  }
+  std::sort(raw.edges.begin(), raw.edges.end());
+  raw.edges.erase(std::unique(raw.edges.begin(), raw.edges.end()),
+                  raw.edges.end());
+
+  // Count user degrees (step 3 filter input).
+  std::vector<uint32_t> degree(raw.num_vertices, 0);
+  for (const Edge& e : raw.edges) ++degree[e.src];
+
+  // Dense renumbering of surviving users.
+  std::vector<VertexId> user_id(raw.num_vertices, kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId u = 0; u < raw.num_vertices; ++u) {
+    if (degree[u] >= params.min_user_degree) user_id[u] = next++;
+  }
+
+  RatingsDataset out;
+  out.num_users = next;
+  out.num_items = params.num_items;
+  out.ratings.reserve(raw.edges.size());
+  uint64_t seed_state = params.seed ^ 0x51EDBEEFull;
+  Xorshift64Star rng(SplitMix64(seed_state));
+  for (const Edge& e : raw.edges) {
+    if (user_id[e.src] == kInvalidVertex) continue;
+    out.ratings.push_back(Rating{user_id[e.src], e.dst, DrawStar(rng)});
+  }
+  return out;
+}
+
+}  // namespace maze

@@ -1,0 +1,48 @@
+// Power-law ratings-matrix generator (Section 4.1.2).
+//
+// The paper's recipe, reproduced here step by step:
+//   1. Generate a Graph500 RMAT graph with A=0.40, B=C=0.22 (tail matched to the
+//      Netflix degree distribution).
+//   2. "Fold" the adjacency matrix: chunk the columns into blocks of num_items and
+//      logically OR the chunks, producing an num_vertices x num_items bipartite
+//      pattern.
+//   3. Remove users with degree < 5.
+//   4. Attach rating values (we draw from a Netflix-like 1..5 distribution).
+//
+// The authors argue this power-law generator is more representative than the
+// uniform sampler of Gemulla et al.; the Table 3 bench verifies the tail.
+#ifndef MAZE_CORE_RATINGS_GEN_H_
+#define MAZE_CORE_RATINGS_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bipartite.h"
+
+namespace maze {
+
+struct RatingsParams {
+  int scale = 16;           // RMAT scale for the source graph (2^scale rows).
+  int edge_factor = 8;      // Ratings generated ~= edge_factor * 2^scale.
+  VertexId num_items = 1024;  // Fold width (the paper folds to N_movies).
+  uint32_t min_user_degree = 5;
+  uint64_t seed = 1;
+};
+
+// Result of generation: the rating triples plus the compacted user/item counts.
+struct RatingsDataset {
+  VertexId num_users = 0;
+  VertexId num_items = 0;
+  std::vector<Rating> ratings;
+
+  BipartiteGraph ToGraph() const {
+    return BipartiteGraph::FromRatings(num_users, num_items, ratings);
+  }
+};
+
+// Runs the fold pipeline above. Users are renumbered densely after filtering.
+RatingsDataset GenerateRatings(const RatingsParams& params);
+
+}  // namespace maze
+
+#endif  // MAZE_CORE_RATINGS_GEN_H_

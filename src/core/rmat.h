@@ -1,0 +1,49 @@
+// Graph500 RMAT synthetic graph generator (Section 4.1.2).
+//
+// The paper derives every synthetic workload from this generator:
+//   - PageRank/BFS graphs: default Graph500 parameters A=0.57, B=C=0.19.
+//   - Triangle counting:   A=0.45, B=C=0.15 (fewer triangles), then oriented
+//     small-id -> large-id to remove cycles.
+//   - Ratings matrices:    A=0.40, B=C=0.22, folded into a bipartite shape
+//     (see ratings_gen.h).
+#ifndef MAZE_CORE_RMAT_H_
+#define MAZE_CORE_RMAT_H_
+
+#include <cstdint>
+
+#include "core/edge_list.h"
+
+namespace maze {
+
+// Parameters of the recursive-matrix generator. D is implied (1 - A - B - C).
+struct RmatParams {
+  int scale = 16;            // num_vertices = 2^scale.
+  int edge_factor = 16;      // edges generated = edge_factor * num_vertices.
+  double a = 0.57;           // Graph500 defaults.
+  double b = 0.19;
+  double c = 0.19;
+  uint64_t seed = 1;
+  bool permute_vertices = true;  // Random relabeling to break id-locality bias.
+
+  static RmatParams Graph500(int scale, int edge_factor = 16, uint64_t seed = 1) {
+    return RmatParams{scale, edge_factor, 0.57, 0.19, 0.19, seed, true};
+  }
+  // Paper's triangle-counting parameters (§4.1.2).
+  static RmatParams TriangleCounting(int scale, int edge_factor = 16,
+                                     uint64_t seed = 1) {
+    return RmatParams{scale, edge_factor, 0.45, 0.15, 0.15, seed, true};
+  }
+  // Paper's collaborative-filtering parameters (§4.1.2).
+  static RmatParams Ratings(int scale, int edge_factor = 16, uint64_t seed = 1) {
+    return RmatParams{scale, edge_factor, 0.40, 0.22, 0.22, seed, true};
+  }
+};
+
+// Generates the raw RMAT edge list. May contain duplicates and self-loops, exactly
+// like the Graph500 reference generator; callers normalize via EdgeList methods.
+// Generation is parallel across edges and deterministic for a fixed seed.
+EdgeList GenerateRmat(const RmatParams& params);
+
+}  // namespace maze
+
+#endif  // MAZE_CORE_RMAT_H_

@@ -1,0 +1,23 @@
+// Fundamental identifier types shared by every module.
+#ifndef MAZE_CORE_TYPES_H_
+#define MAZE_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace maze {
+
+// Vertex identifier. 32 bits covers every graph in this study (the paper's largest
+// synthetic graph has 2^29 vertices) while halving adjacency-array traffic vs 64-bit
+// ids — itself one of the native-code data-layout choices.
+using VertexId = uint32_t;
+
+// Edge index into CSR arrays; 64-bit because edge counts exceed 2^32 at scale.
+using EdgeId = uint64_t;
+
+// Sentinel for "no vertex" / unreached distances.
+inline constexpr VertexId kInvalidVertex = 0xFFFFFFFFu;
+inline constexpr uint32_t kInfiniteDistance = 0xFFFFFFFFu;
+
+}  // namespace maze
+
+#endif  // MAZE_CORE_TYPES_H_

@@ -1,0 +1,49 @@
+#include "core/weighted_graph.h"
+
+#include <algorithm>
+
+#include "util/prng.h"
+
+namespace maze {
+namespace {
+
+// Symmetric edge hash: (u, v) and (v, u) get the same weight.
+float WeightFor(VertexId a, VertexId b, float max_weight, uint64_t seed) {
+  if (a > b) std::swap(a, b);
+  uint64_t state = seed ^ (static_cast<uint64_t>(a) << 32 | b);
+  uint64_t h = SplitMix64(state);
+  double unit = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return 1.0f + static_cast<float>(unit * (max_weight - 1.0));
+}
+
+}  // namespace
+
+WeightedGraph WeightedGraph::FromEdgesWithRandomWeights(const EdgeList& edges,
+                                                        float max_weight,
+                                                        uint64_t seed) {
+  MAZE_CHECK(max_weight >= 1.0f);
+  WeightedGraph g;
+  g.num_vertices_ = edges.num_vertices;
+  g.offsets_.assign(static_cast<size_t>(edges.num_vertices) + 1, 0);
+  for (const Edge& e : edges.edges) {
+    MAZE_CHECK(e.src < edges.num_vertices && e.dst < edges.num_vertices);
+    ++g.offsets_[e.src + 1];
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.arcs_.resize(edges.edges.size());
+  std::vector<EdgeId> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges.edges) {
+    g.arcs_[cursor[e.src]++] = Arc{e.dst,
+                                   WeightFor(e.src, e.dst, max_weight, seed)};
+  }
+  for (VertexId u = 0; u < g.num_vertices_; ++u) {
+    std::sort(g.arcs_.begin() + static_cast<ptrdiff_t>(g.offsets_[u]),
+              g.arcs_.begin() + static_cast<ptrdiff_t>(g.offsets_[u + 1]),
+              [](const Arc& a, const Arc& b) { return a.dst < b.dst; });
+  }
+  return g;
+}
+
+}  // namespace maze

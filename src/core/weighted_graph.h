@@ -1,0 +1,56 @@
+// Weighted CSR graph (extension substrate): needed by the SSSP extension
+// algorithm, which exercises the priority-scheduling side of the task-based
+// model ("coordinated and autonomous scheduling, with and without
+// application-defined priorities") that the paper's four algorithms never use.
+#ifndef MAZE_CORE_WEIGHTED_GRAPH_H_
+#define MAZE_CORE_WEIGHTED_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "core/edge_list.h"
+#include "core/types.h"
+#include "util/check.h"
+
+namespace maze {
+
+// Immutable weighted out-CSR. Weights are positive floats.
+class WeightedGraph {
+ public:
+  struct Arc {
+    VertexId dst;
+    float weight;
+  };
+
+  WeightedGraph() = default;
+
+  // Attaches deterministic pseudo-random weights in [1, max_weight] to every
+  // edge of `edges` (hash of the endpoints, so the same edge always gets the
+  // same weight and a symmetric pair gets matching weights).
+  static WeightedGraph FromEdgesWithRandomWeights(const EdgeList& edges,
+                                                  float max_weight = 16.0f,
+                                                  uint64_t seed = 1);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return arcs_.size(); }
+
+  std::span<const Arc> OutArcs(VertexId u) const {
+    MAZE_DCHECK(u < num_vertices_);
+    return {arcs_.data() + offsets_[u], arcs_.data() + offsets_[u + 1]};
+  }
+
+  EdgeId OutDegree(VertexId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+  size_t MemoryBytes() const {
+    return offsets_.size() * sizeof(EdgeId) + arcs_.size() * sizeof(Arc);
+  }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<EdgeId> offsets_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace maze
+
+#endif  // MAZE_CORE_WEIGHTED_GRAPH_H_

@@ -1,0 +1,55 @@
+// The four study algorithms as datalite (SociaLite-like) rule programs. Each
+// entry point builds the tables the paper's rules reference, evaluates the rules
+// with the engine, and converts back to the shared result types. The actual
+// SociaLite rule text from the paper is reproduced in the implementation.
+#ifndef MAZE_DATALOG_ALGORITHMS_H_
+#define MAZE_DATALOG_ALGORITHMS_H_
+
+#include "core/bipartite.h"
+#include "core/graph.h"
+#include "datalog/engine.h"
+#include "rt/algo.h"
+
+namespace maze::datalog {
+
+// SociaLite's optimized transport (multi-socket, Table 7 "After").
+rt::CommModel DefaultComm();
+
+// PageRank: the distributed-optimized rule of §3.1 (join local, single transfer
+// for the RANK head update). Requires out-CSR.
+rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
+                            rt::EngineConfig config,
+                            const DataliteOptions& datalite =
+                                DataliteOptions::Optimized());
+
+// BFS: the recursive $MIN rule of §3.2, evaluated semi-naively.
+rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
+                  rt::EngineConfig config,
+                  const DataliteOptions& datalite = DataliteOptions::Optimized());
+
+// Triangle counting: TRIANGLE(0, $INC(1)) :- EDGE(x,y), EDGE(y,z), EDGE(x,z),
+// a three-way join over the oriented edge table.
+rt::TriangleCountResult TriangleCount(
+    const Graph& g, const rt::TriangleCountOptions& options,
+    rt::EngineConfig config,
+    const DataliteOptions& datalite = DataliteOptions::Optimized());
+
+// CF via Gradient Descent: user/item vector tables joined with the rating table;
+// tables are shipped to target machines at the start of each iteration so the
+// joins run locally (§3.2).
+rt::CfResult CollaborativeFiltering(
+    const BipartiteGraph& g, const rt::CfOptions& options,
+    rt::EngineConfig config,
+    const DataliteOptions& datalite = DataliteOptions::Optimized());
+
+// Connected components (extension algorithm) as the recursive rule
+//   CC(v, $MIN(l)) :- CC(v, v);
+//     :- CC(u, l), EDGE(u, v).
+rt::ConnectedComponentsResult ConnectedComponents(
+    const Graph& g, const rt::ConnectedComponentsOptions& options,
+    rt::EngineConfig config,
+    const DataliteOptions& datalite = DataliteOptions::Optimized());
+
+}  // namespace maze::datalog
+
+#endif  // MAZE_DATALOG_ALGORITHMS_H_

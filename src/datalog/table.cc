@@ -1,0 +1,56 @@
+#include "datalog/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace maze::datalog {
+
+void Table::TailNest(int64_t key_space) {
+  MAZE_CHECK(key_space >= 0);
+  key_space_ = key_space;
+  size_t n = num_rows();
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (int c = 0; c < int_cols_; ++c) {
+      if (ints_[c][a] != ints_[c][b]) return ints_[c][a] < ints_[c][b];
+    }
+    return a < b;
+  });
+
+  auto permute_i64 = [&](std::vector<int64_t>& col) {
+    std::vector<int64_t> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = col[order[i]];
+    col = std::move(out);
+  };
+  auto permute_f64 = [&](std::vector<double>& col) {
+    std::vector<double> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = col[order[i]];
+    col = std::move(out);
+  };
+  for (auto& c : ints_) permute_i64(c);
+  for (auto& c : doubles_) permute_f64(c);
+
+  offsets_.assign(static_cast<size_t>(key_space) + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t key = ints_[0][i];
+    MAZE_CHECK(key >= 0 && key < key_space);
+    ++offsets_[key + 1];
+  }
+  for (size_t k = 1; k < offsets_.size(); ++k) offsets_[k] += offsets_[k - 1];
+  indexed_ = true;
+}
+
+bool Table::ContainsPair(int64_t a, int64_t b) const {
+  MAZE_DCHECK(indexed_);
+  MAZE_DCHECK(int_cols_ >= 2);
+  if (a < 0 || a >= key_space_) return false;
+  auto [begin, end] = Rows(a);
+  const auto& col1 = ints_[1];
+  auto lo = col1.begin() + static_cast<ptrdiff_t>(begin);
+  auto hi = col1.begin() + static_cast<ptrdiff_t>(end);
+  return std::binary_search(lo, hi, b);
+}
+
+}  // namespace maze::datalog

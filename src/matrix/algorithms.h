@@ -1,0 +1,65 @@
+// The four study algorithms expressed in the matblas (CombBLAS-like) sparse
+// linear-algebra model (Section 3.1/3.2):
+//   - PageRank: p' = r*1 + (1-r) * A^T p~  as semiring SpMV over the 2-D grid;
+//   - BFS: v = A^T s per level (equation 10), frontier as a sparse vector;
+//   - Triangle counting: nnz(A intersect A^2) — the SpGEMM whose materialized
+//     intermediate is the memory/expressibility problem the paper reports;
+//   - CF: gradient descent as K matrix-vector products per iteration plus dense
+//     vector operations.
+//
+// CombBLAS requires a perfect-square process count (2-D grid); these entry points
+// inherit that constraint: config.num_ranks must be a perfect square.
+#ifndef MAZE_MATRIX_ALGORITHMS_H_
+#define MAZE_MATRIX_ALGORITHMS_H_
+
+#include "core/bipartite.h"
+#include "core/edge_list.h"
+#include "core/graph.h"
+#include "rt/algo.h"
+
+namespace maze::matrix {
+
+// CombBLAS runs as a pure MPI program (Table 2).
+rt::CommModel DefaultComm();
+
+// PageRank. Takes the raw directed edge list (the engine builds its own 2-D
+// tiled A^T) plus the out-degree source graph.
+rt::PageRankResult PageRank(const EdgeList& edges,
+                            const rt::PageRankOptions& options,
+                            rt::EngineConfig config);
+
+// Engine tuning knobs; defaults model CombBLAS v1.3 as benchmarked. The
+// non-default settings implement the paper's §6.2 roadmap recommendations.
+struct MatblasOptions {
+  // "CombBLAS needs to use data structures such as bitvectors for compression
+  // in order to improve BFS performance": delta/bitvector-encode the frontier
+  // exchange instead of shipping raw (id, parent) pairs.
+  bool compress_frontier = false;
+};
+
+// BFS over a symmetric edge list.
+rt::BfsResult Bfs(const EdgeList& edges, const rt::BfsOptions& options,
+                  rt::EngineConfig config,
+                  const MatblasOptions& matblas = MatblasOptions{});
+
+// Triangle counting over an oriented graph (out-CSR). The A^2 intermediate is
+// fully evaluated (and its size charged to the memory metric) because the
+// abstraction cannot fuse the intersection into the SpGEMM.
+rt::TriangleCountResult TriangleCount(const Graph& g,
+                                      const rt::TriangleCountOptions& options,
+                                      rt::EngineConfig config);
+
+// Collaborative filtering via Gradient Descent on the 2-D tiled ratings matrix.
+rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
+                                    const rt::CfOptions& options,
+                                    rt::EngineConfig config);
+
+// Connected components (extension algorithm): iterated label' = min(label,
+// A^T label) over the (min, min) semiring until fixpoint.
+rt::ConnectedComponentsResult ConnectedComponents(
+    const EdgeList& edges, const rt::ConnectedComponentsOptions& options,
+    rt::EngineConfig config);
+
+}  // namespace maze::matrix
+
+#endif  // MAZE_MATRIX_ALGORITHMS_H_

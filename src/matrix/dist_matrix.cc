@@ -1,0 +1,76 @@
+#include "matrix/dist_matrix.h"
+
+#include <algorithm>
+
+namespace maze::matrix {
+
+DistMatrix DistMatrix::FromEdges(const EdgeList& edges, int num_ranks) {
+  DistMatrix m;
+  m.grid_ = rt::Grid2D::ForRanks(num_ranks);
+  m.n_ = edges.num_vertices;
+  m.nnz_ = edges.edges.size();
+  int side = m.grid_.side;
+
+  m.bounds_.resize(side + 1);
+  for (int i = 0; i <= side; ++i) {
+    m.bounds_[i] =
+        static_cast<VertexId>(static_cast<uint64_t>(m.n_) * i / side);
+  }
+
+  m.tiles_.resize(static_cast<size_t>(side) * side);
+  for (int i = 0; i < side; ++i) {
+    for (int j = 0; j < side; ++j) {
+      Tile& t = m.tiles_[m.grid_.RankOf(i, j)];
+      t.row_begin = m.bounds_[i];
+      t.row_end = m.bounds_[i + 1];
+      t.col_begin = m.bounds_[j];
+      t.col_end = m.bounds_[j + 1];
+      t.offsets.assign(t.num_rows() + 1, 0);
+    }
+  }
+
+  // Two-pass counting sort per tile.
+  for (const Edge& e : edges.edges) {
+    MAZE_CHECK(e.src < m.n_ && e.dst < m.n_);
+    int i = m.RangeOf(e.dst);
+    int j = m.RangeOf(e.src);
+    Tile& t = m.tiles_[m.grid_.RankOf(i, j)];
+    ++t.offsets[e.dst - t.row_begin + 1];
+  }
+  for (Tile& t : m.tiles_) {
+    for (size_t r = 1; r < t.offsets.size(); ++r) t.offsets[r] += t.offsets[r - 1];
+    t.sources.resize(t.offsets.back());
+  }
+  std::vector<std::vector<EdgeId>> cursors(m.tiles_.size());
+  for (size_t r = 0; r < m.tiles_.size(); ++r) {
+    cursors[r].assign(m.tiles_[r].offsets.begin(),
+                      m.tiles_[r].offsets.end() - 1);
+  }
+  for (const Edge& e : edges.edges) {
+    int i = m.RangeOf(e.dst);
+    int j = m.RangeOf(e.src);
+    int rank = m.grid_.RankOf(i, j);
+    Tile& t = m.tiles_[rank];
+    t.sources[cursors[rank][e.dst - t.row_begin]++] = e.src;
+  }
+  for (Tile& t : m.tiles_) {
+    for (VertexId r = 0; r < t.num_rows(); ++r) {
+      std::sort(t.sources.begin() + static_cast<ptrdiff_t>(t.offsets[r]),
+                t.sources.begin() + static_cast<ptrdiff_t>(t.offsets[r + 1]));
+    }
+  }
+  return m;
+}
+
+int DistMatrix::RangeOf(VertexId v) const {
+  auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<int>(it - bounds_.begin()) - 1;
+}
+
+size_t DistMatrix::MemoryBytes() const {
+  size_t total = 0;
+  for (const Tile& t : tiles_) total += t.MemoryBytes();
+  return total;
+}
+
+}  // namespace maze::matrix

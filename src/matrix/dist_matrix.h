@@ -1,0 +1,76 @@
+// 2-D block-distributed sparse matrix: the matblas engine's storage.
+//
+// CombBLAS is "the only framework that supports an edge-based partitioning of the
+// graph (2-D partitioning)" (Section 3): the nonzeros are tiled over a
+// sqrt(p) x sqrt(p) process grid, so each rank owns the edges whose (dst, src)
+// fall in its (row-range, col-range) tile. Each tile is stored in gather form —
+// CSR over the tile's destination rows — so SpMV over any semiring is race-free
+// parallel over rows.
+#ifndef MAZE_MATRIX_DIST_MATRIX_H_
+#define MAZE_MATRIX_DIST_MATRIX_H_
+
+#include <vector>
+
+#include "core/edge_list.h"
+#include "core/types.h"
+#include "rt/partition.h"
+#include "util/check.h"
+
+namespace maze::matrix {
+
+// One tile of the distributed matrix (pattern only; algorithms carry values in
+// dense vectors, the common CombBLAS usage for these four workloads).
+struct Tile {
+  VertexId row_begin = 0;  // Global destination-row range [row_begin, row_end).
+  VertexId row_end = 0;
+  VertexId col_begin = 0;  // Global source-column range.
+  VertexId col_end = 0;
+  // CSR over local rows: sources of edges into row (row_begin + r).
+  std::vector<EdgeId> offsets;     // row_end - row_begin + 1 entries.
+  std::vector<VertexId> sources;   // Global column (source) ids, sorted per row.
+
+  VertexId num_rows() const { return row_end - row_begin; }
+  EdgeId nnz() const { return sources.size(); }
+  size_t MemoryBytes() const {
+    return offsets.size() * sizeof(EdgeId) + sources.size() * sizeof(VertexId);
+  }
+};
+
+// The full matrix: grid.side^2 tiles. Tile (i, j) holds edges src in col-range j,
+// dst in row-range i. Row/col ranges are vertex-balanced.
+class DistMatrix {
+ public:
+  // Builds the pattern of the |V| x |V| adjacency matrix of `edges`, tiled over
+  // `num_ranks` (must be a perfect square, mirroring CombBLAS's constraint).
+  static DistMatrix FromEdges(const EdgeList& edges, int num_ranks);
+
+  int num_ranks() const { return grid_.num_ranks(); }
+  const rt::Grid2D& grid() const { return grid_; }
+  VertexId num_vertices() const { return n_; }
+  EdgeId num_edges() const { return nnz_; }
+
+  const Tile& tile(int rank) const { return tiles_[rank]; }
+  const Tile& tile(int row, int col) const {
+    return tiles_[grid_.RankOf(row, col)];
+  }
+
+  // Range bounds of grid row/column `i` (rows and columns use the same split).
+  VertexId RangeBegin(int i) const { return bounds_[i]; }
+  VertexId RangeEnd(int i) const { return bounds_[i + 1]; }
+
+  // Grid row/col index owning global vertex v.
+  int RangeOf(VertexId v) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  rt::Grid2D grid_;
+  VertexId n_ = 0;
+  EdgeId nnz_ = 0;
+  std::vector<VertexId> bounds_;  // side + 1.
+  std::vector<Tile> tiles_;       // side * side, rank-indexed.
+};
+
+}  // namespace maze::matrix
+
+#endif  // MAZE_MATRIX_DIST_MATRIX_H_

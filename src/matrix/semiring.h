@@ -1,0 +1,49 @@
+// Semirings for the matblas (CombBLAS-like) engine.
+//
+// CombBLAS expresses all graph computation as sparse linear algebra "using
+// arbitrary user-defined semirings" (Section 3). The engine's SpMV/SpGEMM kernels
+// are templated on these: PageRank uses (+, *) over doubles, BFS uses a boolean
+// (|, &) visit semiring, triangle counting counts with (+, 1).
+#ifndef MAZE_MATRIX_SEMIRING_H_
+#define MAZE_MATRIX_SEMIRING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace maze::matrix {
+
+// Classic arithmetic semiring: Add = +, Multiply = *.
+template <typename T>
+struct PlusTimes {
+  using ValueType = T;
+  static constexpr T Zero() { return T{}; }
+  static T Add(T a, T b) { return a + b; }
+  static T Multiply(T a, T b) { return a * b; }
+};
+
+// Boolean visit semiring for traversal: an entry exists or it does not.
+struct BoolOrAnd {
+  using ValueType = bool;
+  static constexpr bool Zero() { return false; }
+  static bool Add(bool a, bool b) { return a || b; }
+  static bool Multiply(bool a, bool b) { return a && b; }
+};
+
+// Tropical (min, +) semiring: shortest paths; used in tests to demonstrate the
+// user-defined-semiring extension point.
+template <typename T>
+struct MinPlus {
+  using ValueType = T;
+  static constexpr T Zero() { return std::numeric_limits<T>::max(); }
+  static T Add(T a, T b) { return std::min(a, b); }
+  static T Multiply(T a, T b) {
+    // Saturating +: Zero() is the annihilator/identity for Add.
+    if (a == Zero() || b == Zero()) return Zero();
+    return a + b;
+  }
+};
+
+}  // namespace maze::matrix
+
+#endif  // MAZE_MATRIX_SEMIRING_H_

@@ -1,0 +1,27 @@
+// Hand-optimized Breadth-First Search (Sections 3.2 and 6.1), following the
+// approach of the paper's reference [28]: bitvector visited set, direction-
+// optimizing traversal (top-down frontier expansion switching to bottom-up sweeps
+// when the frontier is a large fraction of the graph), and compressed frontier
+// exchange across ranks (delta/varint or dense bitvector, whichever is smaller).
+#ifndef MAZE_NATIVE_BFS_H_
+#define MAZE_NATIVE_BFS_H_
+
+#include "core/graph.h"
+#include "native/options.h"
+#include "rt/algo.h"
+
+namespace maze::native {
+
+// Runs BFS on `g`, which must be symmetric (undirected graphs are stored with both
+// edge directions in the out-CSR).
+rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
+                  const rt::EngineConfig& config,
+                  const NativeOptions& native = NativeOptions::AllOn());
+
+// Analytic memory traffic of a full BFS (for Table 4): each edge is inspected once
+// in each direction plus per-vertex distance writes.
+double BfsTotalBytes(VertexId num_vertices, EdgeId num_edges);
+
+}  // namespace maze::native
+
+#endif  // MAZE_NATIVE_BFS_H_

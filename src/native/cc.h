@@ -1,0 +1,28 @@
+// Hand-optimized Connected Components (extension algorithm): frontier-driven
+// min-label propagation. Only vertices whose label changed propagate in the
+// next round, and cross-rank traffic is the changed (vertex, label) pairs,
+// compressed like the BFS frontier when enabled.
+#ifndef MAZE_NATIVE_CC_H_
+#define MAZE_NATIVE_CC_H_
+
+#include "core/graph.h"
+#include "native/options.h"
+#include "rt/algo.h"
+
+namespace maze::native {
+
+// Runs on a symmetric out-CSR graph.
+rt::ConnectedComponentsResult ConnectedComponents(
+    const Graph& g, const rt::ConnectedComponentsOptions& options,
+    const rt::EngineConfig& config,
+    const NativeOptions& native = NativeOptions::AllOn());
+
+// Serial reference labeling (BFS flood fill per component).
+std::vector<VertexId> ReferenceComponents(const Graph& g);
+
+// Distinct labels in a labeling.
+uint64_t CountComponents(const std::vector<VertexId>& labels);
+
+}  // namespace maze::native
+
+#endif  // MAZE_NATIVE_CC_H_

@@ -1,0 +1,35 @@
+// Hand-optimized Collaborative Filtering (Sections 2, 3.2, 6.1.2).
+//
+// Native code implements true Stochastic Gradient Descent using the lock-free
+// diagonal ("stratified") parallelization of Gemulla et al. [16]: the ratings
+// matrix is divided into an n x n grid of blocks (n = workers or ranks); an
+// iteration runs n sub-steps, each processing one diagonal of blocks so that no
+// two concurrent blocks share a user row or item column. Gradient Descent is also
+// provided (it is what the restricted frameworks can express), and the SGD-vs-GD
+// convergence bench reproduces the paper's ~40x iteration-count observation.
+#ifndef MAZE_NATIVE_CF_H_
+#define MAZE_NATIVE_CF_H_
+
+#include "core/bipartite.h"
+#include "native/options.h"
+#include "rt/algo.h"
+
+namespace maze::native {
+
+rt::CfResult CollaborativeFiltering(
+    const BipartiteGraph& g, const rt::CfOptions& options,
+    const rt::EngineConfig& config,
+    const NativeOptions& native = NativeOptions::AllOn());
+
+// Root-mean-square prediction error of the given factors over all ratings.
+double CfRmse(const BipartiteGraph& g, const std::vector<double>& user_factors,
+              const std::vector<double>& item_factors, int k);
+
+// Deterministic small-random factor initialization shared by all engines so
+// per-iteration results are comparable across frameworks.
+void CfInitFactors(VertexId count, int k, uint64_t seed,
+                   std::vector<double>* factors);
+
+}  // namespace maze::native
+
+#endif  // MAZE_NATIVE_CF_H_

@@ -1,0 +1,30 @@
+// Hand-optimized PageRank (Sections 3.1 and 6.1).
+//
+// Single node: the graph's *incoming* edges are stored in CSR so the per-vertex
+// gather streams a contiguous edge array (hardware prefetch friendly), with
+// software prefetch on the irregular contrib[] reads. Multi node: 1-D partitioning
+// balanced by in-edge count; each iteration ranks exchange the contributions of
+// boundary vertices with local reduction (one value per (vertex, target-rank)
+// pair), optionally with a static compressed id schedule.
+#ifndef MAZE_NATIVE_PAGERANK_H_
+#define MAZE_NATIVE_PAGERANK_H_
+
+#include "core/graph.h"
+#include "native/options.h"
+#include "rt/algo.h"
+
+namespace maze::native {
+
+// Runs PageRank on `g` (requires in-CSR and out-degrees, i.e. GraphDirections::
+// kBoth). `config.num_ranks == 1` is the pure shared-memory kernel.
+rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
+                            const rt::EngineConfig& config,
+                            const NativeOptions& native = NativeOptions::AllOn());
+
+// Analytic memory traffic of one PageRank iteration (for the Table 4 efficiency
+// computation): CSR edge stream + contrib gathers + vertex updates.
+double PageRankBytesPerIteration(VertexId num_vertices, EdgeId num_edges);
+
+}  // namespace maze::native
+
+#endif  // MAZE_NATIVE_PAGERANK_H_

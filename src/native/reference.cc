@@ -1,0 +1,93 @@
+#include "native/reference.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace maze::native {
+
+std::vector<double> ReferencePageRank(const Graph& g, int iterations,
+                                      double jump) {
+  MAZE_CHECK(g.has_in());
+  MAZE_CHECK(g.has_out());
+  const VertexId n = g.num_vertices();
+  std::vector<double> pr(n, 1.0);
+  std::vector<double> next(n);
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (VertexId v = 0; v < n; ++v) {
+      double sum = 0;
+      for (VertexId u : g.InNeighbors(v)) {
+        EdgeId deg = g.OutDegree(u);
+        if (deg > 0) sum += pr[u] / static_cast<double>(deg);
+      }
+      next[v] = jump + (1.0 - jump) * sum;
+    }
+    std::swap(pr, next);
+  }
+  return pr;
+}
+
+std::vector<uint32_t> ReferenceBfs(const Graph& g, VertexId source) {
+  MAZE_CHECK(g.has_out());
+  std::vector<uint32_t> dist(g.num_vertices(), kInfiniteDistance);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (dist[v] == kInfiniteDistance) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+uint64_t ReferenceTriangleCount(const Graph& g) {
+  MAZE_CHECK(g.has_out());
+  uint64_t count = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      // Count common out-neighbors of u and v (both lists sorted).
+      auto a = g.OutNeighbors(u);
+      auto b = g.OutNeighbors(v);
+      size_t i = 0;
+      size_t j = 0;
+      while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+          ++i;
+        } else if (a[i] > b[j]) {
+          ++j;
+        } else {
+          ++count;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+uint64_t BruteForceTriangleCount(const Graph& undirected) {
+  MAZE_CHECK(undirected.has_out());
+  const VertexId n = undirected.num_vertices();
+  uint64_t count = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : undirected.OutNeighbors(u)) {
+      if (v <= u) continue;
+      for (VertexId w : undirected.OutNeighbors(v)) {
+        if (w <= v) continue;
+        auto nu = undirected.OutNeighbors(u);
+        if (std::binary_search(nu.begin(), nu.end(), w)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace maze::native

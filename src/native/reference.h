@@ -1,0 +1,32 @@
+// Obviously-correct serial reference implementations used by the test suite to
+// validate every engine's output (native and the five framework engines alike).
+// These favor clarity over speed and perform no optimization whatsoever.
+#ifndef MAZE_NATIVE_REFERENCE_H_
+#define MAZE_NATIVE_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bipartite.h"
+#include "core/graph.h"
+
+namespace maze::native {
+
+// Serial PageRank per equation (1): PR(i) = jump + (1-jump) * sum PR(j)/deg(j).
+std::vector<double> ReferencePageRank(const Graph& g, int iterations,
+                                      double jump);
+
+// Serial BFS distances from `source` over the out-CSR.
+std::vector<uint32_t> ReferenceBfs(const Graph& g, VertexId source);
+
+// Serial triangle count over an oriented (src < dst) graph.
+uint64_t ReferenceTriangleCount(const Graph& g);
+
+// Brute-force exact triangle count over an arbitrary undirected edge list
+// (used to validate the orientation preprocessing itself). O(V^3)-ish on the
+// adjacency structure; only for tiny graphs.
+uint64_t BruteForceTriangleCount(const Graph& undirected);
+
+}  // namespace maze::native
+
+#endif  // MAZE_NATIVE_REFERENCE_H_

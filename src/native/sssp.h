@@ -1,0 +1,23 @@
+// Hand-optimized Single-Source Shortest Paths (extension algorithm) over a
+// weighted symmetric graph: frontier-driven relaxation with atomic
+// compare-and-swap distance claims (Bellman-Ford with a sparse frontier).
+// The taskflow engine provides the delta-stepping counterpart.
+#ifndef MAZE_NATIVE_SSSP_H_
+#define MAZE_NATIVE_SSSP_H_
+
+#include "core/weighted_graph.h"
+#include "native/options.h"
+#include "rt/algo.h"
+
+namespace maze::native {
+
+rt::SsspResult Sssp(const WeightedGraph& g, const rt::SsspOptions& options,
+                    const rt::EngineConfig& config,
+                    const NativeOptions& native = NativeOptions::AllOn());
+
+// Serial Dijkstra reference for validation.
+std::vector<float> ReferenceDijkstra(const WeightedGraph& g, VertexId source);
+
+}  // namespace maze::native
+
+#endif  // MAZE_NATIVE_SSSP_H_

@@ -1,0 +1,150 @@
+#include "native/triangle.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "rt/partition.h"
+#include "rt/sim_clock.h"
+#include "util/bitvector.h"
+#include "util/check.h"
+#include "util/codec.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace maze::native {
+namespace {
+
+// Out-degree above which loading N+(u) into a bitvector beats repeated sorted
+// intersections against it.
+constexpr EdgeId kHubDegreeThreshold = 64;
+
+// |a ∩ b| for two sorted id lists.
+uint64_t SortedIntersectCount(std::span<const VertexId> a,
+                              std::span<const VertexId> b) {
+  uint64_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+// Triangles closed by vertices in [begin, end): for each owned u, intersect
+// N+(u) with N+(v) for every v in N+(u).
+uint64_t CountRange(const Graph& g, VertexId begin, VertexId end,
+                    bool use_bitvector) {
+  std::atomic<uint64_t> total{0};
+  ParallelFor(end - begin, 64, [&](uint64_t lo, uint64_t hi) {
+    // Per-chunk scratch bitvector, lazily sized; cleared per hub vertex by
+    // resetting only the bits that were set (not the whole vector).
+    thread_local Bitvector scratch;
+    if (scratch.size() != g.num_vertices()) scratch.Resize(g.num_vertices());
+    uint64_t local = 0;
+    for (VertexId u = begin + static_cast<VertexId>(lo);
+         u < begin + static_cast<VertexId>(hi); ++u) {
+      const auto nu = g.OutNeighbors(u);
+      if (use_bitvector && nu.size() > kHubDegreeThreshold) {
+        for (VertexId v : nu) scratch.Set(v);
+        for (VertexId v : nu) {
+          for (VertexId w : g.OutNeighbors(v)) {
+            local += scratch.Test(w) ? 1 : 0;
+          }
+        }
+        for (VertexId v : nu) scratch.Clear(v);
+      } else {
+        for (VertexId v : nu) {
+          local += SortedIntersectCount(nu, g.OutNeighbors(v));
+        }
+      }
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  return total.load();
+}
+
+}  // namespace
+
+rt::TriangleCountResult TriangleCount(const Graph& g,
+                                      const rt::TriangleCountOptions& options,
+                                      const rt::EngineConfig& config,
+                                      const NativeOptions& native) {
+  (void)options;
+  MAZE_CHECK(g.has_out());
+  const int ranks = config.num_ranks;
+  rt::SimClock clock(ranks, config.comm, config.trace);
+  rt::Partition1D part = rt::Partition1D::EdgeBalanced(g, ranks);
+
+  // Wire accounting: for each rank p, each distinct remote vertex v appearing in
+  // an owned vertex's neighborhood must ship its adjacency list to p once.
+  uint64_t buffer_peak = 0;
+  if (ranks > 1) {
+    for (int p = 0; p < ranks; ++p) {
+      // Distinct remote neighbors of p's owned vertices.
+      Bitvector needed(g.num_vertices());
+      for (VertexId u = part.Begin(p); u < part.End(p); ++u) {
+        for (VertexId v : g.OutNeighbors(u)) {
+          if (part.OwnerOf(v) != p) needed.Set(v);
+        }
+      }
+      std::vector<VertexId> ids;
+      needed.AppendSetBits(&ids);
+      std::vector<uint64_t> bytes_from(ranks, 0);
+      for (VertexId v : ids) {
+        int q = part.OwnerOf(v);
+        uint64_t list_bytes;
+        if (native.compress_messages) {
+          // Delta-coded adjacency: ~1.5 bytes/id measured on RMAT lists; charge
+          // the real encoded size for a faithful number.
+          std::vector<uint8_t> enc;
+          const auto nv = g.OutNeighbors(v);
+          DeltaEncodeIds(std::vector<VertexId>(nv.begin(), nv.end()), &enc);
+          list_bytes = enc.size() + 4;  // + vertex id header.
+        } else {
+          list_bytes = g.OutDegree(v) * sizeof(VertexId) + 8;
+        }
+        bytes_from[q] += list_bytes;
+      }
+      uint64_t rank_buffer = 0;
+      for (int q = 0; q < ranks; ++q) {
+        if (bytes_from[q] == 0) continue;
+        clock.RecordSend(q, p, bytes_from[q], 1);
+        rank_buffer += bytes_from[q];
+      }
+      buffer_peak = std::max(buffer_peak, rank_buffer);
+    }
+  }
+
+  // Compute: each rank counts for its owned range (reads the shared CSR; the
+  // remote reads are what the transfer above paid for).
+  uint64_t triangles = 0;
+  for (int p = 0; p < ranks; ++p) {
+    Timer t;
+    triangles += CountRange(g, part.Begin(p), part.End(p), native.use_bitvector);
+    clock.RecordCompute(p, t.Seconds());
+  }
+  clock.EndStep(native.overlap_comm);
+
+  // Overlap blocks the inbound adjacency stream, bounding buffers; without it the
+  // whole remote neighborhood volume sits in memory at once (the Giraph failure
+  // mode of §6.1.3, which native avoids).
+  uint64_t per_rank = g.MemoryBytes() / ranks +
+                      (native.overlap_comm ? buffer_peak / 16 : buffer_peak);
+  clock.RecordMemory(0, per_rank);
+
+  rt::TriangleCountResult result;
+  result.triangles = triangles;
+  result.metrics = clock.Finish(/*intra_rank_utilization=*/0.8);
+  return result;
+}
+
+}  // namespace maze::native

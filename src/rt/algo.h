@@ -1,0 +1,131 @@
+// Shared option and result types for the four study algorithms (Section 2).
+// Every engine (native and the five framework reimplementations) consumes these,
+// so the benchmark harness can drive engines uniformly.
+#ifndef MAZE_RT_ALGO_H_
+#define MAZE_RT_ALGO_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/types.h"
+#include "rt/comm_model.h"
+#include "rt/metrics.h"
+
+namespace maze::rt {
+
+// How an engine maps onto the simulated cluster.
+struct EngineConfig {
+  int num_ranks = 1;
+  CommModel comm = CommModel::Mpi();
+  // Record a per-step timeline (RunMetrics::steps); small overhead.
+  bool trace = false;
+};
+
+// --- PageRank (Equation 1) --------------------------------------------------
+
+struct PageRankOptions {
+  int iterations = 10;
+  // Probability of a random jump; the paper uses r = 0.3 and the unnormalized
+  // formulation PR(i) = r + (1-r) * sum_j PR(j)/degree(j).
+  double jump = 0.3;
+  // Early-convergence detection (> 0 enables, native engine): stop once the
+  // max per-vertex change falls below this. The paper notes implementations
+  // differ on whether they detect convergence and therefore compares time per
+  // iteration (§5.2); benches keep this at 0.
+  double tolerance = 0;
+};
+
+struct PageRankResult {
+  std::vector<double> ranks;
+  int iterations = 0;
+  RunMetrics metrics;
+};
+
+// --- Breadth-First Search (Equation 2) ---------------------------------------
+
+struct BfsOptions {
+  VertexId source = 0;
+};
+
+struct BfsResult {
+  // distance[v] == kInfiniteDistance for unreached vertices.
+  std::vector<uint32_t> distance;
+  int levels = 0;  // Number of non-empty frontier expansions.
+  RunMetrics metrics;
+};
+
+// --- Triangle Counting (Equation 3) -------------------------------------------
+
+struct TriangleCountOptions {};
+
+struct TriangleCountResult {
+  uint64_t triangles = 0;
+  RunMetrics metrics;
+};
+
+// --- Connected Components (extension beyond the paper's four algorithms) ------
+// Min-label propagation over a symmetric graph; converges to label[v] == the
+// smallest vertex id in v's component. Included to demonstrate that every
+// engine's programming model generalizes past the study's workload mix.
+
+struct ConnectedComponentsOptions {
+  // Safety bound; label propagation needs at most the graph diameter rounds.
+  int max_iterations = 1 << 20;
+};
+
+struct ConnectedComponentsResult {
+  std::vector<VertexId> label;
+  uint64_t num_components = 0;
+  int iterations = 0;
+  RunMetrics metrics;
+};
+
+// --- Single-Source Shortest Paths (extension; weighted graphs) ----------------
+// Exercises the priority-scheduling capability of the task-based model.
+
+struct SsspOptions {
+  VertexId source = 0;
+  // Delta-stepping bucket width; <= 0 picks a width from the mean edge weight.
+  float delta = 0;
+};
+
+struct SsspResult {
+  static constexpr float kUnreachable = std::numeric_limits<float>::infinity();
+  std::vector<float> distance;
+  int rounds = 0;  // Relaxation rounds / bucket drains.
+  RunMetrics metrics;
+};
+
+// --- Collaborative Filtering (Equations 4-8, 11-12) ---------------------------
+
+enum class CfMethod {
+  kSgd,  // Stochastic gradient descent: native and taskflow only (§3.2).
+  kGd,   // Gradient descent: what the other frameworks can express.
+};
+
+struct CfOptions {
+  CfMethod method = CfMethod::kGd;
+  int k = 16;                  // Latent dimension (length of p_u / q_v).
+  int iterations = 5;
+  double learning_rate = 0.002;  // gamma_0.
+  double step_decay = 0.95;      // s: gamma_t = gamma_0 * s^t.
+  double lambda_p = 0.05;
+  double lambda_q = 0.05;
+  uint64_t seed = 42;
+};
+
+struct CfResult {
+  // Row-major factors: user_factors[u * k + i], item_factors[v * k + i].
+  std::vector<double> user_factors;
+  std::vector<double> item_factors;
+  int k = 0;
+  int iterations = 0;
+  double final_rmse = 0;
+  std::vector<double> rmse_per_iteration;
+  RunMetrics metrics;
+};
+
+}  // namespace maze::rt
+
+#endif  // MAZE_RT_ALGO_H_

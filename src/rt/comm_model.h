@@ -1,0 +1,51 @@
+// Communication-layer cost models.
+//
+// The paper attributes much of the multi-node framework gap to the communication
+// layer (Table 2, Section 6): native/CombBLAS use MPI over FDR InfiniBand (peak
+// ~5.5 GB/s/node measured in Figure 6), GraphLab/SociaLite use TCP sockets over
+// IPoIB (2.5-3x lower than MPI; ~2x recoverable with multiple sockets per pair),
+// and Giraph uses netty (<0.5 GB/s). Each profile here carries the achievable
+// bandwidth and per-message latency used by the SimClock to charge wire time.
+#ifndef MAZE_RT_COMM_MODEL_H_
+#define MAZE_RT_COMM_MODEL_H_
+
+#include <string>
+
+namespace maze::rt {
+
+// Cost model of one inter-node transport.
+struct CommModel {
+  std::string name;
+  double bandwidth_bytes_per_sec = 5.5e9;  // Achievable per-node bandwidth.
+  double latency_sec = 2e-6;               // Per-message software+fabric latency.
+
+  // MPI over InfiniBand: what native code and CombBLAS use.
+  static CommModel Mpi() { return {"mpi", 5.5e9, 2e-6}; }
+  // Multiple TCP sockets per node pair: the SociaLite optimization of §6.1.3.
+  static CommModel MultiSocket() { return {"multi-socket", 2.0e9, 3e-5}; }
+  // Single TCP socket (IPoIB): GraphLab, pre-optimization SociaLite.
+  static CommModel Socket() { return {"socket", 0.8e9, 5e-5}; }
+  // netty network I/O library: Giraph.
+  static CommModel Netty() { return {"netty", 0.45e9, 1e-4}; }
+
+  // Time to move `bytes` split over `messages` point-to-point sends.
+  double TransferSeconds(uint64_t bytes, uint64_t messages) const {
+    return static_cast<double>(bytes) / bandwidth_bytes_per_sec +
+           static_cast<double>(messages) * latency_sec;
+  }
+};
+
+// Hardware ceilings of the modeled node (paper's Xeon E5-2697 platform, §4.3):
+// used by the Table 4 efficiency bench and the Figure 6 normalization.
+struct NodeLimits {
+  double memory_bandwidth_bytes_per_sec = 85e9;  // Achievable STREAM-class BW.
+  double network_bandwidth_bytes_per_sec = 5.5e9;  // FDR InfiniBand per node.
+  uint64_t memory_capacity_bytes = 64ull << 30;
+  int hardware_threads = 48;
+
+  static NodeLimits PaperPlatform() { return NodeLimits{}; }
+};
+
+}  // namespace maze::rt
+
+#endif  // MAZE_RT_COMM_MODEL_H_

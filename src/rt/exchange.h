@@ -1,0 +1,97 @@
+// Exchange: typed all-to-all message transport between simulated ranks.
+//
+// Engines post records into per-(src, dst) outboxes during a step's compute phase,
+// then call Deliver() once, which (a) moves the records to the inboxes and (b)
+// charges the SimClock for the traffic. Wire size defaults to sizeof(T) per record;
+// engines that compress (native BFS/PageRank) or box messages (the Giraph-like BSP
+// engine) override the byte accounting.
+#ifndef MAZE_RT_EXCHANGE_H_
+#define MAZE_RT_EXCHANGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/sim_clock.h"
+#include "util/check.h"
+
+namespace maze::rt {
+
+template <typename T>
+class Exchange {
+ public:
+  explicit Exchange(int num_ranks) : num_ranks_(num_ranks) {
+    MAZE_CHECK(num_ranks >= 1);
+    out_.resize(static_cast<size_t>(num_ranks) * num_ranks);
+    in_.resize(out_.size());
+  }
+
+  int num_ranks() const { return num_ranks_; }
+
+  // Outbox for records travelling src -> dst. Valid to fill until Deliver().
+  std::vector<T>& OutBox(int src, int dst) { return out_[Index(src, dst)]; }
+
+  // Inbox holding records that arrived at dst from src in the last Deliver().
+  const std::vector<T>& InBox(int dst, int src) const {
+    return in_[Index(src, dst)];
+  }
+
+  // Total records waiting in dst's inboxes.
+  size_t InboundCount(int dst) const {
+    size_t n = 0;
+    for (int src = 0; src < num_ranks_; ++src) n += in_[Index(src, dst)].size();
+    return n;
+  }
+
+  // Largest number of bytes buffered in any rank's outboxes right now; the memory
+  // cost of "buffer all outgoing messages before sending" (Giraph, §6.1.3).
+  uint64_t MaxOutboxBytesPerRank() const {
+    uint64_t max_bytes = 0;
+    for (int src = 0; src < num_ranks_; ++src) {
+      uint64_t bytes = 0;
+      for (int dst = 0; dst < num_ranks_; ++dst) {
+        bytes += out_[Index(src, dst)].size() * sizeof(T);
+      }
+      max_bytes = std::max(max_bytes, bytes);
+    }
+    return max_bytes;
+  }
+
+  // Moves all outboxes into the matching inboxes and charges `clock` for the
+  // cross-rank traffic: one message per non-empty (src, dst) pair and
+  // `wire_bytes_per_record` per record (default: sizeof(T)).
+  void Deliver(SimClock* clock, double wire_bytes_per_record = sizeof(T)) {
+    for (int src = 0; src < num_ranks_; ++src) {
+      for (int dst = 0; dst < num_ranks_; ++dst) {
+        auto& box = out_[Index(src, dst)];
+        if (clock != nullptr && !box.empty() && src != dst) {
+          clock->RecordSend(src, dst,
+                            static_cast<uint64_t>(static_cast<double>(box.size()) *
+                                                  wire_bytes_per_record),
+                            /*messages=*/1);
+        }
+        in_[Index(src, dst)] = std::move(box);
+        box.clear();
+      }
+    }
+  }
+
+  // Clears inboxes (outboxes are cleared by Deliver).
+  void ClearInboxes() {
+    for (auto& box : in_) box.clear();
+  }
+
+ private:
+  size_t Index(int src, int dst) const {
+    MAZE_DCHECK(src >= 0 && src < num_ranks_);
+    MAZE_DCHECK(dst >= 0 && dst < num_ranks_);
+    return static_cast<size_t>(src) * num_ranks_ + dst;
+  }
+
+  int num_ranks_;
+  std::vector<std::vector<T>> out_;
+  std::vector<std::vector<T>> in_;
+};
+
+}  // namespace maze::rt
+
+#endif  // MAZE_RT_EXCHANGE_H_

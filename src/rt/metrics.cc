@@ -1,0 +1,19 @@
+#include "rt/metrics.h"
+
+#include <sstream>
+
+namespace maze::rt {
+
+std::string StepTraceCsv(const std::vector<StepRecord>& steps) {
+  std::ostringstream out;
+  out << "step,compute_seconds,wire_seconds,bytes_sent,messages_sent,"
+         "overlapped\n";
+  for (const StepRecord& s : steps) {
+    out << s.step << ',' << s.compute_seconds << ',' << s.wire_seconds << ','
+        << s.bytes_sent << ',' << s.messages_sent << ','
+        << (s.overlapped ? 1 : 0) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace maze::rt

@@ -1,0 +1,63 @@
+// Run metrics: the four system-level quantities of Figure 6 (CPU utilization, peak
+// achieved network bandwidth, memory footprint, bytes sent over the network), plus
+// the simulated elapsed time they are derived from.
+#ifndef MAZE_RT_METRICS_H_
+#define MAZE_RT_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace maze::rt {
+
+// One simulated step (superstep / iteration / level) of a run: the per-step
+// timeline behind the Figure 6 aggregates, in the spirit of the paper's
+// sar/sysstat monitoring (§5.4).
+struct StepRecord {
+  int step = 0;
+  double compute_seconds = 0;  // max over ranks, as charged.
+  double wire_seconds = 0;     // max over ranks, modeled.
+  uint64_t bytes_sent = 0;     // total cross-rank bytes this step.
+  uint64_t messages_sent = 0;
+  bool overlapped = false;     // compute/comm overlap was in effect.
+};
+
+// Renders step records as CSV (header + one row per step) for plotting.
+std::string StepTraceCsv(const std::vector<StepRecord>& steps);
+
+// Aggregated over a whole algorithm run on a simulated cluster.
+struct RunMetrics {
+  // Simulated wall time: sum over steps of (per-step max rank compute time +/or
+  // modeled communication time).
+  double elapsed_seconds = 0;
+
+  // Sum over ranks of real, measured compute seconds.
+  double total_compute_seconds = 0;
+
+  // Network traffic totals (bytes leaving any rank; intra-rank traffic is free).
+  uint64_t bytes_sent = 0;
+  uint64_t messages_sent = 0;
+
+  // Max over steps of (step bytes per rank / step wire seconds): the "peak network
+  // BW" bar of Figure 6. Latency-dominated small-message traffic lowers this.
+  double peak_network_bw = 0;
+
+  // Max over ranks of engine-reported resident bytes (graph + runtime buffers).
+  uint64_t memory_peak_bytes = 0;
+
+  // compute / (ranks * elapsed), scaled by the engine's intra-node thread usage:
+  // the Figure 6 "CPU utilization" bar in [0, 1].
+  double cpu_utilization = 0;
+
+  // Bytes per rank (Figure 6 normalizes traffic per node).
+  double BytesPerRank(int ranks) const {
+    return ranks > 0 ? static_cast<double>(bytes_sent) / ranks : 0;
+  }
+
+  // Per-step timeline; populated only when tracing was enabled for the run.
+  std::vector<StepRecord> steps;
+};
+
+}  // namespace maze::rt
+
+#endif  // MAZE_RT_METRICS_H_

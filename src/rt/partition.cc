@@ -1,0 +1,65 @@
+#include "rt/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace maze::rt {
+
+Partition1D Partition1D::VertexBalanced(VertexId num_vertices, int num_parts) {
+  MAZE_CHECK(num_parts >= 1);
+  Partition1D p;
+  p.bounds_.resize(static_cast<size_t>(num_parts) + 1);
+  for (int i = 0; i <= num_parts; ++i) {
+    p.bounds_[i] = static_cast<VertexId>(
+        static_cast<uint64_t>(num_vertices) * i / num_parts);
+  }
+  return p;
+}
+
+Partition1D Partition1D::EdgeBalanced(const Graph& g, int num_parts) {
+  MAZE_CHECK(g.has_out());
+  return EdgeBalancedFromOffsets(g.out_offsets(), num_parts);
+}
+
+Partition1D Partition1D::EdgeBalancedFromOffsets(
+    const std::vector<EdgeId>& offsets, int num_parts) {
+  MAZE_CHECK(num_parts >= 1);
+  MAZE_CHECK(!offsets.empty());
+  VertexId n = static_cast<VertexId>(offsets.size() - 1);
+  Partition1D p;
+  p.bounds_.assign(1, 0);
+  EdgeId total = offsets.back();
+  EdgeId per_part = (total + num_parts - 1) / std::max(1, num_parts);
+  EdgeId acc = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    acc += offsets[v + 1] - offsets[v];
+    if (acc >= per_part && static_cast<int>(p.bounds_.size()) <= num_parts - 1) {
+      p.bounds_.push_back(v + 1);
+      acc = 0;
+    }
+  }
+  while (static_cast<int>(p.bounds_.size()) < num_parts + 1) {
+    p.bounds_.push_back(n);
+  }
+  return p;
+}
+
+int Partition1D::OwnerOf(VertexId v) const {
+  auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  MAZE_DCHECK(it != bounds_.begin());
+  int part = static_cast<int>(it - bounds_.begin()) - 1;
+  MAZE_DCHECK(part < num_parts());
+  return part;
+}
+
+Grid2D Grid2D::ForRanks(int num_ranks) {
+  MAZE_CHECK(num_ranks >= 1);
+  int side = static_cast<int>(std::sqrt(static_cast<double>(num_ranks)));
+  while (side * side > num_ranks) --side;
+  MAZE_CHECK(side * side == num_ranks);  // Benches use square rank counts.
+  return Grid2D{side};
+}
+
+}  // namespace maze::rt

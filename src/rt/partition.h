@@ -1,0 +1,61 @@
+// Graph partitioning across simulated ranks.
+//
+// The paper distinguishes (Table 2, §6.1.1): 1-D vertex partitioning (Giraph,
+// SociaLite, GraphLab, native — native balances by edge count), advanced 1-D with
+// high-degree vertex replication (GraphLab), and 2-D edge partitioning (CombBLAS,
+// which requires a square process grid).
+#ifndef MAZE_RT_PARTITION_H_
+#define MAZE_RT_PARTITION_H_
+
+#include <vector>
+
+#include "core/graph.h"
+#include "core/types.h"
+
+namespace maze::rt {
+
+// Contiguous 1-D vertex ranges, one per rank.
+class Partition1D {
+ public:
+  // Ranges with equal vertex counts (Giraph/SociaLite-style hash-free sharding).
+  static Partition1D VertexBalanced(VertexId num_vertices, int num_parts);
+
+  // Ranges chosen so each rank owns roughly the same number of out-edges: the
+  // native code's scheme ("so that each node has roughly the same number of
+  // edges", §3.1).
+  static Partition1D EdgeBalanced(const Graph& g, int num_parts);
+
+  // Same balancing driven directly by a CSR offsets array (e.g. in-offsets when
+  // the work streams in-edges, as native PageRank does).
+  static Partition1D EdgeBalancedFromOffsets(const std::vector<EdgeId>& offsets,
+                                             int num_parts);
+
+  int num_parts() const { return static_cast<int>(bounds_.size()) - 1; }
+  VertexId Begin(int part) const { return bounds_[part]; }
+  VertexId End(int part) const { return bounds_[part + 1]; }
+  VertexId Size(int part) const { return End(part) - Begin(part); }
+
+  // Rank owning vertex v (binary search over range bounds).
+  int OwnerOf(VertexId v) const;
+
+ private:
+  std::vector<VertexId> bounds_;  // num_parts + 1 entries; bounds_[0] == 0.
+};
+
+// Square process grid for 2-D (edge) partitioning. CombBLAS constrains the total
+// process count to a perfect square; we mirror that: ranks not on the grid are
+// unused, and callers pick square rank counts in benches.
+struct Grid2D {
+  int side = 1;  // Grid is side x side.
+
+  static Grid2D ForRanks(int num_ranks);
+
+  int num_ranks() const { return side * side; }
+  int RankOf(int row, int col) const { return row * side + col; }
+  int RowOf(int rank) const { return rank / side; }
+  int ColOf(int rank) const { return rank % side; }
+};
+
+}  // namespace maze::rt
+
+#endif  // MAZE_RT_PARTITION_H_

@@ -1,0 +1,89 @@
+#include "rt/sim_clock.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/thread_pool.h"
+
+namespace maze::rt {
+namespace {
+
+// 0 = "host width" (no rescaling).
+std::atomic<int> g_modeled_node_threads{0};
+
+int HostThreads() {
+  return static_cast<int>(ThreadPool::Default().num_threads());
+}
+
+}  // namespace
+
+void SetModeledNodeThreads(int threads) {
+  MAZE_CHECK(threads >= 0);
+  g_modeled_node_threads.store(threads, std::memory_order_relaxed);
+}
+
+int ModeledNodeThreads() {
+  int configured = g_modeled_node_threads.load(std::memory_order_relaxed);
+  return configured > 0 ? configured : HostThreads();
+}
+
+double EngineComputeScale(int engine_threads) {
+  MAZE_CHECK(engine_threads >= 1);
+  int node = ModeledNodeThreads();
+  return static_cast<double>(node) / std::min(engine_threads, node);
+}
+
+namespace internal {
+
+double HostToNodeScale() {
+  return static_cast<double>(HostThreads()) / ModeledNodeThreads();
+}
+
+}  // namespace internal
+
+void SimClock::EndStep(bool overlap_comm) {
+  double compute_max = 0;
+  double wire_max = 0;
+  uint64_t step_total_bytes = 0;
+  uint64_t step_total_msgs = 0;
+  for (int r = 0; r < num_ranks_; ++r) {
+    compute_max = std::max(compute_max, step_compute_[r]);
+    wire_max = std::max(wire_max,
+                        model_.TransferSeconds(step_bytes_[r], step_msgs_[r]));
+    step_total_bytes += step_bytes_[r];
+    step_total_msgs += step_msgs_[r];
+  }
+  double step_time =
+      overlap_comm ? std::max(compute_max, wire_max) : compute_max + wire_max;
+  metrics_.elapsed_seconds += step_time;
+
+  if (trace_enabled_) {
+    trace_.push_back(StepRecord{static_cast<int>(trace_.size()), compute_max,
+                                wire_max, step_total_bytes, step_total_msgs,
+                                overlap_comm});
+  }
+
+  // Peak achieved per-node bandwidth for this step. Guard against zero-comm steps.
+  if (step_total_bytes > 0 && wire_max > 0) {
+    double per_rank_bytes =
+        static_cast<double>(step_total_bytes) / static_cast<double>(num_ranks_);
+    metrics_.peak_network_bw =
+        std::max(metrics_.peak_network_bw, per_rank_bytes / wire_max);
+  }
+  ResetStep();
+}
+
+RunMetrics SimClock::Finish(double intra_rank_utilization) {
+  MAZE_CHECK(intra_rank_utilization > 0 && intra_rank_utilization <= 1.0);
+  if (trace_enabled_) metrics_.steps = trace_;
+  if (metrics_.elapsed_seconds > 0) {
+    double rank_busy_fraction =
+        metrics_.total_compute_seconds /
+        (static_cast<double>(num_ranks_) * metrics_.elapsed_seconds);
+    metrics_.cpu_utilization =
+        std::min(1.0, rank_busy_fraction) * intra_rank_utilization;
+  }
+  return metrics_;
+}
+
+}  // namespace maze::rt

@@ -1,0 +1,133 @@
+// SimClock: the measured-compute + modeled-wire-time accounting scheme.
+//
+// This is the repository's substitute for the paper's 64-node InfiniBand cluster
+// (DESIGN.md Section 1). Algorithms run their per-rank compute for real inside one
+// process and report the measured seconds here; they report every inter-rank
+// transfer's byte/message counts here as well. The clock then charges simulated
+// wall time per step:
+//
+//     step_time = max_r compute(r)  (+ or max-with)  max_r wire(bytes_r, msgs_r)
+//
+// where wire() comes from the CommModel, and "+ or max-with" depends on whether the
+// engine overlaps computation with communication (Section 6.1.1, worth 1.2-2x in
+// the paper's native code).
+#ifndef MAZE_RT_SIM_CLOCK_H_
+#define MAZE_RT_SIM_CLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/comm_model.h"
+#include "rt/metrics.h"
+#include "util/check.h"
+
+namespace maze::rt {
+
+// --- Modeled node width -------------------------------------------------------
+// Per-rank compute is *measured* on this host but *charged* as if the rank were
+// one modeled cluster node. When the modeled node is wider than the host (e.g.
+// the paper's 48-hardware-thread Xeon nodes simulated on a small machine),
+// measured seconds are rescaled by host_threads / node_threads so the
+// compute:network balance matches the modeled platform instead of the host.
+// Defaults to the host width (no rescaling); the benchmark harness sets 48.
+
+// Sets the modeled node's hardware-thread count (0 restores the host default).
+void SetModeledNodeThreads(int threads);
+int ModeledNodeThreads();
+
+namespace internal {
+// host_threads / node_threads.
+double HostToNodeScale();
+}  // namespace internal
+
+// node_threads / min(engine_threads, node_threads): the extra factor a
+// worker-capped engine passes to RecordCompute's `scale` (the host/node factor
+// itself is applied by the clock automatically). Engines using the whole node
+// pass nothing.
+double EngineComputeScale(int engine_threads);
+
+// Accumulates one algorithm run over a simulated cluster of `num_ranks` nodes.
+// Not thread-safe: record from the orchestration thread.
+class SimClock {
+ public:
+  SimClock(int num_ranks, CommModel model, bool trace = false)
+      : num_ranks_(num_ranks), model_(std::move(model)), trace_enabled_(trace) {
+    MAZE_CHECK(num_ranks >= 1);
+    ResetStep();
+  }
+
+  int num_ranks() const { return num_ranks_; }
+  const CommModel& model() const { return model_; }
+
+  // --- Per-step recording -------------------------------------------------
+
+  // Adds measured compute seconds for `rank` in the current step, rescaled by
+  // the host-to-modeled-node factor. `scale` models structural compute
+  // handicaps on top of that (e.g. a BSP engine capped at 4 of the node's
+  // workers passes EngineComputeScale(4)).
+  void RecordCompute(int rank, double seconds, double scale = 1.0) {
+    MAZE_CHECK(rank >= 0 && rank < num_ranks_);
+    double charged = seconds * scale * host_to_node_scale_;
+    step_compute_[rank] += charged;
+    metrics_.total_compute_seconds += charged;
+  }
+
+  // Registers `bytes` leaving `src` for `dst` in the current step. Same-rank
+  // traffic is free (it never crosses the network).
+  void RecordSend(int src, int dst, uint64_t bytes, uint64_t messages = 1) {
+    MAZE_CHECK(src >= 0 && src < num_ranks_);
+    MAZE_CHECK(dst >= 0 && dst < num_ranks_);
+    if (src == dst) return;
+    step_bytes_[src] += bytes;
+    step_msgs_[src] += messages;
+    metrics_.bytes_sent += bytes;
+    metrics_.messages_sent += messages;
+  }
+
+  // Records rank-resident memory (graph partition + engine buffers); the metric
+  // keeps the max across ranks and steps.
+  void RecordMemory(int rank, uint64_t bytes) {
+    MAZE_CHECK(rank >= 0 && rank < num_ranks_);
+    if (bytes > metrics_.memory_peak_bytes) metrics_.memory_peak_bytes = bytes;
+  }
+
+  // Closes the current step, charging simulated time. `overlap_comm` selects
+  // max(compute, comm) instead of compute + comm.
+  void EndStep(bool overlap_comm = false);
+
+  // Enables per-step timeline recording (see StepRecord); call before the run.
+  void EnableTrace() { trace_enabled_ = true; }
+  const std::vector<StepRecord>& trace() const { return trace_; }
+
+  // --- Results --------------------------------------------------------------
+
+  // Finalizes derived metrics. `intra_rank_utilization` is the fraction of a
+  // node's hardware threads the engine can actually keep busy (1.0 for native
+  // code; ~4/24 for a worker-capped BSP engine), multiplied into CPU utilization.
+  RunMetrics Finish(double intra_rank_utilization = 1.0);
+
+  double elapsed_seconds() const { return metrics_.elapsed_seconds; }
+
+ private:
+  void ResetStep() {
+    step_compute_.assign(num_ranks_, 0.0);
+    step_bytes_.assign(num_ranks_, 0);
+    step_msgs_.assign(num_ranks_, 0);
+  }
+
+  int num_ranks_;
+  CommModel model_;
+  // Captured at construction so a run is internally consistent even if the
+  // modeled width changes between runs.
+  double host_to_node_scale_ = internal::HostToNodeScale();
+  RunMetrics metrics_;
+  std::vector<double> step_compute_;
+  std::vector<uint64_t> step_bytes_;
+  std::vector<uint64_t> step_msgs_;
+  bool trace_enabled_ = false;
+  std::vector<StepRecord> trace_;
+};
+
+}  // namespace maze::rt
+
+#endif  // MAZE_RT_SIM_CLOCK_H_

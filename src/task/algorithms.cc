@@ -1,0 +1,277 @@
+#include "task/algorithms.h"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "native/cc.h"
+#include "native/cf.h"
+#include "rt/sim_clock.h"
+#include "task/priority_worklist.h"
+#include "task/worklist.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace maze::task {
+namespace {
+
+// Galois work items run close to native speed with small scheduler overhead;
+// its engine keeps all cores busy.
+constexpr double kIntraRankUtilization = 0.9;
+
+}  // namespace
+
+rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
+                            rt::EngineConfig config) {
+  MAZE_CHECK_EQ(config.num_ranks, 1);
+  MAZE_CHECK(g.has_in());
+  MAZE_CHECK(g.has_out());
+  const VertexId n = g.num_vertices();
+  rt::SimClock clock(1, config.comm, config.trace);
+
+  std::vector<double> pr(n, 1.0);
+  std::vector<double> next(n, 0.0);
+  std::vector<double> contrib(n, 0.0);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    Timer t;
+    // Each work item updates one vertex's pagerank from its in-neighbors
+    // (the Galois program of §3.1: "each work item ... is a vertex program").
+    DoAll(n, [&](uint64_t v) {
+      EdgeId deg = g.OutDegree(static_cast<VertexId>(v));
+      contrib[v] = deg > 0 ? pr[v] / static_cast<double>(deg) : 0.0;
+    });
+    DoAll(n, [&](uint64_t v) {
+      double sum = 0;
+      for (VertexId u : g.InNeighbors(static_cast<VertexId>(v))) {
+        sum += contrib[u];
+      }
+      next[v] = options.jump + (1.0 - options.jump) * sum;
+    });
+    std::swap(pr, next);
+    clock.RecordCompute(0, t.Seconds());
+    clock.EndStep();
+  }
+
+  clock.RecordMemory(0, g.MemoryBytes() +
+                            static_cast<uint64_t>(n) * 3 * sizeof(double));
+  rt::PageRankResult result;
+  result.ranks = std::move(pr);
+  result.iterations = options.iterations;
+  result.metrics = clock.Finish(kIntraRankUtilization);
+  return result;
+}
+
+rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
+                  rt::EngineConfig config) {
+  MAZE_CHECK_EQ(config.num_ranks, 1);
+  MAZE_CHECK(g.has_out());
+  const VertexId n = g.num_vertices();
+  MAZE_CHECK(options.source < n);
+  rt::SimClock clock(1, config.comm, config.trace);
+
+  // Algorithm 3: per-level worklists maintained by the BSP executor.
+  std::vector<std::atomic<uint32_t>> level(n);
+  for (auto& l : level) l.store(kInfiniteDistance, std::memory_order_relaxed);
+  level[options.source].store(0, std::memory_order_relaxed);
+
+  Worklist<VertexId> wl({options.source});
+  Timer t;
+  int levels = BulkSyncExecute<VertexId>(
+      &wl, [&](const VertexId& u, std::vector<VertexId>* pushed) {
+        uint32_t next_level = level[u].load(std::memory_order_relaxed) + 1;
+        for (VertexId dst : g.OutNeighbors(u)) {
+          uint32_t inf = kInfiniteDistance;
+          if (level[dst].compare_exchange_strong(inf, next_level,
+                                                 std::memory_order_relaxed)) {
+            pushed->push_back(dst);
+          }
+        }
+      });
+  clock.RecordCompute(0, t.Seconds());
+  clock.EndStep();
+
+  clock.RecordMemory(0, g.MemoryBytes() +
+                            static_cast<uint64_t>(n) * sizeof(uint32_t));
+  rt::BfsResult result;
+  result.distance.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result.distance[v] = level[v].load(std::memory_order_relaxed);
+  }
+  result.levels = levels;
+  result.metrics = clock.Finish(kIntraRankUtilization);
+  return result;
+}
+
+rt::TriangleCountResult TriangleCount(const Graph& g,
+                                      const rt::TriangleCountOptions&,
+                                      rt::EngineConfig config) {
+  MAZE_CHECK_EQ(config.num_ranks, 1);
+  MAZE_CHECK(g.has_out());
+  rt::SimClock clock(1, config.comm, config.trace);
+
+  // Algorithm 4: sorted adjacency lists allow linear-time set-intersections.
+  // (No bitvector trick — that is why Galois lands ~2.5x off native on this
+  // algorithm while being ~1.1x elsewhere.)
+  std::atomic<uint64_t> triangles{0};
+  Timer t;
+  DoAll(g.num_vertices(), [&](uint64_t un) {
+    VertexId u = static_cast<VertexId>(un);
+    const auto s1 = g.OutNeighbors(u);
+    uint64_t local = 0;
+    for (VertexId m : s1) {
+      const auto s2 = g.OutNeighbors(m);
+      size_t i = 0;
+      size_t j = 0;
+      while (i < s1.size() && j < s2.size()) {
+        if (s1[i] < s2[j]) {
+          ++i;
+        } else if (s1[i] > s2[j]) {
+          ++j;
+        } else {
+          ++local;
+          ++i;
+          ++j;
+        }
+      }
+    }
+    if (local > 0) triangles.fetch_add(local, std::memory_order_relaxed);
+  });
+  clock.RecordCompute(0, t.Seconds());
+  clock.EndStep();
+
+  clock.RecordMemory(0, g.MemoryBytes());
+  rt::TriangleCountResult result;
+  result.triangles = triangles.load();
+  result.metrics = clock.Finish(kIntraRankUtilization);
+  return result;
+}
+
+rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
+                                    const rt::CfOptions& options,
+                                    rt::EngineConfig config) {
+  MAZE_CHECK_EQ(config.num_ranks, 1);
+  // Galois expresses the same SGD (and GD) as native: flexible partitioning plus
+  // single-node globally consistent state (§3.2). Work items are per-block SGD
+  // updates; delegating to the native kernel models the ~1.1x gap via the
+  // scheduler utilization factor only.
+  rt::CfResult result = native::CollaborativeFiltering(
+      g, options, config, native::NativeOptions::AllOn());
+  // Re-scale the utilization to taskflow's engine figure.
+  result.metrics.cpu_utilization *= kIntraRankUtilization / 0.85;
+  return result;
+}
+
+rt::ConnectedComponentsResult ConnectedComponents(
+    const Graph& g, const rt::ConnectedComponentsOptions& options,
+    rt::EngineConfig config) {
+  MAZE_CHECK_EQ(config.num_ranks, 1);
+  MAZE_CHECK(g.has_out());
+  const VertexId n = g.num_vertices();
+  rt::SimClock clock(1, config.comm, config.trace);
+
+  std::vector<std::atomic<VertexId>> label(n);
+  std::vector<VertexId> all(n);
+  for (VertexId v = 0; v < n; ++v) {
+    label[v].store(v, std::memory_order_relaxed);
+    all[v] = v;
+  }
+
+  // Each work item relaxes one vertex\'s neighbors; improved neighbors are
+  // re-queued for the next level (autonomous-style label propagation).
+  Worklist<VertexId> wl(std::move(all));
+  Timer t;
+  int levels = BulkSyncExecute<VertexId>(
+      &wl, [&](const VertexId& u, std::vector<VertexId>* pushed) {
+        VertexId lu = label[u].load(std::memory_order_relaxed);
+        for (VertexId v : g.OutNeighbors(u)) {
+          VertexId lv = label[v].load(std::memory_order_relaxed);
+          while (lu < lv) {
+            if (label[v].compare_exchange_weak(lv, lu,
+                                               std::memory_order_relaxed)) {
+              pushed->push_back(v);
+              break;
+            }
+          }
+        }
+      });
+  clock.RecordCompute(0, t.Seconds());
+  clock.EndStep();
+  (void)options;
+
+  clock.RecordMemory(0, g.MemoryBytes() +
+                            static_cast<uint64_t>(n) * sizeof(VertexId));
+  rt::ConnectedComponentsResult result;
+  result.label.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result.label[v] = label[v].load(std::memory_order_relaxed);
+  }
+  result.num_components = native::CountComponents(result.label);
+  result.iterations = levels;
+  result.metrics = clock.Finish(0.9);
+  return result;
+}
+
+rt::SsspResult Sssp(const WeightedGraph& g, const rt::SsspOptions& options,
+                    rt::EngineConfig config) {
+  MAZE_CHECK_EQ(config.num_ranks, 1);
+  const VertexId n = g.num_vertices();
+  MAZE_CHECK(options.source < n);
+  rt::SimClock clock(1, config.comm, config.trace);
+
+  // Delta-stepping: bucket b holds vertices with tentative distance in
+  // [b*delta, (b+1)*delta); buckets drain in priority order and relaxations
+  // push into the bucket matching the new tentative distance.
+  float delta = options.delta;
+  if (delta <= 0) {
+    double total_weight = 0;
+    for (VertexId u = 0; u < n; ++u) {
+      for (const auto& arc : g.OutArcs(u)) total_weight += arc.weight;
+    }
+    delta = g.num_edges() > 0
+                ? static_cast<float>(total_weight /
+                                     static_cast<double>(g.num_edges()))
+                : 1.0f;
+  }
+
+  std::vector<std::atomic<float>> dist(n);
+  for (auto& d : dist) {
+    d.store(rt::SsspResult::kUnreachable, std::memory_order_relaxed);
+  }
+  dist[options.source].store(0, std::memory_order_relaxed);
+
+  PriorityWorklist<VertexId> wl;
+  wl.Push(0, options.source);
+  Timer t;
+  int drains = PriorityExecute<VertexId>(
+      &wl, [&](const VertexId& u,
+               std::vector<std::pair<uint32_t, VertexId>>* pushed) {
+        float du = dist[u].load(std::memory_order_relaxed);
+        for (const auto& arc : g.OutArcs(u)) {
+          float candidate = du + arc.weight;
+          float cur = dist[arc.dst].load(std::memory_order_relaxed);
+          while (candidate < cur) {
+            if (dist[arc.dst].compare_exchange_weak(
+                    cur, candidate, std::memory_order_relaxed)) {
+              pushed->emplace_back(static_cast<uint32_t>(candidate / delta),
+                                   arc.dst);
+              break;
+            }
+          }
+        }
+      });
+  clock.RecordCompute(0, t.Seconds());
+  clock.EndStep();
+
+  clock.RecordMemory(0, g.MemoryBytes() +
+                            static_cast<uint64_t>(n) * sizeof(float));
+  rt::SsspResult result;
+  result.distance.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    result.distance[v] = dist[v].load(std::memory_order_relaxed);
+  }
+  result.rounds = drains;
+  result.metrics = clock.Finish(0.9);
+  return result;
+}
+
+}  // namespace maze::task

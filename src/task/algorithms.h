@@ -1,0 +1,47 @@
+// The four study algorithms as taskflow (Galois-like) programs: Algorithm 3
+// (BFS over the bulk-synchronous executor), Algorithm 4 (triangle counting via
+// sorted set-intersections), vertex work-items for PageRank, and — uniquely among
+// the framework engines — true SGD for collaborative filtering, since Galois's
+// flexible partitioning and shared-memory execution can express it (§3.2).
+//
+// Galois is single node: these entry points CHECK config.num_ranks == 1.
+#ifndef MAZE_TASK_ALGORITHMS_H_
+#define MAZE_TASK_ALGORITHMS_H_
+
+#include "core/bipartite.h"
+#include "core/graph.h"
+#include "core/weighted_graph.h"
+#include "rt/algo.h"
+
+namespace maze::task {
+
+rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
+                            rt::EngineConfig config);
+
+rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
+                  rt::EngineConfig config);
+
+rt::TriangleCountResult TriangleCount(const Graph& g,
+                                      const rt::TriangleCountOptions& options,
+                                      rt::EngineConfig config);
+
+// Supports both kSgd (native-equivalent diagonal blocking) and kGd.
+rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
+                                    const rt::CfOptions& options,
+                                    rt::EngineConfig config);
+
+// Connected components (extension algorithm): label-propagation work items
+// over the bulk-synchronous executor.
+rt::ConnectedComponentsResult ConnectedComponents(
+    const Graph& g, const rt::ConnectedComponentsOptions& options,
+    rt::EngineConfig config);
+
+// Single-source shortest paths (extension algorithm) via delta-stepping over
+// the priority worklist — the "application-defined priorities" scheduling mode
+// of the task-based model, which none of the paper's four algorithms needs.
+rt::SsspResult Sssp(const WeightedGraph& g, const rt::SsspOptions& options,
+                    rt::EngineConfig config);
+
+}  // namespace maze::task
+
+#endif  // MAZE_TASK_ALGORITHMS_H_

@@ -1,0 +1,96 @@
+// Bucketed priority worklist: the "application-defined priorities" half of the
+// Galois scheduling story (Section 3). Items carry an integer priority; the
+// executor drains buckets in ascending order, and work pushed at a priority at
+// or below the current bucket is processed within the same drain (the
+// delta-stepping pattern).
+#ifndef MAZE_TASK_PRIORITY_WORKLIST_H_
+#define MAZE_TASK_PRIORITY_WORKLIST_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace maze::task {
+
+// Thread-safe push; single-threaded bucket advancement (the executor drives).
+template <typename T>
+class PriorityWorklist {
+ public:
+  void Push(uint32_t priority, const T& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    PushLocked(priority, item);
+  }
+
+  void PushBatch(const std::vector<std::pair<uint32_t, T>>& items) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [priority, item] : items) PushLocked(priority, item);
+  }
+
+  // Index of the first non-empty bucket at or after `from`, or -1.
+  int64_t NextBucket(uint64_t from) const {
+    for (uint64_t b = from; b < buckets_.size(); ++b) {
+      if (!buckets_[b].empty()) return static_cast<int64_t>(b);
+    }
+    return -1;
+  }
+
+  // Takes (moves out) the contents of bucket `b`.
+  std::vector<T> Take(uint64_t b) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (b >= buckets_.size()) return {};
+    std::vector<T> out = std::move(buckets_[b]);
+    buckets_[b].clear();
+    return out;
+  }
+
+  size_t TotalPending() const {
+    size_t total = 0;
+    for (const auto& bucket : buckets_) total += bucket.size();
+    return total;
+  }
+
+ private:
+  void PushLocked(uint32_t priority, const T& item) {
+    if (priority >= buckets_.size()) buckets_.resize(priority + 1);
+    buckets_[priority].push_back(item);
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<T>> buckets_;
+};
+
+// Drains the worklist bucket by bucket in priority order, re-draining a bucket
+// when the body pushes more work into it (items pushed below the current
+// bucket are also honored by re-scanning from zero on advancement). The body
+// receives the item and a (priority, item) push sink. Returns the number of
+// bucket drains executed.
+template <typename T>
+int PriorityExecute(
+    PriorityWorklist<T>* wl,
+    const std::function<void(const T&,
+                             std::vector<std::pair<uint32_t, T>>*)>& body) {
+  int drains = 0;
+  uint64_t bucket = 0;
+  while (true) {
+    int64_t next = wl->NextBucket(0);
+    if (next < 0) break;
+    bucket = static_cast<uint64_t>(next);
+    std::vector<T> items = wl->Take(bucket);
+    if (items.empty()) continue;
+    ++drains;
+    ParallelFor(items.size(), 32, [&](uint64_t lo, uint64_t hi) {
+      std::vector<std::pair<uint32_t, T>> pushed;
+      for (uint64_t i = lo; i < hi; ++i) body(items[i], &pushed);
+      if (!pushed.empty()) wl->PushBatch(pushed);
+    });
+  }
+  return drains;
+}
+
+}  // namespace maze::task
+
+#endif  // MAZE_TASK_PRIORITY_WORKLIST_H_

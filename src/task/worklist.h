@@ -1,0 +1,90 @@
+// taskflow: the Galois-like task-based engine (Section 3, Table 2).
+//
+// Galois is "a work-item based parallelization framework ... with coordinated and
+// autonomous scheduling" and is single-node only. This module provides the two
+// schedulers the paper's Galois programs use:
+//   - BulkSyncExecutor: the "bulk-synchronous parallel executor ... which
+//     maintains the work lists for each level behind the scenes" (Algorithm 3,
+//     used by BFS);
+//   - DoAll: coordinated parallel iteration over a fixed item range (PageRank,
+//     triangle counting, and the per-block SGD work items).
+//
+// Work items may push follow-up items into the next level's worklist from any
+// thread.
+#ifndef MAZE_TASK_WORKLIST_H_
+#define MAZE_TASK_WORKLIST_H_
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace maze::task {
+
+// Thread-safe per-level worklist: items pushed during level i are processed in
+// level i+1.
+template <typename T>
+class Worklist {
+ public:
+  explicit Worklist(std::vector<T> initial) : current_(std::move(initial)) {}
+
+  bool Empty() const { return current_.empty(); }
+  size_t CurrentSize() const { return current_.size(); }
+  const std::vector<T>& Current() const { return current_; }
+
+  // Pushes an item for the next level (thread-safe; chunk-buffered pushes via
+  // PushBatch are cheaper).
+  void Push(const T& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    next_.push_back(item);
+  }
+
+  void PushBatch(const std::vector<T>& items) {
+    std::lock_guard<std::mutex> lock(mu_);
+    next_.insert(next_.end(), items.begin(), items.end());
+  }
+
+  // Advances to the next level; returns false when it is empty.
+  bool Advance() {
+    current_ = std::move(next_);
+    next_.clear();
+    return !current_.empty();
+  }
+
+ private:
+  std::vector<T> current_;
+  std::vector<T> next_;
+  std::mutex mu_;
+};
+
+// Coordinated parallel do-all over [0, n): Galois's basic loop operator.
+inline void DoAll(uint64_t n, const std::function<void(uint64_t)>& fn) {
+  ParallelFor(n, 64, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+// Runs `body` over every item of every level until the worklist drains. The body
+// receives the item and a batch-push sink for next-level items. Returns the
+// number of levels executed.
+template <typename T>
+int BulkSyncExecute(Worklist<T>* wl,
+                    const std::function<void(const T&, std::vector<T>*)>& body) {
+  int levels = 0;
+  while (!wl->Empty()) {
+    ++levels;
+    const std::vector<T>& items = wl->Current();
+    ParallelFor(items.size(), 32, [&](uint64_t lo, uint64_t hi) {
+      std::vector<T> pushed;
+      for (uint64_t i = lo; i < hi; ++i) body(items[i], &pushed);
+      if (!pushed.empty()) wl->PushBatch(pushed);
+    });
+    wl->Advance();
+  }
+  return levels;
+}
+
+}  // namespace maze::task
+
+#endif  // MAZE_TASK_WORKLIST_H_

@@ -1,0 +1,33 @@
+#include "util/bitvector.h"
+
+#include <bit>
+
+namespace maze {
+
+size_t Bitvector::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+  return total;
+}
+
+size_t Bitvector::IntersectCount(const Bitvector& other) const {
+  MAZE_CHECK_EQ(size_, other.size_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+void Bitvector::AppendSetBits(std::vector<uint32_t>* out) const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      out->push_back(static_cast<uint32_t>((w << 6) + static_cast<size_t>(bit)));
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace maze

@@ -1,0 +1,46 @@
+// Invariant-checking macros in the RocksDB/Google spirit: fail fast and loudly on
+// broken internal invariants instead of limping along with corrupt state.
+//
+// MAZE_CHECK*: always on, used for invariants whose cost is trivial next to the
+// surrounding work. MAZE_DCHECK*: compiled out in release builds, used on hot paths.
+#ifndef MAZE_UTIL_CHECK_H_
+#define MAZE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace maze::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "MAZE_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace maze::internal
+
+#define MAZE_CHECK(expr)                                          \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::maze::internal::CheckFailed(__FILE__, __LINE__, #expr);   \
+    }                                                             \
+  } while (0)
+
+#define MAZE_CHECK_EQ(a, b) MAZE_CHECK((a) == (b))
+#define MAZE_CHECK_NE(a, b) MAZE_CHECK((a) != (b))
+#define MAZE_CHECK_LT(a, b) MAZE_CHECK((a) < (b))
+#define MAZE_CHECK_LE(a, b) MAZE_CHECK((a) <= (b))
+#define MAZE_CHECK_GT(a, b) MAZE_CHECK((a) > (b))
+#define MAZE_CHECK_GE(a, b) MAZE_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define MAZE_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define MAZE_DCHECK(expr) MAZE_CHECK(expr)
+#endif
+
+#define MAZE_DCHECK_LT(a, b) MAZE_DCHECK((a) < (b))
+#define MAZE_DCHECK_LE(a, b) MAZE_DCHECK((a) <= (b))
+
+#endif  // MAZE_UTIL_CHECK_H_

@@ -1,0 +1,129 @@
+#include "util/codec.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace maze {
+
+void PutVarint32(std::vector<uint8_t>* out, uint32_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+uint32_t GetVarint32(const std::vector<uint8_t>& buf, size_t* pos) {
+  uint32_t value = 0;
+  int shift = 0;
+  while (true) {
+    MAZE_DCHECK(*pos < buf.size());
+    uint8_t byte = buf[(*pos)++];
+    value |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    MAZE_DCHECK(shift < 35);
+  }
+  return value;
+}
+
+void DeltaEncodeIds(const std::vector<uint32_t>& ids, std::vector<uint8_t>* out) {
+  std::vector<uint32_t> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  PutVarint32(out, static_cast<uint32_t>(sorted.size()));
+  uint32_t prev = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    uint32_t delta = (i == 0) ? sorted[0] : sorted[i] - prev;
+    PutVarint32(out, delta);
+    prev = sorted[i];
+  }
+}
+
+void DeltaDecodeIds(const std::vector<uint8_t>& buf, std::vector<uint32_t>* out) {
+  size_t pos = 0;
+  uint32_t count = GetVarint32(buf, &pos);
+  uint32_t prev = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t delta = GetVarint32(buf, &pos);
+    prev = (i == 0) ? delta : prev + delta;
+    out->push_back(prev);
+  }
+}
+
+namespace {
+
+constexpr uint8_t kTagDelta = 0;
+constexpr uint8_t kTagBitvector = 1;
+
+}  // namespace
+
+namespace {
+
+void EmitBitvector(const std::vector<uint32_t>& ids, uint32_t lo, uint32_t hi,
+                   std::vector<uint8_t>* out) {
+  size_t range_bytes = (static_cast<size_t>(hi) - lo + 8) / 8;
+  out->push_back(kTagBitvector);
+  PutVarint32(out, lo);
+  PutVarint32(out, hi - lo + 1);
+  size_t payload_start = out->size();
+  out->resize(payload_start + range_bytes, 0);
+  for (uint32_t id : ids) {
+    uint32_t off = id - lo;
+    (*out)[payload_start + (off >> 3)] |= static_cast<uint8_t>(1u << (off & 7));
+  }
+}
+
+}  // namespace
+
+void EncodeIdsBest(const std::vector<uint32_t>& ids, std::vector<uint8_t>* out) {
+  if (ids.empty()) {
+    out->push_back(kTagDelta);
+    DeltaEncodeIds(ids, out);
+    return;
+  }
+
+  auto [lo_it, hi_it] = std::minmax_element(ids.begin(), ids.end());
+  uint32_t lo = *lo_it;
+  uint32_t hi = *hi_it;
+  size_t range_bytes = (static_cast<size_t>(hi) - lo + 8) / 8;
+  size_t bitvec_size = range_bytes + 10;  // header: lo + range varints.
+
+  // Dense fast path: when the ids clearly saturate their range, the bitvector
+  // wins no matter how well deltas compress (a sorted unique list costs >= 1
+  // byte per id), so skip the delta encoder — and its O(n log n) sort —
+  // entirely. This is the frontier-compression regime of BFS's big levels.
+  if (range_bytes + 10 < ids.size()) {
+    EmitBitvector(ids, lo, hi, out);
+    return;
+  }
+
+  std::vector<uint8_t> delta;
+  DeltaEncodeIds(ids, &delta);
+  if (bitvec_size < delta.size()) {
+    EmitBitvector(ids, lo, hi, out);
+  } else {
+    out->push_back(kTagDelta);
+    out->insert(out->end(), delta.begin(), delta.end());
+  }
+}
+
+void DecodeIdsBest(const std::vector<uint8_t>& buf, std::vector<uint32_t>* out) {
+  MAZE_CHECK(!buf.empty());
+  if (buf[0] == kTagDelta) {
+    std::vector<uint8_t> body(buf.begin() + 1, buf.end());
+    DeltaDecodeIds(body, out);
+    return;
+  }
+  MAZE_CHECK_EQ(buf[0], kTagBitvector);
+  size_t pos = 1;
+  uint32_t lo = GetVarint32(buf, &pos);
+  uint32_t range = GetVarint32(buf, &pos);
+  for (uint32_t off = 0; off < range; ++off) {
+    if (buf[pos + (off >> 3)] & (1u << (off & 7))) {
+      out->push_back(lo + off);
+    }
+  }
+}
+
+}  // namespace maze

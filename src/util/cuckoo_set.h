@@ -1,0 +1,90 @@
+// CuckooSet: open-addressing cuckoo-hash set of 32-bit ids.
+//
+// GraphLab's triangle-counting implementation keeps each vertex's neighborhood in a
+// cuckoo hash for O(1) membership during neighbor-list intersection (Section 5.3(4)
+// of the paper). The vertexlab engine uses this structure for the same purpose; the
+// native kernels use Bitvector for hub vertices and sorted intersection otherwise.
+#ifndef MAZE_UTIL_CUCKOO_SET_H_
+#define MAZE_UTIL_CUCKOO_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace maze {
+
+// Fixed-element-type cuckoo set with two hash functions and stash-free relocation.
+// Not thread-safe; build once per vertex, then probe.
+class CuckooSet {
+ public:
+  static constexpr uint32_t kEmpty = 0xFFFFFFFFu;
+
+  CuckooSet() { Rehash(8); }
+  explicit CuckooSet(size_t expected) {
+    size_t cap = 8;
+    while (cap < expected * 2 + 2) cap <<= 1;
+    Rehash(cap);
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+  size_t MemoryBytes() const { return slots_.size() * sizeof(uint32_t); }
+
+  // Inserts `key` (which must not be kEmpty). Returns true if newly inserted.
+  bool Insert(uint32_t key) {
+    MAZE_DCHECK(key != kEmpty);
+    if (Contains(key)) return false;
+    if ((size_ + 1) * 10 > slots_.size() * 9) Rehash(slots_.size() * 2);
+    InsertNoCheck(key);
+    ++size_;
+    return true;
+  }
+
+  bool Contains(uint32_t key) const {
+    return slots_[Hash1(key)] == key || slots_[Hash2(key)] == key;
+  }
+
+ private:
+  size_t Hash1(uint32_t key) const {
+    uint64_t h = key * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(h >> 32) & mask_;
+  }
+  size_t Hash2(uint32_t key) const {
+    uint64_t h = (key ^ 0xDEADBEEFu) * 0xC2B2AE3D27D4EB4Full;
+    return static_cast<size_t>(h >> 32) & mask_;
+  }
+
+  void InsertNoCheck(uint32_t key) {
+    uint32_t cur = key;
+    size_t pos = Hash1(cur);
+    // Bounded displacement chain; rehash on failure (classic cuckoo insertion).
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      if (slots_[pos] == kEmpty) {
+        slots_[pos] = cur;
+        return;
+      }
+      std::swap(cur, slots_[pos]);
+      pos = (pos == Hash1(cur)) ? Hash2(cur) : Hash1(cur);
+    }
+    Rehash(slots_.size() * 2);
+    InsertNoCheck(cur);
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<uint32_t> old = std::move(slots_);
+    slots_.assign(new_cap, kEmpty);
+    mask_ = new_cap - 1;
+    for (uint32_t key : old) {
+      if (key != kEmpty) InsertNoCheck(key);
+    }
+  }
+
+  std::vector<uint32_t> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace maze
+
+#endif  // MAZE_UTIL_CUCKOO_SET_H_

@@ -1,0 +1,59 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace maze {
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    MAZE_CHECK(v > 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double ArithmeticMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  MAZE_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  if (rank > 0) --rank;
+  return values[rank];
+}
+
+double PowerLawExponent(const std::vector<uint64_t>& degree_histogram) {
+  // Fit log(count) = a + b*log(degree) over non-empty buckets with degree >= 1;
+  // return -b so a power law p(d) ~ d^-alpha yields alpha > 0.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t n = 0;
+  for (size_t d = 1; d < degree_histogram.size(); ++d) {
+    if (degree_histogram[d] == 0) continue;
+    double x = std::log(static_cast<double>(d));
+    double y = std::log(static_cast<double>(degree_histogram[d]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  double slope = (static_cast<double>(n) * sxy - sx * sy) / denom;
+  return -slope;
+}
+
+}  // namespace maze

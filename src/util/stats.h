@@ -1,0 +1,27 @@
+// Small statistics helpers for the benchmark harness (geomeans of slowdowns,
+// degree-distribution summaries, percentiles).
+#ifndef MAZE_UTIL_STATS_H_
+#define MAZE_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace maze {
+
+// Geometric mean of strictly positive values; the paper's Tables 5/6 aggregate
+// per-dataset slowdowns this way. Returns 0 for an empty input.
+double GeometricMean(const std::vector<double>& values);
+
+double ArithmeticMean(const std::vector<double>& values);
+
+// p in [0, 100]; nearest-rank on a sorted copy.
+double Percentile(std::vector<double> values, double p);
+
+// Log-log linear-regression slope of a degree histogram: the power-law exponent
+// estimate used to validate that generated graphs are skewed like the target
+// real-world datasets (Section 4.1.2).
+double PowerLawExponent(const std::vector<uint64_t>& degree_histogram);
+
+}  // namespace maze
+
+#endif  // MAZE_UTIL_STATS_H_

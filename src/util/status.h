@@ -1,0 +1,109 @@
+// Status / StatusOr: exception-free error propagation for fallible operations
+// (I/O, parsing, configuration). Internal invariant violations use MAZE_CHECK
+// instead; Status is reserved for errors a caller can meaningfully handle.
+#ifndef MAZE_UTIL_STATUS_H_
+#define MAZE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace maze {
+
+// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIoError,
+  kUnimplemented,
+  kFailedPrecondition,
+  kResourceExhausted,
+};
+
+// Value-semantic result of a fallible operation. Cheap to copy when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or the Status describing why it is absent.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work,
+  // matching the absl::StatusOr idiom.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    MAZE_CHECK(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MAZE_CHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    MAZE_CHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    MAZE_CHECK(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace maze
+
+// Propagates a non-OK Status to the caller.
+#define MAZE_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::maze::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+#endif  // MAZE_UTIL_STATUS_H_

@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace maze {
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  if (value != 0.0 && (std::fabs(value) >= 1e6 || std::fabs(value) < 1e-4)) {
+    std::snprintf(buf, sizeof(buf), "%.*g", digits + 2, value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  }
+  return buf;
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths;
+  auto account = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out << cell << std::string(widths[i] - cell.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::RenderCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace maze

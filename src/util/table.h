@@ -1,0 +1,37 @@
+// Plain-text table rendering for the benchmark harness: every bench binary prints
+// the same rows/series as the corresponding paper table or figure.
+#ifndef MAZE_UTIL_TABLE_H_
+#define MAZE_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace maze {
+
+// Column-aligned ASCII table with an optional title, built row by row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Renders with padded columns; missing cells render empty.
+  std::string Render() const;
+
+  // Comma-separated rendering for downstream plotting.
+  std::string RenderCsv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats `value` with `digits` significant decimal places (e.g. 3 -> "1.23e-05"
+// style never used; plain fixed/auto formatting for table cells).
+std::string FormatDouble(double value, int digits = 3);
+
+}  // namespace maze
+
+#endif  // MAZE_UTIL_TABLE_H_

@@ -1,0 +1,114 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace maze {
+
+namespace {
+thread_local bool tls_inside_pool = false;
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (num_threads == 0) num_threads = hw != 0 ? hw : 4;
+  // The calling thread participates in every loop, so spawn one fewer worker.
+  for (unsigned i = 1; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerMain() {
+  tls_inside_pool = true;
+  uint64_t seen_epoch = 0;
+  while (true) {
+    Loop* loop = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      loop = current_;
+    }
+    if (loop != nullptr) {
+      RunLoopShare(loop);
+      if (loop->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::RunLoopShare(Loop* loop) {
+  while (true) {
+    uint64_t begin = loop->cursor.fetch_add(loop->grain, std::memory_order_relaxed);
+    if (begin >= loop->n) break;
+    uint64_t end = std::min(loop->n, begin + loop->grain);
+    (*loop->body)(begin, end);
+  }
+}
+
+void ThreadPool::ParallelFor(uint64_t n, uint64_t grain,
+                             const std::function<void(uint64_t, uint64_t)>& body) {
+  if (n == 0) return;
+  MAZE_CHECK(grain > 0);
+  // Run inline when there are no workers, when the range is tiny, or when any
+  // loop is already in flight (a nested call — from a worker or from the caller
+  // thread mid-loop — must not clobber the active loop's bookkeeping).
+  if (threads_.empty() || tls_inside_pool || n <= grain ||
+      loop_in_flight_.exchange(true, std::memory_order_acquire)) {
+    body(0, n);
+    return;
+  }
+
+  Loop loop;
+  loop.n = n;
+  loop.grain = grain;
+  loop.body = &body;
+  loop.remaining.store(static_cast<unsigned>(threads_.size()),
+                       std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = &loop;
+    ++epoch_;
+  }
+  cv_.notify_all();
+
+  RunLoopShare(&loop);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return loop.remaining.load() == 0; });
+  current_ = nullptr;
+  loop_in_flight_.store(false, std::memory_order_release);
+}
+
+void ThreadPool::ParallelForEach(uint64_t n, const std::function<void(uint64_t)>& fn) {
+  ParallelFor(n, 64, [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+ThreadPool& ThreadPool::Default() {
+  // Function-local static reference: intentional leak per style rules for objects
+  // with static storage duration and non-trivial destructors.
+  static ThreadPool& pool = *new ThreadPool();
+  return pool;
+}
+
+void ParallelFor(uint64_t n, uint64_t grain,
+                 const std::function<void(uint64_t, uint64_t)>& body) {
+  ThreadPool::Default().ParallelFor(n, grain, body);
+}
+
+}  // namespace maze

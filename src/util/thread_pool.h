@@ -1,0 +1,75 @@
+// Shared-memory parallelism primitives.
+//
+// The paper's native code parallelizes within a node via OpenMP; this repository
+// uses a persistent ThreadPool with a blocked parallel-for so the library has no
+// compiler-extension dependency and can meter per-thread busy time (needed for the
+// Figure 6 CPU-utilization metric).
+#ifndef MAZE_UTIL_THREAD_POOL_H_
+#define MAZE_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace maze {
+
+// Persistent pool of worker threads executing blocked range-parallel loops.
+// ParallelFor blocks the caller until the loop completes. Reentrant calls from
+// inside a worker are executed inline (sequentially) to avoid deadlock.
+class ThreadPool {
+ public:
+  // `num_threads` == 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return static_cast<unsigned>(threads_.size()) + 1; }
+
+  // Runs body(begin, end) over [0, n) split into contiguous blocks, one block per
+  // worker plus dynamic chunk stealing via a shared cursor. `grain` is the minimum
+  // chunk size.
+  void ParallelFor(uint64_t n, uint64_t grain,
+                   const std::function<void(uint64_t, uint64_t)>& body);
+
+  // Convenience: per-index variant.
+  void ParallelForEach(uint64_t n, const std::function<void(uint64_t)>& fn);
+
+  // Process-wide default pool, sized to the machine.
+  static ThreadPool& Default();
+
+ private:
+  struct Loop {
+    std::atomic<uint64_t> cursor{0};
+    uint64_t n = 0;
+    uint64_t grain = 1;
+    const std::function<void(uint64_t, uint64_t)>* body = nullptr;
+    std::atomic<unsigned> remaining{0};
+  };
+
+  void WorkerMain();
+  void RunLoopShare(Loop* loop);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Loop* current_ = nullptr;
+  uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+  // True while a loop is executing; nested launches run inline instead.
+  std::atomic<bool> loop_in_flight_{false};
+};
+
+// Sugar over ThreadPool::Default().ParallelFor.
+void ParallelFor(uint64_t n, uint64_t grain,
+                 const std::function<void(uint64_t, uint64_t)>& body);
+
+}  // namespace maze
+
+#endif  // MAZE_UTIL_THREAD_POOL_H_

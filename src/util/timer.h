@@ -1,0 +1,44 @@
+// Wall-clock timers used for kernel timing and CPU-utilization accounting.
+#ifndef MAZE_UTIL_TIMER_H_
+#define MAZE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace maze {
+
+// Monotonic stopwatch. Start() resets the origin; Seconds() reads elapsed time.
+class Timer {
+ public:
+  Timer() { Start(); }
+
+  void Start() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates busy time across disjoint intervals; used per worker thread to
+// compute the Figure 6 CPU-utilization metric (busy / wall).
+class BusyClock {
+ public:
+  void BeginWork() { timer_.Start(); }
+  void EndWork() { busy_seconds_ += timer_.Seconds(); }
+
+  double busy_seconds() const { return busy_seconds_; }
+  void Reset() { busy_seconds_ = 0; }
+
+ private:
+  Timer timer_;
+  double busy_seconds_ = 0;
+};
+
+}  // namespace maze
+
+#endif  // MAZE_UTIL_TIMER_H_

@@ -1,0 +1,400 @@
+#include "vertex/algorithms.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "native/cc.h"
+#include "native/cf.h"
+#include "util/check.h"
+#include "util/cuckoo_set.h"
+#include "rt/sim_clock.h"
+#include "util/timer.h"
+#include "vertex/async_engine.h"
+#include "vertex/engine.h"
+
+namespace maze::vertex {
+namespace {
+
+// --- PageRank: Algorithm 1 of the paper --------------------------------------
+
+struct PageRankProgram {
+  using Value = double;
+  using Message = double;
+  static constexpr bool kCombinable = true;
+  static constexpr bool kAllActive = true;
+
+  const Graph* graph = nullptr;
+  int iterations = 0;
+  double jump = 0.3;
+
+  void Init(VertexId, const Graph&, Value* value) { *value = 1.0; }
+
+  bool Compute(Context<Message>* ctx, VertexId v, Value* value,
+               const Message* msgs, size_t count) {
+    if (ctx->superstep() > 0) {
+      double sum = count > 0 ? msgs[0] : 0.0;
+      *value = jump + (1.0 - jump) * sum;
+    }
+    if (ctx->superstep() < iterations) {
+      EdgeId deg = graph->OutDegree(v);
+      if (deg > 0) ctx->SendToOutNeighbors(*value / static_cast<double>(deg));
+      return true;
+    }
+    return false;
+  }
+
+  static Message Combine(const Message& a, const Message& b) { return a + b; }
+  static size_t MessageWireBytes(const Message&) { return sizeof(Message); }
+};
+
+// --- BFS: Algorithm 2 ---------------------------------------------------------
+
+struct BfsProgram {
+  using Value = uint32_t;
+  using Message = uint32_t;
+  static constexpr bool kCombinable = true;
+  static constexpr bool kAllActive = false;
+
+  VertexId source = 0;
+
+  void Init(VertexId v, const Graph&, Value* value) {
+    *value = (v == source) ? 0 : kInfiniteDistance;
+  }
+
+  bool Compute(Context<Message>* ctx, VertexId v, Value* value,
+               const Message* msgs, size_t count) {
+    if (ctx->superstep() == 0) {
+      if (v == source) ctx->SendToOutNeighbors(0);
+      return false;
+    }
+    if (count > 0) {
+      uint32_t candidate = msgs[0] + 1;
+      if (candidate < *value) {
+        *value = candidate;
+        ctx->SendToOutNeighbors(*value);
+      }
+    }
+    return false;
+  }
+
+  static Message Combine(const Message& a, const Message& b) {
+    return std::min(a, b);
+  }
+  static size_t MessageWireBytes(const Message&) { return sizeof(Message); }
+};
+
+// --- Triangle Counting --------------------------------------------------------
+// Superstep 0: each vertex ships its out-neighborhood to its out-neighbors.
+// Superstep 1: each vertex intersects received lists against its own
+// neighborhood, held in a cuckoo hash (the GraphLab data-structure optimization
+// the paper credits in §5.3(4)).
+
+struct TriangleProgram {
+  using Value = uint64_t;
+  using Message = std::vector<VertexId>;
+  static constexpr bool kCombinable = false;
+  static constexpr bool kAllActive = true;
+
+  const Graph* graph = nullptr;
+
+  void Init(VertexId, const Graph&, Value* value) { *value = 0; }
+
+  bool Compute(Context<Message>* ctx, VertexId v, Value* value,
+               const Message* msgs, size_t count) {
+    if (ctx->superstep() == 0) {
+      const auto neighbors = graph->OutNeighbors(v);
+      if (!neighbors.empty()) {
+        ctx->SendToOutNeighbors(Message(neighbors.begin(), neighbors.end()));
+      }
+      return true;
+    }
+    if (count > 0) {
+      const auto own = graph->OutNeighbors(v);
+      CuckooSet own_set(own.size());
+      for (VertexId w : own) own_set.Insert(w);
+      uint64_t found = 0;
+      for (size_t i = 0; i < count; ++i) {
+        for (VertexId w : msgs[i]) {
+          if (own_set.Contains(w)) ++found;
+        }
+      }
+      *value += found;
+    }
+    return false;
+  }
+
+  static size_t MessageWireBytes(const Message& m) {
+    return 4 + m.size() * sizeof(VertexId);
+  }
+};
+
+// --- Collaborative Filtering (Gradient Descent) --------------------------------
+// Users and items share one vertex space: users [0, U), items [U, U + I). Every
+// superstep each vertex broadcasts its factor vector (Table 1's 8K-byte messages)
+// and integrates the factors received from the opposite side using equations
+// (11)/(12).
+
+struct CfGdProgram {
+  using Value = std::vector<double>;
+  // (sender id, sender factor) — the receiver looks up the edge's rating.
+  using Message = std::pair<VertexId, std::vector<double>>;
+  static constexpr bool kCombinable = false;
+  static constexpr bool kAllActive = true;
+
+  const BipartiteGraph* ratings = nullptr;
+  rt::CfOptions options;
+  VertexId user_count = 0;
+  double gamma = 0.0;
+  // Shared deterministic initialization (same arrays native uses), row-major.
+  const std::vector<double>* init_users = nullptr;
+  const std::vector<double>* init_items = nullptr;
+
+  void Init(VertexId v, const Graph&, Value* value) {
+    const std::vector<double>& src = v < user_count ? *init_users : *init_items;
+    size_t row = v < user_count ? v : v - user_count;
+    value->assign(src.begin() + static_cast<ptrdiff_t>(row * options.k),
+                  src.begin() + static_cast<ptrdiff_t>((row + 1) * options.k));
+  }
+
+  float RatingFor(VertexId me, VertexId other) const {
+    // Adjacency lists are sorted by id, so the edge lookup is a binary search.
+    auto adj = me < user_count ? ratings->UserRatings(me)
+                               : ratings->ItemRatings(me - user_count);
+    VertexId key = me < user_count ? other - user_count : other;
+    auto it = std::lower_bound(
+        adj.begin(), adj.end(), key,
+        [](const BipartiteGraph::Entry& e, VertexId id) { return e.id < id; });
+    MAZE_CHECK(it != adj.end() && it->id == key);
+    return it->rating;
+  }
+
+  bool Compute(Context<Message>* ctx, VertexId v, Value* value,
+               const Message* msgs, size_t count) {
+    bool is_user = v < user_count;
+    double lambda = is_user ? options.lambda_p : options.lambda_q;
+    if (ctx->superstep() > 0 && count > 0) {
+      std::vector<double> grad(options.k, 0.0);
+      for (size_t i = 0; i < count; ++i) {
+        const auto& [sender, factor] = msgs[i];
+        double rating = RatingFor(v, sender);
+        double dot = 0;
+        for (int d = 0; d < options.k; ++d) dot += (*value)[d] * factor[d];
+        double err = rating - dot;
+        for (int d = 0; d < options.k; ++d) {
+          grad[d] += err * factor[d] - lambda * (*value)[d];
+        }
+      }
+      for (int d = 0; d < options.k; ++d) (*value)[d] += gamma * grad[d];
+    }
+    if (ctx->superstep() < options.iterations) {
+      ctx->SendToOutNeighbors(Message{v, *value});
+      return true;
+    }
+    return false;
+  }
+
+  static size_t MessageWireBytes(const Message& m) {
+    return 4 + m.second.size() * sizeof(double);
+  }
+};
+
+// --- Connected Components (extension) -------------------------------------------
+// Min-label propagation: superstep 0 broadcasts every vertex's own id; later
+// supersteps shrink labels from combined ($MIN) messages and re-broadcast on
+// improvement, exactly the BFS activity pattern.
+
+struct CcProgram {
+  using Value = VertexId;
+  using Message = VertexId;
+  static constexpr bool kCombinable = true;
+  static constexpr bool kAllActive = false;
+
+  void Init(VertexId v, const Graph&, Value* value) { *value = v; }
+
+  bool Compute(Context<Message>* ctx, VertexId, Value* value,
+               const Message* msgs, size_t count) {
+    if (ctx->superstep() == 0) {
+      ctx->SendToOutNeighbors(*value);
+      return false;
+    }
+    if (count > 0 && msgs[0] < *value) {
+      *value = msgs[0];
+      ctx->SendToOutNeighbors(*value);
+    }
+    return false;
+  }
+
+  static Message Combine(const Message& a, const Message& b) {
+    return std::min(a, b);
+  }
+  static size_t MessageWireBytes(const Message&) { return sizeof(Message); }
+};
+
+}  // namespace
+
+rt::CommModel DefaultComm() { return rt::CommModel::Socket(); }
+
+rt::ConnectedComponentsResult ConnectedComponents(
+    const Graph& g, const rt::ConnectedComponentsOptions& options,
+    rt::EngineConfig config) {
+  MAZE_CHECK(g.has_out());
+  CcProgram program;
+  SyncEngine<CcProgram> engine(g, config);
+  int supersteps = engine.Run(&program, options.max_iterations);
+  rt::ConnectedComponentsResult result;
+  result.label = engine.values();
+  result.num_components = native::CountComponents(result.label);
+  result.iterations = supersteps;
+  result.metrics = engine.Finish();
+  return result;
+}
+
+rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
+                            rt::EngineConfig config) {
+  MAZE_CHECK(g.has_out());
+  PageRankProgram program;
+  program.graph = &g;
+  program.iterations = options.iterations;
+  program.jump = options.jump;
+  SyncEngine<PageRankProgram> engine(g, config);
+  engine.Run(&program, options.iterations + 1);
+  rt::PageRankResult result;
+  result.ranks = engine.values();
+  result.iterations = options.iterations;
+  result.metrics = engine.Finish();
+  return result;
+}
+
+rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
+                  rt::EngineConfig config) {
+  MAZE_CHECK(g.has_out());
+  BfsProgram program;
+  program.source = options.source;
+  SyncEngine<BfsProgram> engine(g, config);
+  int supersteps = engine.Run(&program, static_cast<int>(g.num_vertices()) + 2);
+  rt::BfsResult result;
+  result.distance = engine.values();
+  result.levels = std::max(0, supersteps - 1);
+  result.metrics = engine.Finish();
+  return result;
+}
+
+rt::TriangleCountResult TriangleCount(const Graph& g,
+                                      const rt::TriangleCountOptions&,
+                                      rt::EngineConfig config) {
+  MAZE_CHECK(g.has_out());
+  TriangleProgram program;
+  program.graph = &g;
+  SyncEngine<TriangleProgram> engine(g, config);
+  engine.Run(&program, 2);
+  rt::TriangleCountResult result;
+  for (uint64_t v : engine.values()) result.triangles += v;
+  result.metrics = engine.Finish();
+  return result;
+}
+
+rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
+                                    const rt::CfOptions& options,
+                                    rt::EngineConfig config) {
+  MAZE_CHECK(options.method == rt::CfMethod::kGd);
+  // Combined vertex space with edges in both directions.
+  EdgeList edges;
+  edges.num_vertices = g.num_users() + g.num_items();
+  edges.edges.reserve(g.num_ratings() * 2);
+  for (VertexId u = 0; u < g.num_users(); ++u) {
+    for (const auto& e : g.UserRatings(u)) {
+      edges.edges.push_back({u, g.num_users() + e.id});
+      edges.edges.push_back({g.num_users() + e.id, u});
+    }
+  }
+  Graph combined = Graph::FromEdges(edges, GraphDirections::kOutOnly);
+
+  rt::CfResult result;
+  result.k = options.k;
+  native::CfInitFactors(g.num_users(), options.k, options.seed,
+                        &result.user_factors);
+  native::CfInitFactors(g.num_items(), options.k, options.seed ^ 0x1234567ull,
+                        &result.item_factors);
+
+  CfGdProgram program;
+  program.ratings = &g;
+  program.options = options;
+  program.user_count = g.num_users();
+  // The engine has no per-iteration hook, so the learning rate stays fixed for
+  // the run (step decay over the few benchmark iterations is negligible).
+  program.gamma = options.learning_rate;
+  program.init_users = &result.user_factors;
+  program.init_items = &result.item_factors;
+
+  SyncEngine<CfGdProgram> engine(combined, config);
+  engine.Run(&program, options.iterations + 1);
+
+  const auto& values = engine.values();
+  for (VertexId u = 0; u < g.num_users(); ++u) {
+    std::copy(values[u].begin(), values[u].end(),
+              result.user_factors.begin() + static_cast<ptrdiff_t>(u) * options.k);
+  }
+  for (VertexId v = 0; v < g.num_items(); ++v) {
+    std::copy(values[g.num_users() + v].begin(),
+              values[g.num_users() + v].end(),
+              result.item_factors.begin() + static_cast<ptrdiff_t>(v) * options.k);
+  }
+  result.iterations = options.iterations;
+  result.final_rmse = native::CfRmse(g, result.user_factors,
+                                     result.item_factors, options.k);
+  result.rmse_per_iteration.push_back(result.final_rmse);
+  result.metrics = engine.Finish();
+  return result;
+}
+
+rt::PageRankResult AsyncPageRank(const Graph& g, double jump, double epsilon) {
+  MAZE_CHECK(g.has_out());
+  MAZE_CHECK(epsilon > 0);
+  const VertexId n = g.num_vertices();
+  rt::SimClock clock(1, DefaultComm());
+
+  // Push-based residual PageRank: invariant p_true = p + (I - M)^-1 r with
+  // M = (1-jump) A^T D^-1; pushing a vertex moves its residual into p and
+  // spreads (1-jump)/deg of it to each out-neighbor. Residuals start at `jump`
+  // so p converges to the same unnormalized fixpoint the iterative engines
+  // approach.
+  std::vector<double> p(n, 0.0);
+  std::vector<std::atomic<double>> residual(n);
+  for (VertexId v = 0; v < n; ++v) {
+    residual[v].store(jump, std::memory_order_relaxed);
+  }
+
+  AsyncScheduler scheduler(n);
+  for (VertexId v = 0; v < n; ++v) scheduler.Schedule(v);
+
+  Timer t;
+  uint64_t updates = scheduler.Run([&](VertexId v, AsyncScheduler* sched) {
+    double delta = residual[v].exchange(0.0, std::memory_order_relaxed);
+    if (delta <= 0) return;
+    p[v] += delta;
+    EdgeId deg = g.OutDegree(v);
+    if (deg == 0) return;  // Dangling mass is dropped, as in the sync engines.
+    double share = (1.0 - jump) * delta / static_cast<double>(deg);
+    for (VertexId w : g.OutNeighbors(v)) {
+      double before = residual[w].fetch_add(share, std::memory_order_relaxed);
+      if (before < epsilon && before + share >= epsilon) sched->Schedule(w);
+    }
+  });
+  clock.RecordCompute(0, t.Seconds());
+  clock.EndStep();
+
+  clock.RecordMemory(0, g.MemoryBytes() +
+                            static_cast<uint64_t>(n) * 2 * sizeof(double));
+  rt::PageRankResult result;
+  result.ranks = std::move(p);
+  result.iterations = static_cast<int>(std::min<uint64_t>(
+      updates, static_cast<uint64_t>(std::numeric_limits<int>::max())));
+  result.metrics = clock.Finish(/*intra_rank_utilization=*/0.8);
+  return result;
+}
+
+}  // namespace maze::vertex

@@ -1,0 +1,50 @@
+// The four study algorithms expressed as vertexlab (GraphLab-like) vertex
+// programs, matching the paper's §3.1/§3.2 descriptions: Algorithm 1 (PageRank),
+// Algorithm 2 (BFS), neighborhood-exchange triangle counting with cuckoo-hash
+// intersection, and message-passing Gradient Descent for collaborative filtering.
+#ifndef MAZE_VERTEX_ALGORITHMS_H_
+#define MAZE_VERTEX_ALGORITHMS_H_
+
+#include "core/bipartite.h"
+#include "core/graph.h"
+#include "rt/algo.h"
+
+namespace maze::vertex {
+
+// GraphLab's transport: TCP sockets (Table 2) — used when callers do not override.
+rt::CommModel DefaultComm();
+
+// PageRank over a directed graph (needs out-CSR; in-CSR unused).
+rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
+                            rt::EngineConfig config);
+
+// BFS over a symmetric graph.
+rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
+                  rt::EngineConfig config);
+
+// Triangle counting over an oriented (src < dst) graph.
+rt::TriangleCountResult TriangleCount(const Graph& g,
+                                      const rt::TriangleCountOptions& options,
+                                      rt::EngineConfig config);
+
+// Collaborative filtering via Gradient Descent (vertex programs cannot express
+// SGD: writes to remote vertices are not visible within an iteration, §3.2).
+rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
+                                    const rt::CfOptions& options,
+                                    rt::EngineConfig config);
+
+// Connected components via min-label propagation (extension algorithm) over a
+// symmetric graph.
+rt::ConnectedComponentsResult ConnectedComponents(
+    const Graph& g, const rt::ConnectedComponentsOptions& options,
+    rt::EngineConfig config);
+
+// Asynchronous (autonomous-scheduling) PageRank to a fixpoint (extension):
+// push-based residual propagation on the AsyncScheduler, single node. Runs
+// until every residual is below `epsilon`; result.iterations carries the
+// number of vertex updates executed (the autonomous engine's work measure).
+rt::PageRankResult AsyncPageRank(const Graph& g, double jump, double epsilon);
+
+}  // namespace maze::vertex
+
+#endif  // MAZE_VERTEX_ALGORITHMS_H_

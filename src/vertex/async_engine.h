@@ -1,0 +1,75 @@
+// vertexlab's asynchronous engine (extension): GraphLab's second execution mode.
+//
+// The paper benchmarks the synchronous engines, but GraphLab's signature feature
+// — and the axis its successor papers compare on (the paper's reference [24],
+// "Bulk synchronous vs autonomous") — is autonomous scheduling: vertices are
+// updated from a dynamic worklist with updates immediately visible, no global
+// barriers. This module provides the scheduler and the classic autonomous
+// algorithm, push-based residual PageRank, which reaches a fixpoint touching far
+// fewer edges than barriered iteration.
+//
+// Single node only, like GraphLab's shared-memory async engine (the distributed
+// async engine needs distributed locking the paper never exercises).
+#ifndef MAZE_VERTEX_ASYNC_ENGINE_H_
+#define MAZE_VERTEX_ASYNC_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "core/types.h"
+#include "util/bitvector.h"
+#include "util/thread_pool.h"
+
+namespace maze::vertex {
+
+// Dynamic vertex scheduler with duplicate suppression: a vertex scheduled while
+// already pending is not enqueued twice (GraphLab's scheduler semantics).
+// Updates run in parallel waves; state changes are immediately visible to later
+// updates through the caller's shared (atomic) state.
+class AsyncScheduler {
+ public:
+  explicit AsyncScheduler(VertexId num_vertices)
+      : pending_(num_vertices) {}
+
+  // Thread-safe; returns true if v was newly enqueued.
+  bool Schedule(VertexId v) {
+    if (!pending_.TestAndSetAtomic(v)) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(v);
+    return true;
+  }
+
+  // Drains the worklist. `update` runs once per dequeued vertex and may
+  // Schedule() more vertices (including re-scheduling v itself). Returns the
+  // number of updates executed.
+  uint64_t Run(const std::function<void(VertexId, AsyncScheduler*)>& update) {
+    uint64_t executed = 0;
+    while (true) {
+      std::vector<VertexId> wave;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        wave = std::move(queue_);
+        queue_.clear();
+      }
+      if (wave.empty()) break;
+      // Clear pending bits before running so an update can re-schedule.
+      for (VertexId v : wave) pending_.Clear(v);
+      executed += wave.size();
+      ParallelFor(wave.size(), 32, [&](uint64_t lo, uint64_t hi) {
+        for (uint64_t i = lo; i < hi; ++i) update(wave[i], this);
+      });
+    }
+    return executed;
+  }
+
+ private:
+  Bitvector pending_;
+  std::mutex mu_;
+  std::vector<VertexId> queue_;
+};
+
+}  // namespace maze::vertex
+
+#endif  // MAZE_VERTEX_ASYNC_ENGINE_H_

@@ -1,0 +1,66 @@
+#include "core/bipartite.h"
+
+#include <gtest/gtest.h>
+
+namespace maze {
+namespace {
+
+TEST(BipartiteTest, BuildsBothDirections) {
+  std::vector<Rating> ratings = {
+      {0, 0, 5.0f}, {0, 1, 3.0f}, {1, 1, 4.0f}, {2, 0, 1.0f}};
+  BipartiteGraph g = BipartiteGraph::FromRatings(3, 2, ratings);
+  EXPECT_EQ(g.num_users(), 3u);
+  EXPECT_EQ(g.num_items(), 2u);
+  EXPECT_EQ(g.num_ratings(), 4u);
+
+  auto u0 = g.UserRatings(0);
+  ASSERT_EQ(u0.size(), 2u);
+  EXPECT_EQ(u0[0].id, 0u);
+  EXPECT_FLOAT_EQ(u0[0].rating, 5.0f);
+  EXPECT_EQ(u0[1].id, 1u);
+
+  auto i1 = g.ItemRatings(1);
+  ASSERT_EQ(i1.size(), 2u);
+  EXPECT_EQ(i1[0].id, 0u);
+  EXPECT_EQ(i1[1].id, 1u);
+  EXPECT_FLOAT_EQ(i1[1].rating, 4.0f);
+}
+
+TEST(BipartiteTest, DegreesMatch) {
+  std::vector<Rating> ratings = {{0, 0, 1}, {0, 1, 1}, {0, 2, 1}, {1, 2, 1}};
+  BipartiteGraph g = BipartiteGraph::FromRatings(2, 3, ratings);
+  EXPECT_EQ(g.UserDegree(0), 3u);
+  EXPECT_EQ(g.UserDegree(1), 1u);
+  EXPECT_EQ(g.ItemDegree(2), 2u);
+  EXPECT_EQ(g.ItemDegree(0), 1u);
+}
+
+TEST(BipartiteTest, RatingMassConserved) {
+  // Sum of ratings seen from the user side equals the item side.
+  std::vector<Rating> ratings;
+  for (VertexId u = 0; u < 50; ++u) {
+    for (VertexId v = 0; v < 20; v += (u % 3) + 1) {
+      ratings.push_back({u, v, static_cast<float>(u + v)});
+    }
+  }
+  BipartiteGraph g = BipartiteGraph::FromRatings(50, 20, ratings);
+  double user_sum = 0;
+  for (VertexId u = 0; u < g.num_users(); ++u) {
+    for (const auto& e : g.UserRatings(u)) user_sum += e.rating;
+  }
+  double item_sum = 0;
+  for (VertexId v = 0; v < g.num_items(); ++v) {
+    for (const auto& e : g.ItemRatings(v)) item_sum += e.rating;
+  }
+  EXPECT_DOUBLE_EQ(user_sum, item_sum);
+}
+
+TEST(BipartiteTest, EmptyRatings) {
+  BipartiteGraph g = BipartiteGraph::FromRatings(5, 5, {});
+  EXPECT_EQ(g.num_ratings(), 0u);
+  EXPECT_TRUE(g.UserRatings(0).empty());
+  EXPECT_TRUE(g.ItemRatings(4).empty());
+}
+
+}  // namespace
+}  // namespace maze

@@ -1,0 +1,106 @@
+#include "util/bitvector.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace maze {
+namespace {
+
+TEST(BitvectorTest, StartsCleared) {
+  Bitvector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(bv.Test(i));
+  EXPECT_EQ(bv.Count(), 0u);
+}
+
+TEST(BitvectorTest, SetTestClear) {
+  Bitvector bv(200);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(199);
+  EXPECT_TRUE(bv.Test(0));
+  EXPECT_TRUE(bv.Test(63));
+  EXPECT_TRUE(bv.Test(64));
+  EXPECT_TRUE(bv.Test(199));
+  EXPECT_FALSE(bv.Test(1));
+  EXPECT_FALSE(bv.Test(65));
+  EXPECT_EQ(bv.Count(), 4u);
+  bv.Clear(63);
+  EXPECT_FALSE(bv.Test(63));
+  EXPECT_EQ(bv.Count(), 3u);
+}
+
+TEST(BitvectorTest, TestAndSetAtomicReportsFirstSetter) {
+  Bitvector bv(64);
+  EXPECT_TRUE(bv.TestAndSetAtomic(17));
+  EXPECT_FALSE(bv.TestAndSetAtomic(17));
+  EXPECT_TRUE(bv.Test(17));
+}
+
+TEST(BitvectorTest, ConcurrentClaimsAreExclusive) {
+  constexpr size_t kBits = 10000;
+  Bitvector bv(kBits);
+  std::atomic<size_t> claims{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      size_t mine = 0;
+      for (size_t i = 0; i < kBits; ++i) {
+        if (bv.TestAndSetAtomic(i)) ++mine;
+      }
+      claims.fetch_add(mine);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every bit claimed exactly once across all threads.
+  EXPECT_EQ(claims.load(), kBits);
+  EXPECT_EQ(bv.Count(), kBits);
+}
+
+TEST(BitvectorTest, ResetClearsAllKeepingSize) {
+  Bitvector bv(100);
+  for (size_t i = 0; i < 100; i += 3) bv.Set(i);
+  bv.Reset();
+  EXPECT_EQ(bv.size(), 100u);
+  EXPECT_EQ(bv.Count(), 0u);
+}
+
+TEST(BitvectorTest, IntersectCount) {
+  Bitvector a(256);
+  Bitvector b(256);
+  for (size_t i = 0; i < 256; i += 2) a.Set(i);   // Evens.
+  for (size_t i = 0; i < 256; i += 3) b.Set(i);   // Multiples of 3.
+  // Intersection: multiples of 6 in [0, 256): 0, 6, ..., 252 -> 43 values.
+  EXPECT_EQ(a.IntersectCount(b), 43u);
+}
+
+TEST(BitvectorTest, AppendSetBitsReturnsSortedIndices) {
+  Bitvector bv(300);
+  std::vector<uint32_t> expected = {1, 63, 64, 65, 128, 299};
+  for (uint32_t i : expected) bv.Set(i);
+  std::vector<uint32_t> got;
+  bv.AppendSetBits(&got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(BitvectorTest, MemoryBytesScalesWithSize) {
+  Bitvector small(64);
+  Bitvector large(64 * 1024);
+  EXPECT_EQ(small.MemoryBytes(), 8u);
+  EXPECT_EQ(large.MemoryBytes(), 8u * 1024);
+}
+
+TEST(BitvectorTest, EmptyVector) {
+  Bitvector bv;
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_EQ(bv.Count(), 0u);
+  std::vector<uint32_t> out;
+  bv.AppendSetBits(&out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace maze

@@ -1,0 +1,119 @@
+// Connected-components (extension algorithm) tests: every engine must produce
+// the canonical min-id labeling on every input, matching the flood-fill
+// reference.
+#include <gtest/gtest.h>
+
+#include "bench_support/runner.h"
+#include "core/graph.h"
+#include "native/cc.h"
+#include "tests/test_graphs.h"
+
+namespace maze {
+namespace {
+
+EdgeList TwoTrianglesAndAnIsolate() {
+  EdgeList el;
+  el.num_vertices = 7;
+  el.edges = {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}};  // 6 isolated.
+  el.Symmetrize();
+  return el;
+}
+
+TEST(ReferenceComponentsTest, LabelsAreMinIdPerComponent) {
+  Graph g = Graph::FromEdges(TwoTrianglesAndAnIsolate(),
+                             GraphDirections::kOutOnly);
+  auto labels = native::ReferenceComponents(g);
+  EXPECT_EQ(labels, (std::vector<VertexId>{0, 0, 0, 3, 3, 3, 6}));
+  EXPECT_EQ(native::CountComponents(labels), 3u);
+}
+
+TEST(NativeCcTest, MatchesReferenceOnRmat) {
+  EdgeList el = testgraphs::SmallRmatUndirected(9);
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  auto result = native::ConnectedComponents(g, {}, rt::EngineConfig{});
+  EXPECT_EQ(result.label, native::ReferenceComponents(g));
+  EXPECT_EQ(result.num_components,
+            native::CountComponents(native::ReferenceComponents(g)));
+}
+
+class NativeCcRanksTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NativeCcRanksTest, RankCountDoesNotChangeLabels) {
+  EdgeList el = testgraphs::SmallRmatUndirected(9);
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  rt::EngineConfig config;
+  config.num_ranks = GetParam();
+  auto result = native::ConnectedComponents(g, {}, config);
+  EXPECT_EQ(result.label, native::ReferenceComponents(g));
+  if (GetParam() > 1) EXPECT_GT(result.metrics.bytes_sent, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, NativeCcRanksTest, ::testing::Values(1, 2, 4));
+
+// Every engine (through the bench dispatcher), single and multi rank.
+struct CcCase {
+  bench::EngineKind engine;
+  int ranks;
+};
+
+std::string CcCaseName(const ::testing::TestParamInfo<CcCase>& info) {
+  return std::string(bench::EngineName(info.param.engine)) + "_r" +
+         std::to_string(info.param.ranks);
+}
+
+class CrossEngineCcTest : public ::testing::TestWithParam<CcCase> {};
+
+TEST_P(CrossEngineCcTest, MatchesReference) {
+  EdgeList el = testgraphs::SmallRmatUndirected(8, 4);
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  bench::RunConfig config;
+  config.num_ranks = GetParam().ranks;
+  auto result =
+      bench::RunConnectedComponents(GetParam().engine, el, {}, config);
+  EXPECT_EQ(result.label, native::ReferenceComponents(g));
+}
+
+TEST_P(CrossEngineCcTest, HandlesDisconnectedPieces) {
+  EdgeList el = TwoTrianglesAndAnIsolate();
+  bench::RunConfig config;
+  config.num_ranks = GetParam().ranks;
+  auto result =
+      bench::RunConnectedComponents(GetParam().engine, el, {}, config);
+  EXPECT_EQ(result.num_components, 3u);
+  EXPECT_EQ(result.label, (std::vector<VertexId>{0, 0, 0, 3, 3, 3, 6}));
+}
+
+std::vector<CcCase> CcCases() {
+  std::vector<CcCase> cases;
+  for (bench::EngineKind e : bench::AllEngines()) {
+    cases.push_back({e, 1});
+    if (e != bench::EngineKind::kTaskflow) cases.push_back({e, 4});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, CrossEngineCcTest,
+                         ::testing::ValuesIn(CcCases()), CcCaseName);
+
+TEST(CcPropertyTest, LabelIsNeverLargerThanOwnId) {
+  EdgeList el = testgraphs::SmallRmatUndirected(9, 6, 77);
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  auto result = native::ConnectedComponents(g, {}, rt::EngineConfig{});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(result.label[v], v);
+  }
+}
+
+TEST(CcPropertyTest, EndpointsShareLabels) {
+  EdgeList el = testgraphs::SmallRmatUndirected(9, 6, 78);
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  auto result = native::ConnectedComponents(g, {}, rt::EngineConfig{});
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      ASSERT_EQ(result.label[u], result.label[v]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace maze

@@ -1,0 +1,162 @@
+// CLI command-surface tests: parsing, format dispatch, error reporting, and
+// end-to-end generate/convert/stats/run flows through the library entry point.
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/io.h"
+
+namespace maze::cli {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+Status RunCli(std::initializer_list<std::string> args, std::string* output) {
+  std::ostringstream out;
+  Status status = RunCommand(std::vector<std::string>(args), out);
+  *output = out.str();
+  return status;
+}
+
+TEST(CliTest, EmptyCommandIsUsageError) {
+  std::string out;
+  Status s = RunCli({}, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("usage"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandRejected) {
+  std::string out;
+  EXPECT_EQ(RunCli({"frobnicate"}, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliTest, FlagWithoutValueRejected) {
+  std::string out;
+  Status s = RunCli({"generate", "--scale"}, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliTest, NonIntegerFlagRejected) {
+  std::string out;
+  Status s = RunCli({"generate", "--scale", "large", "--out", "/tmp/x.txt"}, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("integer"), std::string::npos);
+}
+
+TEST(CliTest, GenerateRequiresOut) {
+  std::string out;
+  EXPECT_EQ(RunCli({"generate", "--scale", "8"}, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CliTest, GenerateStatsRoundTrip) {
+  std::string path = TempPath("cli_graph.txt");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--kind", "graph", "--scale", "8", "--out",
+                   path},
+                  &out)
+                  .ok());
+  EXPECT_NE(out.find("wrote"), std::string::npos);
+  ASSERT_TRUE(RunCli({"stats", path}, &out).ok());
+  EXPECT_NE(out.find("vertices"), std::string::npos);
+  EXPECT_NE(out.find("256"), std::string::npos);  // 2^8 vertices.
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, ConvertAcrossAllFormats) {
+  std::string txt = TempPath("cli_a.txt");
+  std::string bin = TempPath("cli_a.bin");
+  std::string mtx = TempPath("cli_a.mtx");
+  std::string out;
+  ASSERT_TRUE(
+      RunCli({"generate", "--kind", "graph", "--scale", "7", "--out", txt}, &out)
+          .ok());
+  ASSERT_TRUE(RunCli({"convert", txt, bin}, &out).ok());
+  ASSERT_TRUE(RunCli({"convert", bin, mtx}, &out).ok());
+  ASSERT_TRUE(RunCli({"convert", mtx, TempPath("cli_b.txt")}, &out).ok());
+  auto original = ReadEdgeListText(txt);
+  auto round_tripped = ReadEdgeListText(TempPath("cli_b.txt"));
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(round_tripped.ok());
+  EXPECT_EQ(original.value().edges, round_tripped.value().edges);
+  for (const std::string& p : {txt, bin, mtx, TempPath("cli_b.txt")}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(CliTest, ConvertUnknownExtensionRejected) {
+  std::string out;
+  Status s = RunCli({"convert", "in.json", "out.txt"}, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliTest, DatasetsListsRegistry) {
+  std::string out;
+  ASSERT_TRUE(RunCli({"datasets"}, &out).ok());
+  EXPECT_NE(out.find("facebook"), std::string::npos);
+  EXPECT_NE(out.find("yahoomusic"), std::string::npos);
+}
+
+TEST(CliTest, RunPageRankOnGeneratedFile) {
+  std::string path = TempPath("cli_run.bin");
+  std::string out;
+  ASSERT_TRUE(
+      RunCli({"generate", "--kind", "graph", "--scale", "8", "--out", path}, &out)
+          .ok());
+  ASSERT_TRUE(RunCli({"run", "--algo", "pagerank", "--engine", "native",
+                   "--input", path, "--iterations", "3"},
+                  &out)
+                  .ok());
+  EXPECT_NE(out.find("pagerank: 3 iterations"), std::string::npos);
+  EXPECT_NE(out.find("engine=native"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, RunNeedsInputOrDataset) {
+  std::string out;
+  Status s = RunCli({"run", "--algo", "bfs", "--engine", "native"}, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliTest, RunRejectsUnknownEngineAndAlgo) {
+  std::string out;
+  EXPECT_FALSE(
+      RunCli({"run", "--algo", "pagerank", "--engine", "spark", "--dataset",
+           "facebook"},
+          &out)
+          .ok());
+  EXPECT_FALSE(RunCli({"run", "--algo", "pagerink", "--engine", "native",
+                    "--dataset", "facebook"},
+                   &out)
+                   .ok());
+}
+
+TEST(CliTest, RunTrianglesOnDatasetStandin) {
+  std::string out;
+  // Uses the registry stand-in path (scaled down inside the CLI).
+  ASSERT_TRUE(RunCli({"run", "--algo", "triangles", "--engine", "taskflow",
+                   "--dataset", "facebook"},
+                  &out)
+                  .ok())
+      << out;
+  EXPECT_NE(out.find("triangles:"), std::string::npos);
+}
+
+TEST(CliTest, GenerateRatings) {
+  std::string path = TempPath("cli_ratings.txt");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--kind", "ratings", "--scale", "9", "--items",
+                   "64", "--out", path},
+                  &out)
+                  .ok());
+  EXPECT_NE(out.find("ratings"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace maze::cli

@@ -1,0 +1,138 @@
+#include "util/codec.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace maze {
+namespace {
+
+TEST(VarintTest, RoundTripBoundaries) {
+  std::vector<uint32_t> values = {0,       1,          127,        128,
+                                  16383,   16384,      2097151,    2097152,
+                                  1u << 28, 0xFFFFFFFFu};
+  std::vector<uint8_t> buf;
+  for (uint32_t v : values) PutVarint32(&buf, v);
+  size_t pos = 0;
+  for (uint32_t v : values) {
+    EXPECT_EQ(GetVarint32(buf, &pos), v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  std::vector<uint8_t> buf;
+  PutVarint32(&buf, 100);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(DeltaCodecTest, RoundTripSortsIds) {
+  std::vector<uint32_t> ids = {500, 3, 77, 77, 12, 9000};
+  std::vector<uint8_t> buf;
+  DeltaEncodeIds(ids, &buf);
+  std::vector<uint32_t> decoded;
+  DeltaDecodeIds(buf, &decoded);
+  std::vector<uint32_t> expected = ids;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(decoded, expected);
+}
+
+TEST(DeltaCodecTest, EmptyList) {
+  std::vector<uint8_t> buf;
+  DeltaEncodeIds({}, &buf);
+  std::vector<uint32_t> decoded;
+  DeltaDecodeIds(buf, &decoded);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(DeltaCodecTest, DenseIdsCompressWell) {
+  // Consecutive ids: one byte for the first delta-base plus one byte per id.
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 1000; i < 2000; ++i) ids.push_back(i);
+  std::vector<uint8_t> buf;
+  DeltaEncodeIds(ids, &buf);
+  // 4000 raw bytes must shrink below 1.3 KB.
+  EXPECT_LT(buf.size(), 1300u);
+}
+
+TEST(DeltaCodecTest, SparseRandomIdsStillRoundTrip) {
+  Xorshift64Star rng(7);
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(static_cast<uint32_t>(rng.NextBounded(1u << 30)));
+  }
+  std::vector<uint8_t> buf;
+  DeltaEncodeIds(ids, &buf);
+  std::vector<uint32_t> decoded;
+  DeltaDecodeIds(buf, &decoded);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(decoded, ids);
+}
+
+TEST(BestCodecTest, PicksBitvectorForDenseRange) {
+  // All ids within a small range and dense: the bitvector encoding wins.
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < 4096; i += 2) ids.push_back(1000000 + i);
+  std::vector<uint8_t> buf;
+  EncodeIdsBest(ids, &buf);
+  EXPECT_EQ(buf[0], 1);  // Bitvector tag.
+  std::vector<uint32_t> decoded;
+  DecodeIdsBest(buf, &decoded);
+  EXPECT_EQ(decoded, ids);
+}
+
+TEST(BestCodecTest, PicksDeltaForSparseIds) {
+  std::vector<uint32_t> ids = {5, 100000, 4000000, 90000000};
+  std::vector<uint8_t> buf;
+  EncodeIdsBest(ids, &buf);
+  EXPECT_EQ(buf[0], 0);  // Delta tag.
+  std::vector<uint32_t> decoded;
+  DecodeIdsBest(buf, &decoded);
+  EXPECT_EQ(decoded, ids);
+}
+
+TEST(BestCodecTest, EmptyInput) {
+  std::vector<uint8_t> buf;
+  EncodeIdsBest({}, &buf);
+  std::vector<uint32_t> decoded;
+  DecodeIdsBest(buf, &decoded);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(BestCodecTest, SingleId) {
+  std::vector<uint8_t> buf;
+  EncodeIdsBest({42}, &buf);
+  std::vector<uint32_t> decoded;
+  DecodeIdsBest(buf, &decoded);
+  EXPECT_EQ(decoded, std::vector<uint32_t>{42});
+}
+
+// Property sweep: random id sets of various densities always round-trip through
+// the best-of codec.
+class BestCodecPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BestCodecPropertyTest, RoundTrip) {
+  int density_pow = GetParam();
+  Xorshift64Star rng(31 + density_pow);
+  uint32_t range = 1u << density_pow;
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(static_cast<uint32_t>(rng.NextBounded(range)));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  std::vector<uint8_t> buf;
+  EncodeIdsBest(ids, &buf);
+  std::vector<uint32_t> decoded;
+  DecodeIdsBest(buf, &decoded);
+  EXPECT_EQ(decoded, ids);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, BestCodecPropertyTest,
+                         ::testing::Values(8, 11, 14, 17, 20, 24, 28));
+
+}  // namespace
+}  // namespace maze

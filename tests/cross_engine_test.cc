@@ -1,0 +1,135 @@
+// Cross-engine consistency: every framework engine must produce the same
+// *answers* as the serial reference on the same inputs — the gaps the study
+// measures are in performance, never in results. Exercised through the bench
+// harness dispatcher so the benchmark code path itself is covered.
+#include "bench_support/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+#include "native/cf.h"
+#include "native/reference.h"
+#include "tests/test_graphs.h"
+
+namespace maze::bench {
+namespace {
+
+struct Case {
+  EngineKind engine;
+  int ranks;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  return std::string(EngineName(info.param.engine)) + "_r" +
+         std::to_string(info.param.ranks);
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (EngineKind e : AllEngines()) {
+    cases.push_back({e, 1});
+    if (e != EngineKind::kTaskflow) cases.push_back({e, 4});
+  }
+  return cases;
+}
+
+class CrossEngineTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CrossEngineTest, PageRankMatchesReference) {
+  EdgeList el = testgraphs::SmallRmat(9);
+  Graph g = Graph::FromEdges(el, GraphDirections::kBoth);
+  rt::PageRankOptions opt;
+  opt.iterations = 4;
+  RunConfig config;
+  config.num_ranks = GetParam().ranks;
+  auto result = RunPageRank(GetParam().engine, el, opt, config);
+  auto expected = native::ReferencePageRank(g, 4, opt.jump);
+  ASSERT_EQ(result.ranks.size(), expected.size());
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result.ranks[v], expected[v], 1e-9)
+        << EngineName(GetParam().engine) << " vertex " << v;
+  }
+}
+
+TEST_P(CrossEngineTest, BfsMatchesReference) {
+  EdgeList el = testgraphs::SmallRmatUndirected(9);
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  RunConfig config;
+  config.num_ranks = GetParam().ranks;
+  auto result = RunBfs(GetParam().engine, el, rt::BfsOptions{3}, config);
+  EXPECT_EQ(result.distance, native::ReferenceBfs(g, 3));
+}
+
+TEST_P(CrossEngineTest, TriangleCountMatchesReference) {
+  EdgeList el = testgraphs::SmallRmatOriented(9);
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  RunConfig config;
+  config.num_ranks = GetParam().ranks;
+  auto result = RunTriangleCount(GetParam().engine, el, {}, config);
+  EXPECT_EQ(result.triangles, native::ReferenceTriangleCount(g));
+}
+
+TEST_P(CrossEngineTest, CfConverges) {
+  BipartiteGraph g = testgraphs::SmallRatings(9).ToGraph();
+  rt::CfOptions opt;
+  opt.k = 4;
+  opt.iterations = 4;
+  opt.method = rt::CfMethod::kGd;
+  RunConfig config;
+  config.num_ranks = GetParam().ranks;
+  auto result = RunCf(GetParam().engine, g, opt, config);
+  double initial = native::CfRmse(g, [&] {
+    std::vector<double> init;
+    native::CfInitFactors(g.num_users(), opt.k, opt.seed, &init);
+    return init;
+  }(), [&] {
+    std::vector<double> init;
+    native::CfInitFactors(g.num_items(), opt.k, opt.seed ^ 0x1234567ull, &init);
+    return init;
+  }(), opt.k);
+  EXPECT_LT(result.final_rmse, initial);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, CrossEngineTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+TEST(RunnerTest, EngineNamesAreUnique) {
+  std::vector<std::string> names;
+  for (EngineKind e : AllEngines()) names.push_back(EngineName(e));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(RunnerTest, MatblasRanksRoundsToSquares) {
+  EXPECT_EQ(MatblasRanks(1), 1);
+  EXPECT_EQ(MatblasRanks(2), 1);
+  EXPECT_EQ(MatblasRanks(4), 4);
+  EXPECT_EQ(MatblasRanks(8), 4);
+  EXPECT_EQ(MatblasRanks(9), 9);
+  EXPECT_EQ(MatblasRanks(63), 49);
+  EXPECT_EQ(MatblasRanks(64), 64);
+}
+
+TEST(RunnerTest, MultiNodeEnginesExcludeTaskflow) {
+  for (EngineKind e : MultiNodeEngines()) {
+    EXPECT_NE(e, EngineKind::kTaskflow);
+  }
+  EXPECT_EQ(MultiNodeEngines().size(), 5u);
+}
+
+TEST(RunnerTest, PerformanceOrderingOnSingleNodePageRank) {
+  // The study's qualitative single-node finding (Table 5): native is fastest
+  // and bspgraph is the slowest engine, by a wide margin.
+  EdgeList el = testgraphs::SmallRmat(11);
+  rt::PageRankOptions opt;
+  opt.iterations = 3;
+  RunConfig config;
+  auto native_r = RunPageRank(EngineKind::kNative, el, opt, config);
+  auto bsp_r = RunPageRank(EngineKind::kBspgraph, el, opt, config);
+  EXPECT_GT(bsp_r.metrics.elapsed_seconds,
+            native_r.metrics.elapsed_seconds * 3);
+}
+
+}  // namespace
+}  // namespace maze::bench

@@ -1,0 +1,74 @@
+#include "util/cuckoo_set.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace maze {
+namespace {
+
+TEST(CuckooSetTest, InsertAndContains) {
+  CuckooSet set;
+  EXPECT_FALSE(set.Contains(5));
+  EXPECT_TRUE(set.Insert(5));
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_FALSE(set.Contains(6));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CuckooSetTest, DuplicateInsertReturnsFalse) {
+  CuckooSet set;
+  EXPECT_TRUE(set.Insert(9));
+  EXPECT_FALSE(set.Insert(9));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CuckooSetTest, GrowsPastInitialCapacity) {
+  CuckooSet set(4);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(set.Insert(i * 7 + 1));
+  }
+  EXPECT_EQ(set.size(), 1000u);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(set.Contains(i * 7 + 1));
+  }
+  EXPECT_FALSE(set.Contains(3));
+}
+
+TEST(CuckooSetTest, MatchesStdSetUnderRandomWorkload) {
+  CuckooSet set;
+  std::set<uint32_t> model;
+  Xorshift64Star rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    uint32_t key = static_cast<uint32_t>(rng.NextBounded(5000)) + 1;
+    bool inserted = set.Insert(key);
+    bool model_inserted = model.insert(key).second;
+    ASSERT_EQ(inserted, model_inserted) << "key " << key;
+  }
+  ASSERT_EQ(set.size(), model.size());
+  for (uint32_t key = 1; key <= 5000; ++key) {
+    ASSERT_EQ(set.Contains(key), model.count(key) == 1) << "key " << key;
+  }
+}
+
+TEST(CuckooSetTest, AdversarialSequentialKeys) {
+  // Sequential keys stress one hash function's distribution.
+  CuckooSet set;
+  for (uint32_t i = 0; i < 100000; ++i) ASSERT_TRUE(set.Insert(i));
+  EXPECT_EQ(set.size(), 100000u);
+  EXPECT_TRUE(set.Contains(0));
+  EXPECT_TRUE(set.Contains(99999));
+  EXPECT_FALSE(set.Contains(100000));
+}
+
+TEST(CuckooSetTest, MemoryBytesGrowsWithRehash) {
+  CuckooSet set;
+  size_t initial = set.MemoryBytes();
+  for (uint32_t i = 0; i < 10000; ++i) set.Insert(i);
+  EXPECT_GT(set.MemoryBytes(), initial);
+}
+
+}  // namespace
+}  // namespace maze

@@ -1,0 +1,68 @@
+#include "core/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "core/degree.h"
+#include "core/graph.h"
+
+namespace maze {
+namespace {
+
+TEST(DatasetsTest, RegistryListsAllPaperDatasets) {
+  const auto& all = AllDatasets();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0].name, "facebook");
+  EXPECT_EQ(all[4].name, "twitter");
+  // Paper sizes preserved for the Table 3 report.
+  EXPECT_EQ(all[4].paper_edges, 1468365182u);
+}
+
+// Every graph stand-in loads (at reduced scale), is non-trivial, and is skewed.
+class GraphDatasetTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GraphDatasetTest, LoadsAndIsSkewed) {
+  EdgeList el = LoadGraphDataset(GetParam(), /*scale_adjust=*/-4);
+  EXPECT_GT(el.num_vertices, 0u);
+  EXPECT_GT(el.edges.size(), el.num_vertices);  // Mean degree > 1.
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  DegreeStats stats = ComputeOutDegreeStats(g);
+  EXPECT_GT(stats.top1pct_edge_share, 0.05) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphs, GraphDatasetTest,
+                         ::testing::Values("facebook", "wikipedia",
+                                           "livejournal", "twitter", "rmat"));
+
+class RatingsDatasetTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RatingsDatasetTest, LoadsValidRatings) {
+  RatingsDataset ds = LoadRatingsDataset(GetParam(), /*scale_adjust=*/-4);
+  EXPECT_GT(ds.num_users, 0u);
+  EXPECT_GT(ds.num_items, 0u);
+  EXPECT_GT(ds.ratings.size(), ds.num_users);  // Several ratings per user.
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRatings, RatingsDatasetTest,
+                         ::testing::Values("netflix", "yahoomusic", "rmat_cf"));
+
+TEST(DatasetsTest, ScaleAdjustShrinksGraph) {
+  EdgeList big = LoadGraphDataset("facebook", -3);
+  EdgeList small = LoadGraphDataset("facebook", -5);
+  EXPECT_GT(big.num_vertices, small.num_vertices);
+}
+
+TEST(DatasetsTest, SingleNodeListMatchesFigure3) {
+  auto names = SingleNodeGraphDatasets();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "livejournal");
+  EXPECT_EQ(names[3], "rmat");
+}
+
+TEST(DatasetsTest, LoadIsDeterministic) {
+  EdgeList a = LoadGraphDataset("wikipedia", -5);
+  EdgeList b = LoadGraphDataset("wikipedia", -5);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+}  // namespace
+}  // namespace maze

@@ -1,0 +1,55 @@
+#include "core/degree.h"
+
+#include <gtest/gtest.h>
+
+namespace maze {
+namespace {
+
+TEST(DegreeTest, StarGraph) {
+  // Vertex 0 points at everyone: max degree n-1, extreme top-1% share.
+  EdgeList el;
+  el.num_vertices = 101;
+  for (VertexId v = 1; v <= 100; ++v) el.edges.push_back({0, v});
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  DegreeStats stats = ComputeOutDegreeStats(g);
+  EXPECT_EQ(stats.max_degree, 100u);
+  EXPECT_NEAR(stats.mean_degree, 100.0 / 101.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.top1pct_edge_share, 1.0);
+}
+
+TEST(DegreeTest, RegularGraphHasNoSkew) {
+  // A ring: every vertex has out-degree 1.
+  EdgeList el;
+  el.num_vertices = 1000;
+  for (VertexId v = 0; v < 1000; ++v) el.edges.push_back({v, (v + 1) % 1000});
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  DegreeStats stats = ComputeOutDegreeStats(g);
+  EXPECT_EQ(stats.max_degree, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 1.0);
+  EXPECT_NEAR(stats.top1pct_edge_share, 0.01, 1e-9);
+}
+
+TEST(DegreeTest, HistogramSumsToVertexCount) {
+  EdgeList el;
+  el.num_vertices = 50;
+  for (VertexId v = 0; v < 25; ++v) el.edges.push_back({v, v + 25});
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  DegreeStats stats = ComputeOutDegreeStats(g);
+  uint64_t total = 0;
+  for (uint64_t c : stats.histogram) total += c;
+  EXPECT_EQ(total, 50u);
+  EXPECT_EQ(stats.histogram[0], 25u);
+  EXPECT_EQ(stats.histogram[1], 25u);
+}
+
+TEST(DegreeTest, EmptyGraph) {
+  EdgeList el;
+  el.num_vertices = 0;
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  DegreeStats stats = ComputeOutDegreeStats(g);
+  EXPECT_EQ(stats.max_degree, 0u);
+  EXPECT_EQ(stats.mean_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace maze

@@ -1,0 +1,52 @@
+#include "core/edge_list.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace maze {
+namespace {
+
+TEST(EdgeListTest, DeduplicateRemovesDuplicatesAndSelfLoops) {
+  EdgeList el;
+  el.num_vertices = 5;
+  el.edges = {{0, 1}, {1, 2}, {0, 1}, {3, 3}, {2, 1}};
+  el.Deduplicate();
+  EXPECT_EQ(el.edges, (std::vector<Edge>{{0, 1}, {1, 2}, {2, 1}}));
+}
+
+TEST(EdgeListTest, SymmetrizeAddsReverseEdges) {
+  EdgeList el;
+  el.num_vertices = 4;
+  el.edges = {{0, 1}, {2, 3}};
+  el.Symmetrize();
+  EXPECT_EQ(el.edges, (std::vector<Edge>{{0, 1}, {1, 0}, {2, 3}, {3, 2}}));
+}
+
+TEST(EdgeListTest, SymmetrizeIsIdempotentOnSymmetricInput) {
+  EdgeList el;
+  el.num_vertices = 3;
+  el.edges = {{0, 1}, {1, 0}};
+  el.Symmetrize();
+  EXPECT_EQ(el.edges.size(), 2u);
+}
+
+TEST(EdgeListTest, OrientBySmallerIdProducesAcyclicOrientation) {
+  EdgeList el;
+  el.num_vertices = 4;
+  el.edges = {{3, 1}, {1, 3}, {0, 2}, {2, 0}};
+  el.OrientBySmallerId();
+  EXPECT_EQ(el.edges, (std::vector<Edge>{{0, 2}, {1, 3}}));
+  for (const Edge& e : el.edges) EXPECT_LT(e.src, e.dst);
+}
+
+TEST(EdgeListTest, EmptyListOperationsAreSafe) {
+  EdgeList el;
+  el.Deduplicate();
+  el.Symmetrize();
+  el.OrientBySmallerId();
+  EXPECT_EQ(el.size(), 0u);
+}
+
+}  // namespace
+}  // namespace maze

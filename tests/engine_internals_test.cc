@@ -1,0 +1,175 @@
+// Engine-internal behaviors not covered by the algorithm-level suites: the
+// vertexlab mirroring wire discount, bspgraph boxing/buffer accounting, the
+// modeled-node-width normalization, and partition/grid edge cases.
+#include <gtest/gtest.h>
+
+#include "bsp/algorithms.h"
+#include "native/pagerank.h"
+#include "core/graph.h"
+#include "rt/partition.h"
+#include "rt/sim_clock.h"
+#include "tests/test_graphs.h"
+#include "vertex/algorithms.h"
+
+namespace maze {
+namespace {
+
+// --- Modeled node width -----------------------------------------------------
+
+class NodeWidthGuard {
+ public:
+  NodeWidthGuard(int threads) { rt::SetModeledNodeThreads(threads); }
+  ~NodeWidthGuard() { rt::SetModeledNodeThreads(0); }
+};
+
+TEST(NodeWidthTest, DefaultIsHostWidth) {
+  rt::SetModeledNodeThreads(0);
+  EXPECT_EQ(rt::ModeledNodeThreads(),
+            static_cast<int>(ThreadPool::Default().num_threads()));
+  EXPECT_DOUBLE_EQ(rt::internal::HostToNodeScale(), 1.0);
+}
+
+TEST(NodeWidthTest, WiderModeledNodeShrinksChargedCompute) {
+  NodeWidthGuard guard(4 * static_cast<int>(ThreadPool::Default().num_threads()));
+  rt::SimClock clock(1, rt::CommModel::Mpi());
+  clock.RecordCompute(0, 1.0);
+  clock.EndStep();
+  EXPECT_NEAR(clock.elapsed_seconds(), 0.25, 1e-12);
+}
+
+TEST(NodeWidthTest, EngineComputeScaleModelsWorkerCaps) {
+  NodeWidthGuard guard(48);
+  // 4 workers of a 48-thread node: 12x penalty relative to a full-node engine.
+  EXPECT_DOUBLE_EQ(rt::EngineComputeScale(4), 12.0);
+  EXPECT_DOUBLE_EQ(rt::EngineComputeScale(48), 1.0);
+  EXPECT_DOUBLE_EQ(rt::EngineComputeScale(1000), 1.0);  // Clamped to the node.
+}
+
+TEST(NodeWidthTest, ClockCapturesWidthAtConstruction) {
+  NodeWidthGuard guard(2 * static_cast<int>(ThreadPool::Default().num_threads()));
+  rt::SimClock clock(1, rt::CommModel::Mpi());
+  rt::SetModeledNodeThreads(0);  // Change after construction: no effect.
+  clock.RecordCompute(0, 1.0);
+  clock.EndStep();
+  EXPECT_NEAR(clock.elapsed_seconds(), 0.5, 1e-12);
+}
+
+// --- vertexlab mirroring ------------------------------------------------------
+
+TEST(VertexlabMirroringTest, BroadcastTrafficIsPerRankNotPerEdge) {
+  // Triangle counting broadcasts neighbor lists (non-combinable): with
+  // mirroring, a vertex's list crosses to a rank once even when it has many
+  // neighbors there. Build a hub with many neighbors in the other rank's half.
+  EdgeList el;
+  el.num_vertices = 64;
+  for (VertexId v = 33; v < 64; ++v) el.edges.push_back({1, v});
+  // Close one triangle so the run is non-trivial.
+  el.edges.push_back({33, 34});
+  rt::EngineConfig config;
+  config.num_ranks = 2;
+  config.comm = vertex::DefaultComm();
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  auto result = vertex::TriangleCount(g, {}, config);
+  EXPECT_EQ(result.triangles, 1u);
+  // Hub vertex 1's list: 31 entries * 4B + header, crossing once (~135B), plus
+  // vertex 33's 2-entry list. Per-edge shipping would exceed 31 * 128B ~ 4KB.
+  EXPECT_LT(result.metrics.bytes_sent, 1000u);
+  EXPECT_GT(result.metrics.bytes_sent, 100u);
+}
+
+// --- bspgraph accounting ---------------------------------------------------------
+
+TEST(BspAccountingTest, BufferPeakScalesWithMessageVolume) {
+  Graph small = Graph::FromEdges(testgraphs::SmallRmatOriented(8, 4),
+                                 GraphDirections::kOutOnly);
+  Graph large = Graph::FromEdges(testgraphs::SmallRmatOriented(10, 8),
+                                 GraphDirections::kOutOnly);
+  rt::EngineConfig config;
+  config.comm = bsp::DefaultComm();
+  auto a = bsp::TriangleCount(small, {}, config);
+  auto b = bsp::TriangleCount(large, {}, config);
+  EXPECT_GT(b.metrics.memory_peak_bytes, a.metrics.memory_peak_bytes);
+}
+
+TEST(BspAccountingTest, MoreWorkersReduceChargedTime) {
+  NodeWidthGuard guard(48);
+  Graph g = Graph::FromEdges(testgraphs::SmallRmat(9), GraphDirections::kOutOnly);
+  rt::PageRankOptions opt;
+  opt.iterations = 3;
+  rt::EngineConfig config;
+  config.comm = bsp::DefaultComm();
+  bsp::BspOptions four;
+  bsp::BspOptions full;
+  full.workers_per_node = 48;
+  auto capped = bsp::PageRank(g, opt, config, four);
+  auto uncapped = bsp::PageRank(g, opt, config, full);
+  // 12x worker penalty dominates single-node runs.
+  EXPECT_GT(capped.metrics.elapsed_seconds,
+            uncapped.metrics.elapsed_seconds * 4);
+}
+
+// --- Partition edge cases ----------------------------------------------------------
+
+TEST(PartitionEdgeCaseTest, AllEdgesOnOneVertex) {
+  // A star: edge balancing must isolate the hub without crashing.
+  EdgeList el;
+  el.num_vertices = 100;
+  for (VertexId v = 1; v < 100; ++v) el.edges.push_back({0, v});
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  rt::Partition1D part = rt::Partition1D::EdgeBalanced(g, 4);
+  EXPECT_EQ(part.num_parts(), 4);
+  VertexId total = 0;
+  for (int p = 0; p < 4; ++p) total += part.Size(p);
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(part.OwnerOf(0), 0);
+}
+
+TEST(PartitionEdgeCaseTest, EmptyGraphPartitions) {
+  rt::Partition1D part = rt::Partition1D::VertexBalanced(0, 4);
+  EXPECT_EQ(part.num_parts(), 4);
+  for (int p = 0; p < 4; ++p) EXPECT_EQ(part.Size(p), 0u);
+}
+
+// --- Step tracing --------------------------------------------------------------
+
+TEST(StepTraceTest, DisabledByDefault) {
+  Graph g = Graph::FromEdges(testgraphs::SmallRmat(8), GraphDirections::kBoth);
+  rt::PageRankOptions opt;
+  opt.iterations = 3;
+  auto r = native::PageRank(g, opt, rt::EngineConfig{});
+  EXPECT_TRUE(r.metrics.steps.empty());
+}
+
+TEST(StepTraceTest, RecordsOneRecordPerStep) {
+  Graph g = Graph::FromEdges(testgraphs::SmallRmat(8), GraphDirections::kBoth);
+  rt::PageRankOptions opt;
+  opt.iterations = 3;
+  rt::EngineConfig config;
+  config.num_ranks = 2;
+  config.trace = true;
+  auto r = native::PageRank(g, opt, config);
+  // Setup exchange step + one step per iteration.
+  ASSERT_EQ(r.metrics.steps.size(), 4u);
+  double wire_total = 0;
+  uint64_t bytes_total = 0;
+  for (const rt::StepRecord& s : r.metrics.steps) {
+    wire_total += s.wire_seconds;
+    bytes_total += s.bytes_sent;
+  }
+  EXPECT_GT(wire_total, 0.0);
+  EXPECT_EQ(bytes_total, r.metrics.bytes_sent);
+}
+
+TEST(StepTraceTest, CsvHasHeaderAndRows) {
+  std::vector<rt::StepRecord> steps = {
+      {0, 0.5, 0.25, 100, 2, true},
+      {1, 0.75, 0.0, 0, 0, false},
+  };
+  std::string csv = rt::StepTraceCsv(steps);
+  EXPECT_NE(csv.find("step,compute_seconds"), std::string::npos);
+  EXPECT_NE(csv.find("0,0.5,0.25,100,2,1"), std::string::npos);
+  EXPECT_NE(csv.find("1,0.75,0,0,0,0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maze

@@ -1,0 +1,65 @@
+#include "rt/exchange.h"
+
+#include <gtest/gtest.h>
+
+namespace maze::rt {
+namespace {
+
+TEST(ExchangeTest, DeliversToMatchingInbox) {
+  Exchange<int> ex(3);
+  ex.OutBox(0, 2) = {1, 2, 3};
+  ex.OutBox(1, 2) = {4};
+  SimClock clock(3, CommModel::Mpi());
+  ex.Deliver(&clock);
+  EXPECT_EQ(ex.InBox(2, 0), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(ex.InBox(2, 1), std::vector<int>{4});
+  EXPECT_TRUE(ex.InBox(0, 1).empty());
+  EXPECT_EQ(ex.InboundCount(2), 4u);
+}
+
+TEST(ExchangeTest, ChargesClockForCrossRankTraffic) {
+  Exchange<uint64_t> ex(2);
+  ex.OutBox(0, 1) = {1, 2, 3, 4};  // 32 bytes.
+  ex.OutBox(1, 1) = {9, 9};        // Same-rank: free.
+  SimClock clock(2, CommModel::Mpi());
+  ex.Deliver(&clock);
+  RunMetrics metrics = clock.Finish();
+  EXPECT_EQ(metrics.bytes_sent, 32u);
+  EXPECT_EQ(metrics.messages_sent, 1u);
+}
+
+TEST(ExchangeTest, CustomWireBytesPerRecord) {
+  Exchange<uint64_t> ex(2);
+  ex.OutBox(0, 1) = {1, 2, 3, 4};
+  SimClock clock(2, CommModel::Mpi());
+  ex.Deliver(&clock, /*wire_bytes_per_record=*/1.5);
+  EXPECT_EQ(clock.Finish().bytes_sent, 6u);
+}
+
+TEST(ExchangeTest, OutboxesClearAfterDeliver) {
+  Exchange<int> ex(2);
+  ex.OutBox(0, 1) = {1};
+  ex.Deliver(nullptr);
+  EXPECT_TRUE(ex.OutBox(0, 1).empty());
+  // Second deliver replaces inbox contents.
+  ex.Deliver(nullptr);
+  EXPECT_TRUE(ex.InBox(1, 0).empty());
+}
+
+TEST(ExchangeTest, MaxOutboxBytesPerRank) {
+  Exchange<uint32_t> ex(2);
+  ex.OutBox(0, 1) = {1, 2, 3};          // 12 bytes buffered at rank 0.
+  ex.OutBox(1, 0) = {1};                // 4 bytes at rank 1.
+  EXPECT_EQ(ex.MaxOutboxBytesPerRank(), 12u);
+}
+
+TEST(ExchangeTest, ClearInboxes) {
+  Exchange<int> ex(2);
+  ex.OutBox(0, 1) = {1, 2};
+  ex.Deliver(nullptr);
+  ex.ClearInboxes();
+  EXPECT_EQ(ex.InboundCount(1), 0u);
+}
+
+}  // namespace
+}  // namespace maze::rt

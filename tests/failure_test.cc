@@ -1,0 +1,97 @@
+// Failure-path coverage: invariant violations must fail fast and loudly
+// (MAZE_CHECK aborts), and fallible operations must return Status instead of
+// corrupting state.
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+#include "core/io.h"
+#include "datalog/table.h"
+#include "native/bfs.h"
+#include "native/pagerank.h"
+#include "rt/partition.h"
+#include "rt/sim_clock.h"
+#include "task/algorithms.h"
+#include "tests/test_graphs.h"
+#include "util/check.h"
+
+namespace maze {
+namespace {
+
+using FailureDeathTest = ::testing::Test;
+
+TEST(FailureDeathTest, GraphBuildRejectsOutOfRangeVertex) {
+  EdgeList el;
+  el.num_vertices = 2;
+  el.edges = {{0, 5}};  // dst beyond num_vertices.
+  EXPECT_DEATH(Graph::FromEdges(el), "MAZE_CHECK failed");
+}
+
+TEST(FailureDeathTest, PageRankRequiresInCsr) {
+  Graph g = Graph::FromEdges(testgraphs::Figure2(), GraphDirections::kOutOnly);
+  EXPECT_DEATH(native::PageRank(g, {}, rt::EngineConfig{}), "MAZE_CHECK failed");
+}
+
+TEST(FailureDeathTest, BfsRejectsOutOfRangeSource) {
+  Graph g = Graph::FromEdges(testgraphs::Figure2());
+  rt::BfsOptions opt;
+  opt.source = 1000;
+  EXPECT_DEATH(native::Bfs(g, opt, rt::EngineConfig{}), "MAZE_CHECK failed");
+}
+
+TEST(FailureDeathTest, TaskflowRejectsMultiNode) {
+  Graph g = Graph::FromEdges(testgraphs::Figure2());
+  rt::EngineConfig config;
+  config.num_ranks = 4;  // Galois is single node (Table 2).
+  EXPECT_DEATH(task::PageRank(g, {}, config), "MAZE_CHECK failed");
+}
+
+TEST(FailureDeathTest, Grid2DRejectsNonSquareRankCount) {
+  EXPECT_DEATH(rt::Grid2D::ForRanks(3), "MAZE_CHECK failed");
+}
+
+TEST(FailureDeathTest, SimClockRejectsUnknownRank) {
+  rt::SimClock clock(2, rt::CommModel::Mpi());
+  EXPECT_DEATH(clock.RecordCompute(5, 0.1), "MAZE_CHECK failed");
+}
+
+TEST(FailureDeathTest, TableRejectsArityMismatch) {
+  datalog::Table t("T", 2, 0);
+  int64_t row[1] = {1};
+  EXPECT_DEATH(t.AppendRow(row), "MAZE_CHECK failed");
+}
+
+TEST(FailureDeathTest, TableRejectsKeysOutsideDeclaredSpace) {
+  datalog::Table t("T", 1, 0);
+  int64_t row[1] = {99};
+  t.AppendRow(row);
+  EXPECT_DEATH(t.TailNest(/*key_space=*/10), "MAZE_CHECK failed");
+}
+
+TEST(FailureStatusTest, IoFailuresAreStatusesNotCrashes) {
+  // Write to an unwritable path.
+  EdgeList el = testgraphs::Figure2();
+  Status s = WriteEdgeListText(el, "/nonexistent-dir/graph.txt");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+
+  Status b = WriteEdgeListBinary(el, "/nonexistent-dir/graph.bin");
+  EXPECT_FALSE(b.ok());
+}
+
+TEST(FailureStatusTest, TruncatedBinaryFileIsDetected) {
+  std::string path = testing::TempDir() + "/truncated.bin";
+  EdgeList el = testgraphs::Figure2();
+  ASSERT_TRUE(WriteEdgeListBinary(el, path).ok());
+  // Truncate mid-edge-array.
+  FILE* f = fopen(path.c_str(), "r+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(ftruncate(fileno(f), 24 + 3), 0);
+  fclose(f);
+  auto result = ReadEdgeListBinary(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace maze

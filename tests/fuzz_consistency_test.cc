@@ -1,0 +1,104 @@
+// Multi-seed fuzz consistency: across randomized RMAT graphs of varying skew,
+// every engine agrees with the serial references on every algorithm. This is
+// the repository's strongest end-to-end invariant — performance may differ by
+// orders of magnitude, answers may not.
+#include <gtest/gtest.h>
+
+#include "bench_support/runner.h"
+#include "core/graph.h"
+#include "core/rmat.h"
+#include "native/cc.h"
+#include "native/reference.h"
+
+namespace maze {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  double a;  // RMAT skew knob.
+};
+
+std::string FuzzName(const ::testing::TestParamInfo<FuzzCase>& info) {
+  return "seed" + std::to_string(info.param.seed) + "_a" +
+         std::to_string(static_cast<int>(info.param.a * 100));
+}
+
+EdgeList FuzzGraph(const FuzzCase& c, bool symmetric) {
+  RmatParams params{9, 5, c.a, (1.0 - c.a) / 3, (1.0 - c.a) / 3, c.seed, true};
+  EdgeList el = GenerateRmat(params);
+  el.Deduplicate();
+  if (symmetric) el.Symmetrize();
+  return el;
+}
+
+class FuzzConsistencyTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(FuzzConsistencyTest, AllEnginesAgreeOnPageRank) {
+  EdgeList el = FuzzGraph(GetParam(), false);
+  Graph g = Graph::FromEdges(el, GraphDirections::kBoth);
+  rt::PageRankOptions opt;
+  opt.iterations = 3;
+  auto expected = native::ReferencePageRank(g, 3, opt.jump);
+  for (bench::EngineKind engine : bench::AllEngines()) {
+    bench::RunConfig config;
+    config.num_ranks = engine == bench::EngineKind::kTaskflow ? 1 : 2;
+    auto result = bench::RunPageRank(engine, el, opt, config);
+    for (size_t v = 0; v < expected.size(); ++v) {
+      ASSERT_NEAR(result.ranks[v], expected[v], 1e-9)
+          << bench::EngineName(engine) << " vertex " << v;
+    }
+  }
+}
+
+TEST_P(FuzzConsistencyTest, AllEnginesAgreeOnBfs) {
+  EdgeList el = FuzzGraph(GetParam(), true);
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  VertexId source = 0;
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    if (g.OutDegree(v) > g.OutDegree(source)) source = v;
+  }
+  auto expected = native::ReferenceBfs(g, source);
+  for (bench::EngineKind engine : bench::AllEngines()) {
+    bench::RunConfig config;
+    config.num_ranks = engine == bench::EngineKind::kTaskflow ? 1 : 3;
+    auto result = bench::RunBfs(engine, el, rt::BfsOptions{source}, config);
+    ASSERT_EQ(result.distance, expected) << bench::EngineName(engine);
+  }
+}
+
+TEST_P(FuzzConsistencyTest, AllEnginesAgreeOnTriangles) {
+  EdgeList el = FuzzGraph(GetParam(), false);
+  el.OrientBySmallerId();
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  uint64_t expected = native::ReferenceTriangleCount(g);
+  for (bench::EngineKind engine : bench::AllEngines()) {
+    bench::RunConfig config;
+    config.num_ranks = engine == bench::EngineKind::kTaskflow ? 1 : 2;
+    if (engine == bench::EngineKind::kBspgraph) config.bsp_phases = 7;
+    auto result = bench::RunTriangleCount(engine, el, {}, config);
+    ASSERT_EQ(result.triangles, expected) << bench::EngineName(engine);
+  }
+}
+
+TEST_P(FuzzConsistencyTest, AllEnginesAgreeOnComponents) {
+  EdgeList el = FuzzGraph(GetParam(), true);
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  auto expected = native::ReferenceComponents(g);
+  for (bench::EngineKind engine : bench::AllEngines()) {
+    bench::RunConfig config;
+    config.num_ranks = engine == bench::EngineKind::kTaskflow ? 1 : 2;
+    auto result = bench::RunConnectedComponents(engine, el, {}, config);
+    ASSERT_EQ(result.label, expected) << bench::EngineName(engine);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzConsistencyTest,
+                         ::testing::Values(FuzzCase{101, 0.30},
+                                           FuzzCase{202, 0.45},
+                                           FuzzCase{303, 0.57},
+                                           FuzzCase{404, 0.65},
+                                           FuzzCase{505, 0.25}),
+                         FuzzName);
+
+}  // namespace
+}  // namespace maze

@@ -1,0 +1,102 @@
+#include "core/graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace maze {
+namespace {
+
+// The 4-vertex example graph of Figure 2: edges 0->1, 0->2, 1->2, 1->3, 2->3.
+EdgeList Figure2Graph() {
+  EdgeList el;
+  el.num_vertices = 4;
+  el.edges = {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}};
+  return el;
+}
+
+TEST(GraphTest, BuildsOutAndInCsr) {
+  Graph g = Graph::FromEdges(Figure2Graph());
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  ASSERT_TRUE(g.has_out());
+  ASSERT_TRUE(g.has_in());
+
+  EXPECT_EQ(std::vector<VertexId>(g.OutNeighbors(0).begin(),
+                                  g.OutNeighbors(0).end()),
+            (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(std::vector<VertexId>(g.OutNeighbors(3).begin(),
+                                  g.OutNeighbors(3).end()),
+            std::vector<VertexId>{});
+  EXPECT_EQ(std::vector<VertexId>(g.InNeighbors(3).begin(),
+                                  g.InNeighbors(3).end()),
+            (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(std::vector<VertexId>(g.InNeighbors(0).begin(),
+                                  g.InNeighbors(0).end()),
+            std::vector<VertexId>{});
+}
+
+TEST(GraphTest, DegreesMatchAdjacency) {
+  Graph g = Graph::FromEdges(Figure2Graph());
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(1), 2u);
+  EXPECT_EQ(g.OutDegree(2), 1u);
+  EXPECT_EQ(g.OutDegree(3), 0u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+}
+
+TEST(GraphTest, DirectionSelection) {
+  Graph out_only = Graph::FromEdges(Figure2Graph(), GraphDirections::kOutOnly);
+  EXPECT_TRUE(out_only.has_out());
+  EXPECT_FALSE(out_only.has_in());
+
+  Graph in_only = Graph::FromEdges(Figure2Graph(), GraphDirections::kInOnly);
+  EXPECT_FALSE(in_only.has_out());
+  EXPECT_TRUE(in_only.has_in());
+}
+
+TEST(GraphTest, AdjacencyListsAreSorted) {
+  EdgeList el;
+  el.num_vertices = 5;
+  el.edges = {{0, 4}, {0, 1}, {0, 3}, {0, 2}};
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  auto n = g.OutNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+}
+
+TEST(GraphTest, InOutEdgeCountsAgree) {
+  EdgeList el;
+  el.num_vertices = 100;
+  for (VertexId i = 0; i < 99; ++i) el.edges.push_back({i, i + 1});
+  Graph g = Graph::FromEdges(el);
+  EdgeId out_total = 0;
+  EdgeId in_total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out_total += g.OutDegree(v);
+    in_total += g.InDegree(v);
+  }
+  EXPECT_EQ(out_total, g.num_edges());
+  EXPECT_EQ(in_total, g.num_edges());
+}
+
+TEST(GraphTest, EmptyGraph) {
+  EdgeList el;
+  el.num_vertices = 3;
+  Graph g = Graph::FromEdges(el);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.OutDegree(0), 0u);
+  EXPECT_TRUE(g.OutNeighbors(2).empty());
+}
+
+TEST(GraphTest, MemoryBytesIsPositiveAndScales) {
+  EdgeList small = Figure2Graph();
+  EdgeList big;
+  big.num_vertices = 1000;
+  for (VertexId i = 0; i + 1 < 1000; ++i) big.edges.push_back({i, i + 1});
+  EXPECT_LT(Graph::FromEdges(small).MemoryBytes(),
+            Graph::FromEdges(big).MemoryBytes());
+}
+
+}  // namespace
+}  // namespace maze

@@ -1,0 +1,94 @@
+#include "rt/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rmat.h"
+
+namespace maze::rt {
+namespace {
+
+TEST(Partition1DTest, VertexBalancedCoversAllVertices) {
+  Partition1D p = Partition1D::VertexBalanced(100, 7);
+  EXPECT_EQ(p.num_parts(), 7);
+  EXPECT_EQ(p.Begin(0), 0u);
+  EXPECT_EQ(p.End(6), 100u);
+  VertexId covered = 0;
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(p.Begin(i), covered);
+    covered += p.Size(i);
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(Partition1DTest, OwnerOfIsConsistentWithRanges) {
+  Partition1D p = Partition1D::VertexBalanced(1000, 8);
+  for (VertexId v = 0; v < 1000; ++v) {
+    int owner = p.OwnerOf(v);
+    EXPECT_GE(v, p.Begin(owner));
+    EXPECT_LT(v, p.End(owner));
+  }
+}
+
+TEST(Partition1DTest, SinglePartOwnsEverything) {
+  Partition1D p = Partition1D::VertexBalanced(50, 1);
+  EXPECT_EQ(p.OwnerOf(0), 0);
+  EXPECT_EQ(p.OwnerOf(49), 0);
+  EXPECT_EQ(p.Size(0), 50u);
+}
+
+TEST(Partition1DTest, MorePartsThanVertices) {
+  Partition1D p = Partition1D::VertexBalanced(3, 8);
+  VertexId total = 0;
+  for (int i = 0; i < 8; ++i) total += p.Size(i);
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Partition1DTest, EdgeBalancedEvensOutSkew) {
+  // A skewed RMAT graph: edge-balanced ranges should have far more even edge
+  // counts than vertex-balanced ones.
+  EdgeList el = GenerateRmat(RmatParams::Graph500(12, 16, 3));
+  el.Deduplicate();
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  constexpr int kParts = 8;
+  Partition1D edge_bal = Partition1D::EdgeBalanced(g, kParts);
+  Partition1D vert_bal = Partition1D::VertexBalanced(g.num_vertices(), kParts);
+
+  auto max_edges = [&](const Partition1D& p) {
+    EdgeId worst = 0;
+    for (int i = 0; i < kParts; ++i) {
+      EdgeId count = 0;
+      for (VertexId v = p.Begin(i); v < p.End(i); ++v) count += g.OutDegree(v);
+      worst = std::max(worst, count);
+    }
+    return worst;
+  };
+  EdgeId ideal = g.num_edges() / kParts;
+  EXPECT_LE(max_edges(edge_bal), ideal * 2);
+  // Edge balancing should not be worse than vertex balancing.
+  EXPECT_LE(max_edges(edge_bal), max_edges(vert_bal) + ideal);
+}
+
+TEST(Partition1DTest, EdgeBalancedFromOffsetsMatchesGraphVariant) {
+  EdgeList el = GenerateRmat(RmatParams::Graph500(10, 8, 5));
+  el.Deduplicate();
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  Partition1D a = Partition1D::EdgeBalanced(g, 4);
+  Partition1D b = Partition1D::EdgeBalancedFromOffsets(g.out_offsets(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.Begin(i), b.Begin(i));
+    EXPECT_EQ(a.End(i), b.End(i));
+  }
+}
+
+TEST(Grid2DTest, SquareGrids) {
+  Grid2D g1 = Grid2D::ForRanks(1);
+  EXPECT_EQ(g1.side, 1);
+  Grid2D g16 = Grid2D::ForRanks(16);
+  EXPECT_EQ(g16.side, 4);
+  EXPECT_EQ(g16.RankOf(2, 3), 11);
+  EXPECT_EQ(g16.RowOf(11), 2);
+  EXPECT_EQ(g16.ColOf(11), 3);
+}
+
+}  // namespace
+}  // namespace maze::rt

@@ -1,0 +1,235 @@
+// Cross-cutting property tests: invariants that must hold for every engine on
+// randomized inputs — not specific outputs, but relationships (BFS edge
+// conditions, PageRank mass bounds, CSR inverse consistency, codec round-trips
+// under fuzzed densities, simulation-time monotonicity).
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bench_support/runner.h"
+#include "core/degree.h"
+#include "core/graph.h"
+#include "core/rmat.h"
+#include "native/reference.h"
+#include "tests/test_graphs.h"
+#include "util/prng.h"
+
+namespace maze {
+namespace {
+
+// --- Graph structural properties -----------------------------------------------
+
+class GraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphPropertyTest, InAndOutAdjacencyAreInverse) {
+  EdgeList el = GenerateRmat(RmatParams::Graph500(9, 6, GetParam()));
+  el.Deduplicate();
+  Graph g = Graph::FromEdges(el);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      auto in = g.InNeighbors(v);
+      ASSERT_TRUE(std::binary_search(in.begin(), in.end(), u))
+          << "edge " << u << "->" << v << " missing from in-CSR";
+    }
+  }
+  EdgeId in_total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) in_total += g.InDegree(v);
+  EXPECT_EQ(in_total, g.num_edges());
+}
+
+TEST_P(GraphPropertyTest, SymmetrizedGraphIsSymmetric) {
+  EdgeList el = GenerateRmat(RmatParams::Graph500(9, 6, GetParam()));
+  el.Symmetrize();
+  Graph g = Graph::FromEdges(el, GraphDirections::kBoth);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      auto back = g.OutNeighbors(v);
+      ASSERT_TRUE(std::binary_search(back.begin(), back.end(), u));
+    }
+  }
+}
+
+TEST_P(GraphPropertyTest, OrientationHalvesSymmetricEdges) {
+  EdgeList sym = GenerateRmat(RmatParams::Graph500(9, 6, GetParam()));
+  sym.Symmetrize();
+  EdgeList oriented = sym;
+  oriented.OrientBySmallerId();
+  EXPECT_EQ(oriented.edges.size() * 2, sym.edges.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPropertyTest,
+                         ::testing::Values(1, 17, 33, 49, 65));
+
+// --- BFS properties --------------------------------------------------------------
+
+class BfsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BfsPropertyTest, DistancesDifferByAtMostOneAcrossEdges) {
+  EdgeList el = testgraphs::SmallRmatUndirected(9, 6, GetParam());
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  auto dist = native::ReferenceBfs(g, 0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (dist[u] == kInfiniteDistance) continue;
+    for (VertexId v : g.OutNeighbors(u)) {
+      ASSERT_NE(dist[v], kInfiniteDistance)
+          << "neighbor of reached vertex unreached";
+      ASSERT_LE(dist[v], dist[u] + 1);
+      ASSERT_LE(dist[u], dist[v] + 1);
+    }
+  }
+}
+
+TEST_P(BfsPropertyTest, EveryEngineSatisfiesTheEdgeCondition) {
+  EdgeList el = testgraphs::SmallRmatUndirected(8, 4, GetParam());
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  for (bench::EngineKind engine : bench::AllEngines()) {
+    bench::RunConfig config;
+    auto result = bench::RunBfs(engine, el, rt::BfsOptions{0}, config);
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      if (result.distance[u] == kInfiniteDistance) continue;
+      for (VertexId v : g.OutNeighbors(u)) {
+        ASSERT_LE(result.distance[v], result.distance[u] + 1)
+            << bench::EngineName(engine);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsPropertyTest, ::testing::Values(2, 22, 42));
+
+// --- PageRank properties -----------------------------------------------------------
+
+class PageRankPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageRankPropertyTest, RanksBoundedBelowByJump) {
+  Graph g = Graph::FromEdges(testgraphs::SmallRmat(9, 6, GetParam()));
+  auto pr = native::ReferencePageRank(g, 8, 0.3);
+  for (double r : pr) ASSERT_GE(r, 0.3 - 1e-12);
+}
+
+TEST_P(PageRankPropertyTest, TotalMassIsConservedUpToDanglingLoss) {
+  // Unnormalized formulation: sum(PR) <= jump*n + (1-jump)*sum(prev PR); with
+  // no dangling vertices this is an equality at the fixpoint scale.
+  Graph g = Graph::FromEdges(testgraphs::SmallRmat(9, 6, GetParam()));
+  const VertexId n = g.num_vertices();
+  auto pr1 = native::ReferencePageRank(g, 1, 0.3);
+  double sum1 = 0;
+  for (double r : pr1) sum1 += r;
+  // After one iteration from PR=1: sum <= 0.3n + 0.7n = n.
+  EXPECT_LE(sum1, static_cast<double>(n) + 1e-6);
+  EXPECT_GE(sum1, 0.3 * static_cast<double>(n) - 1e-6);
+}
+
+TEST_P(PageRankPropertyTest, IterationIsMonotoneInInfluence) {
+  // A vertex with strictly more in-edges from identical sources ranks higher.
+  EdgeList el;
+  el.num_vertices = 5;
+  // Sources 0, 1 point at 3; sources 0, 1, 2 point at 4.
+  el.edges = {{0, 3}, {1, 3}, {0, 4}, {1, 4}, {2, 4}};
+  Graph g = Graph::FromEdges(el);
+  auto pr = native::ReferencePageRank(g, static_cast<int>(GetParam() % 5) + 1,
+                                      0.3);
+  EXPECT_GT(pr[4], pr[3]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageRankPropertyTest,
+                         ::testing::Values(3, 23, 43));
+
+// --- Triangle counting properties ---------------------------------------------------
+
+TEST(TrianglePropertyTest, CountIsOrientationInvariant) {
+  // Counting on the oriented graph equals brute force on the symmetric graph,
+  // across several random graphs.
+  for (uint64_t seed : {4u, 24u, 44u}) {
+    EdgeList base = testgraphs::SmallRmat(8, 4, seed);
+    EdgeList sym = base;
+    sym.Symmetrize();
+    Graph gsym = Graph::FromEdges(sym, GraphDirections::kOutOnly);
+    EdgeList oriented = base;
+    oriented.OrientBySmallerId();
+    Graph g = Graph::FromEdges(oriented, GraphDirections::kOutOnly);
+    EXPECT_EQ(native::ReferenceTriangleCount(g),
+              native::BruteForceTriangleCount(gsym))
+        << "seed " << seed;
+  }
+}
+
+TEST(TrianglePropertyTest, AddingAnEdgeNeverDecreasesTriangles) {
+  EdgeList el = testgraphs::SmallRmatOriented(8, 4, 7);
+  Graph g1 = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  uint64_t before = native::ReferenceTriangleCount(g1);
+  // Close one wedge explicitly: find u -> v, v -> w without u -> w.
+  bool added = false;
+  for (VertexId u = 0; u < g1.num_vertices() && !added; ++u) {
+    for (VertexId v : g1.OutNeighbors(u)) {
+      for (VertexId w : g1.OutNeighbors(v)) {
+        auto nu = g1.OutNeighbors(u);
+        if (!std::binary_search(nu.begin(), nu.end(), w)) {
+          el.edges.push_back({u, w});
+          added = true;
+          break;
+        }
+      }
+      if (added) break;
+    }
+  }
+  ASSERT_TRUE(added);
+  Graph g2 = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  EXPECT_GT(native::ReferenceTriangleCount(g2), before);
+}
+
+// --- Simulation properties ------------------------------------------------------------
+
+TEST(SimulationPropertyTest, SlowerFabricNeverSpeedsUpNetworkBoundRuns) {
+  EdgeList el = testgraphs::SmallRmat(10, 8, 5);
+  rt::PageRankOptions opt;
+  opt.iterations = 3;
+  double prev = 0;
+  for (const rt::CommModel& comm :
+       {rt::CommModel::Mpi(), rt::CommModel::MultiSocket(),
+        rt::CommModel::Socket(), rt::CommModel::Netty()}) {
+    bench::RunConfig config;
+    config.num_ranks = 8;
+    config.comm_override = comm;
+    auto r = bench::RunPageRank(bench::EngineKind::kNative, el, opt, config);
+    // Wire-time component must be monotone in the fabric; compute is measured
+    // and noisy, so compare the modeled lower bound: bytes / bandwidth.
+    double wire = static_cast<double>(r.metrics.bytes_sent) /
+                  comm.bandwidth_bytes_per_sec;
+    EXPECT_GE(wire + 1e-12, prev);
+    prev = wire;
+  }
+}
+
+TEST(SimulationPropertyTest, MoreRanksSendMoreBytes) {
+  EdgeList el = testgraphs::SmallRmat(10, 8, 5);
+  rt::PageRankOptions opt;
+  opt.iterations = 3;
+  uint64_t prev = 0;
+  for (int ranks : {2, 4, 8, 16}) {
+    bench::RunConfig config;
+    config.num_ranks = ranks;
+    auto r = bench::RunPageRank(bench::EngineKind::kNative, el, opt, config);
+    EXPECT_GE(r.metrics.bytes_sent, prev) << ranks;
+    prev = r.metrics.bytes_sent;
+  }
+}
+
+// --- Generator properties -----------------------------------------------------------
+
+TEST(GeneratorPropertyTest, DegreeSkewGrowsWithRmatA) {
+  double prev_share = 0;
+  for (double a : {0.30, 0.45, 0.57, 0.65}) {
+    RmatParams params{13, 16, a, (1.0 - a) / 3, (1.0 - a) / 3, 11, true};
+    EdgeList el = GenerateRmat(params);
+    el.Deduplicate();
+    Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+    DegreeStats stats = ComputeOutDegreeStats(g);
+    EXPECT_GT(stats.top1pct_edge_share, prev_share) << "a=" << a;
+    prev_share = stats.top1pct_edge_share;
+  }
+}
+
+}  // namespace
+}  // namespace maze

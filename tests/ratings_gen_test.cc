@@ -1,0 +1,110 @@
+#include "core/ratings_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace maze {
+namespace {
+
+TEST(RatingsGenTest, RespectsShapeParameters) {
+  RatingsParams params;
+  params.scale = 12;
+  params.edge_factor = 8;
+  params.num_items = 256;
+  RatingsDataset ds = GenerateRatings(params);
+  EXPECT_GT(ds.num_users, 0u);
+  EXPECT_EQ(ds.num_items, 256u);
+  EXPECT_GT(ds.ratings.size(), 0u);
+  for (const Rating& r : ds.ratings) {
+    ASSERT_LT(r.user, ds.num_users);
+    ASSERT_LT(r.item, ds.num_items);
+    ASSERT_GE(r.value, 1.0f);
+    ASSERT_LE(r.value, 5.0f);
+  }
+}
+
+TEST(RatingsGenTest, MinimumUserDegreeEnforced) {
+  RatingsParams params;
+  params.scale = 12;
+  params.edge_factor = 8;
+  params.num_items = 128;
+  params.min_user_degree = 5;
+  RatingsDataset ds = GenerateRatings(params);
+  std::vector<uint32_t> degree(ds.num_users, 0);
+  for (const Rating& r : ds.ratings) ++degree[r.user];
+  for (VertexId u = 0; u < ds.num_users; ++u) {
+    // The filter runs before folding collapses duplicates, so post-fold degree
+    // can dip slightly below the threshold, but never to (near) zero.
+    ASSERT_GE(degree[u], 1u) << "user " << u;
+  }
+}
+
+TEST(RatingsGenTest, DeterministicForSeed) {
+  RatingsParams params;
+  params.scale = 11;
+  params.num_items = 64;
+  RatingsDataset a = GenerateRatings(params);
+  RatingsDataset b = GenerateRatings(params);
+  ASSERT_EQ(a.ratings.size(), b.ratings.size());
+  for (size_t i = 0; i < a.ratings.size(); ++i) {
+    ASSERT_EQ(a.ratings[i].user, b.ratings[i].user);
+    ASSERT_EQ(a.ratings[i].item, b.ratings[i].item);
+    ASSERT_EQ(a.ratings[i].value, b.ratings[i].value);
+  }
+}
+
+TEST(RatingsGenTest, NoDuplicateUserItemPairs) {
+  RatingsParams params;
+  params.scale = 11;
+  params.num_items = 64;
+  RatingsDataset ds = GenerateRatings(params);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(ds.ratings.size());
+  for (const Rating& r : ds.ratings) pairs.emplace_back(r.user, r.item);
+  std::sort(pairs.begin(), pairs.end());
+  EXPECT_EQ(std::adjacent_find(pairs.begin(), pairs.end()), pairs.end());
+}
+
+TEST(RatingsGenTest, ItemPopularityIsSkewed) {
+  // The folded power-law construction should leave item popularity skewed like
+  // Netflix: a few blockbuster items collect a disproportionate rating share.
+  RatingsParams params;
+  params.scale = 14;
+  params.edge_factor = 8;
+  params.num_items = 512;
+  RatingsDataset ds = GenerateRatings(params);
+  std::vector<uint64_t> item_count(ds.num_items, 0);
+  for (const Rating& r : ds.ratings) ++item_count[r.item];
+  std::sort(item_count.begin(), item_count.end(), std::greater<>());
+  uint64_t top_5pct = 0;
+  for (size_t i = 0; i < item_count.size() / 20; ++i) top_5pct += item_count[i];
+  double share = static_cast<double>(top_5pct) /
+                 static_cast<double>(ds.ratings.size());
+  EXPECT_GT(share, 0.15);
+}
+
+TEST(RatingsGenTest, StarDistributionCentersNearNetflixMean) {
+  RatingsParams params;
+  params.scale = 13;
+  params.num_items = 256;
+  RatingsDataset ds = GenerateRatings(params);
+  double sum = 0;
+  for (const Rating& r : ds.ratings) sum += r.value;
+  double mean = sum / static_cast<double>(ds.ratings.size());
+  // Netflix's mean rating is ~3.6.
+  EXPECT_GT(mean, 3.2);
+  EXPECT_LT(mean, 4.0);
+}
+
+TEST(RatingsGenTest, ToGraphBuildsConsistentBipartite) {
+  RatingsParams params;
+  params.scale = 10;
+  params.num_items = 64;
+  RatingsDataset ds = GenerateRatings(params);
+  BipartiteGraph g = ds.ToGraph();
+  EXPECT_EQ(g.num_ratings(), ds.ratings.size());
+  EXPECT_EQ(g.num_users(), ds.num_users);
+  EXPECT_EQ(g.num_items(), ds.num_items);
+}
+
+}  // namespace
+}  // namespace maze

@@ -1,0 +1,126 @@
+#include "rt/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace maze::rt {
+namespace {
+
+TEST(CommModelTest, TransferTimeComposesBandwidthAndLatency) {
+  CommModel m{"test", 1e9, 1e-5};
+  // 1 GB at 1 GB/s + 10 messages at 10us each.
+  EXPECT_NEAR(m.TransferSeconds(1'000'000'000, 10), 1.0 + 1e-4, 1e-9);
+}
+
+TEST(CommModelTest, ProfilesAreOrderedLikeThePaper) {
+  // Figure 6: MPI > multi-socket > socket > netty in achievable bandwidth.
+  EXPECT_GT(CommModel::Mpi().bandwidth_bytes_per_sec,
+            CommModel::MultiSocket().bandwidth_bytes_per_sec);
+  EXPECT_GT(CommModel::MultiSocket().bandwidth_bytes_per_sec,
+            CommModel::Socket().bandwidth_bytes_per_sec);
+  EXPECT_GT(CommModel::Socket().bandwidth_bytes_per_sec,
+            CommModel::Netty().bandwidth_bytes_per_sec);
+}
+
+TEST(SimClockTest, SingleRankNoCommCountsComputeOnly) {
+  SimClock clock(1, CommModel::Mpi());
+  clock.RecordCompute(0, 0.5);
+  clock.EndStep();
+  EXPECT_DOUBLE_EQ(clock.elapsed_seconds(), 0.5);
+}
+
+TEST(SimClockTest, StepTimeIsMaxOverRanks) {
+  SimClock clock(3, CommModel::Mpi());
+  clock.RecordCompute(0, 0.1);
+  clock.RecordCompute(1, 0.7);
+  clock.RecordCompute(2, 0.3);
+  clock.EndStep();
+  EXPECT_DOUBLE_EQ(clock.elapsed_seconds(), 0.7);
+}
+
+TEST(SimClockTest, CommChargedWithoutOverlap) {
+  CommModel m{"test", 1e9, 0.0};
+  SimClock clock(2, m);
+  clock.RecordCompute(0, 0.2);
+  clock.RecordSend(0, 1, 500'000'000);  // 0.5 s wire time.
+  clock.EndStep(/*overlap_comm=*/false);
+  EXPECT_NEAR(clock.elapsed_seconds(), 0.7, 1e-9);
+}
+
+TEST(SimClockTest, OverlapTakesMaxOfComputeAndComm) {
+  CommModel m{"test", 1e9, 0.0};
+  SimClock clock(2, m);
+  clock.RecordCompute(0, 0.2);
+  clock.RecordSend(0, 1, 500'000'000);
+  clock.EndStep(/*overlap_comm=*/true);
+  EXPECT_NEAR(clock.elapsed_seconds(), 0.5, 1e-9);
+}
+
+TEST(SimClockTest, SameRankTrafficIsFree) {
+  SimClock clock(2, CommModel::Netty());
+  clock.RecordSend(1, 1, 1'000'000'000, 100);
+  clock.EndStep();
+  EXPECT_DOUBLE_EQ(clock.elapsed_seconds(), 0.0);
+  RunMetrics metrics = clock.Finish();
+  EXPECT_EQ(metrics.bytes_sent, 0u);
+}
+
+TEST(SimClockTest, ComputeScaleModelsWorkerCaps) {
+  SimClock clock(1, CommModel::Mpi());
+  clock.RecordCompute(0, 0.1, /*scale=*/6.0);  // 4-of-24-workers handicap.
+  clock.EndStep();
+  EXPECT_NEAR(clock.elapsed_seconds(), 0.6, 1e-12);
+}
+
+TEST(SimClockTest, MetricsAggregateAcrossSteps) {
+  CommModel m{"test", 1e9, 0.0};
+  SimClock clock(2, m);
+  for (int step = 0; step < 3; ++step) {
+    clock.RecordCompute(0, 0.1);
+    clock.RecordCompute(1, 0.1);
+    clock.RecordSend(0, 1, 1'000'000, 2);
+    clock.EndStep();
+  }
+  RunMetrics metrics = clock.Finish();
+  EXPECT_EQ(metrics.bytes_sent, 3'000'000u);
+  EXPECT_EQ(metrics.messages_sent, 6u);
+  EXPECT_NEAR(metrics.total_compute_seconds, 0.6, 1e-9);
+  EXPECT_GT(metrics.peak_network_bw, 0.0);
+}
+
+TEST(SimClockTest, PeakBandwidthReflectsLatencyBoundTraffic) {
+  // Many small messages: achieved bandwidth collapses far below the line rate,
+  // exactly the Giraph symptom of Figure 6.
+  CommModel m{"test", 1e9, 1e-3};
+  SimClock big(2, m);
+  big.RecordSend(0, 1, 100'000'000, 1);
+  big.EndStep();
+  double bw_large = big.Finish().peak_network_bw;
+
+  SimClock small(2, m);
+  for (int i = 0; i < 1000; ++i) small.RecordSend(0, 1, 1'000, 1);
+  small.EndStep();
+  double bw_small = small.Finish().peak_network_bw;
+  EXPECT_GT(bw_large, 10 * bw_small);
+}
+
+TEST(SimClockTest, CpuUtilizationComputedFromBusyFraction) {
+  CommModel m{"test", 1e9, 0.0};
+  SimClock clock(2, m);
+  clock.RecordCompute(0, 1.0);
+  clock.RecordCompute(1, 1.0);
+  clock.EndStep();
+  RunMetrics metrics = clock.Finish(/*intra_rank_utilization=*/0.5);
+  // busy = 2.0 over 2 ranks x 1.0 s elapsed -> 1.0, scaled by 0.5.
+  EXPECT_NEAR(metrics.cpu_utilization, 0.5, 1e-9);
+}
+
+TEST(SimClockTest, MemoryPeakKeepsMax) {
+  SimClock clock(2, CommModel::Mpi());
+  clock.RecordMemory(0, 100);
+  clock.RecordMemory(1, 500);
+  clock.RecordMemory(0, 300);
+  EXPECT_EQ(clock.Finish().memory_peak_bytes, 500u);
+}
+
+}  // namespace
+}  // namespace maze::rt

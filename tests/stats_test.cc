@@ -1,0 +1,52 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace maze {
+namespace {
+
+TEST(StatsTest, GeometricMeanBasics) {
+  EXPECT_DOUBLE_EQ(GeometricMean({4.0}), 4.0);
+  EXPECT_NEAR(GeometricMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(GeometricMean({2.0, 8.0, 4.0}), 4.0, 1e-12);
+  EXPECT_EQ(GeometricMean({}), 0.0);
+}
+
+TEST(StatsTest, GeometricMeanMatchesPaperStyleAggregation) {
+  // Slowdowns {1.9, 2.0, 3.6} -> geomean ~ 2.39: the Tables 5/6 aggregation.
+  double gm = GeometricMean({1.9, 2.0, 3.6});
+  EXPECT_NEAR(gm, std::pow(1.9 * 2.0 * 3.6, 1.0 / 3.0), 1e-12);
+}
+
+TEST(StatsTest, ArithmeticMean) {
+  EXPECT_DOUBLE_EQ(ArithmeticMean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(ArithmeticMean({}), 0.0);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> vals = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(Percentile(vals, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(vals, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(vals, 100), 5.0);
+}
+
+TEST(StatsTest, PowerLawExponentRecoversSlope) {
+  // Build an exact power-law histogram: count(d) = C * d^-2.5.
+  std::vector<uint64_t> histogram(1000, 0);
+  for (size_t d = 1; d < histogram.size(); ++d) {
+    histogram[d] = static_cast<uint64_t>(1e9 * std::pow(d, -2.5));
+  }
+  double alpha = PowerLawExponent(histogram);
+  EXPECT_NEAR(alpha, 2.5, 0.2);
+}
+
+TEST(StatsTest, PowerLawExponentDegenerateInputs) {
+  EXPECT_EQ(PowerLawExponent({}), 0.0);
+  EXPECT_EQ(PowerLawExponent({0, 5}), 0.0);       // Single bucket.
+  EXPECT_EQ(PowerLawExponent({0, 0, 0, 0}), 0.0);  // All empty.
+}
+
+}  // namespace
+}  // namespace maze

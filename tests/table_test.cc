@@ -1,0 +1,45 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace maze {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  TextTable t("Demo");
+  t.SetHeader({"algo", "time"});
+  t.AddRow({"bfs", "1.5"});
+  t.AddRow({"pagerank", "2.25"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("algo"), std::string::npos);
+  EXPECT_NE(out.find("pagerank"), std::string::npos);
+  EXPECT_NE(out.find("2.25"), std::string::npos);
+}
+
+TEST(TableTest, HandlesRaggedRows) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  t.AddRow({"1", "2", "3", "4"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find('4'), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  TextTable t;
+  t.SetHeader({"x", "y"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.RenderCsv(), "x,y\n1,2\n");
+}
+
+TEST(FormatDoubleTest, FixedAndScientific) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(0.0, 2), "0.00");
+  // Very large and very small magnitudes switch to %g.
+  EXPECT_NE(FormatDouble(1.5e9, 3).find("e"), std::string::npos);
+  EXPECT_NE(FormatDouble(2.5e-7, 3).find("e"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maze

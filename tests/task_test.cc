@@ -1,0 +1,105 @@
+#include "task/algorithms.h"
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "native/cf.h"
+#include "native/reference.h"
+#include "task/worklist.h"
+#include "tests/test_graphs.h"
+
+namespace maze::task {
+namespace {
+
+using testgraphs::SmallRmat;
+using testgraphs::SmallRmatOriented;
+using testgraphs::SmallRmatUndirected;
+
+// --- Worklist -------------------------------------------------------------------
+
+TEST(WorklistTest, AdvanceSwapsLevels) {
+  Worklist<int> wl({1, 2});
+  EXPECT_EQ(wl.CurrentSize(), 2u);
+  wl.Push(3);
+  wl.PushBatch({4, 5});
+  ASSERT_TRUE(wl.Advance());
+  EXPECT_EQ(wl.CurrentSize(), 3u);
+  ASSERT_FALSE(wl.Advance());
+  EXPECT_TRUE(wl.Empty());
+}
+
+TEST(WorklistTest, BulkSyncExecuteCountsLevels) {
+  // Chain: item i pushes i+1 until 5.
+  Worklist<int> wl({0});
+  std::atomic<int> visited{0};
+  int levels = BulkSyncExecute<int>(&wl, [&](const int& item,
+                                             std::vector<int>* pushed) {
+    visited.fetch_add(1);
+    if (item < 5) pushed->push_back(item + 1);
+  });
+  EXPECT_EQ(levels, 6);
+  EXPECT_EQ(visited.load(), 6);
+}
+
+TEST(WorklistTest, ParallelPushesAllArrive) {
+  std::vector<int> seed(1000);
+  for (int i = 0; i < 1000; ++i) seed[i] = i;
+  Worklist<int> wl(std::move(seed));
+  std::atomic<int> second_level{0};
+  int round = 0;
+  BulkSyncExecute<int>(&wl, [&](const int& item, std::vector<int>* pushed) {
+    if (item >= 0 && round == 0) pushed->push_back(-item - 1);
+    if (item < 0) second_level.fetch_add(1);
+  });
+  EXPECT_EQ(second_level.load(), 1000);
+  (void)round;
+}
+
+// --- Algorithms -----------------------------------------------------------------
+
+TEST(TaskflowPageRankTest, MatchesReference) {
+  Graph g = Graph::FromEdges(SmallRmat(), GraphDirections::kBoth);
+  rt::PageRankOptions opt;
+  opt.iterations = 5;
+  auto result = PageRank(g, opt, rt::EngineConfig{});
+  auto expected = native::ReferencePageRank(g, 5, opt.jump);
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result.ranks[v], expected[v], 1e-9) << v;
+  }
+}
+
+TEST(TaskflowBfsTest, MatchesReference) {
+  Graph g = Graph::FromEdges(SmallRmatUndirected(), GraphDirections::kOutOnly);
+  auto result = Bfs(g, rt::BfsOptions{0}, rt::EngineConfig{});
+  EXPECT_EQ(result.distance, native::ReferenceBfs(g, 0));
+  EXPECT_GT(result.levels, 1);
+}
+
+TEST(TaskflowTriangleTest, MatchesReference) {
+  Graph g = Graph::FromEdges(SmallRmatOriented(), GraphDirections::kOutOnly);
+  auto result = TriangleCount(g, {}, rt::EngineConfig{});
+  EXPECT_EQ(result.triangles, native::ReferenceTriangleCount(g));
+}
+
+TEST(TaskflowCfTest, SgdConverges) {
+  BipartiteGraph g = testgraphs::SmallRatings().ToGraph();
+  rt::CfOptions opt;
+  opt.method = rt::CfMethod::kSgd;
+  opt.k = 8;
+  opt.iterations = 5;
+  opt.learning_rate = 0.01;
+  auto result = CollaborativeFiltering(g, opt, rt::EngineConfig{});
+  EXPECT_LT(result.final_rmse, result.rmse_per_iteration.front());
+}
+
+TEST(TaskflowTest, NoNetworkTraffic) {
+  Graph g = Graph::FromEdges(SmallRmat(9), GraphDirections::kBoth);
+  rt::PageRankOptions opt;
+  opt.iterations = 2;
+  auto result = PageRank(g, opt, rt::EngineConfig{});
+  EXPECT_EQ(result.metrics.bytes_sent, 0u);  // Single node only.
+}
+
+}  // namespace
+}  // namespace maze::task

@@ -1,0 +1,59 @@
+// Shared graph fixtures for engine tests: every engine (native, vertexlab,
+// matblas, datalite, taskflow, bspgraph) is validated on the same inputs against
+// the serial reference implementations.
+#ifndef MAZE_TESTS_TEST_GRAPHS_H_
+#define MAZE_TESTS_TEST_GRAPHS_H_
+
+#include "core/edge_list.h"
+#include "core/graph.h"
+#include "core/ratings_gen.h"
+#include "core/rmat.h"
+
+namespace maze::testgraphs {
+
+// Figure 2's directed 4-vertex graph.
+inline EdgeList Figure2() {
+  EdgeList el;
+  el.num_vertices = 4;
+  el.edges = {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}};
+  return el;
+}
+
+// Small deterministic RMAT digraph (deduplicated), for PageRank-style tests.
+inline EdgeList SmallRmat(int scale = 10, int edge_factor = 8,
+                          uint64_t seed = 5) {
+  EdgeList el = GenerateRmat(RmatParams::Graph500(scale, edge_factor, seed));
+  el.Deduplicate();
+  return el;
+}
+
+// Same graph symmetrized, for BFS (undirected usage).
+inline EdgeList SmallRmatUndirected(int scale = 10, int edge_factor = 8,
+                                    uint64_t seed = 5) {
+  EdgeList el = SmallRmat(scale, edge_factor, seed);
+  el.Symmetrize();
+  return el;
+}
+
+// Oriented (src < dst) triangle-counting input per §4.1.2.
+inline EdgeList SmallRmatOriented(int scale = 10, int edge_factor = 8,
+                                  uint64_t seed = 5) {
+  EdgeList el = GenerateRmat(RmatParams::TriangleCounting(scale, edge_factor,
+                                                          seed));
+  el.OrientBySmallerId();
+  return el;
+}
+
+// Small ratings dataset for CF tests.
+inline RatingsDataset SmallRatings(int scale = 10, uint64_t seed = 5) {
+  RatingsParams params;
+  params.scale = scale;
+  params.edge_factor = 8;
+  params.num_items = 128;
+  params.seed = seed;
+  return GenerateRatings(params);
+}
+
+}  // namespace maze::testgraphs
+
+#endif  // MAZE_TESTS_TEST_GRAPHS_H_

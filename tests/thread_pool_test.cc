@@ -1,0 +1,89 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace maze {
+namespace {
+
+TEST(ThreadPoolTest, CoversEntireRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr uint64_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, 128, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, 16, [&](uint64_t, uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(10, 100, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(1000, 10, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) sum.fetch_add(1);
+  });
+  EXPECT_EQ(sum.load(), 1000u);
+}
+
+TEST(ThreadPoolTest, ReentrantCallExecutesInline) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  pool.ParallelFor(8, 1, [&](uint64_t, uint64_t) {
+    // Nested call from a worker must not deadlock.
+    pool.ParallelFor(100, 10, [&](uint64_t lo, uint64_t hi) {
+      total.fetch_add(hi - lo);
+    });
+  });
+  EXPECT_EQ(total.load(), 800u);
+}
+
+TEST(ThreadPoolTest, SequentialLoopsReuseWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<uint64_t> count{0};
+    pool.ParallelFor(1000, 16, [&](uint64_t lo, uint64_t hi) {
+      count.fetch_add(hi - lo);
+    });
+    ASSERT_EQ(count.load(), 1000u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEachVisitsAll) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(5000);
+  pool.ParallelForEach(hits.size(), [&](uint64_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsUsable) {
+  std::atomic<uint64_t> sum{0};
+  ParallelFor(10000, 64, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) sum.fetch_add(1);
+  });
+  EXPECT_EQ(sum.load(), 10000u);
+  EXPECT_GE(ThreadPool::Default().num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace maze

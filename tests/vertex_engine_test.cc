@@ -1,0 +1,123 @@
+#include "vertex/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "native/cf.h"
+#include "native/reference.h"
+#include "tests/test_graphs.h"
+#include "vertex/engine.h"
+
+namespace maze::vertex {
+namespace {
+
+using testgraphs::SmallRmat;
+using testgraphs::SmallRmatOriented;
+using testgraphs::SmallRmatUndirected;
+
+rt::EngineConfig Config(int ranks = 1) {
+  rt::EngineConfig config;
+  config.num_ranks = ranks;
+  config.comm = DefaultComm();
+  return config;
+}
+
+TEST(VertexlabPageRankTest, MatchesReference) {
+  Graph g = Graph::FromEdges(SmallRmat(), GraphDirections::kBoth);
+  rt::PageRankOptions opt;
+  opt.iterations = 5;
+  auto result = PageRank(g, opt, Config());
+  auto expected = native::ReferencePageRank(g, 5, opt.jump);
+  ASSERT_EQ(result.ranks.size(), expected.size());
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result.ranks[v], expected[v], 1e-9) << "vertex " << v;
+  }
+}
+
+class VertexlabRanksTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VertexlabRanksTest, PageRankInvariantToRankCount) {
+  Graph g = Graph::FromEdges(SmallRmat(9), GraphDirections::kBoth);
+  rt::PageRankOptions opt;
+  opt.iterations = 3;
+  auto result = PageRank(g, opt, Config(GetParam()));
+  auto expected = native::ReferencePageRank(g, 3, opt.jump);
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result.ranks[v], expected[v], 1e-9);
+  }
+  if (GetParam() > 1) EXPECT_GT(result.metrics.bytes_sent, 0u);
+}
+
+TEST_P(VertexlabRanksTest, BfsMatchesReference) {
+  Graph g = Graph::FromEdges(SmallRmatUndirected(9), GraphDirections::kOutOnly);
+  auto result = Bfs(g, rt::BfsOptions{0}, Config(GetParam()));
+  EXPECT_EQ(result.distance, native::ReferenceBfs(g, 0));
+}
+
+TEST_P(VertexlabRanksTest, TriangleCountMatchesReference) {
+  Graph g = Graph::FromEdges(SmallRmatOriented(9), GraphDirections::kOutOnly);
+  auto result = TriangleCount(g, {}, Config(GetParam()));
+  EXPECT_EQ(result.triangles, native::ReferenceTriangleCount(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, VertexlabRanksTest, ::testing::Values(1, 2, 4));
+
+TEST(VertexlabCfTest, GdMatchesNativeGd) {
+  BipartiteGraph g = testgraphs::SmallRatings(9).ToGraph();
+  rt::CfOptions opt;
+  opt.method = rt::CfMethod::kGd;
+  opt.k = 4;
+  opt.iterations = 3;
+  opt.step_decay = 1.0;  // vertexlab keeps gamma fixed; align native.
+  auto vl = CollaborativeFiltering(g, opt, Config());
+  auto nat = native::CollaborativeFiltering(g, opt, rt::EngineConfig{});
+  ASSERT_EQ(vl.user_factors.size(), nat.user_factors.size());
+  for (size_t i = 0; i < nat.user_factors.size(); ++i) {
+    ASSERT_NEAR(vl.user_factors[i], nat.user_factors[i], 1e-9) << i;
+  }
+  for (size_t i = 0; i < nat.item_factors.size(); ++i) {
+    ASSERT_NEAR(vl.item_factors[i], nat.item_factors[i], 1e-9) << i;
+  }
+}
+
+TEST(VertexlabEngineTest, MessageCombiningReducesTraffic) {
+  // PageRank messages are combinable: traffic must be bounded by one value per
+  // (vertex, rank) pair, far below one value per edge.
+  Graph g = Graph::FromEdges(SmallRmat(11, 16), GraphDirections::kBoth);
+  rt::PageRankOptions opt;
+  opt.iterations = 2;
+  auto result = PageRank(g, opt, Config(2));
+  uint64_t per_edge_bytes =
+      static_cast<uint64_t>(g.num_edges()) * 12 * opt.iterations;
+  EXPECT_LT(result.metrics.bytes_sent, per_edge_bytes);
+}
+
+TEST(VertexlabEngineTest, UsesSocketCommProfile) {
+  EXPECT_EQ(DefaultComm().name, "socket");
+}
+
+TEST(VertexlabEngineTest, BfsSparseActivityTerminates) {
+  // A graph with an isolated component: the engine must stop once no messages
+  // flow, well before the max-superstep bound.
+  EdgeList el;
+  el.num_vertices = 6;
+  el.edges = {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {4, 5}, {5, 4}};
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  auto result = Bfs(g, rt::BfsOptions{0}, Config());
+  EXPECT_EQ(result.distance[2], 2u);
+  EXPECT_EQ(result.distance[4], kInfiniteDistance);
+  EXPECT_LT(result.levels, 6);
+}
+
+TEST(VertexlabEngineTest, MetricsPopulated) {
+  Graph g = Graph::FromEdges(SmallRmat(9), GraphDirections::kBoth);
+  rt::PageRankOptions opt;
+  opt.iterations = 2;
+  auto result = PageRank(g, opt, Config(4));
+  EXPECT_GT(result.metrics.elapsed_seconds, 0.0);
+  EXPECT_GT(result.metrics.memory_peak_bytes, 0u);
+  EXPECT_GT(result.metrics.cpu_utilization, 0.0);
+  EXPECT_LE(result.metrics.cpu_utilization, 1.0);
+}
+
+}  // namespace
+}  // namespace maze::vertex
