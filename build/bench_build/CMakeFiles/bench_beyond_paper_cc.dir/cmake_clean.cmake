@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_beyond_paper_cc"
+  "../bench/bench_beyond_paper_cc.pdb"
+  "CMakeFiles/bench_beyond_paper_cc.dir/bench_beyond_paper_cc.cc.o"
+  "CMakeFiles/bench_beyond_paper_cc.dir/bench_beyond_paper_cc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_beyond_paper_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_table5_single_node"
+  "../bench/bench_fig3_table5_single_node.pdb"
+  "CMakeFiles/bench_fig3_table5_single_node.dir/bench_fig3_table5_single_node.cc.o"
+  "CMakeFiles/bench_fig3_table5_single_node.dir/bench_fig3_table5_single_node.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_table5_single_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_large_real"
+  "../bench/bench_fig5_large_real.pdb"
+  "CMakeFiles/bench_fig5_large_real.dir/bench_fig5_large_real.cc.o"
+  "CMakeFiles/bench_fig5_large_real.dir/bench_fig5_large_real.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_large_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

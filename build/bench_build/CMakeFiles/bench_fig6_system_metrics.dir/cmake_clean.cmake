@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_system_metrics"
+  "../bench/bench_fig6_system_metrics.pdb"
+  "CMakeFiles/bench_fig6_system_metrics.dir/bench_fig6_system_metrics.cc.o"
+  "CMakeFiles/bench_fig6_system_metrics.dir/bench_fig6_system_metrics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_system_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

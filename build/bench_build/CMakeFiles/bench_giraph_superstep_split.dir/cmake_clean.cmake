@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_giraph_superstep_split"
+  "../bench/bench_giraph_superstep_split.pdb"
+  "CMakeFiles/bench_giraph_superstep_split.dir/bench_giraph_superstep_split.cc.o"
+  "CMakeFiles/bench_giraph_superstep_split.dir/bench_giraph_superstep_split.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_giraph_superstep_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

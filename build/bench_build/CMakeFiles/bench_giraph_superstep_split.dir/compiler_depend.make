@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_giraph_superstep_split.
+# This may be replaced when dependencies are built.

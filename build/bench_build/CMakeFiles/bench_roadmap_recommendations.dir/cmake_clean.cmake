@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_roadmap_recommendations"
+  "../bench/bench_roadmap_recommendations.pdb"
+  "CMakeFiles/bench_roadmap_recommendations.dir/bench_roadmap_recommendations.cc.o"
+  "CMakeFiles/bench_roadmap_recommendations.dir/bench_roadmap_recommendations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roadmap_recommendations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

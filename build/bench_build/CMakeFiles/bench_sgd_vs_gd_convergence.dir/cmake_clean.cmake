@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sgd_vs_gd_convergence"
+  "../bench/bench_sgd_vs_gd_convergence.pdb"
+  "CMakeFiles/bench_sgd_vs_gd_convergence.dir/bench_sgd_vs_gd_convergence.cc.o"
+  "CMakeFiles/bench_sgd_vs_gd_convergence.dir/bench_sgd_vs_gd_convergence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sgd_vs_gd_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

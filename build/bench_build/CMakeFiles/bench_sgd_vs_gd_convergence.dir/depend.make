@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sgd_vs_gd_convergence.
+# This may be replaced when dependencies are built.

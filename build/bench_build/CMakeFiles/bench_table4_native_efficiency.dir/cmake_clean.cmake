@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_native_efficiency"
+  "../bench/bench_table4_native_efficiency.pdb"
+  "CMakeFiles/bench_table4_native_efficiency.dir/bench_table4_native_efficiency.cc.o"
+  "CMakeFiles/bench_table4_native_efficiency.dir/bench_table4_native_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_native_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_multi_node"
+  "../bench/bench_table6_multi_node.pdb"
+  "CMakeFiles/bench_table6_multi_node.dir/bench_table6_multi_node.cc.o"
+  "CMakeFiles/bench_table6_multi_node.dir/bench_table6_multi_node.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_multi_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_semiring.cpp" "examples/CMakeFiles/custom_semiring.dir/custom_semiring.cpp.o" "gcc" "examples/CMakeFiles/custom_semiring.dir/custom_semiring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_support/CMakeFiles/maze_benchsup.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/maze_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/maze_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/maze_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/maze_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/vertex/CMakeFiles/maze_vertex.dir/DependInfo.cmake"
+  "/root/repo/build/src/native/CMakeFiles/maze_native.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/maze_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/maze_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maze_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

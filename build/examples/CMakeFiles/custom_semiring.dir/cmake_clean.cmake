@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_semiring.dir/custom_semiring.cpp.o"
+  "CMakeFiles/custom_semiring.dir/custom_semiring.cpp.o.d"
+  "custom_semiring"
+  "custom_semiring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_semiring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

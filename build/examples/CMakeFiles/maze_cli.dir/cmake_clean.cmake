@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maze_cli.dir/maze_cli.cpp.o"
+  "CMakeFiles/maze_cli.dir/maze_cli.cpp.o.d"
+  "maze_cli"
+  "maze_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maze_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

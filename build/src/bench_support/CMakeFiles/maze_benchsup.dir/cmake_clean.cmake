@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maze_benchsup.dir/report.cc.o"
+  "CMakeFiles/maze_benchsup.dir/report.cc.o.d"
+  "CMakeFiles/maze_benchsup.dir/runner.cc.o"
+  "CMakeFiles/maze_benchsup.dir/runner.cc.o.d"
+  "libmaze_benchsup.a"
+  "libmaze_benchsup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maze_benchsup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmaze_benchsup.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maze_bsp.dir/algorithms.cc.o"
+  "CMakeFiles/maze_bsp.dir/algorithms.cc.o.d"
+  "libmaze_bsp.a"
+  "libmaze_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maze_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

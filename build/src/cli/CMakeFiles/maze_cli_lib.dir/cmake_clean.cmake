@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maze_cli_lib.dir/cli.cc.o"
+  "CMakeFiles/maze_cli_lib.dir/cli.cc.o.d"
+  "libmaze_cli_lib.a"
+  "libmaze_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maze_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

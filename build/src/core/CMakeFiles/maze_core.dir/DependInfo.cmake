@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bipartite.cc" "src/core/CMakeFiles/maze_core.dir/bipartite.cc.o" "gcc" "src/core/CMakeFiles/maze_core.dir/bipartite.cc.o.d"
+  "/root/repo/src/core/datasets.cc" "src/core/CMakeFiles/maze_core.dir/datasets.cc.o" "gcc" "src/core/CMakeFiles/maze_core.dir/datasets.cc.o.d"
+  "/root/repo/src/core/degree.cc" "src/core/CMakeFiles/maze_core.dir/degree.cc.o" "gcc" "src/core/CMakeFiles/maze_core.dir/degree.cc.o.d"
+  "/root/repo/src/core/edge_list.cc" "src/core/CMakeFiles/maze_core.dir/edge_list.cc.o" "gcc" "src/core/CMakeFiles/maze_core.dir/edge_list.cc.o.d"
+  "/root/repo/src/core/graph.cc" "src/core/CMakeFiles/maze_core.dir/graph.cc.o" "gcc" "src/core/CMakeFiles/maze_core.dir/graph.cc.o.d"
+  "/root/repo/src/core/io.cc" "src/core/CMakeFiles/maze_core.dir/io.cc.o" "gcc" "src/core/CMakeFiles/maze_core.dir/io.cc.o.d"
+  "/root/repo/src/core/ratings_gen.cc" "src/core/CMakeFiles/maze_core.dir/ratings_gen.cc.o" "gcc" "src/core/CMakeFiles/maze_core.dir/ratings_gen.cc.o.d"
+  "/root/repo/src/core/rmat.cc" "src/core/CMakeFiles/maze_core.dir/rmat.cc.o" "gcc" "src/core/CMakeFiles/maze_core.dir/rmat.cc.o.d"
+  "/root/repo/src/core/weighted_graph.cc" "src/core/CMakeFiles/maze_core.dir/weighted_graph.cc.o" "gcc" "src/core/CMakeFiles/maze_core.dir/weighted_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/maze_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

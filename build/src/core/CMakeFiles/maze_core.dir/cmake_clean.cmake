@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maze_core.dir/bipartite.cc.o"
+  "CMakeFiles/maze_core.dir/bipartite.cc.o.d"
+  "CMakeFiles/maze_core.dir/datasets.cc.o"
+  "CMakeFiles/maze_core.dir/datasets.cc.o.d"
+  "CMakeFiles/maze_core.dir/degree.cc.o"
+  "CMakeFiles/maze_core.dir/degree.cc.o.d"
+  "CMakeFiles/maze_core.dir/edge_list.cc.o"
+  "CMakeFiles/maze_core.dir/edge_list.cc.o.d"
+  "CMakeFiles/maze_core.dir/graph.cc.o"
+  "CMakeFiles/maze_core.dir/graph.cc.o.d"
+  "CMakeFiles/maze_core.dir/io.cc.o"
+  "CMakeFiles/maze_core.dir/io.cc.o.d"
+  "CMakeFiles/maze_core.dir/ratings_gen.cc.o"
+  "CMakeFiles/maze_core.dir/ratings_gen.cc.o.d"
+  "CMakeFiles/maze_core.dir/rmat.cc.o"
+  "CMakeFiles/maze_core.dir/rmat.cc.o.d"
+  "CMakeFiles/maze_core.dir/weighted_graph.cc.o"
+  "CMakeFiles/maze_core.dir/weighted_graph.cc.o.d"
+  "libmaze_core.a"
+  "libmaze_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maze_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

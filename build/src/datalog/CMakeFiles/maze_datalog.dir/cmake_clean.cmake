@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maze_datalog.dir/algorithms.cc.o"
+  "CMakeFiles/maze_datalog.dir/algorithms.cc.o.d"
+  "CMakeFiles/maze_datalog.dir/table.cc.o"
+  "CMakeFiles/maze_datalog.dir/table.cc.o.d"
+  "libmaze_datalog.a"
+  "libmaze_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maze_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maze_matrix.dir/algorithms.cc.o"
+  "CMakeFiles/maze_matrix.dir/algorithms.cc.o.d"
+  "CMakeFiles/maze_matrix.dir/dist_matrix.cc.o"
+  "CMakeFiles/maze_matrix.dir/dist_matrix.cc.o.d"
+  "libmaze_matrix.a"
+  "libmaze_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maze_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

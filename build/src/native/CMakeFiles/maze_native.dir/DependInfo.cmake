@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/native/bfs.cc" "src/native/CMakeFiles/maze_native.dir/bfs.cc.o" "gcc" "src/native/CMakeFiles/maze_native.dir/bfs.cc.o.d"
+  "/root/repo/src/native/cc.cc" "src/native/CMakeFiles/maze_native.dir/cc.cc.o" "gcc" "src/native/CMakeFiles/maze_native.dir/cc.cc.o.d"
+  "/root/repo/src/native/cf.cc" "src/native/CMakeFiles/maze_native.dir/cf.cc.o" "gcc" "src/native/CMakeFiles/maze_native.dir/cf.cc.o.d"
+  "/root/repo/src/native/pagerank.cc" "src/native/CMakeFiles/maze_native.dir/pagerank.cc.o" "gcc" "src/native/CMakeFiles/maze_native.dir/pagerank.cc.o.d"
+  "/root/repo/src/native/reference.cc" "src/native/CMakeFiles/maze_native.dir/reference.cc.o" "gcc" "src/native/CMakeFiles/maze_native.dir/reference.cc.o.d"
+  "/root/repo/src/native/sssp.cc" "src/native/CMakeFiles/maze_native.dir/sssp.cc.o" "gcc" "src/native/CMakeFiles/maze_native.dir/sssp.cc.o.d"
+  "/root/repo/src/native/triangle.cc" "src/native/CMakeFiles/maze_native.dir/triangle.cc.o" "gcc" "src/native/CMakeFiles/maze_native.dir/triangle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maze_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/maze_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maze_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maze_native.dir/bfs.cc.o"
+  "CMakeFiles/maze_native.dir/bfs.cc.o.d"
+  "CMakeFiles/maze_native.dir/cc.cc.o"
+  "CMakeFiles/maze_native.dir/cc.cc.o.d"
+  "CMakeFiles/maze_native.dir/cf.cc.o"
+  "CMakeFiles/maze_native.dir/cf.cc.o.d"
+  "CMakeFiles/maze_native.dir/pagerank.cc.o"
+  "CMakeFiles/maze_native.dir/pagerank.cc.o.d"
+  "CMakeFiles/maze_native.dir/reference.cc.o"
+  "CMakeFiles/maze_native.dir/reference.cc.o.d"
+  "CMakeFiles/maze_native.dir/sssp.cc.o"
+  "CMakeFiles/maze_native.dir/sssp.cc.o.d"
+  "CMakeFiles/maze_native.dir/triangle.cc.o"
+  "CMakeFiles/maze_native.dir/triangle.cc.o.d"
+  "libmaze_native.a"
+  "libmaze_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maze_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

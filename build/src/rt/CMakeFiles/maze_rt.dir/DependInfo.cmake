@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/metrics.cc" "src/rt/CMakeFiles/maze_rt.dir/metrics.cc.o" "gcc" "src/rt/CMakeFiles/maze_rt.dir/metrics.cc.o.d"
+  "/root/repo/src/rt/partition.cc" "src/rt/CMakeFiles/maze_rt.dir/partition.cc.o" "gcc" "src/rt/CMakeFiles/maze_rt.dir/partition.cc.o.d"
+  "/root/repo/src/rt/sim_clock.cc" "src/rt/CMakeFiles/maze_rt.dir/sim_clock.cc.o" "gcc" "src/rt/CMakeFiles/maze_rt.dir/sim_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maze_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maze_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maze_rt.dir/metrics.cc.o"
+  "CMakeFiles/maze_rt.dir/metrics.cc.o.d"
+  "CMakeFiles/maze_rt.dir/partition.cc.o"
+  "CMakeFiles/maze_rt.dir/partition.cc.o.d"
+  "CMakeFiles/maze_rt.dir/sim_clock.cc.o"
+  "CMakeFiles/maze_rt.dir/sim_clock.cc.o.d"
+  "libmaze_rt.a"
+  "libmaze_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maze_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

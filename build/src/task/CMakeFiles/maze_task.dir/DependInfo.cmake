@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/task/algorithms.cc" "src/task/CMakeFiles/maze_task.dir/algorithms.cc.o" "gcc" "src/task/CMakeFiles/maze_task.dir/algorithms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maze_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/maze_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maze_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/native/CMakeFiles/maze_native.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maze_task.dir/algorithms.cc.o"
+  "CMakeFiles/maze_task.dir/algorithms.cc.o.d"
+  "libmaze_task.a"
+  "libmaze_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maze_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

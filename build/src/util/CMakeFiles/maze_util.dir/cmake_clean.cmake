@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maze_util.dir/bitvector.cc.o"
+  "CMakeFiles/maze_util.dir/bitvector.cc.o.d"
+  "CMakeFiles/maze_util.dir/codec.cc.o"
+  "CMakeFiles/maze_util.dir/codec.cc.o.d"
+  "CMakeFiles/maze_util.dir/stats.cc.o"
+  "CMakeFiles/maze_util.dir/stats.cc.o.d"
+  "CMakeFiles/maze_util.dir/status.cc.o"
+  "CMakeFiles/maze_util.dir/status.cc.o.d"
+  "CMakeFiles/maze_util.dir/table.cc.o"
+  "CMakeFiles/maze_util.dir/table.cc.o.d"
+  "CMakeFiles/maze_util.dir/thread_pool.cc.o"
+  "CMakeFiles/maze_util.dir/thread_pool.cc.o.d"
+  "libmaze_util.a"
+  "libmaze_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maze_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maze_vertex.dir/algorithms.cc.o"
+  "CMakeFiles/maze_vertex.dir/algorithms.cc.o.d"
+  "libmaze_vertex.a"
+  "libmaze_vertex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maze_vertex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/bipartite_test.cc.o"
+  "CMakeFiles/core_test.dir/bipartite_test.cc.o.d"
+  "CMakeFiles/core_test.dir/datasets_test.cc.o"
+  "CMakeFiles/core_test.dir/datasets_test.cc.o.d"
+  "CMakeFiles/core_test.dir/degree_test.cc.o"
+  "CMakeFiles/core_test.dir/degree_test.cc.o.d"
+  "CMakeFiles/core_test.dir/edge_list_test.cc.o"
+  "CMakeFiles/core_test.dir/edge_list_test.cc.o.d"
+  "CMakeFiles/core_test.dir/graph_test.cc.o"
+  "CMakeFiles/core_test.dir/graph_test.cc.o.d"
+  "CMakeFiles/core_test.dir/io_test.cc.o"
+  "CMakeFiles/core_test.dir/io_test.cc.o.d"
+  "CMakeFiles/core_test.dir/ratings_gen_test.cc.o"
+  "CMakeFiles/core_test.dir/ratings_gen_test.cc.o.d"
+  "CMakeFiles/core_test.dir/rmat_test.cc.o"
+  "CMakeFiles/core_test.dir/rmat_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

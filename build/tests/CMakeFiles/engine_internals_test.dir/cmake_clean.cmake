@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_internals_test.dir/engine_internals_test.cc.o"
+  "CMakeFiles/engine_internals_test.dir/engine_internals_test.cc.o.d"
+  "engine_internals_test"
+  "engine_internals_test.pdb"
+  "engine_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_test.dir/native_bfs_test.cc.o"
+  "CMakeFiles/native_test.dir/native_bfs_test.cc.o.d"
+  "CMakeFiles/native_test.dir/native_cf_test.cc.o"
+  "CMakeFiles/native_test.dir/native_cf_test.cc.o.d"
+  "CMakeFiles/native_test.dir/native_pagerank_test.cc.o"
+  "CMakeFiles/native_test.dir/native_pagerank_test.cc.o.d"
+  "CMakeFiles/native_test.dir/native_triangle_test.cc.o"
+  "CMakeFiles/native_test.dir/native_triangle_test.cc.o.d"
+  "native_test"
+  "native_test.pdb"
+  "native_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/bitvector_test.cc.o"
+  "CMakeFiles/util_test.dir/bitvector_test.cc.o.d"
+  "CMakeFiles/util_test.dir/codec_test.cc.o"
+  "CMakeFiles/util_test.dir/codec_test.cc.o.d"
+  "CMakeFiles/util_test.dir/cuckoo_set_test.cc.o"
+  "CMakeFiles/util_test.dir/cuckoo_set_test.cc.o.d"
+  "CMakeFiles/util_test.dir/prng_test.cc.o"
+  "CMakeFiles/util_test.dir/prng_test.cc.o.d"
+  "CMakeFiles/util_test.dir/stats_test.cc.o"
+  "CMakeFiles/util_test.dir/stats_test.cc.o.d"
+  "CMakeFiles/util_test.dir/status_test.cc.o"
+  "CMakeFiles/util_test.dir/status_test.cc.o.d"
+  "CMakeFiles/util_test.dir/table_test.cc.o"
+  "CMakeFiles/util_test.dir/table_test.cc.o.d"
+  "CMakeFiles/util_test.dir/thread_pool_test.cc.o"
+  "CMakeFiles/util_test.dir/thread_pool_test.cc.o.d"
+  "util_test"
+  "util_test.pdb"
+  "util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

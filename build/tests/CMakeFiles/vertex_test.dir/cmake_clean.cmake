@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_test.dir/vertex_engine_test.cc.o"
+  "CMakeFiles/vertex_test.dir/vertex_engine_test.cc.o.d"
+  "vertex_test"
+  "vertex_test.pdb"
+  "vertex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_test[1]_include.cmake")
+include("/root/repo/build/tests/native_test[1]_include.cmake")
+include("/root/repo/build/tests/vertex_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_test[1]_include.cmake")
+include("/root/repo/build/tests/task_test[1]_include.cmake")
+include("/root/repo/build/tests/bsp_test[1]_include.cmake")
+include("/root/repo/build/tests/cross_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/cc_test[1]_include.cmake")
+include("/root/repo/build/tests/sssp_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_internals_test[1]_include.cmake")
+include("/root/repo/build/tests/async_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_consistency_test[1]_include.cmake")
