@@ -17,6 +17,8 @@
 #include "core/datasets.h"
 #include "core/ratings_gen.h"
 #include "core/rmat.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "rt/sim_clock.h"
 
 namespace maze::bench {
@@ -34,6 +36,24 @@ inline int ScaleAdjust(int extra = 0) {
 inline void Banner(const std::string& what) {
   const char* node_env = std::getenv("MAZE_NODE_THREADS");
   rt::SetModeledNodeThreads(node_env != nullptr ? std::atoi(node_env) : 48);
+  // MAZE_TRACE=<path> records the whole bench run as a Chrome trace written at
+  // exit (load in https://ui.perfetto.dev).
+  if (const char* trace_env = std::getenv("MAZE_TRACE");
+      trace_env != nullptr && trace_env[0] != '\0') {
+    static std::string trace_path;  // atexit handler needs stable storage.
+    trace_path = trace_env;
+    obs::ResetAll();
+    obs::SetEnabled(true);
+    std::atexit([] {
+      obs::SetEnabled(false);
+      Status s = obs::WriteChromeTrace(trace_path);
+      if (s.ok()) {
+        std::printf("trace: wrote %s\n", trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "trace: %s\n", s.ToString().c_str());
+      }
+    });
+  }
   std::printf("==============================================================\n");
   std::printf("%s\n", what.c_str());
   std::printf(

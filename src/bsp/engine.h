@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "core/graph.h"
+#include "obs/counters.h"
+#include "obs/obs.h"
 #include "rt/algo.h"
 #include "rt/partition.h"
 #include "rt/sim_clock.h"
@@ -185,6 +187,7 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
 
     for (int phase = 0; phase < phases; ++phase) {
       for (int p = 0; p < ranks; ++p) {
+        MAZE_OBS_SPAN("superstep", "bspgraph", p, superstep);
         Timer t;
         // Phased mode: drain arrived messages before this mini-step's sends.
         if (phases > 1) live_inbox_bytes -= drain_rank(p);
@@ -224,7 +227,10 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
           wants_more = wants_more || local_more;
           for (auto& e : local) outbox.push_back(std::move(e));
         });
-        clock_.RecordCompute(p, t.Seconds(), worker_scale);
+        double compute_seconds = t.Seconds();
+        clock_.RecordCompute(p, compute_seconds, worker_scale);
+        obs::EmitSpanEndingNow("compute", "bspgraph", p, superstep,
+                               compute_seconds);
 
         uint64_t outbox_bytes = outbox.size() * BoxedBytes();
         peak_buffer_bytes_ =
@@ -232,6 +238,11 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
                      outbox_bytes + live_inbox_bytes + next_inbox_bytes);
 
         // Flush: charge the wire and deliver.
+        Timer deliver_timer;
+        if (obs::Enabled()) {
+          obs::GetHistogram("bspgraph.outbox_messages").Record(outbox.size());
+          obs::GetHistogram("bspgraph.outbox_bytes").Record(outbox_bytes);
+        }
         std::vector<uint64_t> bytes_to(ranks, 0);
         for (auto& [dst, m] : outbox) {
           int q = ranks == 1 ? 0 : part_.OwnerOf(dst);
@@ -250,6 +261,8 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
         for (int q = 0; q < ranks; ++q) {
           if (q != p && bytes_to[q] > 0) clock_.RecordSend(p, q, bytes_to[q], 1);
         }
+        obs::EmitSpanEndingNow("deliver", "bspgraph", p, superstep,
+                               deliver_timer.Seconds());
       }
       // Each mini-step is a (finer-grained) global synchronization.
       clock_.EndStep(/*overlap_comm=*/false);

@@ -12,6 +12,8 @@
 #include "core/ratings_gen.h"
 #include "core/rmat.h"
 #include "native/cc.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "util/table.h"
 
 namespace maze::cli {
@@ -29,6 +31,12 @@ StatusOr<ParsedArgs> Parse(const std::vector<std::string>& args) {
   ParsedArgs parsed;
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i].rfind("--", 0) == 0) {
+      // Both "--flag=value" and "--flag value" are accepted.
+      size_t eq = args[i].find('=');
+      if (eq != std::string::npos) {
+        parsed.flags[args[i].substr(2, eq - 2)] = args[i].substr(eq + 1);
+        continue;
+      }
       if (i + 1 >= args.size()) {
         return Status::InvalidArgument("flag " + args[i] + " needs a value");
       }
@@ -212,14 +220,82 @@ StatusOr<bench::EngineKind> EngineByName(const std::string& name) {
   return Status::InvalidArgument("unknown engine '" + name + "'");
 }
 
+// Runs one (algo, engine) pair and prints its summary + metrics line.
+Status RunOnce(const std::string& algo, bench::EngineKind engine,
+               const EdgeList& edges, const std::string& dataset,
+               int iterations, bench::RunConfig config, std::ostream& out) {
+  rt::RunMetrics metrics;
+  std::string summary;
+  if (algo == "pagerank") {
+    rt::PageRankOptions opt;
+    opt.iterations = iterations;
+    auto r = bench::RunPageRank(engine, edges, opt, config);
+    metrics = r.metrics;
+    summary = "pagerank: " + std::to_string(r.iterations) + " iterations";
+  } else if (algo == "bfs") {
+    EdgeList sym = edges;
+    sym.Symmetrize();
+    auto r = bench::RunBfs(engine, sym, rt::BfsOptions{0}, config);
+    metrics = r.metrics;
+    uint64_t reached = 0;
+    for (uint32_t d : r.distance) reached += d != kInfiniteDistance;
+    summary = "bfs: reached " + std::to_string(reached) + " vertices in " +
+              std::to_string(r.levels) + " levels";
+  } else if (algo == "triangles") {
+    EdgeList oriented = edges;
+    oriented.OrientBySmallerId();
+    if (engine == bench::EngineKind::kBspgraph) config.bsp_phases = 100;
+    auto r = bench::RunTriangleCount(engine, oriented, {}, config);
+    metrics = r.metrics;
+    summary = "triangles: " + std::to_string(r.triangles);
+  } else if (algo == "cc") {
+    EdgeList sym = edges;
+    sym.Symmetrize();
+    auto r = bench::RunConnectedComponents(engine, sym, {}, config);
+    metrics = r.metrics;
+    summary = "cc: " + std::to_string(r.num_components) + " components";
+  } else if (algo == "cf") {
+    std::string name = dataset.empty() ? "netflix" : dataset;
+    BipartiteGraph g = LoadRatingsDataset(name, -2).ToGraph();
+    rt::CfOptions opt;
+    opt.k = 16;
+    opt.iterations = iterations;
+    opt.method = rt::CfMethod::kSgd;
+    if (engine == bench::EngineKind::kBspgraph) config.bsp_phases = 10;
+    auto r = bench::RunCf(engine, g, opt, config);
+    metrics = r.metrics;
+    summary = "cf: rmse " + FormatDouble(r.final_rmse, 4);
+  } else {
+    return Status::InvalidArgument("unknown --algo '" + algo + "'");
+  }
+
+  out << summary << "\n";
+  out << "engine=" << bench::EngineName(engine) << " ranks=" << config.num_ranks
+      << " simulated_seconds=" << FormatDouble(metrics.elapsed_seconds, 5)
+      << " net_bytes=" << metrics.bytes_sent
+      << " peak_mem_bytes=" << metrics.memory_peak_bytes << "\n";
+  return Status::OK();
+}
+
 Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
   std::string algo = FlagOr(parsed, "algo", "pagerank");
-  auto engine = EngineByName(FlagOr(parsed, "engine", "native"));
-  MAZE_RETURN_IF_ERROR(engine.status());
+  std::string engine_name = FlagOr(parsed, "engine", "native");
   auto ranks = IntFlagOr(parsed, "ranks", 1);
   MAZE_RETURN_IF_ERROR(ranks.status());
   auto iterations = IntFlagOr(parsed, "iterations", 10);
   MAZE_RETURN_IF_ERROR(iterations.status());
+  std::string trace_path = FlagOr(parsed, "trace", "");
+
+  // "--engine all" sweeps every engine that supports the rank count.
+  std::vector<bench::EngineKind> engines;
+  if (engine_name == "all") {
+    engines = ranks.value() > 1 ? bench::MultiNodeEngines()
+                                : bench::AllEngines();
+  } else {
+    auto engine = EngineByName(engine_name);
+    MAZE_RETURN_IF_ERROR(engine.status());
+    engines.push_back(engine.value());
+  }
 
   bench::RunConfig config;
   config.num_ranks = ranks.value();
@@ -240,57 +316,23 @@ Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
     }
   }
 
-  rt::RunMetrics metrics;
-  std::string summary;
-  if (algo == "pagerank") {
-    rt::PageRankOptions opt;
-    opt.iterations = iterations.value();
-    auto r = bench::RunPageRank(engine.value(), edges, opt, config);
-    metrics = r.metrics;
-    summary = "pagerank: " + std::to_string(r.iterations) + " iterations";
-  } else if (algo == "bfs") {
-    EdgeList sym = edges;
-    sym.Symmetrize();
-    auto r = bench::RunBfs(engine.value(), sym, rt::BfsOptions{0}, config);
-    metrics = r.metrics;
-    uint64_t reached = 0;
-    for (uint32_t d : r.distance) reached += d != kInfiniteDistance;
-    summary = "bfs: reached " + std::to_string(reached) + " vertices in " +
-              std::to_string(r.levels) + " levels";
-  } else if (algo == "triangles") {
-    EdgeList oriented = edges;
-    oriented.OrientBySmallerId();
-    if (engine.value() == bench::EngineKind::kBspgraph) config.bsp_phases = 100;
-    auto r = bench::RunTriangleCount(engine.value(), oriented, {}, config);
-    metrics = r.metrics;
-    summary = "triangles: " + std::to_string(r.triangles);
-  } else if (algo == "cc") {
-    EdgeList sym = edges;
-    sym.Symmetrize();
-    auto r = bench::RunConnectedComponents(engine.value(), sym, {}, config);
-    metrics = r.metrics;
-    summary = "cc: " + std::to_string(r.num_components) + " components";
-  } else if (algo == "cf") {
-    std::string name = dataset.empty() ? "netflix" : dataset;
-    BipartiteGraph g = LoadRatingsDataset(name, -2).ToGraph();
-    rt::CfOptions opt;
-    opt.k = 16;
-    opt.iterations = iterations.value();
-    opt.method = rt::CfMethod::kSgd;
-    if (engine.value() == bench::EngineKind::kBspgraph) config.bsp_phases = 10;
-    auto r = bench::RunCf(engine.value(), g, opt, config);
-    metrics = r.metrics;
-    summary = "cf: rmse " + FormatDouble(r.final_rmse, 4);
-  } else {
-    return Status::InvalidArgument("unknown --algo '" + algo + "'");
+  if (!trace_path.empty()) {
+    obs::ResetAll();
+    obs::SetEnabled(true);
   }
 
-  out << summary << "\n";
-  out << "engine=" << bench::EngineName(engine.value())
-      << " ranks=" << config.num_ranks << " simulated_seconds="
-      << FormatDouble(metrics.elapsed_seconds, 5)
-      << " net_bytes=" << metrics.bytes_sent
-      << " peak_mem_bytes=" << metrics.memory_peak_bytes << "\n";
+  for (bench::EngineKind engine : engines) {
+    MAZE_RETURN_IF_ERROR(
+        RunOnce(algo, engine, edges, dataset, iterations.value(), config, out));
+  }
+
+  if (!trace_path.empty()) {
+    obs::SetEnabled(false);
+    MAZE_RETURN_IF_ERROR(obs::WriteChromeTrace(trace_path));
+    out << "trace: wrote " << trace_path
+        << " (load in https://ui.perfetto.dev or chrome://tracing)\n";
+    out << obs::SummaryText();
+  }
   return Status::OK();
 }
 

@@ -26,6 +26,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/obs.h"
 #include "rt/algo.h"
 #include "rt/partition.h"
 #include "rt/sim_clock.h"
@@ -66,9 +67,10 @@ struct MinAgg {
 // Evaluation context for one rule program run.
 class Runtime {
  public:
-  Runtime(int num_ranks, const DataliteOptions& options, int64_t key_space)
+  Runtime(int num_ranks, const DataliteOptions& options, int64_t key_space,
+          bool trace = false)
       : options_(options),
-        clock_(num_ranks, options.Comm()),
+        clock_(num_ranks, options.Comm(), trace),
         shard_(rt::Partition1D::VertexBalanced(
             static_cast<VertexId>(key_space), num_ranks)) {}
 
@@ -172,7 +174,9 @@ size_t EvaluateRule(
     internal::RunBodyForRank<V, Agg>(rt, p, keys, &acc, &touched, &tuples_to,
                                      per_key);
     internal::ChargeAll(rt, p, tuples_to, bytes_per_tuple);
-    rt->clock()->RecordCompute(p, t.Seconds());
+    double seconds = t.Seconds();
+    rt->clock()->RecordCompute(p, seconds);
+    obs::EmitSpanEndingNow("rule_body", "datalite", p, /*step=*/0, seconds);
   }
 
   size_t changed = 0;
@@ -222,7 +226,9 @@ int SemiNaiveFixpoint(
             expand(key, (*head)[key], emit);
           });
       internal::ChargeAll(rt, p, tuples_to, bytes_per_tuple);
-      rt->clock()->RecordCompute(p, t.Seconds());
+      double seconds = t.Seconds();
+      rt->clock()->RecordCompute(p, seconds);
+      obs::EmitSpanEndingNow("delta_join", "datalite", p, rounds - 1, seconds);
     }
 
     std::vector<int64_t> next_delta;

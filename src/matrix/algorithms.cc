@@ -10,6 +10,7 @@
 #include "matrix/semiring.h"
 #include "native/cc.h"
 #include "native/cf.h"
+#include "obs/obs.h"
 #include "rt/sim_clock.h"
 #include "util/bitvector.h"
 #include "util/codec.h"
@@ -75,7 +76,10 @@ rt::PageRankResult PageRank(const EdgeList& edges,
                            : 0.0;
         }
       });
-      clock.RecordCompute(m.grid().RankOf(d, d), t.Seconds());
+      double seconds = t.Seconds();
+      clock.RecordCompute(m.grid().RankOf(d, d), seconds);
+      obs::EmitSpanEndingNow("contrib", "matblas", m.grid().RankOf(d, d), iter,
+                             seconds);
     }
 
     std::fill(y.begin(), y.end(), SR::Zero());
@@ -95,7 +99,9 @@ rt::PageRankResult PageRank(const EdgeList& edges,
           y[tile.row_begin + r] += sum;
         }
       });
-      clock.RecordCompute(rank, t.Seconds());
+      double seconds = t.Seconds();
+      clock.RecordCompute(rank, seconds);
+      obs::EmitSpanEndingNow("spmv", "matblas", rank, iter, seconds);
     }
     ChargeSpmvComm(m, &clock, sizeof(double));
 
@@ -151,7 +157,10 @@ rt::BfsResult Bfs(const EdgeList& edges, const rt::BfsOptions& options,
           if (reached) next.SetAtomic(dst);
         }
       });
-      clock.RecordCompute(rank, t.Seconds());
+      double seconds = t.Seconds();
+      clock.RecordCompute(rank, seconds);
+      obs::EmitSpanEndingNow("frontier_spmv", "matblas", rank,
+                             static_cast<int>(level), seconds);
     }
     // Frontier exchange: the sparse vector (id, parent) pairs of the CombBLAS
     // formulation — 8 bytes per discovered vertex, replicated along the grid.
@@ -271,7 +280,9 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
       rank_triangles += local_triangles;
       rank_a2_nnz += local_nnz;
     });
-    clock.RecordCompute(p, t.Seconds());
+    double seconds = t.Seconds();
+    clock.RecordCompute(p, seconds);
+    obs::EmitSpanEndingNow("spgemm", "matblas", p, /*step=*/0, seconds);
     triangles += rank_triangles;
     a2_nnz_total += rank_a2_nnz;
   }
@@ -413,7 +424,9 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
           }
         });
       }
-      clock.RecordCompute(p, t.Seconds());
+      double seconds = t.Seconds();
+      clock.RecordCompute(p, seconds);
+      obs::EmitSpanEndingNow("gradient_spmv", "matblas", p, iter, seconds);
     }
     clock.EndStep(/*overlap_comm=*/false);
     gamma *= options.step_decay;
@@ -471,7 +484,10 @@ rt::ConnectedComponentsResult ConnectedComponents(
         }
         if (local_changed) tile_changed.store(true, std::memory_order_relaxed);
       });
-      clock.RecordCompute(rank, t.Seconds());
+      double seconds = t.Seconds();
+      clock.RecordCompute(rank, seconds);
+      obs::EmitSpanEndingNow("minlabel_spmv", "matblas", rank, rounds - 1,
+                             seconds);
       changed = changed || tile_changed.load();
     }
     ChargeSpmvComm(m, &clock, sizeof(VertexId) + 4.0);

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/obs.h"
 #include "rt/partition.h"
 #include "rt/sim_clock.h"
 #include "util/bitvector.h"
@@ -136,7 +137,10 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
             }
           }
         });
-        clock.RecordCompute(p, t.Seconds());
+        double seconds = t.Seconds();
+        clock.RecordCompute(p, seconds);
+        obs::EmitSpanEndingNow("bottom_up", "native", p,
+                               static_cast<int>(level), seconds);
       }
       // Bottom-up needs every rank to know the whole frontier: broadcast the
       // (compressed) frontier of each rank to all others.
@@ -195,7 +199,10 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
                                 local_remote[q].end());
           }
         });
-        clock.RecordCompute(p, t.Seconds());
+        double seconds = t.Seconds();
+        clock.RecordCompute(p, seconds);
+        obs::EmitSpanEndingNow("top_down", "native", p,
+                               static_cast<int>(level), seconds);
       }
 
       if (ranks > 1) {
@@ -212,7 +219,10 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
               std::vector<uint8_t> enc;
               EncodeIdsBest(ids, &enc);
               bytes = enc.size();
-              clock.RecordCompute(p, enc_timer.Seconds());
+              double enc_seconds = enc_timer.Seconds();
+              clock.RecordCompute(p, enc_seconds);
+              obs::EmitSpanEndingNow("frontier_encode", "native", p,
+                                     static_cast<int>(level), enc_seconds);
             } else {
               bytes = ids.size() * sizeof(VertexId);
             }
@@ -232,7 +242,10 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
               }
             }
           }
-          clock.RecordCompute(q, t.Seconds());
+          double seconds = t.Seconds();
+          clock.RecordCompute(q, seconds);
+          obs::EmitSpanEndingNow("integrate_remote", "native", q,
+                                 static_cast<int>(level), seconds);
         }
       }
     }

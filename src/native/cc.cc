@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/obs.h"
 #include "rt/partition.h"
 #include "rt/sim_clock.h"
 #include "util/bitvector.h"
@@ -113,7 +114,9 @@ rt::ConnectedComponentsResult ConnectedComponents(
         }
         for (int q = 0; q < ranks; ++q) cross[p][q] += local_cross[q];
       });
-      clock.RecordCompute(p, t.Seconds());
+      double seconds = t.Seconds();
+      clock.RecordCompute(p, seconds);
+      obs::EmitSpanEndingNow("labelprop", "native", p, rounds - 1, seconds);
     }
     // Wire: 8 bytes per cross-rank (vertex, label) improvement.
     for (int p = 0; p < ranks; ++p) {

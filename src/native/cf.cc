@@ -6,6 +6,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/obs.h"
 #include "rt/partition.h"
 #include "util/bitvector.h"
 #include "rt/sim_clock.h"
@@ -158,7 +159,9 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
             SgdBlock(grid.blocks[static_cast<size_t>(p) * grid_dim + item_stripe],
                      options, gamma, &result.user_factors,
                      &result.item_factors);
-            clock.RecordCompute(p, t.Seconds());
+            double seconds = t.Seconds();
+            clock.RecordCompute(p, seconds);
+            obs::EmitSpanEndingNow("sgd_block", "native", p, iter, seconds);
             // Rotate the item block to the previous rank for the next sub-step.
             uint64_t bytes = static_cast<uint64_t>(
                                  grid.ItemsInStripe(item_stripe)) *
@@ -180,7 +183,9 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
                                    &result.item_factors);
                         }
                       });
-          clock.RecordCompute(0, t.Seconds());
+          double seconds = t.Seconds();
+          clock.RecordCompute(0, seconds);
+          obs::EmitSpanEndingNow("sgd_diag", "native", 0, iter, seconds);
           clock.EndStep(false);
         }
       }
@@ -301,7 +306,9 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
                 for (int i = 0; i < k; ++i) q_new[i] = q_old[i] + gamma * grad[i];
               }
             });
-        clock.RecordCompute(p, t.Seconds());
+        double seconds = t.Seconds();
+        clock.RecordCompute(p, seconds);
+        obs::EmitSpanEndingNow("gd_pass", "native", p, iter, seconds);
       }
       clock.EndStep(native.overlap_comm);
       gamma *= options.step_decay;

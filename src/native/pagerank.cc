@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/obs.h"
 #include "rt/partition.h"
 #include "rt/sim_clock.h"
 #include "util/check.h"
@@ -135,7 +136,9 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
           contrib[v] = deg > 0 ? pr[v] / static_cast<double>(deg) : 0.0;
         }
       });
-      clock.RecordCompute(p, t.Seconds());
+      double seconds = t.Seconds();
+      clock.RecordCompute(p, seconds);
+      obs::EmitSpanEndingNow("contrib", "native", p, iter, seconds);
     }
 
     // Wire: each rank sends its boundary contributions to the ranks needing them.
@@ -160,7 +163,9 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
       Timer t;
       GatherRange(g, part.Begin(p), part.End(p), options.jump, contrib, &new_pr,
                   native.software_prefetch);
-      clock.RecordCompute(p, t.Seconds());
+      double seconds = t.Seconds();
+      clock.RecordCompute(p, seconds);
+      obs::EmitSpanEndingNow("gather", "native", p, iter, seconds);
     }
     clock.EndStep(native.overlap_comm);
     std::swap(pr, new_pr);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <vector>
 
+#include "obs/obs.h"
 #include "rt/partition.h"
 #include "rt/sim_clock.h"
 #include "util/bitvector.h"
@@ -130,7 +131,9 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
   for (int p = 0; p < ranks; ++p) {
     Timer t;
     triangles += CountRange(g, part.Begin(p), part.End(p), native.use_bitvector);
-    clock.RecordCompute(p, t.Seconds());
+    double seconds = t.Seconds();
+    clock.RecordCompute(p, seconds);
+    obs::EmitSpanEndingNow("intersect", "native", p, /*step=*/0, seconds);
   }
   clock.EndStep(native.overlap_comm);
 

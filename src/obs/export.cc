@@ -1,0 +1,193 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "obs/counters.h"
+#include "obs/obs.h"
+#include "util/table.h"
+
+namespace maze::obs {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Micros(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson() {
+  std::vector<Event> events = SnapshotEvents();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto begin_event = [&]() -> std::ostringstream& {
+    if (!first) out << ",\n";
+    first = false;
+    return out;
+  };
+
+  // Name the process tracks: measured ranks and their simulated-wire shadows.
+  std::set<int> measured_ranks;
+  std::set<int> wire_ranks;
+  for (const Event& e : events) {
+    (e.kind == EventKind::kSpan ? measured_ranks : wire_ranks).insert(e.rank);
+  }
+  for (int r : measured_ranks) {
+    begin_event() << "{\"ph\":\"M\",\"pid\":" << r
+                  << ",\"name\":\"process_name\",\"args\":{\"name\":\"rank " << r
+                  << " (measured)\"}}";
+  }
+  for (int r : wire_ranks) {
+    begin_event() << "{\"ph\":\"M\",\"pid\":" << kSimWirePidBase + r
+                  << ",\"name\":\"process_name\",\"args\":{\"name\":\"rank " << r
+                  << " (simulated wire)\"}}";
+  }
+
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kSpan) {
+      begin_event() << "{\"ph\":\"X\",\"pid\":" << e.rank << ",\"tid\":" << e.tid
+                    << ",\"ts\":" << Micros(e.ts_us)
+                    << ",\"dur\":" << Micros(e.dur_us) << ",\"name\":\""
+                    << JsonEscape(e.name) << "\",\"cat\":\"" << JsonEscape(e.cat)
+                    << "\",\"args\":{\"rank\":" << e.rank
+                    << ",\"step\":" << e.step << "}}";
+    } else {
+      // Simulated wire time: one async begin/end pair per SimClock step & rank.
+      int pid = kSimWirePidBase + e.rank;
+      begin_event() << "{\"ph\":\"b\",\"pid\":" << pid
+                    << ",\"tid\":0,\"id\":" << e.tid
+                    << ",\"ts\":" << Micros(e.ts_us) << ",\"name\":\""
+                    << JsonEscape(e.name) << "\",\"cat\":\"" << JsonEscape(e.cat)
+                    << "\",\"args\":{\"rank\":" << e.rank << ",\"step\":"
+                    << e.step << ",\"bytes\":" << e.bytes
+                    << ",\"messages\":" << e.msgs << "}}";
+      begin_event() << "{\"ph\":\"e\",\"pid\":" << pid
+                    << ",\"tid\":0,\"id\":" << e.tid
+                    << ",\"ts\":" << Micros(e.ts_us + e.dur_us) << ",\"name\":\""
+                    << JsonEscape(e.name) << "\",\"cat\":\"" << JsonEscape(e.cat)
+                    << "\"}";
+    }
+  }
+
+  out << "],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{";
+  out << "\"droppedEvents\":" << DroppedEvents();
+  out << ",\"counters\":{";
+  bool first_counter = true;
+  for (const CounterSnapshot& c : SnapshotCounters()) {
+    if (!first_counter) out << ",";
+    first_counter = false;
+    out << "\"" << JsonEscape(c.name) << "\":" << c.value;
+  }
+  out << "},\"histograms\":{";
+  bool first_hist = true;
+  for (const HistogramSnapshot& h : SnapshotHistograms()) {
+    if (!first_hist) out << ",";
+    first_hist = false;
+    out << "\"" << JsonEscape(h.name) << "\":{\"count\":" << h.count
+        << ",\"sum\":" << h.sum << ",\"max\":" << h.max << ",\"p50\":" << h.p50
+        << ",\"p95\":" << h.p95 << ",\"p99\":" << h.p99 << "}";
+  }
+  out << "}}}\n";
+  return out.str();
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::string json = ChromeTraceJson();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+std::string SummaryText() {
+  std::ostringstream out;
+
+  // Spans rolled up by (category, name).
+  std::map<std::pair<std::string, std::string>, std::pair<uint64_t, double>>
+      span_totals;
+  for (const Event& e : SnapshotEvents()) {
+    if (e.kind != EventKind::kSpan) continue;
+    auto& [count, total_us] = span_totals[{e.cat, e.name}];
+    ++count;
+    total_us += e.dur_us;
+  }
+  if (!span_totals.empty()) {
+    TextTable spans("obs: phase spans");
+    spans.SetHeader({"Category", "Phase", "Count", "Total ms", "Mean us"});
+    for (const auto& [key, value] : span_totals) {
+      spans.AddRow({key.first, key.second, std::to_string(value.first),
+                    FormatDouble(value.second / 1e3, 3),
+                    FormatDouble(value.second / static_cast<double>(value.first),
+                                 1)});
+    }
+    out << spans.Render();
+  }
+
+  std::vector<CounterSnapshot> counters = SnapshotCounters();
+  if (!counters.empty()) {
+    TextTable table("obs: counters");
+    table.SetHeader({"Counter", "Value"});
+    for (const CounterSnapshot& c : counters) {
+      table.AddRow({c.name, std::to_string(c.value)});
+    }
+    out << table.Render();
+  }
+
+  std::vector<HistogramSnapshot> hists = SnapshotHistograms();
+  if (!hists.empty()) {
+    TextTable table("obs: histograms");
+    table.SetHeader({"Histogram", "Count", "Mean", "p50", "p95", "p99", "Max"});
+    for (const HistogramSnapshot& h : hists) {
+      double mean =
+          h.count == 0 ? 0.0
+                       : static_cast<double>(h.sum) / static_cast<double>(h.count);
+      table.AddRow({h.name, std::to_string(h.count), FormatDouble(mean, 1),
+                    std::to_string(h.p50), std::to_string(h.p95),
+                    std::to_string(h.p99), std::to_string(h.max)});
+    }
+    out << table.Render();
+  }
+
+  if (uint64_t dropped = DroppedEvents(); dropped > 0) {
+    out << "obs: " << dropped << " events dropped to ring-buffer wrap\n";
+  }
+  return out.str();
+}
+
+}  // namespace maze::obs

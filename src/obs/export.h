@@ -1,0 +1,35 @@
+// Exporters for the obs subsystem: Chrome trace-event JSON (loadable in
+// Perfetto / about://tracing) and a plain-text summary table.
+//
+// Trace layout:
+//   - pid r            : simulated rank r's measured phase spans ("X" events;
+//                        tid = recording host thread);
+//   - pid 10000 + r    : rank r's modeled wire time, as async "b"/"e" span
+//                        pairs in the *simulated* clock domain (SimClock);
+//   - counters/histograms ride along under "otherData" and in the summary.
+#ifndef MAZE_OBS_EXPORT_H_
+#define MAZE_OBS_EXPORT_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace maze::obs {
+
+// Synthetic pid offset for the simulated-wire-time track of each rank.
+inline constexpr int kSimWirePidBase = 10000;
+
+// Serializes the current snapshot (events + counters + histograms) as Chrome
+// trace-event JSON.
+std::string ChromeTraceJson();
+
+// Writes ChromeTraceJson() to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+// Human-readable roll-up: per-(cat, name) span totals, counters, and histogram
+// percentiles. The cheap always-on complement to the full timeline.
+std::string SummaryText();
+
+}  // namespace maze::obs
+
+#endif  // MAZE_OBS_EXPORT_H_

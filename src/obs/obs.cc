@@ -1,0 +1,147 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "obs/counters.h"
+
+namespace maze::obs {
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace internal
+
+namespace {
+
+// Power-of-two ring per thread: producers are single-threaded by construction,
+// so Push is one relaxed fetch_add plus a struct store.
+constexpr uint64_t kRingCapacity = 1 << 16;
+
+struct ThreadRing {
+  std::vector<Event> slots = std::vector<Event>(kRingCapacity);
+  std::atomic<uint64_t> head{0};
+  uint32_t tid = 0;
+
+  void Push(const Event& e) {
+    uint64_t h = head.fetch_add(1, std::memory_order_relaxed);
+    slots[h & (kRingCapacity - 1)] = e;
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  std::atomic<uint32_t> next_async_id{1};
+
+  static Registry& Get() {
+    static Registry* r = new Registry();  // Leaked: outlives all threads.
+    return *r;
+  }
+
+  ThreadRing* RingForThisThread() {
+    thread_local ThreadRing* ring = nullptr;
+    if (ring == nullptr) {
+      auto owned = std::make_unique<ThreadRing>();
+      ring = owned.get();
+      std::lock_guard<std::mutex> lock(mu);
+      ring->tid = static_cast<uint32_t>(rings.size());
+      rings.push_back(std::move(owned));
+    }
+    return ring;
+  }
+};
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  if (enabled) TraceEpoch();  // Pin the epoch before the first span.
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+void PushSpan(const char* name, const char* cat, int rank, int step,
+              double ts_us, double dur_us) {
+  ThreadRing* ring = Registry::Get().RingForThisThread();
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.kind = EventKind::kSpan;
+  e.rank = rank;
+  e.tid = ring->tid;
+  e.step = step;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  ring->Push(e);
+}
+
+void PushWireSpan(const char* name, int rank, int step, double sim_ts_us,
+                  double sim_dur_us, uint64_t bytes, uint64_t msgs) {
+  Registry& reg = Registry::Get();
+  ThreadRing* ring = reg.RingForThisThread();
+  Event e;
+  e.name = name;
+  e.cat = "wire";
+  e.kind = EventKind::kWireSpan;
+  e.rank = rank;
+  e.tid = reg.next_async_id.fetch_add(1, std::memory_order_relaxed);
+  e.step = step;
+  e.ts_us = sim_ts_us;
+  e.dur_us = sim_dur_us;
+  e.bytes = bytes;
+  e.msgs = msgs;
+  ring->Push(e);
+}
+
+std::vector<Event> SnapshotEvents() {
+  Registry& reg = Registry::Get();
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (const auto& ring : reg.rings) {
+      uint64_t head = ring->head.load(std::memory_order_acquire);
+      uint64_t count = std::min(head, kRingCapacity);
+      for (uint64_t i = head - count; i < head; ++i) {
+        events.push_back(ring->slots[i & (kRingCapacity - 1)]);
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.ts_us < b.ts_us; });
+  return events;
+}
+
+uint64_t DroppedEvents() {
+  Registry& reg = Registry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  uint64_t dropped = 0;
+  for (const auto& ring : reg.rings) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    if (head > kRingCapacity) dropped += head - kRingCapacity;
+  }
+  return dropped;
+}
+
+void ResetAll() {
+  Registry& reg = Registry::Get();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (auto& ring : reg.rings) ring->head.store(0, std::memory_order_release);
+    reg.next_async_id.store(1, std::memory_order_relaxed);
+  }
+  ResetCountersAndHistograms();
+}
+
+}  // namespace maze::obs

@@ -1,0 +1,131 @@
+// maze::obs — unified tracing for all engine families (DESIGN.md "Observability").
+//
+// The span tracer records where time goes *inside* a step — gather/apply/scatter,
+// superstep compute vs. deliver, SpMV, rule joins — per simulated rank, the
+// fine-grained uniformly-collected runtime picture that the paper's §5.4
+// system-metrics analysis (and GraphMat's ninja-gap profiling) is built on.
+//
+// Design constraints, in order:
+//   1. Near-zero cost when disabled: Span's constructor is one relaxed atomic
+//      load + branch; nothing allocates, nothing locks.
+//   2. Low overhead when enabled: each thread appends into its own fixed-size
+//      ring buffer (a single relaxed fetch_add + struct store; no locks, no
+//      allocation on the hot path). Old events are overwritten when a ring
+//      wraps; the drop count is reported so truncation is never silent.
+//   3. Two clock domains: spans of real measured work carry wall-clock
+//      microseconds since the process trace epoch; wire-time spans emitted by
+//      rt::SimClock carry *simulated* microseconds and are rendered by the
+//      exporter as Chrome async events on synthetic per-rank pids.
+//
+// Snapshots are meant to be taken at quiescence (after a run completes);
+// concurrent Push during SnapshotEvents loses at most in-flight events.
+#ifndef MAZE_OBS_OBS_H_
+#define MAZE_OBS_OBS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace maze::obs {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+// Globally enables/disables span recording and the rt byte/message hooks.
+// Counters and histograms are always live (they are cheap and pull-based).
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool enabled);
+
+enum class EventKind : uint8_t {
+  kSpan,      // Complete measured span ("X" in Chrome trace), real-time domain.
+  kWireSpan,  // Simulated wire-time span, rendered as async "b"/"e" events.
+};
+
+struct Event {
+  const char* name = nullptr;  // Static string (call sites pass literals).
+  const char* cat = nullptr;   // Engine family: native|vertexlab|matblas|...
+  EventKind kind = EventKind::kSpan;
+  int32_t rank = 0;      // Simulated rank (exporter maps to pid).
+  uint32_t tid = 0;      // Recording thread (kSpan) or async span id (kWireSpan).
+  int32_t step = -1;     // Superstep/iteration index if known, else -1.
+  double ts_us = 0;      // Microseconds: real since trace epoch, or simulated.
+  double dur_us = 0;
+  uint64_t bytes = 0;    // Wire spans: bytes / messages charged.
+  uint64_t msgs = 0;
+};
+
+// Microseconds since the process-wide trace epoch (lazily set on first call).
+double NowMicros();
+
+// Appends a completed measured span. Callers normally use Span instead.
+void PushSpan(const char* name, const char* cat, int rank, int step,
+              double ts_us, double dur_us);
+
+// Appends a simulated wire-time span (SimClock's domain). Thread-safe.
+void PushWireSpan(const char* name, int rank, int step, double sim_ts_us,
+                  double sim_dur_us, uint64_t bytes, uint64_t msgs);
+
+// Scoped RAII phase timer. When tracing is disabled construction is one
+// relaxed load; nothing is recorded.
+class Span {
+ public:
+  Span(const char* name, const char* cat, int rank = 0, int step = -1) {
+    if (!Enabled()) return;
+    name_ = name;
+    cat_ = cat;
+    rank_ = rank;
+    step_ = step;
+    start_us_ = NowMicros();
+  }
+  ~Span() {
+    if (name_ == nullptr) return;
+    PushSpan(name_, cat_, rank_, step_, start_us_, NowMicros() - start_us_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  int rank_ = 0;
+  int step_ = -1;
+  double start_us_ = 0;
+};
+
+// Emits a span that ends now and lasted `dur_seconds`: the fit for call sites
+// that already meter a phase with util/Timer for SimClock::RecordCompute.
+inline void EmitSpanEndingNow(const char* name, const char* cat, int rank,
+                              int step, double dur_seconds) {
+  if (!Enabled()) return;
+  double end_us = NowMicros();
+  PushSpan(name, cat, rank, step, end_us - dur_seconds * 1e6,
+           dur_seconds * 1e6);
+}
+
+// All events across every thread ring, oldest first within each ring, sorted
+// by timestamp. Take at quiescence.
+std::vector<Event> SnapshotEvents();
+
+// Events lost to ring-buffer wrap-around since the last ResetAll().
+uint64_t DroppedEvents();
+
+// Clears spans, counters, and histograms (tests and back-to-back CLI runs).
+void ResetAll();
+
+#define MAZE_OBS_CONCAT_INNER_(a, b) a##b
+#define MAZE_OBS_CONCAT_(a, b) MAZE_OBS_CONCAT_INNER_(a, b)
+// Scoped phase span; compiles to nothing under -DMAZE_OBS_COMPILED_OUT.
+#if defined(MAZE_OBS_COMPILED_OUT)
+#define MAZE_OBS_SPAN(name, cat, ...) static_cast<void>(0)
+#else
+#define MAZE_OBS_SPAN(name, cat, ...) \
+  ::maze::obs::Span MAZE_OBS_CONCAT_(maze_obs_span_, __LINE__)(name, cat, ##__VA_ARGS__)
+#endif
+
+}  // namespace maze::obs
+
+#endif  // MAZE_OBS_OBS_H_

@@ -9,8 +9,11 @@
 #define MAZE_RT_EXCHANGE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/counters.h"
+#include "obs/obs.h"
 #include "rt/sim_clock.h"
 #include "util/check.h"
 
@@ -44,12 +47,16 @@ class Exchange {
 
   // Largest number of bytes buffered in any rank's outboxes right now; the memory
   // cost of "buffer all outgoing messages before sending" (Giraph, §6.1.3).
-  uint64_t MaxOutboxBytesPerRank() const {
+  // Takes the same per-record wire/resident size override Deliver() does, so
+  // engines that box messages (BSP) account memory and wire consistently.
+  uint64_t MaxOutboxBytesPerRank(double wire_bytes_per_record = sizeof(T)) const {
     uint64_t max_bytes = 0;
     for (int src = 0; src < num_ranks_; ++src) {
       uint64_t bytes = 0;
       for (int dst = 0; dst < num_ranks_; ++dst) {
-        bytes += out_[Index(src, dst)].size() * sizeof(T);
+        bytes += static_cast<uint64_t>(
+            static_cast<double>(out_[Index(src, dst)].size()) *
+            wire_bytes_per_record);
       }
       max_bytes = std::max(max_bytes, bytes);
     }
@@ -60,17 +67,25 @@ class Exchange {
   // cross-rank traffic: one message per non-empty (src, dst) pair and
   // `wire_bytes_per_record` per record (default: sizeof(T)).
   void Deliver(SimClock* clock, double wire_bytes_per_record = sizeof(T)) {
+    const bool observe = obs::Enabled();
     for (int src = 0; src < num_ranks_; ++src) {
       for (int dst = 0; dst < num_ranks_; ++dst) {
         auto& box = out_[Index(src, dst)];
-        if (clock != nullptr && !box.empty() && src != dst) {
-          clock->RecordSend(src, dst,
-                            static_cast<uint64_t>(static_cast<double>(box.size()) *
-                                                  wire_bytes_per_record),
-                            /*messages=*/1);
+        if (!box.empty() && src != dst) {
+          uint64_t bytes = static_cast<uint64_t>(
+              static_cast<double>(box.size()) * wire_bytes_per_record);
+          if (clock != nullptr) {
+            clock->RecordSend(src, dst, bytes, /*messages=*/1);
+          }
+          if (observe) ObserveDeliver(src, dst, box.size(), bytes);
         }
         in_[Index(src, dst)] = std::move(box);
         box.clear();
+      }
+    }
+    if (observe) {
+      for (int dst = 0; dst < num_ranks_; ++dst) {
+        obs::GetHistogram("exchange.inbox_depth").Record(InboundCount(dst));
       }
     }
   }
@@ -81,6 +96,15 @@ class Exchange {
   }
 
  private:
+  // Cold path: per-(src, dst) transport counters, only while tracing.
+  static void ObserveDeliver(int src, int dst, size_t records, uint64_t bytes) {
+    std::string pair =
+        "[" + std::to_string(src) + "->" + std::to_string(dst) + "]";
+    obs::GetCounter("exchange.bytes" + pair).Add(bytes);
+    obs::GetCounter("exchange.records" + pair).Add(records);
+    obs::GetHistogram("exchange.batch_records").Record(records);
+  }
+
   size_t Index(int src, int dst) const {
     MAZE_DCHECK(src >= 0 && src < num_ranks_);
     MAZE_DCHECK(dst >= 0 && dst < num_ranks_);

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/obs.h"
 #include "rt/comm_model.h"
 #include "rt/metrics.h"
 #include "util/check.h"
@@ -73,7 +74,8 @@ class SimClock {
   }
 
   // Registers `bytes` leaving `src` for `dst` in the current step. Same-rank
-  // traffic is free (it never crosses the network).
+  // traffic is free (it never crosses the network). With obs tracing enabled,
+  // feeds the per-(src, dst) byte/message counters and the send-size histogram.
   void RecordSend(int src, int dst, uint64_t bytes, uint64_t messages = 1) {
     MAZE_CHECK(src >= 0 && src < num_ranks_);
     MAZE_CHECK(dst >= 0 && dst < num_ranks_);
@@ -82,6 +84,7 @@ class SimClock {
     step_msgs_[src] += messages;
     metrics_.bytes_sent += bytes;
     metrics_.messages_sent += messages;
+    if (obs::Enabled()) ObserveSend(src, dst, bytes, messages);
   }
 
   // Records rank-resident memory (graph partition + engine buffers); the metric
@@ -115,6 +118,11 @@ class SimClock {
     step_msgs_.assign(num_ranks_, 0);
   }
 
+  // Cold paths of the obs hooks (sim_clock.cc), called only while tracing.
+  void ObserveSend(int src, int dst, uint64_t bytes, uint64_t messages);
+  void ObserveStep(double compute_max, double wire_max, double step_time,
+                   bool overlap_comm);
+
   int num_ranks_;
   CommModel model_;
   // Captured at construction so a run is internally consistent even if the
@@ -126,6 +134,7 @@ class SimClock {
   std::vector<uint64_t> step_msgs_;
   bool trace_enabled_ = false;
   std::vector<StepRecord> trace_;
+  int steps_ended_ = 0;
 };
 
 }  // namespace maze::rt

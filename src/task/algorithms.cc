@@ -6,6 +6,7 @@
 
 #include "native/cc.h"
 #include "native/cf.h"
+#include "obs/obs.h"
 #include "rt/sim_clock.h"
 #include "task/priority_worklist.h"
 #include "task/worklist.h"
@@ -48,7 +49,9 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
       next[v] = options.jump + (1.0 - options.jump) * sum;
     });
     std::swap(pr, next);
-    clock.RecordCompute(0, t.Seconds());
+    double seconds = t.Seconds();
+    clock.RecordCompute(0, seconds);
+    obs::EmitSpanEndingNow("pagerank_doall", "taskflow", 0, iter, seconds);
     clock.EndStep();
   }
 
@@ -87,7 +90,9 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
           }
         }
       });
-  clock.RecordCompute(0, t.Seconds());
+  double seconds = t.Seconds();
+  clock.RecordCompute(0, seconds);
+  obs::EmitSpanEndingNow("bfs_worklist", "taskflow", 0, levels, seconds);
   clock.EndStep();
 
   clock.RecordMemory(0, g.MemoryBytes() +
@@ -136,7 +141,9 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
     }
     if (local > 0) triangles.fetch_add(local, std::memory_order_relaxed);
   });
-  clock.RecordCompute(0, t.Seconds());
+  double seconds = t.Seconds();
+  clock.RecordCompute(0, seconds);
+  obs::EmitSpanEndingNow("intersect_doall", "taskflow", 0, /*step=*/0, seconds);
   clock.EndStep();
 
   clock.RecordMemory(0, g.MemoryBytes());
@@ -194,7 +201,9 @@ rt::ConnectedComponentsResult ConnectedComponents(
           }
         }
       });
-  clock.RecordCompute(0, t.Seconds());
+  double seconds = t.Seconds();
+  clock.RecordCompute(0, seconds);
+  obs::EmitSpanEndingNow("labelprop_worklist", "taskflow", 0, levels, seconds);
   clock.EndStep();
   (void)options;
 
@@ -259,7 +268,9 @@ rt::SsspResult Sssp(const WeightedGraph& g, const rt::SsspOptions& options,
           }
         }
       });
-  clock.RecordCompute(0, t.Seconds());
+  double seconds = t.Seconds();
+  clock.RecordCompute(0, seconds);
+  obs::EmitSpanEndingNow("delta_step_drain", "taskflow", 0, /*step=*/0, seconds);
   clock.EndStep();
 
   clock.RecordMemory(0, g.MemoryBytes() +

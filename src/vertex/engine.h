@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/graph.h"
+#include "obs/obs.h"
 #include "rt/algo.h"
 #include "rt/partition.h"
 #include "rt/sim_clock.h"
@@ -143,6 +144,7 @@ int SyncEngine<P>::Run(P* program, int max_supersteps) {
 
     // Process ranks one at a time: compute against `cur`, route into `next`.
     for (int p = 0; p < ranks; ++p) {
+      MAZE_OBS_SPAN("superstep", "vertexlab", p, superstep);
       Timer compute_timer;
       // Per-rank outbound state, local to this rank's turn (bounds memory to
       // O(n) regardless of rank count).
@@ -230,7 +232,10 @@ int SyncEngine<P>::Run(P* program, int max_supersteps) {
         }
       });
       any_compute_wants_more = any_compute_wants_more || rank_wants_more;
-      clock_.RecordCompute(p, compute_timer.Seconds());
+      double compute_seconds = compute_timer.Seconds();
+      clock_.RecordCompute(p, compute_seconds);
+      obs::EmitSpanEndingNow("compute", "vertexlab", p, superstep,
+                             compute_seconds);
 
       // Routing ("serialization + send" cost is also charged to the sender).
       Timer route_timer;
@@ -271,7 +276,9 @@ int SyncEngine<P>::Run(P* program, int max_supersteps) {
         }
       }
       wire_buffer_peak = std::max(wire_buffer_peak, rank_wire_bytes);
-      clock_.RecordCompute(p, route_timer.Seconds());
+      double route_seconds = route_timer.Seconds();
+      clock_.RecordCompute(p, route_seconds);
+      obs::EmitSpanEndingNow("route", "vertexlab", p, superstep, route_seconds);
     }
     // GraphLab streams messages in blocks, overlapping with computation.
     clock_.EndStep(/*overlap_comm=*/true);

@@ -117,6 +117,60 @@ TEST(CliTest, RunPageRankOnGeneratedFile) {
   std::remove(path.c_str());
 }
 
+TEST(CliTest, FlagEqualsValueSyntax) {
+  std::string path = TempPath("cli_eq.txt");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--kind=graph", "--scale=8", "--out=" + path},
+                  &out)
+                  .ok())
+      << out;
+  ASSERT_TRUE(RunCli({"run", "--algo=pagerank", "--engine=native",
+                   "--input=" + path, "--iterations=2"},
+                  &out)
+                  .ok())
+      << out;
+  EXPECT_NE(out.find("pagerank: 2 iterations"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, RunWithTraceWritesChromeTrace) {
+  std::string graph = TempPath("cli_trace_graph.txt");
+  std::string trace = TempPath("cli_trace.json");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--kind", "graph", "--scale", "8", "--out",
+                   graph},
+                  &out)
+                  .ok());
+  ASSERT_TRUE(RunCli({"run", "--algo", "pagerank", "--engine", "all", "--ranks",
+                   "2", "--iterations", "2", "--input", graph,
+                   "--trace=" + trace},
+                  &out)
+                  .ok())
+      << out;
+  EXPECT_NE(out.find("trace: wrote"), std::string::npos);
+
+  std::string json;
+  {
+    FILE* f = std::fopen(trace.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, n);
+    std::fclose(f);
+  }
+  // Spans from several engine families land in one trace, plus simulated wire
+  // spans on the synthetic pids.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"native\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"vertexlab\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"matblas\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"datalite\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"bspgraph\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":10000"), std::string::npos);
+  std::remove(graph.c_str());
+  std::remove(trace.c_str());
+}
+
 TEST(CliTest, RunNeedsInputOrDataset) {
   std::string out;
   Status s = RunCli({"run", "--algo", "bfs", "--engine", "native"}, &out);

@@ -53,6 +53,17 @@ TEST(ExchangeTest, MaxOutboxBytesPerRank) {
   EXPECT_EQ(ex.MaxOutboxBytesPerRank(), 12u);
 }
 
+TEST(ExchangeTest, MaxOutboxBytesPerRankHonorsWireBytesOverride) {
+  Exchange<uint32_t> ex(2);
+  ex.OutBox(0, 1) = {1, 2, 3};  // 3 records.
+  ex.OutBox(1, 0) = {1};
+  // The same per-record wire size Deliver() takes: boxed 28-byte messages make
+  // rank 0's buffered outbox 84 bytes, and fractional sizes truncate the same
+  // way Deliver charges them (3 * 1.5 = 4.5 -> 4).
+  EXPECT_EQ(ex.MaxOutboxBytesPerRank(28.0), 84u);
+  EXPECT_EQ(ex.MaxOutboxBytesPerRank(1.5), 4u);
+}
+
 TEST(ExchangeTest, ClearInboxes) {
   Exchange<int> ex(2);
   ex.OutBox(0, 1) = {1, 2};

@@ -1,0 +1,57 @@
+#include "rt/metrics.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace maze::rt {
+namespace {
+
+std::vector<std::string> Lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(StepTraceCsvTest, HeaderShape) {
+  std::string csv = StepTraceCsv({});
+  auto lines = Lines(csv);
+  ASSERT_EQ(lines.size(), 1u);  // Header only for an empty trace.
+  EXPECT_EQ(lines[0],
+            "step,compute_seconds,wire_seconds,bytes_sent,messages_sent,"
+            "overlapped");
+}
+
+TEST(StepTraceCsvTest, OneRowPerStep) {
+  std::vector<StepRecord> steps(5);
+  for (int i = 0; i < 5; ++i) steps[static_cast<size_t>(i)].step = i;
+  auto lines = Lines(StepTraceCsv(steps));
+  ASSERT_EQ(lines.size(), 6u);  // Header + 5 rows.
+  for (size_t i = 1; i < lines.size(); ++i) {
+    // Every row has the header's 6 columns.
+    size_t commas = 0;
+    for (char c : lines[i]) commas += c == ',';
+    EXPECT_EQ(commas, 5u) << lines[i];
+    EXPECT_EQ(lines[i].substr(0, 1), std::to_string(i - 1));
+  }
+}
+
+TEST(StepTraceCsvTest, OverlappedFlagRendersAsZeroOne) {
+  std::vector<StepRecord> steps = {
+      {0, 1.0, 0.5, 64, 1, true},
+      {1, 2.0, 0.0, 0, 0, false},
+  };
+  auto lines = Lines(StepTraceCsv(steps));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1].back(), '1');
+  EXPECT_EQ(lines[2].back(), '0');
+  EXPECT_EQ(lines[1], "0,1,0.5,64,1,1");
+  EXPECT_EQ(lines[2], "1,2,0,0,0,0");
+}
+
+}  // namespace
+}  // namespace maze::rt

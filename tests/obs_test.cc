@@ -1,0 +1,307 @@
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/counters.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "util/thread_pool.h"
+
+namespace maze::obs {
+namespace {
+
+// Each TEST runs in its own process (gtest_discover_tests), but tests within
+// one suite share the process-global registries; reset defensively.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(false);
+    ResetAll();
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    ResetAll();
+  }
+};
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  {
+    MAZE_OBS_SPAN("idle", "test", 0, 0);
+  }
+  EmitSpanEndingNow("idle2", "test", 0, 0, 0.001);
+  EXPECT_TRUE(SnapshotEvents().empty());
+}
+
+TEST_F(ObsTest, SpanRoundTrip) {
+  SetEnabled(true);
+  {
+    MAZE_OBS_SPAN("work", "test", 3, 7);
+  }
+  EmitSpanEndingNow("late", "test", 1, 2, 0.0005);
+  SetEnabled(false);
+  auto events = SnapshotEvents();
+  ASSERT_EQ(events.size(), 2u);
+  bool saw_work = false;
+  bool saw_late = false;
+  for (const Event& e : events) {
+    if (std::string(e.name) == "work") {
+      saw_work = true;
+      EXPECT_EQ(e.rank, 3);
+      EXPECT_EQ(e.step, 7);
+      EXPECT_GE(e.dur_us, 0.0);
+    }
+    if (std::string(e.name) == "late") {
+      saw_late = true;
+      EXPECT_EQ(e.rank, 1);
+      EXPECT_NEAR(e.dur_us, 500.0, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_work);
+  EXPECT_TRUE(saw_late);
+}
+
+TEST_F(ObsTest, CounterAtomicUnderContention) {
+  Counter& c = GetCounter("test.contended");
+  constexpr uint64_t kPerSlot = 1000;
+  constexpr uint64_t kSlots = 64;
+  ParallelFor(kSlots, 1, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t s = lo; s < hi; ++s) {
+      for (uint64_t i = 0; i < kPerSlot; ++i) c.Add(1);
+    }
+  });
+  EXPECT_EQ(c.value(), kSlots * kPerSlot);
+}
+
+TEST_F(ObsTest, HistogramExactBelowEight) {
+  // Values below 8 land in exact unit buckets: recorded == reported.
+  Histogram& h = GetHistogram("test.small");
+  for (uint64_t v = 0; v < 8; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.Percentile(1), 0u);
+  EXPECT_EQ(h.Percentile(100), 7u);
+  EXPECT_EQ(h.max(), 7u);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  // Log-linear buckets with 8 sub-buckets per power of two: 1000 and 1023
+  // share the [960, 1023] bucket, whose inclusive upper bound is 1023; 1024
+  // starts the next power's first bucket [1024, 1151].
+  EXPECT_EQ(Histogram::BucketIndex(1000), Histogram::BucketIndex(1023));
+  EXPECT_NE(Histogram::BucketIndex(1023), Histogram::BucketIndex(1024));
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::BucketIndex(1023)), 1023u);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::BucketIndex(1024)), 1151u);
+
+  // Relative error of the reported bound stays under 12.5% (1/8).
+  for (uint64_t v : {9u, 100u, 1000u, 65537u, 1000000u}) {
+    uint64_t bound = Histogram::BucketUpperBound(Histogram::BucketIndex(v));
+    EXPECT_GE(bound, v);
+    EXPECT_LE(static_cast<double>(bound - v), 0.125 * static_cast<double>(v));
+  }
+}
+
+TEST_F(ObsTest, HistogramPercentilesNearestRank) {
+  Histogram& h = GetHistogram("test.pct");
+  // 100 samples of 10, one of 1000: p50/p95 report 10's bucket bound, p99 is
+  // still in the bulk, p100 (max) catches the outlier's bucket.
+  for (int i = 0; i < 100; ++i) h.Record(10);
+  h.Record(1000);
+  EXPECT_EQ(h.P50(), 10u);
+  EXPECT_EQ(h.P95(), 10u);
+  EXPECT_EQ(h.P99(), 10u);
+  EXPECT_EQ(h.Percentile(100), 1023u);  // Bucket bound covering 1000.
+  EXPECT_EQ(h.max(), 1000u);            // Exact max tracked separately.
+}
+
+TEST_F(ObsTest, HistogramConcurrentRecords) {
+  Histogram& h = GetHistogram("test.mt");
+  constexpr uint64_t kRecords = 20000;
+  ParallelFor(kRecords, 64, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) h.Record(i % 128);
+  });
+  EXPECT_EQ(h.count(), kRecords);
+}
+
+// --- Chrome trace JSON shape ---------------------------------------------------
+//
+// A minimal recursive-descent JSON validator: enough to prove the export is
+// well-formed without a JSON library dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const char* lit) {
+    size_t len = std::string(lit).size();
+    if (s_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST_F(ObsTest, ChromeTraceJsonIsValidWithBalancedAsyncEvents) {
+  SetEnabled(true);
+  EmitSpanEndingNow("compute", "native", 0, 0, 0.001);
+  EmitSpanEndingNow("compute", "native", 1, 0, 0.002);
+  PushWireSpan("wire", 0, 0, /*sim_ts_us=*/100.0, /*sim_dur_us=*/50.0,
+               /*bytes=*/4096, /*msgs=*/2);
+  PushWireSpan("wire", 1, 1, /*sim_ts_us=*/200.0, /*sim_dur_us=*/75.0,
+               /*bytes=*/8192, /*msgs=*/3);
+  GetCounter("test.bytes").Add(4096);
+  GetHistogram("test.sizes").Record(512);
+  SetEnabled(false);
+
+  std::string json = ChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+
+  // Every async begin has a matching end (same count; the exporter writes the
+  // pair from a single wire record, so ids always match up).
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"b\""), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"e\""), 2u);
+  // Complete spans and process-name metadata are present.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 2u);
+  EXPECT_GE(CountOccurrences(json, "process_name"), 2u);
+  // Wire spans render on the synthetic simulated-rank pids.
+  EXPECT_NE(json.find("\"pid\":10000"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":10001"), std::string::npos);
+  // Counters and histograms ride along in otherData.
+  EXPECT_NE(json.find("test.bytes"), std::string::npos);
+  EXPECT_NE(json.find("test.sizes"), std::string::npos);
+}
+
+TEST_F(ObsTest, SummaryTextListsSpansCountersHistograms) {
+  SetEnabled(true);
+  EmitSpanEndingNow("gather", "native", 0, 0, 0.002);
+  GetCounter("wire.bytes[0->1]").Add(1024);
+  GetHistogram("exchange.batch_records").Record(33);
+  SetEnabled(false);
+  std::string text = SummaryText();
+  EXPECT_NE(text.find("gather"), std::string::npos);
+  EXPECT_NE(text.find("wire.bytes[0->1]"), std::string::npos);
+  EXPECT_NE(text.find("exchange.batch_records"), std::string::npos);
+}
+
+TEST_F(ObsTest, ResetAllClearsEverything) {
+  SetEnabled(true);
+  EmitSpanEndingNow("x", "t", 0, 0, 0.001);
+  GetCounter("test.c").Add(5);
+  GetHistogram("test.h").Record(5);
+  SetEnabled(false);
+  ResetAll();
+  EXPECT_TRUE(SnapshotEvents().empty());
+  EXPECT_EQ(GetCounter("test.c").value(), 0u);
+  EXPECT_EQ(GetHistogram("test.h").count(), 0u);
+}
+
+}  // namespace
+}  // namespace maze::obs
