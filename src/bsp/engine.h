@@ -33,6 +33,7 @@
 #include "obs/obs.h"
 #include "rt/algo.h"
 #include "rt/partition.h"
+#include "rt/rank_exec.h"
 #include "rt/sim_clock.h"
 #include "util/bitvector.h"
 #include "util/check.h"
@@ -186,9 +187,10 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
     uint64_t next_inbox_bytes = 0;
 
     for (int phase = 0; phase < phases; ++phase) {
-      for (int p = 0; p < ranks; ++p) {
+      rt::RankTurns turns;
+      auto run_rank = [&](int p) {
         MAZE_OBS_SPAN("superstep", "bspgraph", p, superstep);
-        Timer t;
+        rt::RankTimer t;
         // Phased mode: drain arrived messages before this mini-step's sends.
         if (phases > 1) live_inbox_bytes -= drain_rank(p);
 
@@ -196,6 +198,7 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
         // full-superstep buffering the paper criticizes).
         std::vector<std::pair<VertexId, std::unique_ptr<Message>>> outbox;
         std::mutex mu;
+        bool rank_more = false;
         ParallelFor(part_.Size(p), 64, [&](uint64_t lo, uint64_t hi) {
           BspContext<Message> ctx;
           ctx.superstep_ = superstep;
@@ -224,7 +227,7 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
             }
           }
           std::lock_guard<std::mutex> lock(mu);
-          wants_more = wants_more || local_more;
+          rank_more = rank_more || local_more;
           for (auto& e : local) outbox.push_back(std::move(e));
         });
         double compute_seconds = t.Seconds();
@@ -232,37 +235,51 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
         obs::EmitSpanEndingNow("compute", "bspgraph", p, superstep,
                                compute_seconds);
 
-        uint64_t outbox_bytes = outbox.size() * BoxedBytes();
-        peak_buffer_bytes_ =
-            std::max(peak_buffer_bytes_,
-                     outbox_bytes + live_inbox_bytes + next_inbox_bytes);
+        // Flush: charge the wire and deliver. Runs in rank order under the
+        // turnstile — it mutates superstep-shared buffers and accounting.
+        turns.Run(p, [&] {
+          wants_more = wants_more || rank_more;
+          uint64_t outbox_bytes = outbox.size() * BoxedBytes();
+          peak_buffer_bytes_ =
+              std::max(peak_buffer_bytes_,
+                       outbox_bytes + live_inbox_bytes + next_inbox_bytes);
 
-        // Flush: charge the wire and deliver.
-        Timer deliver_timer;
-        if (obs::Enabled()) {
-          obs::GetHistogram("bspgraph.outbox_messages").Record(outbox.size());
-          obs::GetHistogram("bspgraph.outbox_bytes").Record(outbox_bytes);
-        }
-        std::vector<uint64_t> bytes_to(ranks, 0);
-        for (auto& [dst, m] : outbox) {
-          int q = ranks == 1 ? 0 : part_.OwnerOf(dst);
-          bytes_to[q] += 12 + program->MessageWireBytes(*m);
-          if (phases == 1) {
-            next_inbox_bytes += BoxedBytes();
-            next_has.Set(dst);
-            next_inbox[dst].push_back(std::move(m));
-          } else {
-            live_inbox_bytes += BoxedBytes();
-            has_msg.Set(dst);
-            inbox[dst].push_back(std::move(m));
+          rt::RankTimer deliver_timer;
+          if (obs::Enabled()) {
+            obs::GetHistogram("bspgraph.outbox_messages").Record(outbox.size());
+            obs::GetHistogram("bspgraph.outbox_bytes").Record(outbox_bytes);
           }
-          ++messages_sent_this_superstep;
-        }
-        for (int q = 0; q < ranks; ++q) {
-          if (q != p && bytes_to[q] > 0) clock_.RecordSend(p, q, bytes_to[q], 1);
-        }
-        obs::EmitSpanEndingNow("deliver", "bspgraph", p, superstep,
-                               deliver_timer.Seconds());
+          std::vector<uint64_t> bytes_to(ranks, 0);
+          for (auto& [dst, m] : outbox) {
+            int q = ranks == 1 ? 0 : part_.OwnerOf(dst);
+            bytes_to[q] += 12 + program->MessageWireBytes(*m);
+            if (phases == 1) {
+              next_inbox_bytes += BoxedBytes();
+              next_has.Set(dst);
+              next_inbox[dst].push_back(std::move(m));
+            } else {
+              live_inbox_bytes += BoxedBytes();
+              has_msg.Set(dst);
+              inbox[dst].push_back(std::move(m));
+            }
+            ++messages_sent_this_superstep;
+          }
+          for (int q = 0; q < ranks; ++q) {
+            if (q != p && bytes_to[q] > 0) {
+              clock_.RecordSend(p, q, bytes_to[q], 1);
+            }
+          }
+          obs::EmitSpanEndingNow("deliver", "bspgraph", p, superstep,
+                                 deliver_timer.Seconds());
+        });
+      };
+      if (phases > 1) {
+        // Phased supersteps pipeline messages *within* a superstep: a later
+        // rank must observe earlier ranks' same-phase sends (and drain them),
+        // so the schedule stays serial by construction.
+        for (int p = 0; p < ranks; ++p) run_rank(p);
+      } else {
+        rt::ForEachRank(ranks, run_rank);
       }
       // Each mini-step is a (finer-grained) global synchronization.
       clock_.EndStep(/*overlap_comm=*/false);

@@ -8,6 +8,7 @@
 #include "datalog/table.h"
 #include "native/cc.h"
 #include "native/cf.h"
+#include "rt/rank_exec.h"
 #include "util/bitvector.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -104,14 +105,15 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
             }
           });
     }
-    // First rule (the constant term) is a shard-local dense update.
-    for (int p = 0; p < rt.num_ranks(); ++p) {
-      Timer t;
+    // First rule (the constant term) is a shard-local dense update; shards are
+    // disjoint so ranks run concurrently.
+    rt::ForEachRank(rt.num_ranks(), [&](int p) {
+      rt::RankTimer t;
       for (VertexId v = rt.shard().Begin(p); v < rt.shard().End(p); ++v) {
         rank[v] = options.jump + sum[v];
       }
       rt.clock()->RecordCompute(p, t.Seconds());
-    }
+    });
     rt.clock()->EndStep(false);
   }
 
@@ -207,9 +209,12 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
     }
   }
 
-  uint64_t triangles = 0;
-  for (int p = 0; p < ranks; ++p) {
-    Timer t;
+  // Rank-parallel: the edge table is read-only; each rank counts into its own
+  // slot, summed in rank order below.
+  std::vector<uint64_t> rank_triangles(ranks, 0);
+  rt::ForEachRank(ranks, [&](int p) {
+    rt::RankTimer t;
+    uint64_t triangles = 0;
     std::mutex mu;
     ParallelFor(rt.shard().Size(p), 32, [&](uint64_t lo, uint64_t hi) {
       uint64_t local = 0;
@@ -228,10 +233,13 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
       std::lock_guard<std::mutex> lock(mu);
       triangles += local;
     });
+    rank_triangles[p] = triangles;
     rt.clock()->RecordCompute(p, t.Seconds());
     // $INC combination: one counter tuple per rank to the head's shard (rank 0).
     if (p != 0) rt.ChargeTuples(p, 0, 1, 16);
-  }
+  });
+  uint64_t triangles = 0;
+  for (int p = 0; p < ranks; ++p) triangles += rank_triangles[p];
   rt.clock()->EndStep(false);
 
   rt.clock()->RecordMemory(0, edges.MemoryBytes() / std::max(1, ranks) * 2);
@@ -315,9 +323,11 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
       }
     }
 
-    // Local joins: user pass over RATING, item pass over RATING_T.
-    for (int p = 0; p < ranks; ++p) {
-      Timer t;
+    // Local joins: user pass over RATING, item pass over RATING_T. Ranks run
+    // concurrently: both passes read iteration-start snapshots and write only
+    // the rank's owned factor rows.
+    rt::ForEachRank(ranks, [&](int p) {
+      rt::RankTimer t;
       ParallelFor(rt.shard().Size(p), 32, [&](uint64_t lo, uint64_t hi) {
         std::vector<double> grad(k);
         for (VertexId u = rt.shard().Begin(p) + static_cast<VertexId>(lo);
@@ -369,7 +379,7 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
         }
       });
       rt.clock()->RecordCompute(p, t.Seconds());
-    }
+    });
     rt.clock()->EndStep(false);
     gamma *= options.step_decay;
     result.rmse_per_iteration.push_back(

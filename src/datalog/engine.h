@@ -29,6 +29,7 @@
 #include "obs/obs.h"
 #include "rt/algo.h"
 #include "rt/partition.h"
+#include "rt/rank_exec.h"
 #include "rt/sim_clock.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -110,20 +111,21 @@ namespace internal {
 
 // Shared body-evaluation machinery: runs `per_key` over the given keys of rank
 // p's shard in parallel, merging emitted head tuples into (acc, touched) and the
-// per-destination tuple counters.
+// per-destination tuple counters. `merge_mu` guards (acc, touched); it is shared
+// across all ranks of a rule pass because rank bodies evaluate concurrently.
 template <typename V, typename Agg>
 void RunBodyForRank(
-    Runtime* rt, int p, const std::vector<int64_t>& keys, std::vector<V>* acc,
-    std::vector<bool>* touched, std::vector<uint64_t>* tuples_to,
+    Runtime* rt, int p, const std::vector<int64_t>& keys, std::mutex* merge_mu,
+    std::vector<V>* acc, std::vector<bool>* touched,
+    std::vector<uint64_t>* tuples_to,
     const std::function<void(int64_t key,
                              const std::function<void(int64_t, V)>& emit)>&
         per_key) {
-  std::mutex mu;
   ParallelFor(keys.size(), 32, [&](uint64_t lo, uint64_t hi) {
     std::vector<std::pair<int64_t, V>> local;
     auto emit = [&](int64_t key, V value) { local.emplace_back(key, value); };
     for (uint64_t i = lo; i < hi; ++i) per_key(keys[i], emit);
-    std::lock_guard<std::mutex> lock(mu);
+    std::lock_guard<std::mutex> lock(*merge_mu);
     for (auto& [key, value] : local) {
       MAZE_DCHECK(key >= 0 && key < static_cast<int64_t>(acc->size()));
       if ((*touched)[key]) {
@@ -163,21 +165,24 @@ size_t EvaluateRule(
   std::vector<V> acc(head->size(), Agg::Identity());
   std::vector<bool> touched(head->size(), false);
 
-  for (int p = 0; p < ranks; ++p) {
-    Timer t;
+  // Rank shards evaluate concurrently, merging into the shared accumulator
+  // under one mutex (SociaLite's shared-memory aggregation step).
+  std::mutex merge_mu;
+  rt::ForEachRank(ranks, [&](int p) {
+    rt::RankTimer t;
     std::vector<int64_t> keys;
     keys.reserve(rt->shard().Size(p));
     for (VertexId k = rt->shard().Begin(p); k < rt->shard().End(p); ++k) {
       keys.push_back(k);
     }
     std::vector<uint64_t> tuples_to(ranks, 0);
-    internal::RunBodyForRank<V, Agg>(rt, p, keys, &acc, &touched, &tuples_to,
-                                     per_key);
+    internal::RunBodyForRank<V, Agg>(rt, p, keys, &merge_mu, &acc, &touched,
+                                     &tuples_to, per_key);
     internal::ChargeAll(rt, p, tuples_to, bytes_per_tuple);
     double seconds = t.Seconds();
     rt->clock()->RecordCompute(p, seconds);
     obs::EmitSpanEndingNow("rule_body", "datalite", p, /*step=*/0, seconds);
-  }
+  });
 
   size_t changed = 0;
   for (size_t k = 0; k < head->size(); ++k) {
@@ -212,16 +217,17 @@ int SemiNaiveFixpoint(
     std::vector<V> acc(head->size(), Agg::Identity());
     std::vector<bool> touched(head->size(), false);
 
-    for (int p = 0; p < ranks; ++p) {
+    std::mutex merge_mu;
+    rt::ForEachRank(ranks, [&](int p) {
       std::vector<int64_t> mine;
       for (int64_t key : delta) {
         if (rt->OwnerOf(key) == p) mine.push_back(key);
       }
-      if (mine.empty()) continue;
-      Timer t;
+      if (mine.empty()) return;
+      rt::RankTimer t;
       std::vector<uint64_t> tuples_to(ranks, 0);
       internal::RunBodyForRank<V, Agg>(
-          rt, p, mine, &acc, &touched, &tuples_to,
+          rt, p, mine, &merge_mu, &acc, &touched, &tuples_to,
           [&](int64_t key, const std::function<void(int64_t, V)>& emit) {
             expand(key, (*head)[key], emit);
           });
@@ -229,7 +235,7 @@ int SemiNaiveFixpoint(
       double seconds = t.Seconds();
       rt->clock()->RecordCompute(p, seconds);
       obs::EmitSpanEndingNow("delta_join", "datalite", p, rounds - 1, seconds);
-    }
+    });
 
     std::vector<int64_t> next_delta;
     for (size_t k = 0; k < head->size(); ++k) {

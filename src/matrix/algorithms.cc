@@ -11,6 +11,7 @@
 #include "native/cc.h"
 #include "native/cf.h"
 #include "obs/obs.h"
+#include "rt/rank_exec.h"
 #include "rt/sim_clock.h"
 #include "util/bitvector.h"
 #include "util/codec.h"
@@ -62,10 +63,11 @@ rt::PageRankResult PageRank(const EdgeList& edges,
 
   using SR = PlusTimes<double>;
   for (int iter = 0; iter < options.iterations; ++iter) {
-    // Dense op on the diagonal ranks: contrib = pr ./ d.
+    // Dense op on the diagonal ranks: contrib = pr ./ d. Diagonal ranks own
+    // disjoint vector segments, so they run concurrently.
     int side = m.grid().side;
-    for (int d = 0; d < side; ++d) {
-      Timer t;
+    rt::ForEachRank(side, [&](int d) {
+      rt::RankTimer t;
       VertexId b = m.RangeBegin(d);
       VertexId e = m.RangeEnd(d);
       ParallelFor(e - b, 2048, [&](uint64_t lo, uint64_t hi) {
@@ -80,29 +82,32 @@ rt::PageRankResult PageRank(const EdgeList& edges,
       clock.RecordCompute(m.grid().RankOf(d, d), seconds);
       obs::EmitSpanEndingNow("contrib", "matblas", m.grid().RankOf(d, d), iter,
                              seconds);
-    }
+    });
 
     std::fill(y.begin(), y.end(), SR::Zero());
-    // Tile SpMV: y[dst] += sum contrib[src] over each rank's tile (gather form,
-    // race-free because ranks execute sequentially and tiles partition rows
-    // within a grid row by column — rows are shared across a grid row, so
-    // accumulate tile-by-tile).
-    for (int rank = 0; rank < m.num_ranks(); ++rank) {
-      const Tile& tile = m.tile(rank);
-      Timer t;
-      ParallelFor(tile.num_rows(), 256, [&](uint64_t lo, uint64_t hi) {
-        for (VertexId r = static_cast<VertexId>(lo); r < hi; ++r) {
-          double sum = SR::Zero();
-          for (EdgeId e = tile.offsets[r]; e < tile.offsets[r + 1]; ++e) {
-            sum = SR::Add(sum, SR::Multiply(contrib[tile.sources[e]], 1.0));
+    // Tile SpMV: y[dst] += sum contrib[src]. Tiles in one grid row share their
+    // destination rows, so grid rows run concurrently while the tiles within a
+    // row accumulate in column order — the same tile-by-tile order as the
+    // serial schedule, keeping the floating-point sums bit-identical.
+    rt::ForEachRank(side, [&](int i) {
+      for (int j = 0; j < side; ++j) {
+        int rank = m.grid().RankOf(i, j);
+        const Tile& tile = m.tile(rank);
+        rt::RankTimer t;
+        ParallelFor(tile.num_rows(), 256, [&](uint64_t lo, uint64_t hi) {
+          for (VertexId r = static_cast<VertexId>(lo); r < hi; ++r) {
+            double sum = SR::Zero();
+            for (EdgeId e = tile.offsets[r]; e < tile.offsets[r + 1]; ++e) {
+              sum = SR::Add(sum, SR::Multiply(contrib[tile.sources[e]], 1.0));
+            }
+            y[tile.row_begin + r] += sum;
           }
-          y[tile.row_begin + r] += sum;
-        }
-      });
-      double seconds = t.Seconds();
-      clock.RecordCompute(rank, seconds);
-      obs::EmitSpanEndingNow("spmv", "matblas", rank, iter, seconds);
-    }
+        });
+        double seconds = t.Seconds();
+        clock.RecordCompute(rank, seconds);
+        obs::EmitSpanEndingNow("spmv", "matblas", rank, iter, seconds);
+      }
+    });
     ChargeSpmvComm(m, &clock, sizeof(double));
 
     for (VertexId v = 0; v < n; ++v) {
@@ -141,9 +146,11 @@ rt::BfsResult Bfs(const EdgeList& edges, const rt::BfsOptions& options,
     Bitvector next(n);
     // v = A^T s over the Bool semiring, masked by !visited: per tile, a local
     // destination row joins the next frontier if any of its sources is in s.
-    for (int rank = 0; rank < m.num_ranks(); ++rank) {
+    // Tiles only read the frontier/visited bitsets and set `next` atomically,
+    // so every rank runs concurrently.
+    rt::ForEachRank(m.num_ranks(), [&](int rank) {
       const Tile& tile = m.tile(rank);
-      Timer t;
+      rt::RankTimer t;
       ParallelFor(tile.num_rows(), 256, [&](uint64_t lo, uint64_t hi) {
         for (VertexId r = static_cast<VertexId>(lo); r < hi; ++r) {
           VertexId dst = tile.row_begin + r;
@@ -161,7 +168,7 @@ rt::BfsResult Bfs(const EdgeList& edges, const rt::BfsOptions& options,
       clock.RecordCompute(rank, seconds);
       obs::EmitSpanEndingNow("frontier_spmv", "matblas", rank,
                              static_cast<int>(level), seconds);
-    }
+    });
     // Frontier exchange: the sparse vector (id, parent) pairs of the CombBLAS
     // formulation — 8 bytes per discovered vertex, replicated along the grid.
     // With the §6.2 recommendation applied, each segment is delta/bitvector
@@ -236,10 +243,12 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
   // The abstraction cannot fuse these: every entry of A^2 is materialized and its
   // storage charged, which is exactly why CombBLAS runs out of memory on the
   // real-world inputs (Section 5.2).
-  uint64_t triangles = 0;
-  uint64_t a2_nnz_total = 0;
-  for (int p = 0; p < ranks; ++p) {
-    Timer t;
+  // Per-rank result slots; summed in rank order after the parallel region so
+  // the totals do not depend on rank completion order.
+  std::vector<uint64_t> rank_triangles_of(ranks, 0);
+  std::vector<uint64_t> rank_a2_nnz_of(ranks, 0);
+  rt::ForEachRank(ranks, [&](int p) {
+    rt::RankTimer t;
     std::mutex mu;
     uint64_t rank_triangles = 0;
     uint64_t rank_a2_nnz = 0;
@@ -283,8 +292,14 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
     double seconds = t.Seconds();
     clock.RecordCompute(p, seconds);
     obs::EmitSpanEndingNow("spgemm", "matblas", p, /*step=*/0, seconds);
-    triangles += rank_triangles;
-    a2_nnz_total += rank_a2_nnz;
+    rank_triangles_of[p] = rank_triangles;
+    rank_a2_nnz_of[p] = rank_a2_nnz;
+  });
+  uint64_t triangles = 0;
+  uint64_t a2_nnz_total = 0;
+  for (int p = 0; p < ranks; ++p) {
+    triangles += rank_triangles_of[p];
+    a2_nnz_total += rank_a2_nnz_of[p];
   }
   clock.EndStep(/*overlap_comm=*/false);
 
@@ -363,8 +378,10 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
     // nonzeros per latent dimension, per side. The abstraction cannot fuse the
     // K passes, which is exactly the expressibility cost the paper attributes
     // to CombBLAS on this algorithm.
-    for (int p = 0; p < ranks; ++p) {
-      Timer t;
+    // Ranks own disjoint user/item row ranges and read the old-factor
+    // snapshots, so they run concurrently.
+    rt::ForEachRank(ranks, [&](int p) {
+      rt::RankTimer t;
       ParallelFor(user_part.Size(p), 64, [&](uint64_t lo, uint64_t hi) {
         for (VertexId u = user_part.Begin(p) + static_cast<VertexId>(lo);
              u < user_part.Begin(p) + static_cast<VertexId>(hi); ++u) {
@@ -427,7 +444,7 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
       double seconds = t.Seconds();
       clock.RecordCompute(p, seconds);
       obs::EmitSpanEndingNow("gradient_spmv", "matblas", p, iter, seconds);
-    }
+    });
     clock.EndStep(/*overlap_comm=*/false);
     gamma *= options.step_decay;
     result.rmse_per_iteration.push_back(
@@ -461,35 +478,45 @@ rt::ConnectedComponentsResult ConnectedComponents(
   // minimum of its sources\' labels — a semiring SpMV with Add = Multiply = min.
   int rounds = 0;
   bool changed = true;
+  int side = m.grid().side;
   while (changed && rounds < options.max_iterations) {
-    changed = false;
     ++rounds;
     std::vector<VertexId> next = result.label;
-    for (int rank = 0; rank < m.num_ranks(); ++rank) {
-      const Tile& tile = m.tile(rank);
-      Timer t;
-      std::atomic<bool> tile_changed{false};
-      ParallelFor(tile.num_rows(), 256, [&](uint64_t lo, uint64_t hi) {
-        bool local_changed = false;
-        for (VertexId r = static_cast<VertexId>(lo); r < hi; ++r) {
-          VertexId dst = tile.row_begin + r;
-          VertexId best = next[dst];
-          for (EdgeId e = tile.offsets[r]; e < tile.offsets[r + 1]; ++e) {
-            best = std::min(best, result.label[tile.sources[e]]);
+    // Tiles in one grid row share destination rows of `next`, so grid rows run
+    // concurrently with the row's tiles applied in column order (min is
+    // order-insensitive, but this also keeps writes race-free).
+    std::atomic<bool> any_changed{false};
+    rt::ForEachRank(side, [&](int i) {
+      for (int j = 0; j < side; ++j) {
+        int rank = m.grid().RankOf(i, j);
+        const Tile& tile = m.tile(rank);
+        rt::RankTimer t;
+        std::atomic<bool> tile_changed{false};
+        ParallelFor(tile.num_rows(), 256, [&](uint64_t lo, uint64_t hi) {
+          bool local_changed = false;
+          for (VertexId r = static_cast<VertexId>(lo); r < hi; ++r) {
+            VertexId dst = tile.row_begin + r;
+            VertexId best = next[dst];
+            for (EdgeId e = tile.offsets[r]; e < tile.offsets[r + 1]; ++e) {
+              best = std::min(best, result.label[tile.sources[e]]);
+            }
+            if (best < next[dst]) {
+              next[dst] = best;
+              local_changed = true;
+            }
           }
-          if (best < next[dst]) {
-            next[dst] = best;
-            local_changed = true;
-          }
+          if (local_changed) tile_changed.store(true, std::memory_order_relaxed);
+        });
+        double seconds = t.Seconds();
+        clock.RecordCompute(rank, seconds);
+        obs::EmitSpanEndingNow("minlabel_spmv", "matblas", rank, rounds - 1,
+                               seconds);
+        if (tile_changed.load()) {
+          any_changed.store(true, std::memory_order_relaxed);
         }
-        if (local_changed) tile_changed.store(true, std::memory_order_relaxed);
-      });
-      double seconds = t.Seconds();
-      clock.RecordCompute(rank, seconds);
-      obs::EmitSpanEndingNow("minlabel_spmv", "matblas", rank, rounds - 1,
-                             seconds);
-      changed = changed || tile_changed.load();
-    }
+      }
+    });
+    changed = any_changed.load();
     ChargeSpmvComm(m, &clock, sizeof(VertexId) + 4.0);
     clock.EndStep(false);
     result.label = std::move(next);

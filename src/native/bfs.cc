@@ -7,6 +7,7 @@
 
 #include "obs/obs.h"
 #include "rt/partition.h"
+#include "rt/rank_exec.h"
 #include "rt/sim_clock.h"
 #include "util/bitvector.h"
 #include "util/check.h"
@@ -113,8 +114,10 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
       for (const auto& f : frontier) {
         for (VertexId u : f) in_frontier.Set(u);
       }
-      for (int p = 0; p < ranks; ++p) {
-        Timer t;
+      // Rank-parallel: each rank claims only vertices it owns, so claims,
+      // distances, and next-frontier lists never cross rank tasks.
+      rt::ForEachRank(ranks, [&](int p) {
+        rt::RankTimer t;
         std::mutex merge_mu;
         auto& next = next_frontier[p];
         ParallelFor(part.Size(p), 512, [&](uint64_t lo, uint64_t hi) {
@@ -141,7 +144,7 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
         clock.RecordCompute(p, seconds);
         obs::EmitSpanEndingNow("bottom_up", "native", p,
                                static_cast<int>(level), seconds);
-      }
+      });
       // Bottom-up needs every rank to know the whole frontier: broadcast the
       // (compressed) frontier of each rank to all others.
       if (ranks > 1) {
@@ -165,8 +168,10 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
       // are batched per destination rank.
       std::vector<std::vector<std::vector<VertexId>>> remote(
           ranks, std::vector<std::vector<VertexId>>(ranks));
-      for (int p = 0; p < ranks; ++p) {
-        Timer t;
+      // Rank-parallel: a rank claims only owned neighbors (q == p) and batches
+      // the rest into its private remote[p] rows.
+      rt::ForEachRank(ranks, [&](int p) {
+        rt::RankTimer t;
         const auto& f = frontier[p];
         std::mutex merge_mu;
         ParallelFor(f.size(), 64, [&](uint64_t lo, uint64_t hi) {
@@ -203,19 +208,21 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
         clock.RecordCompute(p, seconds);
         obs::EmitSpanEndingNow("top_down", "native", p,
                                static_cast<int>(level), seconds);
-      }
+      });
 
       if (ranks > 1) {
         // Wire: candidates to their owners, compressed if enabled (the encoding
-        // cost is real CPU and is charged to the sender).
-        for (int p = 0; p < ranks; ++p) {
+        // cost is real CPU and is charged to the sender). Senders are
+        // independent; the per-rank buffer sizes are folded after the barrier.
+        std::vector<uint64_t> rank_buffer_of(ranks, 0);
+        rt::ForEachRank(ranks, [&](int p) {
           uint64_t rank_buffer = 0;
           for (int q = 0; q < ranks; ++q) {
             auto& ids = remote[p][q];
             if (ids.empty()) continue;
             uint64_t bytes;
             if (native.compress_messages) {
-              Timer enc_timer;
+              rt::RankTimer enc_timer;
               std::vector<uint8_t> enc;
               EncodeIdsBest(ids, &enc);
               bytes = enc.size();
@@ -229,11 +236,15 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
             clock.RecordSend(p, q, bytes, 1);
             rank_buffer += bytes;
           }
-          buffer_peak = std::max(buffer_peak, rank_buffer);
+          rank_buffer_of[p] = rank_buffer;
+        });
+        for (int p = 0; p < ranks; ++p) {
+          buffer_peak = std::max(buffer_peak, rank_buffer_of[p]);
         }
-        // Receivers integrate remote candidates.
-        for (int q = 0; q < ranks; ++q) {
-          Timer t;
+        // Receivers integrate remote candidates, each over its own inbound
+        // batches in sender order (claims touch only owned vertices).
+        rt::ForEachRank(ranks, [&](int q) {
+          rt::RankTimer t;
           for (int p = 0; p < ranks; ++p) {
             for (VertexId v : remote[p][q]) {
               if (visited.Claim(v, level + 1)) {
@@ -246,7 +257,7 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
           clock.RecordCompute(q, seconds);
           obs::EmitSpanEndingNow("integrate_remote", "native", q,
                                  static_cast<int>(level), seconds);
-        }
+        });
       }
     }
 

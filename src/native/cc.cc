@@ -8,6 +8,7 @@
 
 #include "obs/obs.h"
 #include "rt/partition.h"
+#include "rt/rank_exec.h"
 #include "rt/sim_clock.h"
 #include "util/bitvector.h"
 #include "util/check.h"
@@ -82,8 +83,12 @@ rt::ConnectedComponentsResult ConnectedComponents(
     std::vector<std::vector<uint64_t>> cross(ranks,
                                              std::vector<uint64_t>(ranks, 0));
 
+    // Rank loop stays serial by design: labels relax through a global CAS, so
+    // running ranks concurrently would make the per-(p, q) improvement counts
+    // (and thus wire bytes) depend on the interleaving. RankTimer still charges
+    // CPU time, keeping the compute model consistent with the parallel engines.
     for (int p = 0; p < ranks; ++p) {
-      Timer t;
+      rt::RankTimer t;
       std::mutex merge_mu;
       ParallelFor(frontier[p].size(), 64, [&](uint64_t lo, uint64_t hi) {
         std::vector<VertexId> local_next;

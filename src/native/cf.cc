@@ -8,6 +8,7 @@
 
 #include "obs/obs.h"
 #include "rt/partition.h"
+#include "rt/rank_exec.h"
 #include "util/bitvector.h"
 #include "rt/sim_clock.h"
 #include "util/check.h"
@@ -152,9 +153,11 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
       for (int s = 0; s < grid_dim; ++s) {
         if (ranks > 1) {
           // Each rank owns user stripe p and currently holds item stripe
-          // (p + s) % grid_dim; stripes rotate between sub-steps.
-          for (int p = 0; p < ranks; ++p) {
-            Timer t;
+          // (p + s) % grid_dim; stripes rotate between sub-steps. The diagonal
+          // blocks are disjoint in both users and items, so ranks run
+          // concurrently without factor-vector conflicts.
+          rt::ForEachRank(ranks, [&](int p) {
+            rt::RankTimer t;
             int item_stripe = (p + s) % grid_dim;
             SgdBlock(grid.blocks[static_cast<size_t>(p) * grid_dim + item_stripe],
                      options, gamma, &result.user_factors,
@@ -167,7 +170,7 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
                                  grid.ItemsInStripe(item_stripe)) *
                              k * sizeof(double);
             clock.RecordSend(p, (p + ranks - 1) % ranks, bytes, 1);
-          }
+          });
           clock.EndStep(native.overlap_comm);
         } else {
           // Single node: all diagonal blocks in parallel across the pool.
@@ -256,8 +259,10 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
         }
       }
 
-      for (int p = 0; p < ranks; ++p) {
-        Timer t;
+      // Rank-parallel: both passes read the iteration-start snapshots and write
+      // only the rank's owned user/item factor rows.
+      rt::ForEachRank(ranks, [&](int p) {
+        rt::RankTimer t;
         // User pass.
         ParallelFor(
             user_part.Size(p), 64, [&](uint64_t lo, uint64_t hi) {
@@ -309,7 +314,7 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
         double seconds = t.Seconds();
         clock.RecordCompute(p, seconds);
         obs::EmitSpanEndingNow("gd_pass", "native", p, iter, seconds);
-      }
+      });
       clock.EndStep(native.overlap_comm);
       gamma *= options.step_decay;
       result.rmse_per_iteration.push_back(

@@ -6,6 +6,7 @@
 
 #include "obs/obs.h"
 #include "rt/partition.h"
+#include "rt/rank_exec.h"
 #include "rt/sim_clock.h"
 #include "util/check.h"
 #include "util/codec.h"
@@ -124,9 +125,10 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
   int executed_iterations = 0;
   for (int iter = 0; iter < options.iterations; ++iter) {
     ++executed_iterations;
-    // Phase 1 (per rank): recompute contributions of owned vertices.
-    for (int p = 0; p < ranks; ++p) {
-      Timer t;
+    // Phase 1 (rank-parallel): recompute contributions of owned vertices.
+    // Ranks write disjoint contrib ranges and read only their own pr slice.
+    rt::ForEachRank(ranks, [&](int p) {
+      rt::RankTimer t;
       VertexId b = part.Begin(p);
       VertexId e = part.End(p);
       ParallelFor(e - b, 1024, [&](uint64_t lo, uint64_t hi) {
@@ -139,7 +141,7 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
       double seconds = t.Seconds();
       clock.RecordCompute(p, seconds);
       obs::EmitSpanEndingNow("contrib", "native", p, iter, seconds);
-    }
+    });
 
     // Wire: each rank sends its boundary contributions to the ranks needing them.
     if (ranks > 1) {
@@ -158,22 +160,23 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
       }
     }
 
-    // Phase 2 (per rank): gather over owned in-edges.
-    for (int p = 0; p < ranks; ++p) {
-      Timer t;
+    // Phase 2 (rank-parallel): gather over owned in-edges. The ForEachRank
+    // barrier above guarantees every rank's contrib slice is complete.
+    rt::ForEachRank(ranks, [&](int p) {
+      rt::RankTimer t;
       GatherRange(g, part.Begin(p), part.End(p), options.jump, contrib, &new_pr,
                   native.software_prefetch);
       double seconds = t.Seconds();
       clock.RecordCompute(p, seconds);
       obs::EmitSpanEndingNow("gather", "native", p, iter, seconds);
-    }
+    });
     clock.EndStep(native.overlap_comm);
     std::swap(pr, new_pr);
 
     // Optional early-convergence detection on the max per-vertex change (the
     // residual check is charged as compute on rank 0; it is one cheap pass).
     if (options.tolerance > 0) {
-      Timer t;
+      rt::RankTimer t;
       double max_delta = 0;
       for (VertexId v = 0; v < n; ++v) {
         max_delta = std::max(max_delta, std::abs(pr[v] - new_pr[v]));

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "rt/partition.h"
+#include "rt/rank_exec.h"
 #include "rt/sim_clock.h"
 #include "util/bitvector.h"
 #include "util/check.h"
@@ -67,8 +68,11 @@ rt::SsspResult Sssp(const WeightedGraph& g, const rt::SsspOptions& options,
     std::vector<std::vector<VertexId>> next(ranks);
     std::vector<std::vector<uint64_t>> cross(ranks,
                                              std::vector<uint64_t>(ranks, 0));
+    // Rank loop stays serial by design: distances relax through a global CAS,
+    // so concurrent ranks would make the per-(p, q) relaxation counts (and thus
+    // wire bytes) schedule-dependent. RankTimer still charges CPU time.
     for (int p = 0; p < ranks; ++p) {
-      Timer t;
+      rt::RankTimer t;
       std::mutex merge_mu;
       ParallelFor(frontier[p].size(), 64, [&](uint64_t lo, uint64_t hi) {
         std::vector<VertexId> local_next;

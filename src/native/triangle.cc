@@ -6,6 +6,7 @@
 
 #include "obs/obs.h"
 #include "rt/partition.h"
+#include "rt/rank_exec.h"
 #include "rt/sim_clock.h"
 #include "util/bitvector.h"
 #include "util/check.h"
@@ -126,15 +127,20 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
   }
 
   // Compute: each rank counts for its owned range (reads the shared CSR; the
-  // remote reads are what the transfer above paid for).
-  uint64_t triangles = 0;
-  for (int p = 0; p < ranks; ++p) {
-    Timer t;
-    triangles += CountRange(g, part.Begin(p), part.End(p), native.use_bitvector);
+  // remote reads are what the transfer above paid for). Ranks run concurrently
+  // — the graph is read-only and each writes only its own count slot, summed in
+  // rank order below so the total is schedule-invariant.
+  std::vector<uint64_t> rank_triangles(ranks, 0);
+  rt::ForEachRank(ranks, [&](int p) {
+    rt::RankTimer t;
+    rank_triangles[p] =
+        CountRange(g, part.Begin(p), part.End(p), native.use_bitvector);
     double seconds = t.Seconds();
     clock.RecordCompute(p, seconds);
     obs::EmitSpanEndingNow("intersect", "native", p, /*step=*/0, seconds);
-  }
+  });
+  uint64_t triangles = 0;
+  for (int p = 0; p < ranks; ++p) triangles += rank_triangles[p];
   clock.EndStep(native.overlap_comm);
 
   // Overlap blocks the inbound adjacency stream, bounding buffers; without it the

@@ -96,13 +96,27 @@ class Exchange {
   }
 
  private:
-  // Cold path: per-(src, dst) transport counters, only while tracing.
-  static void ObserveDeliver(int src, int dst, size_t records, uint64_t bytes) {
-    std::string pair =
-        "[" + std::to_string(src) + "->" + std::to_string(dst) + "]";
-    obs::GetCounter("exchange.bytes" + pair).Add(bytes);
-    obs::GetCounter("exchange.records" + pair).Add(records);
-    obs::GetHistogram("exchange.batch_records").Record(records);
+  // Per-(src, dst) transport counters, only while tracing. Registry handles are
+  // resolved once per Exchange and reused — the naive form built a std::string
+  // key and did two registry lookups per pair per step.
+  void ObserveDeliver(int src, int dst, size_t records, uint64_t bytes) {
+    if (pair_handles_.empty()) {
+      pair_handles_.resize(out_.size());
+      for (int s = 0; s < num_ranks_; ++s) {
+        for (int d = 0; d < num_ranks_; ++d) {
+          std::string pair =
+              "[" + std::to_string(s) + "->" + std::to_string(d) + "]";
+          auto& h = pair_handles_[Index(s, d)];
+          h.bytes = &obs::GetCounter("exchange.bytes" + pair);
+          h.records = &obs::GetCounter("exchange.records" + pair);
+        }
+      }
+      batch_records_hist_ = &obs::GetHistogram("exchange.batch_records");
+    }
+    auto& h = pair_handles_[Index(src, dst)];
+    h.bytes->Add(bytes);
+    h.records->Add(records);
+    batch_records_hist_->Record(records);
   }
 
   size_t Index(int src, int dst) const {
@@ -114,6 +128,13 @@ class Exchange {
   int num_ranks_;
   std::vector<std::vector<T>> out_;
   std::vector<std::vector<T>> in_;
+  struct PairHandles {
+    obs::Counter* bytes = nullptr;
+    obs::Counter* records = nullptr;
+  };
+  // Lazily built by ObserveDeliver (Deliver runs on the orchestration thread).
+  std::vector<PairHandles> pair_handles_;
+  obs::Histogram* batch_records_hist_ = nullptr;
 };
 
 }  // namespace maze::rt

@@ -1,0 +1,46 @@
+#include "rt/rank_exec.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace maze::rt {
+
+namespace {
+
+// -1: follow MAZE_SERIAL_RANKS; 0: force parallel; 1: force serial.
+std::atomic<int> g_forced_serial{-1};
+
+bool EnvSerialRanks() {
+  static const bool env = [] {
+    const char* s = std::getenv("MAZE_SERIAL_RANKS");
+    return s != nullptr && s[0] != '\0' && s[0] != '0';
+  }();
+  return env;
+}
+
+}  // namespace
+
+bool SerialRanks() {
+  int forced = g_forced_serial.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  return EnvSerialRanks();
+}
+
+void SetSerialRanks(int forced) {
+  g_forced_serial.store(forced < 0 ? -1 : (forced != 0 ? 1 : 0),
+                        std::memory_order_relaxed);
+}
+
+void ForEachRank(int ranks, const std::function<void(int)>& fn) {
+  if (ranks <= 1 || SerialRanks() ||
+      ThreadPool::Default().num_threads() == 1) {
+    for (int p = 0; p < ranks; ++p) fn(p);
+    return;
+  }
+  ThreadPool::Default().ParallelFor(
+      static_cast<uint64_t>(ranks), /*grain=*/1, [&](uint64_t lo, uint64_t hi) {
+        for (uint64_t p = lo; p < hi; ++p) fn(static_cast<int>(p));
+      });
+}
+
+}  // namespace maze::rt

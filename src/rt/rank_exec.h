@@ -1,0 +1,90 @@
+// Rank-parallel execution of the simulated cluster.
+//
+// The paper's 64 nodes run concurrently; engines reproduce that by running their
+// per-rank compute phases as concurrent tasks on the shared ThreadPool
+// (ForEachRank) instead of one rank at a time. Three pieces keep the modeled
+// metrics identical to the serial schedule:
+//
+//   - RankTimer charges compute from per-thread CPU time (ThreadCpuTimer), so a
+//     rank's measured seconds do not inflate when other ranks compete for cores;
+//   - RankTurns runs each rank's shared-state mutation phase (message routing,
+//     inbox flushes) in rank order, exactly the order the serial schedule uses;
+//   - SimClock's per-rank recording slots are atomic, and totals are folded in
+//     rank order at EndStep.
+//
+// MAZE_SERIAL_RANKS=1 (or SetSerialRanks) restores the one-rank-at-a-time
+// schedule as an escape hatch; tests assert both schedules produce identical
+// outputs and wire accounting.
+#ifndef MAZE_RT_RANK_EXEC_H_
+#define MAZE_RT_RANK_EXEC_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace maze::rt {
+
+// True when the one-rank-at-a-time schedule is forced, either via the
+// MAZE_SERIAL_RANKS=1 environment variable (read once) or SetSerialRanks.
+bool SerialRanks();
+
+// Runtime override: -1 follows the environment variable (default), 0 forces
+// rank-parallel, 1 forces serial. Used by tests and benches to compare
+// schedules within one process.
+void SetSerialRanks(int forced);
+
+// Runs fn(p) for p in [0, ranks). Rank-parallel on the default pool unless
+// serial ranks are forced (or there is nothing to gain); rank tasks start in
+// rank order either way, which RankTurns relies on.
+void ForEachRank(int ranks, const std::function<void(int)>& fn);
+
+// Turnstile serializing per-rank critical sections in rank order. Each rank
+// task calls Run(p, fn) exactly once; fn bodies execute one at a time, rank 0
+// first. Under the serial schedule this is a no-op ordering-wise, so engines
+// use one code path for both schedules.
+//
+// Deadlock-free with ForEachRank because rank tasks are claimed from the pool
+// in increasing rank order: the lowest unfinished rank is always running.
+class RankTurns {
+ public:
+  RankTurns() = default;
+  RankTurns(const RankTurns&) = delete;
+  RankTurns& operator=(const RankTurns&) = delete;
+
+  template <typename Fn>
+  void Run(int rank, Fn&& fn) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return turn_ == rank; });
+    fn();
+    ++turn_;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int turn_ = 0;
+};
+
+// Drop-in replacement for the wall-clock Timer engines used to measure a rank's
+// compute phase. Seconds() estimates what the phase would have taken had the
+// rank run alone on the host: the owning thread's serial CPU time plus the
+// region's pool-chunk CPU time divided by the pool width. Because every term is
+// CPU time, the estimate is independent of how many ranks share the machine.
+class RankTimer {
+ public:
+  double Seconds() const {
+    return meter_.serial_seconds() +
+           meter_.worker_seconds() /
+               static_cast<double>(ThreadPool::Default().num_threads());
+  }
+
+ private:
+  RegionCpuMeter meter_;
+};
+
+}  // namespace maze::rt
+
+#endif  // MAZE_RT_RANK_EXEC_H_

@@ -43,18 +43,34 @@ double HostToNodeScale() {
 
 }  // namespace internal
 
+void SimClock::FoldStepTotals(uint64_t* step_total_bytes,
+                              uint64_t* step_total_msgs) {
+  *step_total_bytes = 0;
+  *step_total_msgs = 0;
+  for (int r = 0; r < num_ranks_; ++r) {
+    metrics_.total_compute_seconds +=
+        step_compute_[r].load(std::memory_order_relaxed);
+    *step_total_bytes += step_bytes_[r].load(std::memory_order_relaxed);
+    *step_total_msgs += step_msgs_[r].load(std::memory_order_relaxed);
+  }
+  metrics_.bytes_sent += *step_total_bytes;
+  metrics_.messages_sent += *step_total_msgs;
+}
+
 void SimClock::EndStep(bool overlap_comm) {
   double compute_max = 0;
   double wire_max = 0;
+  for (int r = 0; r < num_ranks_; ++r) {
+    compute_max =
+        std::max(compute_max, step_compute_[r].load(std::memory_order_relaxed));
+    wire_max = std::max(
+        wire_max, model_.TransferSeconds(
+                      step_bytes_[r].load(std::memory_order_relaxed),
+                      step_msgs_[r].load(std::memory_order_relaxed)));
+  }
   uint64_t step_total_bytes = 0;
   uint64_t step_total_msgs = 0;
-  for (int r = 0; r < num_ranks_; ++r) {
-    compute_max = std::max(compute_max, step_compute_[r]);
-    wire_max = std::max(wire_max,
-                        model_.TransferSeconds(step_bytes_[r], step_msgs_[r]));
-    step_total_bytes += step_bytes_[r];
-    step_total_msgs += step_msgs_[r];
-  }
+  FoldStepTotals(&step_total_bytes, &step_total_msgs);
   double step_time =
       overlap_comm ? std::max(compute_max, wire_max) : compute_max + wire_max;
   if (obs::Enabled()) {
@@ -80,11 +96,28 @@ void SimClock::EndStep(bool overlap_comm) {
 }
 
 void SimClock::ObserveSend(int src, int dst, uint64_t bytes, uint64_t messages) {
-  std::string pair =
-      "[" + std::to_string(src) + "->" + std::to_string(dst) + "]";
-  obs::GetCounter("wire.bytes" + pair).Add(bytes);
-  obs::GetCounter("wire.messages" + pair).Add(messages);
-  obs::GetHistogram("wire.send_bytes").Record(bytes);
+  // Counter handles are cached per (src, dst) so a traced send is two atomic
+  // adds, not two string builds + registry lookups. call_once makes the lazy
+  // build safe from concurrent rank tasks.
+  std::call_once(wire_handles_once_, [&] {
+    std::vector<WireHandles> handles(static_cast<size_t>(num_ranks_) *
+                                     num_ranks_);
+    for (int s = 0; s < num_ranks_; ++s) {
+      for (int d = 0; d < num_ranks_; ++d) {
+        std::string pair =
+            "[" + std::to_string(s) + "->" + std::to_string(d) + "]";
+        auto& h = handles[static_cast<size_t>(s) * num_ranks_ + d];
+        h.bytes = &obs::GetCounter("wire.bytes" + pair);
+        h.messages = &obs::GetCounter("wire.messages" + pair);
+      }
+    }
+    send_bytes_hist_ = &obs::GetHistogram("wire.send_bytes");
+    wire_handles_ = std::move(handles);
+  });
+  auto& h = wire_handles_[static_cast<size_t>(src) * num_ranks_ + dst];
+  h.bytes->Add(bytes);
+  h.messages->Add(messages);
+  send_bytes_hist_->Record(bytes);
 }
 
 void SimClock::ObserveStep(double compute_max, double wire_max,
@@ -95,10 +128,12 @@ void SimClock::ObserveStep(double compute_max, double wire_max,
   double start_us =
       (metrics_.elapsed_seconds + (overlap_comm ? 0.0 : compute_max)) * 1e6;
   for (int r = 0; r < num_ranks_; ++r) {
-    if (step_bytes_[r] == 0 && step_msgs_[r] == 0) continue;
-    double wire_s = model_.TransferSeconds(step_bytes_[r], step_msgs_[r]);
-    obs::PushWireSpan("wire", r, steps_ended_, start_us, wire_s * 1e6,
-                      step_bytes_[r], step_msgs_[r]);
+    uint64_t bytes = step_bytes_[r].load(std::memory_order_relaxed);
+    uint64_t msgs = step_msgs_[r].load(std::memory_order_relaxed);
+    if (bytes == 0 && msgs == 0) continue;
+    double wire_s = model_.TransferSeconds(bytes, msgs);
+    obs::PushWireSpan("wire", r, steps_ended_, start_us, wire_s * 1e6, bytes,
+                      msgs);
   }
   obs::GetHistogram("sim.step_micros")
       .Record(static_cast<uint64_t>(step_time * 1e6));
@@ -110,6 +145,15 @@ void SimClock::ObserveStep(double compute_max, double wire_max,
 
 RunMetrics SimClock::Finish(double intra_rank_utilization) {
   MAZE_CHECK(intra_rank_utilization > 0 && intra_rank_utilization <= 1.0);
+  // Harvest anything recorded after the last EndStep (it contributes to the
+  // totals even though no simulated step time was charged for it).
+  uint64_t leftover_bytes = 0;
+  uint64_t leftover_msgs = 0;
+  FoldStepTotals(&leftover_bytes, &leftover_msgs);
+  ResetStep();
+  metrics_.memory_peak_bytes =
+      std::max(metrics_.memory_peak_bytes,
+               memory_peak_.load(std::memory_order_relaxed));
   if (trace_enabled_) metrics_.steps = trace_;
   if (metrics_.elapsed_seconds > 0) {
     double rank_busy_fraction =

@@ -14,9 +14,12 @@
 #ifndef MAZE_RT_SIM_CLOCK_H_
 #define MAZE_RT_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
+#include "obs/counters.h"
 #include "obs/obs.h"
 #include "rt/comm_model.h"
 #include "rt/metrics.h"
@@ -48,11 +51,22 @@ double HostToNodeScale();
 double EngineComputeScale(int engine_threads);
 
 // Accumulates one algorithm run over a simulated cluster of `num_ranks` nodes.
-// Not thread-safe: record from the orchestration thread.
+//
+// Thread-safety: the per-step recorders (RecordCompute / RecordSend /
+// RecordMemory) may be called concurrently from rank tasks — step state lives
+// in per-rank atomic slots, and run totals are folded from the slots in rank
+// order at EndStep, so the accounting is identical under the serial and
+// rank-parallel schedules. EndStep/Finish/EnableTrace are orchestration-thread
+// calls made between rank barriers.
 class SimClock {
  public:
   SimClock(int num_ranks, CommModel model, bool trace = false)
-      : num_ranks_(num_ranks), model_(std::move(model)), trace_enabled_(trace) {
+      : num_ranks_(num_ranks),
+        model_(std::move(model)),
+        step_compute_(num_ranks),
+        step_bytes_(num_ranks),
+        step_msgs_(num_ranks),
+        trace_enabled_(trace) {
     MAZE_CHECK(num_ranks >= 1);
     ResetStep();
   }
@@ -69,8 +83,7 @@ class SimClock {
   void RecordCompute(int rank, double seconds, double scale = 1.0) {
     MAZE_CHECK(rank >= 0 && rank < num_ranks_);
     double charged = seconds * scale * host_to_node_scale_;
-    step_compute_[rank] += charged;
-    metrics_.total_compute_seconds += charged;
+    step_compute_[rank].fetch_add(charged, std::memory_order_relaxed);
   }
 
   // Registers `bytes` leaving `src` for `dst` in the current step. Same-rank
@@ -80,10 +93,8 @@ class SimClock {
     MAZE_CHECK(src >= 0 && src < num_ranks_);
     MAZE_CHECK(dst >= 0 && dst < num_ranks_);
     if (src == dst) return;
-    step_bytes_[src] += bytes;
-    step_msgs_[src] += messages;
-    metrics_.bytes_sent += bytes;
-    metrics_.messages_sent += messages;
+    step_bytes_[src].fetch_add(bytes, std::memory_order_relaxed);
+    step_msgs_[src].fetch_add(messages, std::memory_order_relaxed);
     if (obs::Enabled()) ObserveSend(src, dst, bytes, messages);
   }
 
@@ -91,7 +102,11 @@ class SimClock {
   // keeps the max across ranks and steps.
   void RecordMemory(int rank, uint64_t bytes) {
     MAZE_CHECK(rank >= 0 && rank < num_ranks_);
-    if (bytes > metrics_.memory_peak_bytes) metrics_.memory_peak_bytes = bytes;
+    uint64_t seen = memory_peak_.load(std::memory_order_relaxed);
+    while (bytes > seen &&
+           !memory_peak_.compare_exchange_weak(seen, bytes,
+                                               std::memory_order_relaxed)) {
+    }
   }
 
   // Closes the current step, charging simulated time. `overlap_comm` selects
@@ -113,10 +128,17 @@ class SimClock {
 
  private:
   void ResetStep() {
-    step_compute_.assign(num_ranks_, 0.0);
-    step_bytes_.assign(num_ranks_, 0);
-    step_msgs_.assign(num_ranks_, 0);
+    for (int r = 0; r < num_ranks_; ++r) {
+      step_compute_[r].store(0.0, std::memory_order_relaxed);
+      step_bytes_[r].store(0, std::memory_order_relaxed);
+      step_msgs_[r].store(0, std::memory_order_relaxed);
+    }
   }
+
+  // Folds the current step's per-rank slots into the run totals (rank order, so
+  // floating-point sums are schedule-invariant). Returns via out-params the
+  // step's aggregate byte/message counts.
+  void FoldStepTotals(uint64_t* step_total_bytes, uint64_t* step_total_msgs);
 
   // Cold paths of the obs hooks (sim_clock.cc), called only while tracing.
   void ObserveSend(int src, int dst, uint64_t bytes, uint64_t messages);
@@ -129,12 +151,23 @@ class SimClock {
   // modeled width changes between runs.
   double host_to_node_scale_ = internal::HostToNodeScale();
   RunMetrics metrics_;
-  std::vector<double> step_compute_;
-  std::vector<uint64_t> step_bytes_;
-  std::vector<uint64_t> step_msgs_;
+  // Per-rank slots for the step in flight; written concurrently by rank tasks.
+  std::vector<std::atomic<double>> step_compute_;
+  std::vector<std::atomic<uint64_t>> step_bytes_;
+  std::vector<std::atomic<uint64_t>> step_msgs_;
+  std::atomic<uint64_t> memory_peak_{0};
   bool trace_enabled_ = false;
   std::vector<StepRecord> trace_;
   int steps_ended_ = 0;
+  // Cached per-(src, dst) wire counters, built on first traced send (avoids a
+  // string build + registry lookup per send while tracing).
+  struct WireHandles {
+    obs::Counter* bytes = nullptr;
+    obs::Counter* messages = nullptr;
+  };
+  std::once_flag wire_handles_once_;
+  std::vector<WireHandles> wire_handles_;
+  obs::Histogram* send_bytes_hist_ = nullptr;
 };
 
 }  // namespace maze::rt

@@ -7,6 +7,7 @@
 #include "native/cc.h"
 #include "native/cf.h"
 #include "obs/obs.h"
+#include "rt/rank_exec.h"
 #include "rt/sim_clock.h"
 #include "task/priority_worklist.h"
 #include "task/worklist.h"
@@ -34,7 +35,7 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
   std::vector<double> next(n, 0.0);
   std::vector<double> contrib(n, 0.0);
   for (int iter = 0; iter < options.iterations; ++iter) {
-    Timer t;
+    rt::RankTimer t;
     // Each work item updates one vertex's pagerank from its in-neighbors
     // (the Galois program of §3.1: "each work item ... is a vertex program").
     DoAll(n, [&](uint64_t v) {
@@ -78,7 +79,7 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
   level[options.source].store(0, std::memory_order_relaxed);
 
   Worklist<VertexId> wl({options.source});
-  Timer t;
+  rt::RankTimer t;
   int levels = BulkSyncExecute<VertexId>(
       &wl, [&](const VertexId& u, std::vector<VertexId>* pushed) {
         uint32_t next_level = level[u].load(std::memory_order_relaxed) + 1;
@@ -118,7 +119,7 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
   // (No bitvector trick — that is why Galois lands ~2.5x off native on this
   // algorithm while being ~1.1x elsewhere.)
   std::atomic<uint64_t> triangles{0};
-  Timer t;
+  rt::RankTimer t;
   DoAll(g.num_vertices(), [&](uint64_t un) {
     VertexId u = static_cast<VertexId>(un);
     const auto s1 = g.OutNeighbors(u);
@@ -186,7 +187,7 @@ rt::ConnectedComponentsResult ConnectedComponents(
   // Each work item relaxes one vertex\'s neighbors; improved neighbors are
   // re-queued for the next level (autonomous-style label propagation).
   Worklist<VertexId> wl(std::move(all));
-  Timer t;
+  rt::RankTimer t;
   int levels = BulkSyncExecute<VertexId>(
       &wl, [&](const VertexId& u, std::vector<VertexId>* pushed) {
         VertexId lu = label[u].load(std::memory_order_relaxed);
@@ -250,7 +251,7 @@ rt::SsspResult Sssp(const WeightedGraph& g, const rt::SsspOptions& options,
 
   PriorityWorklist<VertexId> wl;
   wl.Push(0, options.source);
-  Timer t;
+  rt::RankTimer t;
   int drains = PriorityExecute<VertexId>(
       &wl, [&](const VertexId& u,
                std::vector<std::pair<uint32_t, VertexId>>* pushed) {

@@ -1,19 +1,55 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace maze {
 
 namespace {
-thread_local bool tls_inside_pool = false;
+
+// Innermost live RegionCpuMeter owned by this thread; chunks launched from here
+// charge to it.
+thread_local RegionCpuMeter* tls_meter = nullptr;
+// CPU nanoseconds this thread has spent executing loop chunks (its own share
+// only — nested chunk time is accounted by the inner frame). Lets a meter
+// compute its serial share as total thread CPU minus chunk CPU.
+thread_local uint64_t tls_chunk_ns = 0;
+
+unsigned EnvThreads() {
+  const char* s = std::getenv("MAZE_THREADS");
+  if (s == nullptr) return 0;
+  int v = std::atoi(s);
+  return v > 0 ? static_cast<unsigned>(v) : 0;
+}
+
 }  // namespace
 
+RegionCpuMeter::RegionCpuMeter()
+    : prev_(tls_meter),
+      thread_cpu_start_ns_(ThreadCpuTimer::NowNanos()),
+      chunk_ns_start_(tls_chunk_ns) {
+  tls_meter = this;
+}
+
+RegionCpuMeter::~RegionCpuMeter() { tls_meter = prev_; }
+
+double RegionCpuMeter::serial_seconds() const {
+  uint64_t cpu = ThreadCpuTimer::NowNanos() - thread_cpu_start_ns_;
+  uint64_t chunk = tls_chunk_ns - chunk_ns_start_;
+  return chunk >= cpu ? 0.0 : static_cast<double>(cpu - chunk) * 1e-9;
+}
+
 ThreadPool::ThreadPool(unsigned num_threads) {
-  unsigned hw = std::thread::hardware_concurrency();
-  if (num_threads == 0) num_threads = hw != 0 ? hw : 4;
-  // The calling thread participates in every loop, so spawn one fewer worker.
+  if (num_threads == 0) num_threads = EnvThreads();
+  if (num_threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw != 0 ? hw : 4;
+  }
+  // The calling thread participates in every loop it opens, so spawn one fewer
+  // worker.
   for (unsigned i = 1; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerMain(); });
   }
@@ -24,50 +60,69 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  work_cv_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::WorkerMain() {
-  tls_inside_pool = true;
-  uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     Loop* loop = nullptr;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
-      if (shutdown_) return;
-      seen_epoch = epoch_;
-      loop = current_;
-    }
-    if (loop != nullptr) {
-      RunLoopShare(loop);
-      if (loop->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(mu_);
-        done_cv_.notify_all();
+    work_cv_.wait(lock, [&] {
+      if (shutdown_) return true;
+      // Newest-first: drain inner (nested) regions before claiming fresh work
+      // from an outer one, so threads blocked in an outer region's ordered
+      // sections are unblocked as quickly as possible.
+      for (auto it = loops_.rbegin(); it != loops_.rend(); ++it) {
+        if ((*it)->cursor.load(std::memory_order_relaxed) < (*it)->n) {
+          loop = *it;
+          return true;
+        }
       }
+      return false;
+    });
+    if (shutdown_) return;
+    ++loop->active_workers;
+    lock.unlock();
+    RunLoopShare(loop);
+    lock.lock();
+    if (--loop->active_workers == 0 &&
+        loop->cursor.load(std::memory_order_relaxed) >= loop->n) {
+      done_cv_.notify_all();
     }
   }
 }
 
 void ThreadPool::RunLoopShare(Loop* loop) {
+  // Chunks execute under the loop's meter so regions nested inside the body
+  // attribute to the right place regardless of which thread runs them.
+  RegionCpuMeter* saved = tls_meter;
+  tls_meter = loop->meter;
   while (true) {
-    uint64_t begin = loop->cursor.fetch_add(loop->grain, std::memory_order_relaxed);
+    uint64_t begin =
+        loop->cursor.fetch_add(loop->grain, std::memory_order_relaxed);
     if (begin >= loop->n) break;
     uint64_t end = std::min(loop->n, begin + loop->grain);
+    uint64_t cpu0 = ThreadCpuTimer::NowNanos();
+    uint64_t nested0 = tls_chunk_ns;
     (*loop->body)(begin, end);
+    uint64_t elapsed = ThreadCpuTimer::NowNanos() - cpu0;
+    uint64_t nested = tls_chunk_ns - nested0;
+    uint64_t own = elapsed > nested ? elapsed - nested : 0;
+    tls_chunk_ns += own;
+    if (loop->meter != nullptr) loop->meter->AddWorkerNanos(own);
   }
+  tls_meter = saved;
 }
 
 void ThreadPool::ParallelFor(uint64_t n, uint64_t grain,
                              const std::function<void(uint64_t, uint64_t)>& body) {
   if (n == 0) return;
   MAZE_CHECK(grain > 0);
-  // Run inline when there are no workers, when the range is tiny, or when any
-  // loop is already in flight (a nested call — from a worker or from the caller
-  // thread mid-loop — must not clobber the active loop's bookkeeping).
-  if (threads_.empty() || tls_inside_pool || n <= grain ||
-      loop_in_flight_.exchange(true, std::memory_order_acquire)) {
+  // Inline fast path: single-chunk loops (and worker-less pools) never touch the
+  // scheduler. The time is genuinely serial, so it lands in the enclosing
+  // meter's serial share rather than its worker share.
+  if (threads_.empty() || n <= grain) {
     body(0, n);
     return;
   }
@@ -76,21 +131,20 @@ void ThreadPool::ParallelFor(uint64_t n, uint64_t grain,
   loop.n = n;
   loop.grain = grain;
   loop.body = &body;
-  loop.remaining.store(static_cast<unsigned>(threads_.size()),
-                       std::memory_order_relaxed);
+  loop.meter = tls_meter;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    current_ = &loop;
-    ++epoch_;
+    loops_.push_back(&loop);
   }
-  cv_.notify_all();
+  work_cv_.notify_all();
 
+  // The caller claims chunks of its own loop only; it never steals foreign work
+  // while waiting, which keeps its enclosing region's CPU attribution pure.
   RunLoopShare(&loop);
 
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return loop.remaining.load() == 0; });
-  current_ = nullptr;
-  loop_in_flight_.store(false, std::memory_order_release);
+  done_cv_.wait(lock, [&] { return loop.active_workers == 0; });
+  loops_.erase(std::find(loops_.begin(), loops_.end(), &loop));
 }
 
 void ThreadPool::ParallelForEach(uint64_t n, const std::function<void(uint64_t)>& fn) {

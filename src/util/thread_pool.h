@@ -4,6 +4,16 @@
 // uses a persistent ThreadPool with a blocked parallel-for so the library has no
 // compiler-extension dependency and can meter per-thread busy time (needed for the
 // Figure 6 CPU-utilization metric).
+//
+// The pool is a task scheduler, not a single fork-join barrier: any number of
+// parallel regions may be in flight at once (the rank-parallel engine schedule
+// runs one region per simulated rank), and regions nest — a loop body may launch
+// further loops. Workers pull fixed-grain chunks from whichever active region has
+// work, preferring the most recently opened region so inner loops drain before
+// new outer work is started. A region's caller only executes chunks of its own
+// region and then blocks, which keeps per-region CPU attribution exact (see
+// RegionCpuMeter) and makes the scheduler deadlock-free: every region can always
+// be driven to completion by its own caller.
 #ifndef MAZE_UTIL_THREAD_POOL_H_
 #define MAZE_UTIL_THREAD_POOL_H_
 
@@ -17,12 +27,58 @@
 
 namespace maze {
 
+// Attributes CPU time to a code region that may fan work out across the pool.
+//
+// Construct on the thread that owns the region (e.g. at the top of a rank task);
+// while the meter is the thread's innermost live meter, every ParallelFor chunk
+// spawned from the region — on any pool thread, at any nesting depth — adds its
+// per-thread CPU time to worker_nanos(). serial_seconds() is the owning thread's
+// CPU time spent in the region *outside* chunk execution. Both readings exclude
+// blocked/descheduled time, so they are independent of how many other regions
+// the host is running concurrently — this is what makes modeled compute
+// schedule-invariant (DESIGN.md "Execution model").
+class RegionCpuMeter {
+ public:
+  RegionCpuMeter();
+  ~RegionCpuMeter();
+
+  RegionCpuMeter(const RegionCpuMeter&) = delete;
+  RegionCpuMeter& operator=(const RegionCpuMeter&) = delete;
+
+  // CPU nanoseconds spent inside ParallelFor chunks of this region, summed over
+  // all executing threads. Stable once the region's loops have completed.
+  uint64_t worker_nanos() const {
+    return worker_ns_.load(std::memory_order_relaxed);
+  }
+  double worker_seconds() const {
+    return static_cast<double>(worker_nanos()) * 1e-9;
+  }
+
+  // CPU seconds the owning thread has spent since construction, excluding chunk
+  // execution (which is counted in worker_seconds). Call from the owning thread.
+  double serial_seconds() const;
+
+ private:
+  friend class ThreadPool;
+
+  void AddWorkerNanos(uint64_t ns) {
+    worker_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  RegionCpuMeter* prev_;          // enclosing meter on the owning thread
+  uint64_t thread_cpu_start_ns_;  // owner's thread-CPU clock at construction
+  uint64_t chunk_ns_start_;       // owner's chunk-time accumulator at construction
+  std::atomic<uint64_t> worker_ns_{0};
+};
+
 // Persistent pool of worker threads executing blocked range-parallel loops.
-// ParallelFor blocks the caller until the loop completes. Reentrant calls from
-// inside a worker are executed inline (sequentially) to avoid deadlock.
+// ParallelFor blocks the caller until its loop completes; concurrent calls from
+// different threads and nested calls from inside loop bodies all schedule onto
+// the same workers.
 class ThreadPool {
  public:
-  // `num_threads` == 0 means std::thread::hardware_concurrency().
+  // `num_threads` == 0 means the MAZE_THREADS environment variable if set, else
+  // std::thread::hardware_concurrency().
   explicit ThreadPool(unsigned num_threads = 0);
   ~ThreadPool();
 
@@ -31,16 +87,17 @@ class ThreadPool {
 
   unsigned num_threads() const { return static_cast<unsigned>(threads_.size()) + 1; }
 
-  // Runs body(begin, end) over [0, n) split into contiguous blocks, one block per
-  // worker plus dynamic chunk stealing via a shared cursor. `grain` is the minimum
-  // chunk size.
+  // Runs body(begin, end) over [0, n) split into `grain`-sized chunks claimed
+  // dynamically by the caller and the pool's workers. Chunks are claimed in
+  // increasing range order. Loops with n <= grain (or on a worker-less pool) run
+  // inline on the caller with no scheduler interaction.
   void ParallelFor(uint64_t n, uint64_t grain,
                    const std::function<void(uint64_t, uint64_t)>& body);
 
   // Convenience: per-index variant.
   void ParallelForEach(uint64_t n, const std::function<void(uint64_t)>& fn);
 
-  // Process-wide default pool, sized to the machine.
+  // Process-wide default pool, sized to the machine (or MAZE_THREADS).
   static ThreadPool& Default();
 
  private:
@@ -49,21 +106,24 @@ class ThreadPool {
     uint64_t n = 0;
     uint64_t grain = 1;
     const std::function<void(uint64_t, uint64_t)>* body = nullptr;
-    std::atomic<unsigned> remaining{0};
+    // The meter chunks of this loop charge to (the spawning thread's innermost
+    // meter at launch); null when the region is unmetered.
+    RegionCpuMeter* meter = nullptr;
+    // Workers currently inside RunLoopShare for this loop. Guarded by mu_.
+    unsigned active_workers = 0;
   };
 
   void WorkerMain();
+  // Claims and runs chunks until the loop's range is exhausted.
   void RunLoopShare(Loop* loop);
 
   std::vector<std::thread> threads_;
   std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  Loop* current_ = nullptr;
-  uint64_t epoch_ = 0;
+  std::condition_variable work_cv_;  // workers: a loop was opened
+  std::condition_variable done_cv_;  // callers: a loop may have completed
+  // Active loops in open order; workers scan newest-first. Guarded by mu_.
+  std::vector<Loop*> loops_;
   bool shutdown_ = false;
-  // True while a loop is executing; nested launches run inline instead.
-  std::atomic<bool> loop_in_flight_{false};
 };
 
 // Sugar over ThreadPool::Default().ParallelFor.

@@ -11,6 +11,7 @@
 #include "native/cf.h"
 #include "util/check.h"
 #include "util/cuckoo_set.h"
+#include "rt/rank_exec.h"
 #include "rt/sim_clock.h"
 #include "util/timer.h"
 #include "vertex/async_engine.h"
@@ -371,7 +372,7 @@ rt::PageRankResult AsyncPageRank(const Graph& g, double jump, double epsilon) {
   AsyncScheduler scheduler(n);
   for (VertexId v = 0; v < n; ++v) scheduler.Schedule(v);
 
-  Timer t;
+  rt::RankTimer t;
   uint64_t updates = scheduler.Run([&](VertexId v, AsyncScheduler* sched) {
     double delta = residual[v].exchange(0.0, std::memory_order_relaxed);
     if (delta <= 0) return;

@@ -40,6 +40,7 @@
 #include "obs/obs.h"
 #include "rt/algo.h"
 #include "rt/partition.h"
+#include "rt/rank_exec.h"
 #include "rt/sim_clock.h"
 #include "util/bitvector.h"
 #include "util/check.h"
@@ -142,10 +143,16 @@ int SyncEngine<P>::Run(P* program, int max_supersteps) {
     bool any_compute_wants_more = false;
     Bitvector next_active(n);
 
-    // Process ranks one at a time: compute against `cur`, route into `next`.
-    for (int p = 0; p < ranks; ++p) {
+    // Rank tasks run concurrently (serially under MAZE_SERIAL_RANKS): each
+    // computes against `cur` (which is read-only during the superstep), then
+    // routes into `next` inside an ordered turnstile section so the shared
+    // next-superstep state is mutated in exactly the serial schedule's order.
+    // Programs must therefore tolerate concurrent Compute calls from different
+    // ranks (all in-tree programs only read shared state in Compute).
+    rt::RankTurns turns;
+    rt::ForEachRank(ranks, [&](int p) {
       MAZE_OBS_SPAN("superstep", "vertexlab", p, superstep);
-      Timer compute_timer;
+      rt::RankTimer compute_timer;
       // Per-rank outbound state, local to this rank's turn (bounds memory to
       // O(n) regardless of rank count).
       std::vector<Message> out_acc(kCombinable ? n : 0);
@@ -166,6 +173,10 @@ int SyncEngine<P>::Run(P* program, int max_supersteps) {
         std::vector<std::pair<VertexId, Message>> local_out;
         std::vector<std::pair<VertexId, Message>> local_bcast;
         std::vector<uint64_t> local_broadcast(ranks, 0);
+        // Which ranks the current broadcasting vertex has already hit; stamped
+        // per vertex so one buffer serves the whole chunk.
+        std::vector<uint64_t> rank_seen(ranks, 0);
+        uint64_t seen_stamp = 0;
         bool local_wants_more = false;
         for (VertexId v = part_.Begin(p) + static_cast<VertexId>(lo);
              v < part_.Begin(p) + static_cast<VertexId>(hi); ++v) {
@@ -192,12 +203,12 @@ int SyncEngine<P>::Run(P* program, int max_supersteps) {
             } else {
               // One wire copy per destination rank that hosts a mirror; the
               // per-edge copies are local delivery.
-              std::vector<bool> rank_seen(ranks, false);
+              ++seen_stamp;
               size_t wire = 4 + P::MessageWireBytes(ctx.payload_);
               for (VertexId dst : g_.OutNeighbors(v)) {
                 int q = ranks == 1 ? 0 : part_.OwnerOf(dst);
-                if (!rank_seen[q]) {
-                  rank_seen[q] = true;
+                if (rank_seen[q] != seen_stamp) {
+                  rank_seen[q] = seen_stamp;
                   local_broadcast[q] += wire;
                 }
                 local_bcast.emplace_back(dst, ctx.payload_);
@@ -231,55 +242,60 @@ int SyncEngine<P>::Run(P* program, int max_supersteps) {
           }
         }
       });
-      any_compute_wants_more = any_compute_wants_more || rank_wants_more;
       double compute_seconds = compute_timer.Seconds();
       clock_.RecordCompute(p, compute_seconds);
       obs::EmitSpanEndingNow("compute", "vertexlab", p, superstep,
                              compute_seconds);
 
       // Routing ("serialization + send" cost is also charged to the sender).
-      Timer route_timer;
-      std::vector<uint64_t> bytes_to(ranks, 0);
-      uint64_t rank_wire_bytes = 0;
-      if constexpr (kCombinable) {
-        std::vector<uint32_t> touched;
-        out_has.AppendSetBits(&touched);
-        for (VertexId dst : touched) {
-          int q = ranks == 1 ? 0 : part_.OwnerOf(dst);
-          bytes_to[q] += 4 + P::MessageWireBytes(out_acc[dst]);
-          if (next_has.Test(dst)) {
-            next_acc[dst] = P::Combine(next_acc[dst], out_acc[dst]);
-          } else {
-            next_has.Set(dst);
-            next_acc[dst] = out_acc[dst];
+      // Runs in rank order under the turnstile: it mutates next-superstep
+      // state shared by all ranks.
+      turns.Run(p, [&] {
+        any_compute_wants_more = any_compute_wants_more || rank_wants_more;
+        rt::RankTimer route_timer;
+        std::vector<uint64_t> bytes_to(ranks, 0);
+        uint64_t rank_wire_bytes = 0;
+        if constexpr (kCombinable) {
+          std::vector<uint32_t> touched;
+          out_has.AppendSetBits(&touched);
+          for (VertexId dst : touched) {
+            int q = ranks == 1 ? 0 : part_.OwnerOf(dst);
+            bytes_to[q] += 4 + P::MessageWireBytes(out_acc[dst]);
+            if (next_has.Test(dst)) {
+              next_acc[dst] = P::Combine(next_acc[dst], out_acc[dst]);
+            } else {
+              next_has.Set(dst);
+              next_acc[dst] = out_acc[dst];
+            }
+            next_active.Set(dst);
           }
-          next_active.Set(dst);
+        } else {
+          for (auto& [dst, m] : out_raw) {
+            int q = ranks == 1 ? 0 : part_.OwnerOf(dst);
+            bytes_to[q] += 4 + P::MessageWireBytes(m);
+            next_active.Set(dst);
+            next_list[dst].push_back(std::move(m));
+          }
+          // Broadcast deliveries: wire already accounted per (vertex, rank).
+          for (auto& [dst, m] : out_bcast) {
+            next_active.Set(dst);
+            next_list[dst].push_back(std::move(m));
+          }
+          for (int q = 0; q < ranks; ++q) bytes_to[q] += broadcast_bytes_to[q];
         }
-      } else {
-        for (auto& [dst, m] : out_raw) {
-          int q = ranks == 1 ? 0 : part_.OwnerOf(dst);
-          bytes_to[q] += 4 + P::MessageWireBytes(m);
-          next_active.Set(dst);
-          next_list[dst].push_back(std::move(m));
+        for (int q = 0; q < ranks; ++q) {
+          if (q != p && bytes_to[q] > 0) {
+            clock_.RecordSend(p, q, bytes_to[q], 1);
+            rank_wire_bytes += bytes_to[q];
+          }
         }
-        // Broadcast deliveries: wire already accounted per (vertex, rank).
-        for (auto& [dst, m] : out_bcast) {
-          next_active.Set(dst);
-          next_list[dst].push_back(std::move(m));
-        }
-        for (int q = 0; q < ranks; ++q) bytes_to[q] += broadcast_bytes_to[q];
-      }
-      for (int q = 0; q < ranks; ++q) {
-        if (q != p && bytes_to[q] > 0) {
-          clock_.RecordSend(p, q, bytes_to[q], 1);
-          rank_wire_bytes += bytes_to[q];
-        }
-      }
-      wire_buffer_peak = std::max(wire_buffer_peak, rank_wire_bytes);
-      double route_seconds = route_timer.Seconds();
-      clock_.RecordCompute(p, route_seconds);
-      obs::EmitSpanEndingNow("route", "vertexlab", p, superstep, route_seconds);
-    }
+        wire_buffer_peak = std::max(wire_buffer_peak, rank_wire_bytes);
+        double route_seconds = route_timer.Seconds();
+        clock_.RecordCompute(p, route_seconds);
+        obs::EmitSpanEndingNow("route", "vertexlab", p, superstep,
+                               route_seconds);
+      });
+    });
     // GraphLab streams messages in blocks, overlapping with computation.
     clock_.EndStep(/*overlap_comm=*/true);
 

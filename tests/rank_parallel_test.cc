@@ -1,0 +1,87 @@
+// Rank-parallel vs serial schedule equivalence: running simulated ranks
+// concurrently on the task-scheduling pool must not change any engine's
+// *answers* or its modeled network totals. Wire bytes and message counts are
+// schedule-invariant by construction (ordered route sections, owner-partitioned
+// claims, rank-ordered slot folding); this test asserts it end to end for every
+// engine on PageRank and BFS.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "bench_support/runner.h"
+#include "rt/rank_exec.h"
+#include "tests/test_graphs.h"
+
+namespace maze::bench {
+namespace {
+
+// The default pool is created lazily on first use; force it to 4 threads
+// before anything touches it so the parallel schedule is exercised even on a
+// single-core host (without this, ForEachRank falls back to the serial path).
+const bool kForcePoolSize = [] {
+  setenv("MAZE_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+int RanksFor(EngineKind engine) {
+  return engine == EngineKind::kTaskflow ? 1 : 16;
+}
+
+class RankParallelTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  void TearDown() override { rt::SetSerialRanks(-1); }
+};
+
+std::string EngineCaseName(const ::testing::TestParamInfo<EngineKind>& info) {
+  return EngineName(info.param);
+}
+
+TEST_P(RankParallelTest, PageRankMatchesSerialSchedule) {
+  const EngineKind engine = GetParam();
+  EdgeList el = testgraphs::SmallRmat(9);
+  rt::PageRankOptions opt;
+  opt.iterations = 4;
+  RunConfig config;
+  config.num_ranks = RanksFor(engine);
+
+  rt::SetSerialRanks(1);
+  auto serial = RunPageRank(engine, el, opt, config);
+  rt::SetSerialRanks(0);
+  auto parallel = RunPageRank(engine, el, opt, config);
+
+  ASSERT_EQ(parallel.ranks.size(), serial.ranks.size());
+  for (size_t v = 0; v < serial.ranks.size(); ++v) {
+    // datalite merges concurrent rank shards into one accumulator, so double
+    // addition order may differ; everything else is bit-identical, but one
+    // tolerance keeps the assertion uniform.
+    ASSERT_NEAR(parallel.ranks[v], serial.ranks[v], 1e-9)
+        << EngineName(engine) << " vertex " << v;
+  }
+  EXPECT_EQ(parallel.iterations, serial.iterations);
+  EXPECT_EQ(parallel.metrics.bytes_sent, serial.metrics.bytes_sent);
+  EXPECT_EQ(parallel.metrics.messages_sent, serial.metrics.messages_sent);
+}
+
+TEST_P(RankParallelTest, BfsMatchesSerialSchedule) {
+  const EngineKind engine = GetParam();
+  EdgeList el = testgraphs::SmallRmatUndirected(9);
+  rt::BfsOptions opt{3};
+  RunConfig config;
+  config.num_ranks = RanksFor(engine);
+
+  rt::SetSerialRanks(1);
+  auto serial = RunBfs(engine, el, opt, config);
+  rt::SetSerialRanks(0);
+  auto parallel = RunBfs(engine, el, opt, config);
+
+  EXPECT_EQ(parallel.distance, serial.distance) << EngineName(engine);
+  EXPECT_EQ(parallel.levels, serial.levels);
+  EXPECT_EQ(parallel.metrics.bytes_sent, serial.metrics.bytes_sent);
+  EXPECT_EQ(parallel.metrics.messages_sent, serial.metrics.messages_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, RankParallelTest,
+                         ::testing::ValuesIn(AllEngines()), EngineCaseName);
+
+}  // namespace
+}  // namespace maze::bench

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -74,6 +75,94 @@ TEST(ThreadPoolTest, ParallelForEachVisitsAll) {
   std::vector<std::atomic<int>> hits(5000);
   pool.ParallelForEach(hits.size(), [&](uint64_t i) { hits[i].fetch_add(1); });
   for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentLoopsFromManyThreads) {
+  // Several threads each open their own parallel region on one shared pool;
+  // every region must cover its range exactly once, with no cross-talk.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr uint64_t kN = 20000;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) h = std::vector<std::atomic<int>>(kN);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 20; ++round) {
+        pool.ParallelFor(kN, 64, [&, c](uint64_t lo, uint64_t hi) {
+          for (uint64_t i = lo; i < hi; ++i) hits[c][i].fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (uint64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[c][i].load(), 20) << "caller " << c << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, DeeplyNestedLoopsComplete) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> leaf{0};
+  pool.ParallelFor(4, 1, [&](uint64_t, uint64_t) {
+    pool.ParallelFor(4, 1, [&](uint64_t, uint64_t) {
+      pool.ParallelFor(64, 4, [&](uint64_t lo, uint64_t hi) {
+        leaf.fetch_add(hi - lo);
+      });
+    });
+  });
+  EXPECT_EQ(leaf.load(), 4u * 4u * 64u);
+}
+
+TEST(ThreadPoolTest, ConcurrentNestedStress) {
+  // Concurrent callers each running nested regions: the worst case for the
+  // loop registry (many loops in flight, opened and retired out of order).
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        pool.ParallelFor(8, 1, [&](uint64_t, uint64_t) {
+          pool.ParallelFor(200, 8, [&](uint64_t lo, uint64_t hi) {
+            total.fetch_add(hi - lo);
+          });
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), static_cast<uint64_t>(kCallers) * 10u * 8u * 200u);
+}
+
+TEST(ThreadPoolTest, RegionCpuMeterCountsChunkWork) {
+  ThreadPool pool(4);
+  RegionCpuMeter meter;
+  std::atomic<uint64_t> sink{0};
+  pool.ParallelFor(1u << 16, 256, [&](uint64_t lo, uint64_t hi) {
+    uint64_t acc = 0;
+    for (uint64_t i = lo; i < hi; ++i) acc += i * i;
+    sink.fetch_add(acc, std::memory_order_relaxed);
+  });
+  // Chunks executed under the innermost live meter must have charged it.
+  EXPECT_GT(meter.worker_nanos(), 0u);
+  EXPECT_GE(meter.serial_seconds(), 0.0);
+}
+
+TEST(ThreadPoolTest, InlineFastPathChargesSerialNotWorker) {
+  ThreadPool pool(4);
+  RegionCpuMeter meter;
+  uint64_t acc = 0;
+  // n <= grain runs inline with no scheduler interaction: the time is the
+  // owning thread's serial share, not chunk (worker) time.
+  pool.ParallelFor(100, 100, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) acc += i;
+  });
+  EXPECT_EQ(acc, 4950u);
+  EXPECT_EQ(meter.worker_nanos(), 0u);
 }
 
 TEST(ThreadPoolTest, DefaultPoolIsUsable) {
