@@ -89,11 +89,12 @@ inline EdgeList TriangleDataset(const std::string& name, int adjust) {
 
 inline Measurement MeasurePageRank(EngineKind engine, const EdgeList& directed,
                                    const std::string& dataset, int ranks,
-                                   int iterations = 5) {
+                                   int iterations = 5, bool trace = false) {
   rt::PageRankOptions opt;
   opt.iterations = iterations;
   RunConfig config;
   config.num_ranks = ranks;
+  config.trace = trace;
   auto warm = RunPageRank(engine, directed, opt, config);
   auto result = RunPageRank(engine, directed, opt, config);
   if (warm.metrics.elapsed_seconds < result.metrics.elapsed_seconds) {
@@ -117,9 +118,11 @@ inline VertexId BusiestVertex(const EdgeList& edges) {
 }
 
 inline Measurement MeasureBfs(EngineKind engine, const EdgeList& undirected,
-                              const std::string& dataset, int ranks) {
+                              const std::string& dataset, int ranks,
+                              bool trace = false) {
   RunConfig config;
   config.num_ranks = ranks;
+  config.trace = trace;
   rt::BfsOptions opt;
   opt.source = BusiestVertex(undirected);
   auto warm = RunBfs(engine, undirected, opt, config);
@@ -133,9 +136,11 @@ inline Measurement MeasureBfs(EngineKind engine, const EdgeList& undirected,
 
 inline Measurement MeasureTriangles(EngineKind engine, const EdgeList& oriented,
                                     const std::string& dataset, int ranks,
-                                    int bsp_phases_for_tc = 100) {
+                                    int bsp_phases_for_tc = 100,
+                                    bool trace = false) {
   RunConfig config;
   config.num_ranks = ranks;
+  config.trace = trace;
   // §6.1.3: Giraph triangle counting only runs with superstep splitting.
   if (engine == EngineKind::kBspgraph) config.bsp_phases = bsp_phases_for_tc;
   auto warm = RunTriangleCount(engine, oriented, {}, config);
@@ -149,7 +154,8 @@ inline Measurement MeasureTriangles(EngineKind engine, const EdgeList& oriented,
 
 inline Measurement MeasureCf(EngineKind engine, const BipartiteGraph& ratings,
                              const std::string& dataset, int ranks,
-                             int iterations = 2, int k = 16) {
+                             int iterations = 2, int k = 16,
+                             bool trace = false) {
   rt::CfOptions opt;
   opt.k = k;
   opt.iterations = iterations;
@@ -158,6 +164,7 @@ inline Measurement MeasureCf(EngineKind engine, const BipartiteGraph& ratings,
   opt.method = rt::CfMethod::kSgd;
   RunConfig config;
   config.num_ranks = ranks;
+  config.trace = trace;
   if (engine == EngineKind::kBspgraph) config.bsp_phases = 10;
   auto warm = RunCf(engine, ratings, opt, config);
   auto result = RunCf(engine, ratings, opt, config);

@@ -14,6 +14,15 @@ std::string RanksLabel(int ranks) {
   return ranks == 1 ? "1 node" : std::to_string(ranks) + " nodes";
 }
 
+// Exact nearest-rank quantile of a sorted sample (the reference the obs
+// histogram approximations are tested against).
+double NearestRankQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(std::ceil(q * sorted.size()));
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
 }  // namespace
 
 std::string SlowdownReport::RenderGeomeanTable(const std::string& title) const {
@@ -115,6 +124,42 @@ std::string RenderSystemMetrics(const std::string& title,
                        : "-"});
   }
   return table.Render();
+}
+
+obs::ResourceRow ResourceRowFrom(const Measurement& m) {
+  obs::ResourceRow row;
+  row.engine = EngineName(m.engine);
+  row.algorithm = m.algorithm;
+  row.dataset = m.dataset;
+  row.ranks = m.ranks;
+  row.elapsed_seconds = m.metrics.elapsed_seconds;
+  row.cpu_utilization = m.metrics.cpu_utilization;
+  row.footprint_bytes = m.metrics.memory_peak_bytes;
+  row.graph_bytes = m.metrics.memory_graph_bytes;
+  row.state_bytes = m.metrics.memory_state_bytes;
+  row.msg_buffer_bytes = m.metrics.memory_msgbuf_bytes;
+  row.wire_bytes = m.metrics.bytes_sent;
+  row.wire_messages = m.metrics.messages_sent;
+  if (m.metrics.modeled_peak_bw > 0) {
+    row.peak_bw_utilization =
+        m.metrics.peak_network_bw / m.metrics.modeled_peak_bw;
+    if (m.metrics.elapsed_seconds > 0 && m.ranks > 0) {
+      row.avg_bw_utilization =
+          m.metrics.BytesPerRank(m.ranks) /
+          (m.metrics.elapsed_seconds * m.metrics.modeled_peak_bw);
+    }
+  }
+  if (!m.metrics.steps.empty()) {
+    std::vector<double> step_seconds;
+    step_seconds.reserve(m.metrics.steps.size());
+    for (const rt::StepRecord& s : m.metrics.steps) {
+      step_seconds.push_back(s.StepSeconds());
+    }
+    std::sort(step_seconds.begin(), step_seconds.end());
+    row.step_p50_us = NearestRankQuantile(step_seconds, 0.5) * 1e6;
+    row.step_p99_us = NearestRankQuantile(step_seconds, 0.99) * 1e6;
+  }
+  return row;
 }
 
 }  // namespace maze::bench

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_support/runner.h"
+#include "obs/resource.h"
 #include "rt/metrics.h"
 
 namespace maze::bench {
@@ -53,6 +54,11 @@ struct Fig6Normalization {
 std::string RenderSystemMetrics(const std::string& title,
                                 const std::vector<Measurement>& rows,
                                 const Fig6Normalization& norm);
+
+// Converts a measurement into a resource-report row: utilization fractions
+// against the run's modeled bandwidth, the phase-attributed footprint split,
+// and (for traced runs) exact nearest-rank step-time percentiles.
+obs::ResourceRow ResourceRowFrom(const Measurement& m);
 
 }  // namespace maze::bench
 

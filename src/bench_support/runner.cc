@@ -45,6 +45,7 @@ rt::EngineConfig MakeConfig(EngineKind engine, const RunConfig& config) {
                                                 : config.num_ranks;
   if (engine == EngineKind::kTaskflow) ec.num_ranks = 1;
   ec.comm = DefaultCommFor(engine, config);
+  ec.trace = config.trace;
   return ec;
 }
 

@@ -37,6 +37,9 @@ struct RunConfig {
   bool datalite_as_published = false;
   // Override the engine's default communication layer (nullopt = Table 2).
   std::optional<rt::CommModel> comm_override;
+  // Record the per-step timeline (rt::RunMetrics::steps) for the run; needed
+  // for utilization timelines and step-time percentiles.
+  bool trace = false;
 };
 
 // matblas requires a perfect-square rank count (CombBLAS's 2-D grid); returns

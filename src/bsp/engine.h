@@ -243,6 +243,9 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
           peak_buffer_bytes_ =
               std::max(peak_buffer_bytes_,
                        outbox_bytes + live_inbox_bytes + next_inbox_bytes);
+          // The fully buffered outbox is live until delivery finishes: the
+          // boxed-message blow-up shows in the per-step msgbuf watermark.
+          clock_.ChargeMemory(p, obs::MemPhase::kMessageBuffers, outbox_bytes);
 
           rt::RankTimer deliver_timer;
           if (obs::Enabled()) {
@@ -269,6 +272,7 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
               clock_.RecordSend(p, q, bytes_to[q], 1);
             }
           }
+          clock_.ReleaseMemory(p, obs::MemPhase::kMessageBuffers, outbox_bytes);
           obs::EmitSpanEndingNow("deliver", "bspgraph", p, superstep,
                                  deliver_timer.Seconds());
         });
@@ -305,9 +309,12 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
     }
   }
 
-  clock_.RecordMemory(0, g_.MemoryBytes() / std::max(1, ranks) +
-                             static_cast<uint64_t>(n) * sizeof(Value) +
-                             peak_buffer_bytes_ / std::max(1, ranks));
+  clock_.ChargeMemory(0, obs::MemPhase::kGraph,
+                      g_.MemoryBytes() / std::max(1, ranks));
+  clock_.ChargeMemory(0, obs::MemPhase::kEngineState,
+                      static_cast<uint64_t>(n) * sizeof(Value));
+  clock_.ChargeMemory(0, obs::MemPhase::kMessageBuffers,
+                      peak_buffer_bytes_ / std::max(1, ranks));
   return superstep;
 }
 

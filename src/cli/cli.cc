@@ -1,9 +1,11 @@
 #include "cli/cli.h"
 
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 
+#include "bench_support/report.h"
 #include "bench_support/runner.h"
 #include "core/datasets.h"
 #include "core/degree.h"
@@ -12,8 +14,11 @@
 #include "core/ratings_gen.h"
 #include "core/rmat.h"
 #include "native/cc.h"
+#include "obs/counters.h"
 #include "obs/export.h"
+#include "obs/json.h"
 #include "obs/obs.h"
+#include "obs/resource.h"
 #include "util/table.h"
 
 namespace maze::cli {
@@ -220,10 +225,12 @@ StatusOr<bench::EngineKind> EngineByName(const std::string& name) {
   return Status::InvalidArgument("unknown engine '" + name + "'");
 }
 
-// Runs one (algo, engine) pair and prints its summary + metrics line.
+// Runs one (algo, engine) pair and prints its summary + metrics line. When
+// `report` is non-null, appends the run's resource row to it.
 Status RunOnce(const std::string& algo, bench::EngineKind engine,
                const EdgeList& edges, const std::string& dataset,
-               int iterations, bench::RunConfig config, std::ostream& out) {
+               int iterations, bench::RunConfig config,
+               obs::ResourceReport* report, std::ostream& out) {
   rt::RunMetrics metrics;
   std::string summary;
   if (algo == "pagerank") {
@@ -274,6 +281,44 @@ Status RunOnce(const std::string& algo, bench::EngineKind engine,
       << " simulated_seconds=" << FormatDouble(metrics.elapsed_seconds, 5)
       << " net_bytes=" << metrics.bytes_sent
       << " peak_mem_bytes=" << metrics.memory_peak_bytes << "\n";
+  if (report != nullptr) {
+    bench::Measurement m;
+    m.engine = engine;
+    m.algorithm = algo;
+    m.dataset = dataset.empty() ? (algo == "cf" ? "netflix" : "input") : dataset;
+    m.ranks = config.num_ranks;
+    m.seconds = metrics.elapsed_seconds;
+    m.metrics = std::move(metrics);
+    report->Add(bench::ResourceRowFrom(m));
+  }
+  return Status::OK();
+}
+
+// The --metrics dump: the resource report plus name-sorted counter and
+// histogram snapshots, one JSON object.
+Status WriteMetricsJson(const obs::ResourceReport& report,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << "{\n\"resource\": " << report.ToJson() << ",\n\"counters\": [\n";
+  auto counters = obs::SnapshotCounters();
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out << "  {\"name\": \"" << obs::JsonEscape(counters[i].name)
+        << "\", \"value\": " << counters[i].value << "}"
+        << (i + 1 < counters.size() ? "," : "") << "\n";
+  }
+  out << "],\n\"histograms\": [\n";
+  auto hists = obs::SnapshotHistograms();
+  for (size_t i = 0; i < hists.size(); ++i) {
+    const auto& h = hists[i];
+    out << "  {\"name\": \"" << obs::JsonEscape(h.name)
+        << "\", \"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"max\": " << h.max << ", \"p50\": " << h.p50
+        << ", \"p95\": " << h.p95 << ", \"p99\": " << h.p99 << "}"
+        << (i + 1 < hists.size() ? "," : "") << "\n";
+  }
+  out << "]\n}\n";
+  if (!out.good()) return Status::IoError("write failed for " + path);
   return Status::OK();
 }
 
@@ -285,6 +330,7 @@ Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
   auto iterations = IntFlagOr(parsed, "iterations", 10);
   MAZE_RETURN_IF_ERROR(iterations.status());
   std::string trace_path = FlagOr(parsed, "trace", "");
+  std::string metrics_path = FlagOr(parsed, "metrics", "");
 
   // "--engine all" sweeps every engine that supports the rank count.
   std::vector<bench::EngineKind> engines;
@@ -299,6 +345,8 @@ Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
 
   bench::RunConfig config;
   config.num_ranks = ranks.value();
+  // The resource report wants the per-step timeline for its percentiles.
+  config.trace = !metrics_path.empty() || !trace_path.empty();
 
   // Input: an edge-list file or a registry stand-in.
   EdgeList edges;
@@ -316,22 +364,34 @@ Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
     }
   }
 
-  if (!trace_path.empty()) {
+  if (!trace_path.empty() || !metrics_path.empty()) {
     obs::ResetAll();
     obs::SetEnabled(true);
+    obs::SetResourceEnabled(true);
   }
 
+  obs::ResourceReport report;
   for (bench::EngineKind engine : engines) {
-    MAZE_RETURN_IF_ERROR(
-        RunOnce(algo, engine, edges, dataset, iterations.value(), config, out));
+    MAZE_RETURN_IF_ERROR(RunOnce(algo, engine, edges, dataset,
+                                 iterations.value(), config,
+                                 metrics_path.empty() ? nullptr : &report,
+                                 out));
   }
 
-  if (!trace_path.empty()) {
+  if (!trace_path.empty() || !metrics_path.empty()) {
     obs::SetEnabled(false);
+    obs::SetResourceEnabled(false);
+  }
+  if (!trace_path.empty()) {
     MAZE_RETURN_IF_ERROR(obs::WriteChromeTrace(trace_path));
     out << "trace: wrote " << trace_path
         << " (load in https://ui.perfetto.dev or chrome://tracing)\n";
     out << obs::SummaryText();
+  }
+  if (!metrics_path.empty()) {
+    MAZE_RETURN_IF_ERROR(WriteMetricsJson(report, metrics_path));
+    out << "metrics: wrote " << metrics_path << "\n";
+    out << report.ToMarkdown();
   }
   return Status::OK();
 }

@@ -117,9 +117,11 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
     rt.clock()->EndStep(false);
   }
 
-  rt.clock()->RecordMemory(
-      0, edges.MemoryBytes() / std::max(1, config.num_ranks) +
-             static_cast<uint64_t>(n) * 2 * sizeof(double));
+  rt.clock()->ChargeMemory(
+      0, obs::MemPhase::kGraph,
+      edges.MemoryBytes() / std::max(1, config.num_ranks));
+  rt.clock()->ChargeMemory(0, obs::MemPhase::kEngineState,
+                           static_cast<uint64_t>(n) * 2 * sizeof(double));
   rt::PageRankResult result;
   result.ranks = std::move(rank);
   result.iterations = options.iterations;
@@ -152,9 +154,11 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
         }
       });
 
-  rt.clock()->RecordMemory(
-      0, edges.MemoryBytes() / std::max(1, config.num_ranks) +
-             static_cast<uint64_t>(n) * sizeof(int64_t));
+  rt.clock()->ChargeMemory(
+      0, obs::MemPhase::kGraph,
+      edges.MemoryBytes() / std::max(1, config.num_ranks));
+  rt.clock()->ChargeMemory(0, obs::MemPhase::kEngineState,
+                           static_cast<uint64_t>(n) * sizeof(int64_t));
   rt::BfsResult result;
   result.distance.resize(n);
   for (VertexId v = 0; v < n; ++v) {
@@ -242,7 +246,10 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
   for (int p = 0; p < ranks; ++p) triangles += rank_triangles[p];
   rt.clock()->EndStep(false);
 
-  rt.clock()->RecordMemory(0, edges.MemoryBytes() / std::max(1, ranks) * 2);
+  rt.clock()->ChargeMemory(0, obs::MemPhase::kGraph,
+                           edges.MemoryBytes() / std::max(1, ranks));
+  rt.clock()->ChargeMemory(0, obs::MemPhase::kEngineState,
+                           edges.MemoryBytes() / std::max(1, ranks));
   rt::TriangleCountResult result;
   result.triangles = triangles;
   result.metrics = rt.Finish();
@@ -386,11 +393,13 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
         native::CfRmse(g, result.user_factors, result.item_factors, k));
   }
 
-  rt.clock()->RecordMemory(
-      0, (rating.MemoryBytes() + rating_t.MemoryBytes()) /
-                 std::max(1, ranks) +
-             (result.user_factors.size() + result.item_factors.size()) *
-                 sizeof(double) * 2);
+  rt.clock()->ChargeMemory(
+      0, obs::MemPhase::kGraph,
+      (rating.MemoryBytes() + rating_t.MemoryBytes()) / std::max(1, ranks));
+  rt.clock()->ChargeMemory(
+      0, obs::MemPhase::kEngineState,
+      (result.user_factors.size() + result.item_factors.size()) *
+          sizeof(double) * 2);
   result.iterations = options.iterations;
   result.final_rmse = result.rmse_per_iteration.empty()
                           ? 0.0
@@ -429,9 +438,11 @@ rt::ConnectedComponentsResult ConnectedComponents(
       });
   (void)options;
 
-  rt.clock()->RecordMemory(
-      0, edges.MemoryBytes() / std::max(1, config.num_ranks) +
-             static_cast<uint64_t>(n) * sizeof(int64_t));
+  rt.clock()->ChargeMemory(
+      0, obs::MemPhase::kGraph,
+      edges.MemoryBytes() / std::max(1, config.num_ranks));
+  rt.clock()->ChargeMemory(0, obs::MemPhase::kEngineState,
+                           static_cast<uint64_t>(n) * sizeof(int64_t));
   rt::ConnectedComponentsResult result;
   result.label.resize(n);
   for (VertexId v = 0; v < n; ++v) {

@@ -116,8 +116,10 @@ rt::PageRankResult PageRank(const EdgeList& edges,
     clock.EndStep(/*overlap_comm=*/false);
   }
 
-  clock.RecordMemory(0, m.MemoryBytes() / std::max(1, config.num_ranks) +
-                            static_cast<uint64_t>(n) * 3 * sizeof(double));
+  clock.ChargeMemory(0, obs::MemPhase::kGraph,
+                     m.MemoryBytes() / std::max(1, config.num_ranks));
+  clock.ChargeMemory(0, obs::MemPhase::kEngineState,
+                     static_cast<uint64_t>(n) * 3 * sizeof(double));
   rt::PageRankResult result;
   result.ranks = std::move(pr);
   result.iterations = options.iterations;
@@ -212,8 +214,10 @@ rt::BfsResult Bfs(const EdgeList& edges, const rt::BfsOptions& options,
   }
   result.levels += 1;  // Count the seed expansion like the native kernel.
 
-  clock.RecordMemory(0, m.MemoryBytes() / std::max(1, config.num_ranks) +
-                            static_cast<uint64_t>(n) / 2);
+  clock.ChargeMemory(0, obs::MemPhase::kGraph,
+                     m.MemoryBytes() / std::max(1, config.num_ranks));
+  clock.ChargeMemory(0, obs::MemPhase::kEngineState,
+                     static_cast<uint64_t>(n) / 2);
   result.metrics = clock.Finish(/*intra_rank_utilization=*/0.85);
   return result;
 }
@@ -305,8 +309,10 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
 
   // Memory: the rank's share of A plus its fully materialized share of A^2
   // (12 bytes per nnz: column id + count + row bookkeeping).
-  clock.RecordMemory(0, g.MemoryBytes() / std::max(1, ranks) +
-                            (a2_nnz_total / std::max(1, ranks)) * 12);
+  clock.ChargeMemory(0, obs::MemPhase::kGraph,
+                     g.MemoryBytes() / std::max(1, ranks));
+  clock.ChargeMemory(0, obs::MemPhase::kEngineState,
+                     (a2_nnz_total / std::max(1, ranks)) * 12);
 
   rt::TriangleCountResult result;
   result.triangles = triangles;
@@ -451,10 +457,12 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
         native::CfRmse(g, result.user_factors, result.item_factors, k));
   }
 
-  clock.RecordMemory(
-      0, g.MemoryBytes() / std::max(1, ranks) +
-             2 * (result.user_factors.size() + result.item_factors.size()) *
-                 sizeof(double) / std::max(1, side));
+  clock.ChargeMemory(0, obs::MemPhase::kGraph,
+                     g.MemoryBytes() / std::max(1, ranks));
+  clock.ChargeMemory(
+      0, obs::MemPhase::kEngineState,
+      2 * (result.user_factors.size() + result.item_factors.size()) *
+          sizeof(double) / std::max(1, side));
   result.iterations = options.iterations;
   result.final_rmse = result.rmse_per_iteration.empty()
                           ? 0.0
@@ -522,8 +530,10 @@ rt::ConnectedComponentsResult ConnectedComponents(
     result.label = std::move(next);
   }
 
-  clock.RecordMemory(0, m.MemoryBytes() / std::max(1, config.num_ranks) +
-                            static_cast<uint64_t>(n) * 2 * sizeof(VertexId));
+  clock.ChargeMemory(0, obs::MemPhase::kGraph,
+                     m.MemoryBytes() / std::max(1, config.num_ranks));
+  clock.ChargeMemory(0, obs::MemPhase::kEngineState,
+                     static_cast<uint64_t>(n) * 2 * sizeof(VertexId));
   result.num_components = native::CountComponents(result.label);
   result.iterations = rounds;
   result.metrics = clock.Finish(/*intra_rank_utilization=*/0.85);

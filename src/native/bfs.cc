@@ -269,11 +269,12 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
     ++level;
   }
 
-  uint64_t per_rank = g.MemoryBytes() / ranks +
-                      static_cast<uint64_t>(n) * sizeof(uint32_t) / ranks +
-                      visited.MemoryBytes() +
-                      (native.overlap_comm ? buffer_peak / 4 : buffer_peak);
-  clock.RecordMemory(0, per_rank);
+  clock.ChargeMemory(0, obs::MemPhase::kGraph, g.MemoryBytes() / ranks);
+  clock.ChargeMemory(0, obs::MemPhase::kEngineState,
+                     static_cast<uint64_t>(n) * sizeof(uint32_t) / ranks +
+                         visited.MemoryBytes());
+  clock.ChargeMemory(0, obs::MemPhase::kMessageBuffers,
+                     native.overlap_comm ? buffer_peak / 4 : buffer_peak);
 
   result.levels = static_cast<int>(level);
   result.metrics = clock.Finish(/*intra_rank_utilization=*/0.85);

@@ -133,9 +133,11 @@ rt::ConnectedComponentsResult ConnectedComponents(
     frontier = std::move(next);
   }
 
-  clock.RecordMemory(0, g.MemoryBytes() / std::max(1, ranks) +
-                            static_cast<uint64_t>(n) * sizeof(VertexId) +
-                            static_cast<uint64_t>(n) / 8);
+  clock.ChargeMemory(0, obs::MemPhase::kGraph,
+                     g.MemoryBytes() / std::max(1, ranks));
+  clock.ChargeMemory(0, obs::MemPhase::kEngineState,
+                     static_cast<uint64_t>(n) * sizeof(VertexId) +
+                         static_cast<uint64_t>(n) / 8);
   rt::ConnectedComponentsResult result;
   result.label.resize(n);
   for (VertexId v = 0; v < n; ++v) {

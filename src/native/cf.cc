@@ -197,9 +197,10 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
           CfRmse(g, result.user_factors, result.item_factors, k));
     }
     uint64_t block_bytes = g.num_ratings() * sizeof(Rating) / ranks;
-    clock.RecordMemory(
-        0, block_bytes + (result.user_factors.size() / ranks +
-                          result.item_factors.size()) * sizeof(double));
+    clock.ChargeMemory(0, obs::MemPhase::kGraph, block_bytes);
+    clock.ChargeMemory(0, obs::MemPhase::kEngineState,
+                       (result.user_factors.size() / ranks +
+                        result.item_factors.size()) * sizeof(double));
   } else {
     // Gradient Descent: equations (11)-(12). Old factors are snapshotted so all
     // updates in an iteration read iteration-start values.
@@ -320,10 +321,11 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
       result.rmse_per_iteration.push_back(
           CfRmse(g, result.user_factors, result.item_factors, k));
     }
-    clock.RecordMemory(
-        0, g.MemoryBytes() / ranks +
-               2 * (result.user_factors.size() + result.item_factors.size()) *
-                   sizeof(double) / ranks);
+    clock.ChargeMemory(0, obs::MemPhase::kGraph, g.MemoryBytes() / ranks);
+    clock.ChargeMemory(
+        0, obs::MemPhase::kEngineState,
+        2 * (result.user_factors.size() + result.item_factors.size()) *
+            sizeof(double) / ranks);
   }
 
   result.iterations = options.iterations;

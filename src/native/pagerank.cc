@@ -191,8 +191,10 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
   uint64_t per_rank_graph = g.MemoryBytes() / ranks;
   uint64_t per_rank_state = (static_cast<uint64_t>(n) * 3 * sizeof(double)) / ranks +
                             static_cast<uint64_t>(n) * sizeof(double);  // contrib
-  clock.RecordMemory(0, per_rank_graph + per_rank_state +
-                            (native.overlap_comm ? buffer_bytes / 4 : buffer_bytes));
+  clock.ChargeMemory(0, obs::MemPhase::kGraph, per_rank_graph);
+  clock.ChargeMemory(0, obs::MemPhase::kEngineState, per_rank_state);
+  clock.ChargeMemory(0, obs::MemPhase::kMessageBuffers,
+                     native.overlap_comm ? buffer_bytes / 4 : buffer_bytes);
 
   rt::PageRankResult result;
   result.ranks = std::move(pr);

@@ -118,8 +118,10 @@ rt::SsspResult Sssp(const WeightedGraph& g, const rt::SsspOptions& options,
     frontier = std::move(next);
   }
 
-  clock.RecordMemory(0, g.MemoryBytes() / std::max(1, ranks) +
-                            static_cast<uint64_t>(n) * sizeof(float));
+  clock.ChargeMemory(0, obs::MemPhase::kGraph,
+                     g.MemoryBytes() / std::max(1, ranks));
+  clock.ChargeMemory(0, obs::MemPhase::kEngineState,
+                     static_cast<uint64_t>(n) * sizeof(float));
   rt::SsspResult result;
   result.distance.resize(n);
   for (VertexId v = 0; v < n; ++v) {

@@ -146,9 +146,9 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
   // Overlap blocks the inbound adjacency stream, bounding buffers; without it the
   // whole remote neighborhood volume sits in memory at once (the Giraph failure
   // mode of §6.1.3, which native avoids).
-  uint64_t per_rank = g.MemoryBytes() / ranks +
-                      (native.overlap_comm ? buffer_peak / 16 : buffer_peak);
-  clock.RecordMemory(0, per_rank);
+  clock.ChargeMemory(0, obs::MemPhase::kGraph, g.MemoryBytes() / ranks);
+  clock.ChargeMemory(0, obs::MemPhase::kMessageBuffers,
+                     native.overlap_comm ? buffer_peak / 16 : buffer_peak);
 
   rt::TriangleCountResult result;
   result.triangles = triangles;

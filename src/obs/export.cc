@@ -6,38 +6,12 @@
 #include <sstream>
 
 #include "obs/counters.h"
+#include "obs/json.h"
 #include "obs/obs.h"
 #include "util/table.h"
 
 namespace maze::obs {
 namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 std::string Micros(double us) {
   char buf[32];
@@ -60,7 +34,7 @@ std::string ChromeTraceJson() {
 
   // Name the process tracks: measured ranks and their simulated-wire shadows.
   std::set<int> measured_ranks;
-  std::set<int> wire_ranks;
+  std::set<int> wire_ranks;  // Wire spans and counter tracks share these pids.
   for (const Event& e : events) {
     (e.kind == EventKind::kSpan ? measured_ranks : wire_ranks).insert(e.rank);
   }
@@ -83,6 +57,14 @@ std::string ChromeTraceJson() {
                     << JsonEscape(e.name) << "\",\"cat\":\"" << JsonEscape(e.cat)
                     << "\",\"args\":{\"rank\":" << e.rank
                     << ",\"step\":" << e.step << "}}";
+    } else if (e.kind == EventKind::kCounter) {
+      // Counter tracks ("C") live in the simulated clock domain alongside the
+      // wire spans: one series per (rank pid, track name).
+      begin_event() << "{\"ph\":\"C\",\"pid\":" << kSimWirePidBase + e.rank
+                    << ",\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
+                    << JsonEscape(e.cat) << "\",\"ts\":" << Micros(e.ts_us)
+                    << ",\"args\":{\"" << JsonEscape(e.name)
+                    << "\":" << e.value << "}}";
     } else {
       // Simulated wire time: one async begin/end pair per SimClock step & rank.
       int pid = kSimWirePidBase + e.rank;

@@ -1,0 +1,58 @@
+// Shared JSON string escaping for every obs emitter (Chrome trace, resource
+// report). Escapes the two mandatory characters (quote, backslash), the named
+// control escapes, and any other control byte as \u00XX, so arbitrary span,
+// counter, and dataset names round-trip through a strict JSON parser. Bytes
+// >= 0x80 pass through untouched (the emitters write UTF-8 as-is).
+#ifndef MAZE_OBS_JSON_H_
+#define MAZE_OBS_JSON_H_
+
+#include <cstdio>
+#include <string>
+
+namespace maze::obs {
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        // Cast before the width test: plain char may be signed, and a negative
+        // byte fed to %04x would sign-extend into "￿ffXX".
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace maze::obs
+
+#endif  // MAZE_OBS_JSON_H_

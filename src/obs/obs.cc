@@ -105,6 +105,21 @@ void PushWireSpan(const char* name, int rank, int step, double sim_ts_us,
   ring->Push(e);
 }
 
+void PushCounterSample(const char* track, int rank, int step, double sim_ts_us,
+                       double value) {
+  ThreadRing* ring = Registry::Get().RingForThisThread();
+  Event e;
+  e.name = track;
+  e.cat = "resource";
+  e.kind = EventKind::kCounter;
+  e.rank = rank;
+  e.tid = ring->tid;
+  e.step = step;
+  e.ts_us = sim_ts_us;
+  e.value = value;
+  ring->Push(e);
+}
+
 std::vector<Event> SnapshotEvents() {
   Registry& reg = Registry::Get();
   std::vector<Event> events;

@@ -42,6 +42,7 @@ void SetEnabled(bool enabled);
 enum class EventKind : uint8_t {
   kSpan,      // Complete measured span ("X" in Chrome trace), real-time domain.
   kWireSpan,  // Simulated wire-time span, rendered as async "b"/"e" events.
+  kCounter,   // Sampled counter-track value ("C"), simulated-time domain.
 };
 
 struct Event {
@@ -55,6 +56,7 @@ struct Event {
   double dur_us = 0;
   uint64_t bytes = 0;    // Wire spans: bytes / messages charged.
   uint64_t msgs = 0;
+  double value = 0;      // Counter samples: the track value at ts_us.
 };
 
 // Microseconds since the process-wide trace epoch (lazily set on first call).
@@ -67,6 +69,12 @@ void PushSpan(const char* name, const char* cat, int rank, int step,
 // Appends a simulated wire-time span (SimClock's domain). Thread-safe.
 void PushWireSpan(const char* name, int rank, int step, double sim_ts_us,
                   double sim_dur_us, uint64_t bytes, uint64_t msgs);
+
+// Appends one sample of a per-rank counter track ("cpu_util", "bw_util") in
+// the simulated clock domain; the exporter renders it as a Perfetto "C" event
+// on the rank's simulated pid. `track` must be a static string. Thread-safe.
+void PushCounterSample(const char* track, int rank, int step, double sim_ts_us,
+                       double value);
 
 // Scoped RAII phase timer. When tracing is disabled construction is one
 // relaxed load; nothing is recorded.

@@ -1,0 +1,204 @@
+// maze::obs::resource — the resource-attribution half of the obs layer.
+//
+// The span tracer answers "where did the time go"; this file answers the other
+// three Figure 6 questions: how much memory each engine holds (split by what
+// the bytes are *for*), how busy each simulated rank's CPU is, and how much of
+// the modeled link bandwidth the engine actually uses. The paper's diagnosis
+// of Giraph — "it tries to buffer all outgoing messages in memory before
+// sending any" — is only visible with this attribution: total footprint hides
+// the blow-up inside the graph bytes, per-phase footprint pins it on the
+// message buffers.
+//
+// Three pieces:
+//   - TrackingArena: per-rank, per-phase live-byte counters with high
+//     watermarks. Engines charge explicit byte counts (graph slice, engine
+//     state, message buffers) and the arena keeps the peaks. Charges to
+//     different ranks use independent atomic slots and charges within a rank
+//     are sequenced by the rank's task (or the RankTurns turnstile), so the
+//     recorded peaks are identical under the serial and rank-parallel
+//     schedules — the same argument that makes SimClock's wire totals
+//     schedule-invariant (DESIGN.md §4a).
+//   - CountingAllocator<T>: a std-allocator adapter bound to an (arena, rank,
+//     phase) triple, for containers whose residency should be tracked at
+//     allocation granularity (rt::Exchange message boxes). The hooks are
+//     gated on ResourceEnabled(): when disabled, each hook is one relaxed
+//     atomic load — the same contract as the span tracer's disabled path.
+//   - ResourceRow / ResourceReport: the unified per-(engine, algorithm) report
+//     rendered as JSON and as the Figure 6 triptych in markdown.
+//
+// Explicit Charge/Release calls are always live, like counters and histograms
+// (they happen at most a few times per superstep); only the per-allocation
+// hooks need the enable gate.
+#ifndef MAZE_OBS_RESOURCE_H_
+#define MAZE_OBS_RESOURCE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace maze::obs {
+
+// What a block of engine-resident bytes is for.
+enum class MemPhase : int {
+  kGraph = 0,           // The rank's slice of the graph/matrix/table input.
+  kEngineState = 1,     // Vertex values, frontiers, factors, intermediates.
+  kMessageBuffers = 2,  // Outboxes, inboxes, accumulators, wire staging.
+};
+inline constexpr int kNumMemPhases = 3;
+const char* MemPhaseName(MemPhase phase);
+
+namespace internal {
+extern std::atomic<bool> g_resource_enabled;
+}  // namespace internal
+
+// Gates the per-allocation hooks (CountingAllocator). Explicit
+// TrackingArena::Charge/Release calls are not gated — they are cheap,
+// pull-based, and the resource report should always have footprints.
+inline bool ResourceEnabled() {
+  return internal::g_resource_enabled.load(std::memory_order_relaxed);
+}
+void SetResourceEnabled(bool enabled);
+
+// Per-rank, per-phase live bytes + high watermarks for one run.
+//
+// Thread-safety: Charge/Release on different ranks never touch the same slot;
+// calls on the same rank must be sequenced (they are — a rank's charges come
+// from its own task or from inside the rank-order turnstile), which makes the
+// per-rank peaks deterministic and schedule-invariant.
+class TrackingArena {
+ public:
+  explicit TrackingArena(int num_ranks);
+
+  int num_ranks() const { return num_ranks_; }
+
+  void Charge(int rank, MemPhase phase, uint64_t bytes);
+  // Saturates at zero (a Release without a matching Charge — e.g. the enable
+  // gate flipped between a container's allocate and deallocate — never wraps).
+  void Release(int rank, MemPhase phase, uint64_t bytes);
+
+  uint64_t LiveBytes(int rank, MemPhase phase) const;
+  // Max over ranks of that rank's phase watermark.
+  uint64_t PhasePeak(MemPhase phase) const;
+  // Watermark of the rank's summed live bytes across phases.
+  uint64_t RankPeak(int rank) const;
+  // Max over ranks of RankPeak: the per-node resident footprint, the
+  // "Memory (% of 64GB)" bar of Figure 6.
+  uint64_t PeakFootprint() const;
+
+  void Reset();
+
+ private:
+  struct alignas(64) RankSlot {
+    std::array<std::atomic<uint64_t>, kNumMemPhases> live;
+    std::array<std::atomic<uint64_t>, kNumMemPhases> peak;
+    std::atomic<uint64_t> total_peak;
+  };
+
+  int num_ranks_;
+  std::unique_ptr<RankSlot[]> slots_;
+};
+
+// std-allocator adapter charging every allocation to (arena, rank, phase).
+// Default-constructed (or null-arena) instances track nothing. When
+// ResourceEnabled() is false each hook costs one relaxed atomic load.
+template <typename T>
+class CountingAllocator {
+ public:
+  using value_type = T;
+
+  CountingAllocator() noexcept = default;
+  CountingAllocator(TrackingArena* arena, int rank, MemPhase phase) noexcept
+      : arena_(arena), rank_(rank), phase_(phase) {}
+  template <typename U>
+  CountingAllocator(const CountingAllocator<U>& other) noexcept
+      : arena_(other.arena()), rank_(other.rank()), phase_(other.phase()) {}
+
+  T* allocate(std::size_t n) {
+    T* p = std::allocator<T>().allocate(n);
+    if (ResourceEnabled() && arena_ != nullptr) {
+      arena_->Charge(rank_, phase_, n * sizeof(T));
+    }
+    return p;
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (ResourceEnabled() && arena_ != nullptr) {
+      arena_->Release(rank_, phase_, n * sizeof(T));
+    }
+    std::allocator<T>().deallocate(p, n);
+  }
+
+  TrackingArena* arena() const { return arena_; }
+  int rank() const { return rank_; }
+  MemPhase phase() const { return phase_; }
+
+  // Equality drives container buffer hand-off: boxes bound to the same
+  // accounting slot may steal each other's buffers; boxes bound to different
+  // ranks must reallocate so the bytes move between rank budgets.
+  friend bool operator==(const CountingAllocator& a,
+                         const CountingAllocator& b) {
+    return a.arena_ == b.arena_ && a.rank_ == b.rank_ && a.phase_ == b.phase_;
+  }
+  friend bool operator!=(const CountingAllocator& a,
+                         const CountingAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  TrackingArena* arena_ = nullptr;
+  int rank_ = 0;
+  MemPhase phase_ = MemPhase::kMessageBuffers;
+};
+
+// One (engine, algorithm, dataset) line of the unified report: the Figure 6
+// triptych plus the per-phase footprint split.
+struct ResourceRow {
+  std::string engine;
+  std::string algorithm;
+  std::string dataset;
+  int ranks = 1;
+  double elapsed_seconds = 0;
+
+  // CPU busy fraction in [0, 1] (Figure 6a).
+  double cpu_utilization = 0;
+  // Peak / average achieved link bandwidth over the modeled peak, in [0, 1]
+  // (Figure 6b).
+  double peak_bw_utilization = 0;
+  double avg_bw_utilization = 0;
+
+  // Per-rank resident footprint and its phase split (Figure 6c).
+  uint64_t footprint_bytes = 0;
+  uint64_t graph_bytes = 0;
+  uint64_t state_bytes = 0;
+  uint64_t msg_buffer_bytes = 0;
+
+  // Wire totals (Figure 6d).
+  uint64_t wire_bytes = 0;
+  uint64_t wire_messages = 0;
+
+  // Simulated per-step latency percentiles (0 when no step timeline was
+  // recorded for the run).
+  double step_p50_us = 0;
+  double step_p99_us = 0;
+};
+
+// Aggregates rows and renders them as JSON (machine artifact) and markdown
+// (the human-readable triptych, one table per algorithm).
+class ResourceReport {
+ public:
+  void Add(ResourceRow row) { rows_.push_back(std::move(row)); }
+  const std::vector<ResourceRow>& rows() const { return rows_; }
+  bool empty() const { return rows_.empty(); }
+
+  std::string ToJson() const;
+  std::string ToMarkdown() const;
+
+ private:
+  std::vector<ResourceRow> rows_;
+};
+
+}  // namespace maze::obs
+
+#endif  // MAZE_OBS_RESOURCE_H_

@@ -14,6 +14,7 @@
 
 #include "obs/counters.h"
 #include "obs/obs.h"
+#include "obs/resource.h"
 #include "rt/sim_clock.h"
 #include "util/check.h"
 
@@ -22,21 +23,35 @@ namespace maze::rt {
 template <typename T>
 class Exchange {
  public:
-  explicit Exchange(int num_ranks) : num_ranks_(num_ranks) {
+  // Message boxes allocate through the tracking allocator: when an arena is
+  // bound (and obs::ResourceEnabled()), every box's buffer is charged to its
+  // owning rank's message-buffer phase — outboxes to the sender, inboxes to
+  // the receiver, with Deliver() moving the bytes between budgets.
+  using Box = std::vector<T, obs::CountingAllocator<T>>;
+
+  explicit Exchange(int num_ranks, obs::TrackingArena* arena = nullptr)
+      : num_ranks_(num_ranks) {
     MAZE_CHECK(num_ranks >= 1);
-    out_.resize(static_cast<size_t>(num_ranks) * num_ranks);
-    in_.resize(out_.size());
+    const size_t boxes = static_cast<size_t>(num_ranks) * num_ranks;
+    out_.reserve(boxes);
+    in_.reserve(boxes);
+    for (int src = 0; src < num_ranks; ++src) {
+      for (int dst = 0; dst < num_ranks; ++dst) {
+        out_.emplace_back(obs::CountingAllocator<T>(
+            arena, src, obs::MemPhase::kMessageBuffers));
+        in_.emplace_back(obs::CountingAllocator<T>(
+            arena, dst, obs::MemPhase::kMessageBuffers));
+      }
+    }
   }
 
   int num_ranks() const { return num_ranks_; }
 
   // Outbox for records travelling src -> dst. Valid to fill until Deliver().
-  std::vector<T>& OutBox(int src, int dst) { return out_[Index(src, dst)]; }
+  Box& OutBox(int src, int dst) { return out_[Index(src, dst)]; }
 
   // Inbox holding records that arrived at dst from src in the last Deliver().
-  const std::vector<T>& InBox(int dst, int src) const {
-    return in_[Index(src, dst)];
-  }
+  const Box& InBox(int dst, int src) const { return in_[Index(src, dst)]; }
 
   // Total records waiting in dst's inboxes.
   size_t InboundCount(int dst) const {
@@ -126,8 +141,8 @@ class Exchange {
   }
 
   int num_ranks_;
-  std::vector<std::vector<T>> out_;
-  std::vector<std::vector<T>> in_;
+  std::vector<Box> out_;
+  std::vector<Box> in_;
   struct PairHandles {
     obs::Counter* bytes = nullptr;
     obs::Counter* records = nullptr;

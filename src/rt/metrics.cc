@@ -16,4 +16,33 @@ std::string StepTraceCsv(const std::vector<StepRecord>& steps) {
   return out.str();
 }
 
+std::vector<UtilizationBucket> UtilizationTimeline(const RunMetrics& metrics) {
+  std::vector<UtilizationBucket> buckets;
+  double t = 0;
+  for (const StepRecord& s : metrics.steps) {
+    const double step_time = s.StepSeconds();
+    const size_t ranks = s.rank_compute_seconds.size();
+    for (size_t r = 0; r < ranks; ++r) {
+      UtilizationBucket b;
+      b.step = s.step;
+      b.rank = static_cast<int>(r);
+      b.t_begin_seconds = t;
+      b.duration_seconds = step_time;
+      b.bytes = r < s.rank_bytes.size() ? s.rank_bytes[r] : 0;
+      if (step_time > 0) {
+        // step_time >= max rank compute and >= max rank wire time
+        // (>= bytes / bandwidth), so both fractions land in [0, 1].
+        b.cpu_busy = s.rank_compute_seconds[r] / step_time;
+        if (metrics.modeled_peak_bw > 0) {
+          b.bw_utilization = static_cast<double>(b.bytes) /
+                             (step_time * metrics.modeled_peak_bw);
+        }
+      }
+      buckets.push_back(b);
+    }
+    t += step_time;
+  }
+  return buckets;
+}
+
 }  // namespace maze::rt

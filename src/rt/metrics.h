@@ -20,6 +20,19 @@ struct StepRecord {
   uint64_t bytes_sent = 0;     // total cross-rank bytes this step.
   uint64_t messages_sent = 0;
   bool overlapped = false;     // compute/comm overlap was in effect.
+
+  // Per-rank breakdown (index = rank), recorded alongside the aggregates so
+  // utilization timelines can be rebuilt per rank. Empty for StepRecords
+  // built by hand with the aggregate fields only.
+  std::vector<double> rank_compute_seconds;
+  std::vector<uint64_t> rank_bytes;
+
+  // Simulated duration of this step as charged by the clock.
+  double StepSeconds() const {
+    return overlapped ? (compute_seconds > wire_seconds ? compute_seconds
+                                                        : wire_seconds)
+                      : compute_seconds + wire_seconds;
+  }
 };
 
 // Renders step records as CSV (header + one row per step) for plotting.
@@ -42,8 +55,19 @@ struct RunMetrics {
   // BW" bar of Figure 6. Latency-dominated small-message traffic lowers this.
   double peak_network_bw = 0;
 
+  // The comm model's achievable per-node bandwidth for this run: the
+  // denominator of every bandwidth-utilization fraction.
+  double modeled_peak_bw = 0;
+
   // Max over ranks of engine-reported resident bytes (graph + runtime buffers).
   uint64_t memory_peak_bytes = 0;
+
+  // Phase split of the footprint (obs::TrackingArena watermarks): the rank's
+  // graph slice, its engine state, and its message buffers. The bsp engine's
+  // boxed-message blow-up shows up in memory_msgbuf_bytes.
+  uint64_t memory_graph_bytes = 0;
+  uint64_t memory_state_bytes = 0;
+  uint64_t memory_msgbuf_bytes = 0;
 
   // compute / (ranks * elapsed), scaled by the engine's intra-node thread usage:
   // the Figure 6 "CPU utilization" bar in [0, 1].
@@ -57,6 +81,25 @@ struct RunMetrics {
   // Per-step timeline; populated only when tracing was enabled for the run.
   std::vector<StepRecord> steps;
 };
+
+// One (step, rank) cell of the utilization timeline: the simulated-time bucket
+// covering that rank during that step.
+struct UtilizationBucket {
+  int step = 0;
+  int rank = 0;
+  double t_begin_seconds = 0;   // Simulated start of the step.
+  double duration_seconds = 0;  // Simulated step time.
+  double cpu_busy = 0;          // rank compute / step time, in [0, 1].
+  double bw_utilization = 0;    // rank bytes / (step time * modeled bw), [0, 1].
+  uint64_t bytes = 0;           // Cross-rank bytes this rank sent this step.
+};
+
+// Expands a traced run (metrics.steps with per-rank breakdowns) into
+// per-(step, rank) utilization buckets. Bucket byte counts partition the run's
+// wire totals exactly: the sum over buckets equals metrics.bytes_sent (minus
+// any bytes recorded after the final EndStep). Returns empty when the run was
+// not traced.
+std::vector<UtilizationBucket> UtilizationTimeline(const RunMetrics& metrics);
 
 }  // namespace maze::rt
 

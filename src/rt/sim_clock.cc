@@ -80,9 +80,16 @@ void SimClock::EndStep(bool overlap_comm) {
   ++steps_ended_;
 
   if (trace_enabled_) {
-    trace_.push_back(StepRecord{static_cast<int>(trace_.size()), compute_max,
-                                wire_max, step_total_bytes, step_total_msgs,
-                                overlap_comm});
+    StepRecord record{static_cast<int>(trace_.size()), compute_max, wire_max,
+                      step_total_bytes, step_total_msgs, overlap_comm};
+    record.rank_compute_seconds.resize(num_ranks_);
+    record.rank_bytes.resize(num_ranks_);
+    for (int r = 0; r < num_ranks_; ++r) {
+      record.rank_compute_seconds[r] =
+          step_compute_[r].load(std::memory_order_relaxed);
+      record.rank_bytes[r] = step_bytes_[r].load(std::memory_order_relaxed);
+    }
+    trace_.push_back(std::move(record));
   }
 
   // Peak achieved per-node bandwidth for this step. Guard against zero-comm steps.
@@ -127,13 +134,26 @@ void SimClock::ObserveStep(double compute_max, double wire_max,
   // overlaps communication with computation.
   double start_us =
       (metrics_.elapsed_seconds + (overlap_comm ? 0.0 : compute_max)) * 1e6;
+  double step_begin_us = metrics_.elapsed_seconds * 1e6;
   for (int r = 0; r < num_ranks_; ++r) {
     uint64_t bytes = step_bytes_[r].load(std::memory_order_relaxed);
     uint64_t msgs = step_msgs_[r].load(std::memory_order_relaxed);
-    if (bytes == 0 && msgs == 0) continue;
-    double wire_s = model_.TransferSeconds(bytes, msgs);
-    obs::PushWireSpan("wire", r, steps_ended_, start_us, wire_s * 1e6, bytes,
-                      msgs);
+    if (bytes != 0 || msgs != 0) {
+      double wire_s = model_.TransferSeconds(bytes, msgs);
+      obs::PushWireSpan("wire", r, steps_ended_, start_us, wire_s * 1e6, bytes,
+                        msgs);
+    }
+    // Utilization counter tracks, one sample per rank per step: CPU busy
+    // fraction and the fraction of the modeled link bandwidth in use. Both in
+    // [0, 1] because step_time bounds every rank's compute and wire time.
+    if (step_time > 0) {
+      double compute = step_compute_[r].load(std::memory_order_relaxed);
+      obs::PushCounterSample("cpu_util", r, steps_ended_, step_begin_us,
+                             compute / step_time);
+      obs::PushCounterSample("bw_util", r, steps_ended_, step_begin_us,
+                             static_cast<double>(bytes) /
+                                 (step_time * model_.bandwidth_bytes_per_sec));
+    }
   }
   obs::GetHistogram("sim.step_micros")
       .Record(static_cast<uint64_t>(step_time * 1e6));
@@ -151,9 +171,17 @@ RunMetrics SimClock::Finish(double intra_rank_utilization) {
   uint64_t leftover_msgs = 0;
   FoldStepTotals(&leftover_bytes, &leftover_msgs);
   ResetStep();
+  // Footprint: the arena's per-rank watermark where the engine attributed
+  // phases, max'd with the legacy unattributed RecordMemory path.
   metrics_.memory_peak_bytes =
-      std::max(metrics_.memory_peak_bytes,
-               memory_peak_.load(std::memory_order_relaxed));
+      std::max({metrics_.memory_peak_bytes,
+                memory_peak_.load(std::memory_order_relaxed),
+                arena_.PeakFootprint()});
+  metrics_.memory_graph_bytes = arena_.PhasePeak(obs::MemPhase::kGraph);
+  metrics_.memory_state_bytes = arena_.PhasePeak(obs::MemPhase::kEngineState);
+  metrics_.memory_msgbuf_bytes =
+      arena_.PhasePeak(obs::MemPhase::kMessageBuffers);
+  metrics_.modeled_peak_bw = model_.bandwidth_bytes_per_sec;
   if (trace_enabled_) metrics_.steps = trace_;
   if (metrics_.elapsed_seconds > 0) {
     double rank_busy_fraction =

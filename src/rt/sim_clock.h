@@ -21,6 +21,7 @@
 
 #include "obs/counters.h"
 #include "obs/obs.h"
+#include "obs/resource.h"
 #include "rt/comm_model.h"
 #include "rt/metrics.h"
 #include "util/check.h"
@@ -66,6 +67,7 @@ class SimClock {
         step_compute_(num_ranks),
         step_bytes_(num_ranks),
         step_msgs_(num_ranks),
+        arena_(num_ranks),
         trace_enabled_(trace) {
     MAZE_CHECK(num_ranks >= 1);
     ResetStep();
@@ -99,7 +101,8 @@ class SimClock {
   }
 
   // Records rank-resident memory (graph partition + engine buffers); the metric
-  // keeps the max across ranks and steps.
+  // keeps the max across ranks and steps. Legacy unattributed form — engines
+  // report through ChargeMemory/ReleaseMemory so the footprint splits by phase.
   void RecordMemory(int rank, uint64_t bytes) {
     MAZE_CHECK(rank >= 0 && rank < num_ranks_);
     uint64_t seen = memory_peak_.load(std::memory_order_relaxed);
@@ -108,6 +111,18 @@ class SimClock {
                                                std::memory_order_relaxed)) {
     }
   }
+
+  // Phase-attributed resident-memory accounting (obs::TrackingArena). Charges
+  // to different ranks use independent slots; charges within a rank must be
+  // sequenced (rank task or turnstile), which keeps the recorded watermarks
+  // identical under the serial and rank-parallel schedules.
+  void ChargeMemory(int rank, obs::MemPhase phase, uint64_t bytes) {
+    arena_.Charge(rank, phase, bytes);
+  }
+  void ReleaseMemory(int rank, obs::MemPhase phase, uint64_t bytes) {
+    arena_.Release(rank, phase, bytes);
+  }
+  obs::TrackingArena& arena() { return arena_; }
 
   // Closes the current step, charging simulated time. `overlap_comm` selects
   // max(compute, comm) instead of compute + comm.
@@ -155,6 +170,7 @@ class SimClock {
   std::vector<std::atomic<double>> step_compute_;
   std::vector<std::atomic<uint64_t>> step_bytes_;
   std::vector<std::atomic<uint64_t>> step_msgs_;
+  obs::TrackingArena arena_;
   std::atomic<uint64_t> memory_peak_{0};
   bool trace_enabled_ = false;
   std::vector<StepRecord> trace_;

@@ -56,8 +56,9 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
     clock.EndStep();
   }
 
-  clock.RecordMemory(0, g.MemoryBytes() +
-                            static_cast<uint64_t>(n) * 3 * sizeof(double));
+  clock.ChargeMemory(0, obs::MemPhase::kGraph, g.MemoryBytes());
+  clock.ChargeMemory(0, obs::MemPhase::kEngineState,
+                     static_cast<uint64_t>(n) * 3 * sizeof(double));
   rt::PageRankResult result;
   result.ranks = std::move(pr);
   result.iterations = options.iterations;
@@ -96,8 +97,9 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
   obs::EmitSpanEndingNow("bfs_worklist", "taskflow", 0, levels, seconds);
   clock.EndStep();
 
-  clock.RecordMemory(0, g.MemoryBytes() +
-                            static_cast<uint64_t>(n) * sizeof(uint32_t));
+  clock.ChargeMemory(0, obs::MemPhase::kGraph, g.MemoryBytes());
+  clock.ChargeMemory(0, obs::MemPhase::kEngineState,
+                     static_cast<uint64_t>(n) * sizeof(uint32_t));
   rt::BfsResult result;
   result.distance.resize(n);
   for (VertexId v = 0; v < n; ++v) {
@@ -147,7 +149,7 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
   obs::EmitSpanEndingNow("intersect_doall", "taskflow", 0, /*step=*/0, seconds);
   clock.EndStep();
 
-  clock.RecordMemory(0, g.MemoryBytes());
+  clock.ChargeMemory(0, obs::MemPhase::kGraph, g.MemoryBytes());
   rt::TriangleCountResult result;
   result.triangles = triangles.load();
   result.metrics = clock.Finish(kIntraRankUtilization);
@@ -208,8 +210,9 @@ rt::ConnectedComponentsResult ConnectedComponents(
   clock.EndStep();
   (void)options;
 
-  clock.RecordMemory(0, g.MemoryBytes() +
-                            static_cast<uint64_t>(n) * sizeof(VertexId));
+  clock.ChargeMemory(0, obs::MemPhase::kGraph, g.MemoryBytes());
+  clock.ChargeMemory(0, obs::MemPhase::kEngineState,
+                     static_cast<uint64_t>(n) * sizeof(VertexId));
   rt::ConnectedComponentsResult result;
   result.label.resize(n);
   for (VertexId v = 0; v < n; ++v) {
@@ -274,8 +277,9 @@ rt::SsspResult Sssp(const WeightedGraph& g, const rt::SsspOptions& options,
   obs::EmitSpanEndingNow("delta_step_drain", "taskflow", 0, /*step=*/0, seconds);
   clock.EndStep();
 
-  clock.RecordMemory(0, g.MemoryBytes() +
-                            static_cast<uint64_t>(n) * sizeof(float));
+  clock.ChargeMemory(0, obs::MemPhase::kGraph, g.MemoryBytes());
+  clock.ChargeMemory(0, obs::MemPhase::kEngineState,
+                     static_cast<uint64_t>(n) * sizeof(float));
   rt::SsspResult result;
   result.distance.resize(n);
   for (VertexId v = 0; v < n; ++v) {

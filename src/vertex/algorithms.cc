@@ -388,8 +388,9 @@ rt::PageRankResult AsyncPageRank(const Graph& g, double jump, double epsilon) {
   clock.RecordCompute(0, t.Seconds());
   clock.EndStep();
 
-  clock.RecordMemory(0, g.MemoryBytes() +
-                            static_cast<uint64_t>(n) * 2 * sizeof(double));
+  clock.ChargeMemory(0, obs::MemPhase::kGraph, g.MemoryBytes());
+  clock.ChargeMemory(0, obs::MemPhase::kEngineState,
+                     static_cast<uint64_t>(n) * 2 * sizeof(double));
   rt::PageRankResult result;
   result.ranks = std::move(p);
   result.iterations = static_cast<int>(std::min<uint64_t>(

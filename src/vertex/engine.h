@@ -290,6 +290,11 @@ int SyncEngine<P>::Run(P* program, int max_supersteps) {
           }
         }
         wire_buffer_peak = std::max(wire_buffer_peak, rank_wire_bytes);
+        // Transient wire-buffer charge: visible in the per-step message-buffer
+        // watermark, released once the superstep's messages are handed off.
+        clock_.ChargeMemory(p, obs::MemPhase::kMessageBuffers, rank_wire_bytes);
+        clock_.ReleaseMemory(p, obs::MemPhase::kMessageBuffers,
+                             rank_wire_bytes);
         double route_seconds = route_timer.Seconds();
         clock_.RecordCompute(p, route_seconds);
         obs::EmitSpanEndingNow("route", "vertexlab", p, superstep,
@@ -328,8 +333,11 @@ int SyncEngine<P>::Run(P* program, int max_supersteps) {
   uint64_t state_bytes = static_cast<uint64_t>(n) * sizeof(Value);
   uint64_t acc_bytes = kCombinable ? static_cast<uint64_t>(n) * sizeof(Message) * 2
                                    : wire_buffer_peak * 2;
-  clock_.RecordMemory(0, g_.MemoryBytes() / std::max(1, ranks) + state_bytes +
-                             acc_bytes + wire_buffer_peak);
+  clock_.ChargeMemory(0, obs::MemPhase::kGraph,
+                      g_.MemoryBytes() / std::max(1, ranks));
+  clock_.ChargeMemory(0, obs::MemPhase::kEngineState, state_bytes);
+  clock_.ChargeMemory(0, obs::MemPhase::kMessageBuffers,
+                      acc_bytes + wire_buffer_peak);
   return superstep;
 }
 

@@ -11,8 +11,10 @@ TEST(ExchangeTest, DeliversToMatchingInbox) {
   ex.OutBox(1, 2) = {4};
   SimClock clock(3, CommModel::Mpi());
   ex.Deliver(&clock);
-  EXPECT_EQ(ex.InBox(2, 0), (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(ex.InBox(2, 1), std::vector<int>{4});
+  EXPECT_EQ(std::vector<int>(ex.InBox(2, 0).begin(), ex.InBox(2, 0).end()),
+            (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(std::vector<int>(ex.InBox(2, 1).begin(), ex.InBox(2, 1).end()),
+            std::vector<int>{4});
   EXPECT_TRUE(ex.InBox(0, 1).empty());
   EXPECT_EQ(ex.InboundCount(2), 4u);
 }

@@ -1,5 +1,6 @@
+#include <algorithm>
 #include <atomic>
-#include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -8,11 +9,16 @@
 
 #include "obs/counters.h"
 #include "obs/export.h"
+#include "obs/json.h"
 #include "obs/obs.h"
+#include "tests/json_checker.h"
 #include "util/thread_pool.h"
 
 namespace maze::obs {
 namespace {
+
+using testutil::CountOccurrences;
+using testutil::JsonChecker;
 
 // Each TEST runs in its own process (gtest_discover_tests), but tests within
 // one suite share the process-global registries; reset defensively.
@@ -126,128 +132,6 @@ TEST_F(ObsTest, HistogramConcurrentRecords) {
 }
 
 // --- Chrome trace JSON shape ---------------------------------------------------
-//
-// A minimal recursive-descent JSON validator: enough to prove the export is
-// well-formed without a JSON library dependency.
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& s) : s_(s) {}
-  bool Valid() {
-    SkipWs();
-    if (!Value()) return false;
-    SkipWs();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool Value() {
-    if (pos_ >= s_.size()) return false;
-    char c = s_[pos_];
-    if (c == '{') return Object();
-    if (c == '[') return Array();
-    if (c == '"') return String();
-    if (c == 't') return Literal("true");
-    if (c == 'f') return Literal("false");
-    if (c == 'n') return Literal("null");
-    return Number();
-  }
-  bool Object() {
-    ++pos_;  // '{'
-    SkipWs();
-    if (Peek() == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      if (!String()) return false;
-      SkipWs();
-      if (Peek() != ':') return false;
-      ++pos_;
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (Peek() == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-  bool Array() {
-    ++pos_;  // '['
-    SkipWs();
-    if (Peek() == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (Peek() == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-  bool String() {
-    if (Peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') ++pos_;
-      ++pos_;
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;
-    return true;
-  }
-  bool Number() {
-    size_t start = pos_;
-    if (Peek() == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-  bool Literal(const char* lit) {
-    size_t len = std::string(lit).size();
-    if (s_.compare(pos_, len, lit) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-  void SkipWs() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  const std::string& s_;
-  size_t pos_ = 0;
-};
-
-size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
-  size_t count = 0;
-  for (size_t pos = haystack.find(needle); pos != std::string::npos;
-       pos = haystack.find(needle, pos + needle.size())) {
-    ++count;
-  }
-  return count;
-}
 
 TEST_F(ObsTest, ChromeTraceJsonIsValidWithBalancedAsyncEvents) {
   SetEnabled(true);
@@ -289,6 +173,82 @@ TEST_F(ObsTest, SummaryTextListsSpansCountersHistograms) {
   EXPECT_NE(text.find("gather"), std::string::npos);
   EXPECT_NE(text.find("wire.bytes[0->1]"), std::string::npos);
   EXPECT_NE(text.find("exchange.batch_records"), std::string::npos);
+}
+
+// --- JSON escaping ------------------------------------------------------------
+
+TEST_F(ObsTest, JsonEscapeHandlesSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape("\b\f"), "\\b\\f");
+  EXPECT_EQ(JsonEscape(std::string("\x01\x1f")), "\\u0001\\u001f");
+  // Bytes >= 0x80 (UTF-8 continuation) pass through untouched; no
+  // sign-extension garbage like ￿ffc3.
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST_F(ObsTest, ChromeTraceJsonEscapesHostileNames) {
+  // Regression: counter/histogram names with quotes, backslashes, and control
+  // bytes used to break the exported JSON.
+  SetEnabled(true);
+  EmitSpanEndingNow("evil\"span\\name", "cat\negory", 0, 0, 0.001);
+  GetCounter("bytes\"quoted\"[0->1]").Add(7);
+  GetHistogram("hist\\back\nslash").Record(42);
+  SetEnabled(false);
+  std::string json = ChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("evil\\\"span\\\\name"), std::string::npos);
+  std::string summary = SummaryText();
+  EXPECT_NE(summary.find("bytes\"quoted\"[0->1]"), std::string::npos);
+}
+
+// --- Histogram percentile accuracy ---------------------------------------------
+
+// Exact nearest-rank percentile of a sorted sample.
+uint64_t ExactPercentile(std::vector<uint64_t> sorted, double pct) {
+  std::sort(sorted.begin(), sorted.end());
+  size_t rank = static_cast<size_t>(std::ceil(pct / 100.0 * sorted.size()));
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+TEST_F(ObsTest, HistogramPercentilesWithinBucketErrorBound) {
+  // Log-linear buckets (8 sub-buckets per power of two) guarantee the reported
+  // percentile never undershoots the exact nearest-rank value and overshoots
+  // by at most 12.5%. Check on distributions with different shapes.
+  struct Case {
+    const char* name;
+    std::vector<uint64_t> values;
+  };
+  std::vector<Case> cases;
+  {
+    Case uniform{"uniform", {}};
+    for (uint64_t i = 1; i <= 1000; ++i) uniform.values.push_back(i);
+    cases.push_back(std::move(uniform));
+    Case geometric{"geometric", {}};
+    for (uint64_t i = 0; i < 1000; ++i) {
+      geometric.values.push_back(1ull << (i % 20));
+    }
+    cases.push_back(std::move(geometric));
+    Case heavy_tail{"heavy_tail", {}};
+    for (uint64_t i = 0; i < 990; ++i) heavy_tail.values.push_back(100);
+    for (uint64_t i = 0; i < 10; ++i) heavy_tail.values.push_back(1000000);
+    cases.push_back(std::move(heavy_tail));
+  }
+  for (const Case& c : cases) {
+    Histogram& h = GetHistogram(std::string("test.acc.") + c.name);
+    for (uint64_t v : c.values) h.Record(v);
+    for (double pct : {50.0, 99.0}) {
+      uint64_t exact = ExactPercentile(c.values, pct);
+      uint64_t approx = pct == 50.0 ? h.P50() : h.P99();
+      EXPECT_GE(approx, exact) << c.name << " p" << pct;
+      EXPECT_LE(static_cast<double>(approx),
+                std::ceil(1.125 * static_cast<double>(exact)))
+          << c.name << " p" << pct;
+    }
+  }
 }
 
 TEST_F(ObsTest, ResetAllClearsEverything) {
