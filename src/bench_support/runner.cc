@@ -46,6 +46,7 @@ rt::EngineConfig MakeConfig(EngineKind engine, const RunConfig& config) {
   if (engine == EngineKind::kTaskflow) ec.num_ranks = 1;
   ec.comm = DefaultCommFor(engine, config);
   ec.trace = config.trace;
+  ec.faults = config.faults;
   return ec;
 }
 

@@ -40,6 +40,8 @@ struct RunConfig {
   // Record the per-step timeline (rt::RunMetrics::steps) for the run; needed
   // for utilization timelines and step-time percentiles.
   bool trace = false;
+  // Fault plan for the run (defaults to MAZE_FAULTS; disabled when unset).
+  rt::fault::FaultSpec faults = rt::fault::SpecFromEnv();
 };
 
 // matblas requires a perfect-square rank count (CombBLAS's 2-D grid); returns

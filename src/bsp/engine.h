@@ -26,12 +26,15 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/graph.h"
 #include "obs/counters.h"
 #include "obs/obs.h"
+#include "obs/resource.h"
 #include "rt/algo.h"
+#include "rt/fault.h"
 #include "rt/partition.h"
 #include "rt/rank_exec.h"
 #include "rt/sim_clock.h"
@@ -103,7 +106,7 @@ class BspEngine {
       : g_(g),
         config_(config),
         options_(options),
-        clock_(config.num_ranks, config.comm, config.trace),
+        clock_(config.num_ranks, config.comm, config.trace, config.faults),
         part_(rt::Partition1D::VertexBalanced(g.num_vertices(),
                                               config.num_ranks)) {}
 
@@ -176,8 +179,114 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
     return released;
   };
 
+  // --- Checkpoint/restart (DESIGN.md §4c) -----------------------------------
+  // Giraph-style superstep checkpointing: every `checkpoint_interval`
+  // supersteps, snapshot the vertex values and the pending (undelivered)
+  // messages — together they are the engine's complete run state, because the
+  // programs themselves are stateless. A crash event restores the last
+  // snapshot and replays; replay is deterministic (same inbox contents in the
+  // same order), so the recovered run's output is byte-identical to the
+  // fault-free run and only the modeled clock pays for the lost work.
+  const rt::fault::FaultSpec& faults = clock_.fault_spec();
+  const int ckpt_interval = faults.enabled ? faults.checkpoint_interval : 0;
+  std::vector<rt::fault::CrashEvent> pending_crashes;
+  if (faults.enabled) {
+    for (const rt::fault::CrashEvent& ev : faults.crashes) {
+      if (ev.rank < ranks) pending_crashes.push_back(ev);
+    }
+  }
+  int ckpt_superstep = -1;
+  // Vertex state snapshot allocates through the tracking allocator, so the
+  // checkpoint's footprint lands in the engine-state watermark.
+  std::vector<Value, obs::CountingAllocator<Value>> ckpt_values(
+      obs::CountingAllocator<Value>(&clock_.arena(), 0,
+                                    obs::MemPhase::kEngineState));
+  std::vector<std::vector<std::unique_ptr<Message>>> ckpt_inbox;
+  Bitvector ckpt_has_msg;
+  uint64_t ckpt_inbox_bytes = 0;
+  uint64_t ckpt_charged_msgbuf = 0;  // Boxed-copy bytes charged to the arena.
+
+  // Models each rank writing its slice of the snapshot to stable storage
+  // (taking) or reading it back (restoring); the stall extends the next
+  // barrier exactly like Giraph's checkpoint writes extend a superstep.
+  auto charge_snapshot_io = [&](uint64_t total_bytes, const char* what) {
+    uint64_t per_rank = total_bytes / static_cast<uint64_t>(ranks) + 1;
+    double seconds = faults.checkpoint_latency_seconds +
+                     static_cast<double>(per_rank) / faults.checkpoint_bandwidth;
+    for (int p = 0; p < ranks; ++p) {
+      clock_.ChargeRecovery(p, seconds, per_rank, what);
+    }
+  };
+
+  auto take_checkpoint = [&](int step) {
+    ckpt_superstep = step;
+    ckpt_values.assign(values_.begin(), values_.end());
+    clock_.ReleaseMemory(0, obs::MemPhase::kMessageBuffers,
+                         ckpt_charged_msgbuf);
+    ckpt_inbox.clear();
+    ckpt_inbox.resize(n);
+    uint64_t copied_messages = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (inbox[v].empty()) continue;
+      ckpt_inbox[v].reserve(inbox[v].size());
+      for (const auto& m : inbox[v]) {
+        ckpt_inbox[v].push_back(std::make_unique<Message>(*m));
+      }
+      copied_messages += inbox[v].size();
+    }
+    ckpt_has_msg = has_msg;
+    ckpt_inbox_bytes = live_inbox_bytes;
+    ckpt_charged_msgbuf = copied_messages * BoxedBytes();
+    clock_.ChargeMemory(0, obs::MemPhase::kMessageBuffers,
+                        ckpt_charged_msgbuf);
+    charge_snapshot_io(static_cast<uint64_t>(n) * sizeof(Value) +
+                           ckpt_inbox_bytes,
+                       "checkpoint");
+    clock_.NoteCheckpoint();
+  };
+
+  auto restore_checkpoint = [&]() {
+    values_.assign(ckpt_values.begin(), ckpt_values.end());
+    for (VertexId v = 0; v < n; ++v) {
+      inbox[v].clear();
+      if (!ckpt_inbox[v].empty()) {
+        inbox[v].reserve(ckpt_inbox[v].size());
+        for (const auto& m : ckpt_inbox[v]) {
+          inbox[v].push_back(std::make_unique<Message>(*m));
+        }
+      }
+    }
+    has_msg = ckpt_has_msg;
+    live_inbox_bytes = ckpt_inbox_bytes;
+    charge_snapshot_io(static_cast<uint64_t>(n) * sizeof(Value) +
+                           ckpt_inbox_bytes,
+                       "restore");
+    clock_.NoteRestart();
+  };
+
   int superstep = 0;
-  for (; superstep < max_supersteps; ++superstep) {
+  while (superstep < max_supersteps) {
+    // Checkpoint before the crash check: a crash at superstep s restores the
+    // snapshot taken at the same boundary (or an earlier one), never a newer
+    // state, and a crash at superstep 0 is always recoverable.
+    if (ckpt_interval > 0 && superstep % ckpt_interval == 0 &&
+        superstep != ckpt_superstep) {
+      take_checkpoint(superstep);
+    }
+    if (!pending_crashes.empty()) {
+      auto it = std::find_if(
+          pending_crashes.begin(), pending_crashes.end(),
+          [&](const rt::fault::CrashEvent& ev) { return ev.step == superstep; });
+      if (it != pending_crashes.end()) {
+        pending_crashes.erase(it);
+        MAZE_CHECK(ckpt_interval > 0 &&
+                   "bspgraph: rank crash injected with checkpointing disabled "
+                   "(set ckpt=K in the fault plan)");
+        restore_checkpoint();
+        superstep = ckpt_superstep;
+        continue;
+      }
+    }
     bool wants_more = false;
     uint64_t messages_sent_this_superstep = 0;
     // Classic (unphased) BSP: messages become visible next superstep.
@@ -298,16 +407,17 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
     }
 
     bool any_messages = messages_sent_this_superstep > 0;
+    ++superstep;  // Counts completed supersteps.
     if (program->AllActive()) {
-      if (!wants_more) {
-        ++superstep;
-        break;
-      }
-    } else if (!any_messages && superstep > 0) {
-      ++superstep;
+      if (!wants_more) break;
+    } else if (!any_messages && superstep > 1) {
       break;
     }
   }
+
+  // The snapshot's boxed-message copies die with Run; their footprint stays in
+  // the watermark.
+  clock_.ReleaseMemory(0, obs::MemPhase::kMessageBuffers, ckpt_charged_msgbuf);
 
   clock_.ChargeMemory(0, obs::MemPhase::kGraph,
                       g_.MemoryBytes() / std::max(1, ranks));

@@ -281,6 +281,14 @@ Status RunOnce(const std::string& algo, bench::EngineKind engine,
       << " simulated_seconds=" << FormatDouble(metrics.elapsed_seconds, 5)
       << " net_bytes=" << metrics.bytes_sent
       << " peak_mem_bytes=" << metrics.memory_peak_bytes << "\n";
+  if (config.faults.enabled) {
+    out << "faults: injected=" << metrics.faults_injected
+        << " retries=" << metrics.transport_retries
+        << " dups=" << metrics.duplicated_frames
+        << " checkpoints=" << metrics.checkpoints_written
+        << " restarts=" << metrics.crash_restarts << " recovery_seconds="
+        << FormatDouble(metrics.recovery_seconds, 5) << "\n";
+  }
   if (report != nullptr) {
     bench::Measurement m;
     m.engine = engine;
@@ -347,6 +355,15 @@ Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
   config.num_ranks = ranks.value();
   // The resource report wants the per-step timeline for its percentiles.
   config.trace = !metrics_path.empty() || !trace_path.empty();
+
+  // Fault plan: --faults=<spec> wins over the MAZE_FAULTS environment plan
+  // (which RunConfig already defaulted to).
+  std::string faults_spec = FlagOr(parsed, "faults", "");
+  if (!faults_spec.empty()) {
+    auto faults = rt::fault::ParseFaultSpec(faults_spec);
+    MAZE_RETURN_IF_ERROR(faults.status());
+    config.faults = std::move(faults).value();
+  }
 
   // Input: an edge-list file or a registry stand-in.
   EdgeList edges;

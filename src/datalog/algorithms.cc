@@ -52,7 +52,7 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
                             const DataliteOptions& datalite) {
   MAZE_CHECK(g.has_out());
   const VertexId n = g.num_vertices();
-  Runtime rt(config.num_ranks, datalite, n, config.trace);
+  Runtime rt(config.num_ranks, datalite, n, config.trace, config.faults);
   const bool single_machine = config.num_ranks == 1;
 
   // OUTEDGE for the distributed rule; INEDGE (the transpose) for the gather
@@ -139,7 +139,7 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
                   rt::EngineConfig config, const DataliteOptions& datalite) {
   MAZE_CHECK(g.has_out());
   const VertexId n = g.num_vertices();
-  Runtime rt(config.num_ranks, datalite, n, config.trace);
+  Runtime rt(config.num_ranks, datalite, n, config.trace, config.faults);
   Table edges = BuildEdgeTable(g);
 
   std::vector<int64_t> dist(n, std::numeric_limits<int64_t>::max());
@@ -185,7 +185,7 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
   MAZE_CHECK(g.has_out());
   const VertexId n = g.num_vertices();
   const int ranks = config.num_ranks;
-  Runtime rt(ranks, datalite, n, config.trace);
+  Runtime rt(ranks, datalite, n, config.trace, config.faults);
   Table edges = BuildEdgeTable(g);
 
   // Wire: EDGE[y] rows shipped from owner(y) to owner(x) for each distinct
@@ -268,7 +268,7 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
   MAZE_CHECK(options.method == rt::CfMethod::kGd);
   const int k = options.k;
   const int ranks = config.num_ranks;
-  Runtime rt(ranks, datalite, g.num_users(), config.trace);
+  Runtime rt(ranks, datalite, g.num_users(), config.trace, config.faults);
   rt::Partition1D item_shard =
       rt::Partition1D::VertexBalanced(g.num_items(), ranks);
 
@@ -418,7 +418,7 @@ rt::ConnectedComponentsResult ConnectedComponents(
     rt::EngineConfig config, const DataliteOptions& datalite) {
   MAZE_CHECK(g.has_out());
   const VertexId n = g.num_vertices();
-  Runtime rt(config.num_ranks, datalite, n, config.trace);
+  Runtime rt(config.num_ranks, datalite, n, config.trace, config.faults);
   Table edges = BuildEdgeTable(g);
 
   std::vector<int64_t> label(n);

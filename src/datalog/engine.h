@@ -24,6 +24,7 @@
 #include <functional>
 #include <limits>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "obs/obs.h"
@@ -69,9 +70,9 @@ struct MinAgg {
 class Runtime {
  public:
   Runtime(int num_ranks, const DataliteOptions& options, int64_t key_space,
-          bool trace = false)
+          bool trace = false, rt::fault::FaultSpec faults = rt::fault::SpecFromEnv())
       : options_(options),
-        clock_(num_ranks, options.Comm(), trace),
+        clock_(num_ranks, options.Comm(), trace, std::move(faults)),
         shard_(rt::Partition1D::VertexBalanced(
             static_cast<VertexId>(key_space), num_ranks)) {}
 

@@ -50,7 +50,7 @@ rt::PageRankResult PageRank(const EdgeList& edges,
                             const rt::PageRankOptions& options,
                             rt::EngineConfig config) {
   const VertexId n = edges.num_vertices;
-  rt::SimClock clock(config.num_ranks, config.comm, config.trace);
+  rt::SimClock clock(config.num_ranks, config.comm, config.trace, config.faults);
   DistMatrix m = DistMatrix::FromEdges(edges, config.num_ranks);
 
   // Out-degrees (the d vector of equation 9).
@@ -130,7 +130,7 @@ rt::PageRankResult PageRank(const EdgeList& edges,
 rt::BfsResult Bfs(const EdgeList& edges, const rt::BfsOptions& options,
                   rt::EngineConfig config, const MatblasOptions& matblas) {
   const VertexId n = edges.num_vertices;
-  rt::SimClock clock(config.num_ranks, config.comm, config.trace);
+  rt::SimClock clock(config.num_ranks, config.comm, config.trace, config.faults);
   DistMatrix m = DistMatrix::FromEdges(edges, config.num_ranks);
 
   rt::BfsResult result;
@@ -228,7 +228,7 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
   MAZE_CHECK(g.has_out());
   const VertexId n = g.num_vertices();
   const int ranks = config.num_ranks;
-  rt::SimClock clock(ranks, config.comm, config.trace);
+  rt::SimClock clock(ranks, config.comm, config.trace, config.faults);
   rt::Partition1D rows = rt::Partition1D::EdgeBalanced(g, ranks);
 
   // SUMMA-style tile broadcast: every rank's share of A travels across the grid.
@@ -327,7 +327,7 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
   MAZE_CHECK(options.method == rt::CfMethod::kGd);
   const int k = options.k;
   const int ranks = config.num_ranks;
-  rt::SimClock clock(ranks, config.comm, config.trace);
+  rt::SimClock clock(ranks, config.comm, config.trace, config.faults);
   int side = rt::Grid2D::ForRanks(ranks).side;
 
   rt::CfResult result;
@@ -475,7 +475,7 @@ rt::ConnectedComponentsResult ConnectedComponents(
     const EdgeList& edges, const rt::ConnectedComponentsOptions& options,
     rt::EngineConfig config) {
   const VertexId n = edges.num_vertices;
-  rt::SimClock clock(config.num_ranks, config.comm, config.trace);
+  rt::SimClock clock(config.num_ranks, config.comm, config.trace, config.faults);
   DistMatrix m = DistMatrix::FromEdges(edges, config.num_ranks);
 
   rt::ConnectedComponentsResult result;

@@ -74,7 +74,7 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
   const VertexId n = g.num_vertices();
   MAZE_CHECK(options.source < n);
   const int ranks = config.num_ranks;
-  rt::SimClock clock(ranks, config.comm, config.trace);
+  rt::SimClock clock(ranks, config.comm, config.trace, config.faults);
   rt::Partition1D part = rt::Partition1D::EdgeBalanced(g, ranks);
 
   rt::BfsResult result;

@@ -54,7 +54,7 @@ rt::ConnectedComponentsResult ConnectedComponents(
   MAZE_CHECK(g.has_out());
   const VertexId n = g.num_vertices();
   const int ranks = config.num_ranks;
-  rt::SimClock clock(ranks, config.comm, config.trace);
+  rt::SimClock clock(ranks, config.comm, config.trace, config.faults);
   rt::Partition1D part = rt::Partition1D::EdgeBalanced(g, ranks);
 
   // Atomic min-label propagation: labels are claimed with CAS, a bitvector

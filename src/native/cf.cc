@@ -131,7 +131,7 @@ rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
                                     const NativeOptions& native) {
   const int ranks = config.num_ranks;
   const int k = options.k;
-  rt::SimClock clock(ranks, config.comm, config.trace);
+  rt::SimClock clock(ranks, config.comm, config.trace, config.faults);
 
   rt::CfResult result;
   result.k = k;

@@ -69,7 +69,7 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
   MAZE_CHECK(g.has_out());
   const VertexId n = g.num_vertices();
   const int ranks = config.num_ranks;
-  rt::SimClock clock(ranks, config.comm, config.trace);
+  rt::SimClock clock(ranks, config.comm, config.trace, config.faults);
 
   rt::Partition1D part =
       native.vertex_balanced_partition

@@ -44,7 +44,7 @@ rt::SsspResult Sssp(const WeightedGraph& g, const rt::SsspOptions& options,
   const VertexId n = g.num_vertices();
   MAZE_CHECK(options.source < n);
   const int ranks = config.num_ranks;
-  rt::SimClock clock(ranks, config.comm, config.trace);
+  rt::SimClock clock(ranks, config.comm, config.trace, config.faults);
   rt::Partition1D part = rt::Partition1D::VertexBalanced(n, ranks);
 
   // Atomic float distances, claimed by CAS on the bit pattern.

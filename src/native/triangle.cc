@@ -83,7 +83,7 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
   (void)options;
   MAZE_CHECK(g.has_out());
   const int ranks = config.num_ranks;
-  rt::SimClock clock(ranks, config.comm, config.trace);
+  rt::SimClock clock(ranks, config.comm, config.trace, config.faults);
   rt::Partition1D part = rt::Partition1D::EdgeBalanced(g, ranks);
 
   // Wire accounting: for each rank p, each distinct remote vertex v appearing in

@@ -10,6 +10,7 @@
 
 #include "core/types.h"
 #include "rt/comm_model.h"
+#include "rt/fault.h"
 #include "rt/metrics.h"
 
 namespace maze::rt {
@@ -20,6 +21,10 @@ struct EngineConfig {
   CommModel comm = CommModel::Mpi();
   // Record a per-step timeline (RunMetrics::steps); small overhead.
   bool trace = false;
+  // Fault plan injected beneath the engine's SimClock (and Exchange, for
+  // engines routing through it). Defaults to the MAZE_FAULTS env plan, which
+  // is disabled when the variable is unset.
+  fault::FaultSpec faults = fault::SpecFromEnv();
 };
 
 // --- PageRank (Equation 1) --------------------------------------------------

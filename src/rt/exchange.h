@@ -15,6 +15,7 @@
 #include "obs/counters.h"
 #include "obs/obs.h"
 #include "obs/resource.h"
+#include "rt/fault.h"
 #include "rt/sim_clock.h"
 #include "util/check.h"
 
@@ -42,6 +43,14 @@ class Exchange {
         in_.emplace_back(obs::CountingAllocator<T>(
             arena, dst, obs::MemPhase::kMessageBuffers));
       }
+    }
+    // Receiver-side dedup tables (ids of frames a fault plan duplicated in
+    // flight). Bound to the receiving rank's message-buffer budget so
+    // fault-mode footprints stay phase-attributed.
+    dedup_.reserve(num_ranks);
+    for (int dst = 0; dst < num_ranks; ++dst) {
+      dedup_.emplace_back(obs::CountingAllocator<uint64_t>(
+          arena, dst, obs::MemPhase::kMessageBuffers));
     }
   }
 
@@ -81,15 +90,28 @@ class Exchange {
   // Moves all outboxes into the matching inboxes and charges `clock` for the
   // cross-rank traffic: one message per non-empty (src, dst) pair and
   // `wire_bytes_per_record` per record (default: sizeof(T)).
+  //
+  // Under a transport fault plan (clock->fault_spec()), delivery runs an
+  // ack/retry protocol per record: each record is a frame the plan may drop
+  // (the sender waits out an ack timeout and retransmits, up to the plan's
+  // retry budget) or duplicate (the receiver logs the frame id in its dedup
+  // table and discards the extra copy). Inbox contents therefore stay
+  // byte-identical to the fault-free run — only the modeled clock and the
+  // wire totals (which include retransmissions and duplicates) pay.
   void Deliver(SimClock* clock, double wire_bytes_per_record = sizeof(T)) {
     const bool observe = obs::Enabled();
+    const bool faulty = clock != nullptr &&
+                        clock->fault_spec().TransportFaultsEnabled();
     for (int src = 0; src < num_ranks_; ++src) {
       for (int dst = 0; dst < num_ranks_; ++dst) {
         auto& box = out_[Index(src, dst)];
         if (!box.empty() && src != dst) {
           uint64_t bytes = static_cast<uint64_t>(
               static_cast<double>(box.size()) * wire_bytes_per_record);
-          if (clock != nullptr) {
+          if (faulty) {
+            DeliverWithFaults(clock, src, dst, box.size(),
+                              wire_bytes_per_record, bytes);
+          } else if (clock != nullptr) {
             clock->RecordSend(src, dst, bytes, /*messages=*/1);
           }
           if (observe) ObserveDeliver(src, dst, box.size(), bytes);
@@ -105,12 +127,46 @@ class Exchange {
     }
   }
 
+  // Frame ids the fault plan duplicated toward `dst` so far; the receiver's
+  // dedup state. Grows only under a transport fault plan.
+  size_t DedupTableSize(int dst) const { return dedup_[dst].size(); }
+
   // Clears inboxes (outboxes are cleared by Deliver).
   void ClearInboxes() {
     for (auto& box : in_) box.clear();
   }
 
  private:
+  // Record-granularity ack/retry/dedup delivery for one non-empty (src, dst)
+  // box under a transport fault plan. Decisions come from the clock's
+  // per-pair frame sequencer, so they are the same under every schedule
+  // (Deliver runs on the orchestration thread; pairs are visited in order).
+  void DeliverWithFaults(SimClock* clock, int src, int dst, size_t records,
+                         double wire_bytes_per_record, uint64_t base_bytes) {
+    const fault::FaultSpec& spec = clock->fault_spec();
+    fault::TransportSequencer* seqr = clock->transport_sequencer();
+    uint64_t retries = 0;
+    uint64_t dups = 0;
+    for (size_t i = 0; i < records; ++i) {
+      const uint64_t seq = seqr->Next(src, dst);
+      fault::TransportOutcome outcome =
+          fault::DecideTransport(spec, src, dst, seq);
+      retries += static_cast<uint64_t>(outcome.retries);
+      if (outcome.duplicated) {
+        ++dups;
+        dedup_[dst].push_back(fault::FrameId(spec, src, dst, seq));
+      }
+    }
+    // Retransmitted and duplicated records travel as their own frames; the
+    // clock must not inject again on traffic the plan already decided.
+    const uint64_t extra_records = retries + dups;
+    const uint64_t extra_bytes = static_cast<uint64_t>(
+        static_cast<double>(extra_records) * wire_bytes_per_record);
+    clock->RecordSendPreFaulted(src, dst, base_bytes + extra_bytes,
+                                /*messages=*/1 + extra_records);
+    clock->NoteTransportFaults(src, retries, dups);
+  }
+
   // Per-(src, dst) transport counters, only while tracing. Registry handles are
   // resolved once per Exchange and reused — the naive form built a std::string
   // key and did two registry lookups per pair per step.
@@ -143,6 +199,10 @@ class Exchange {
   int num_ranks_;
   std::vector<Box> out_;
   std::vector<Box> in_;
+  // Per-dst ids of duplicated frames, tracked through the receiving rank's
+  // message-buffer budget (the dedup state a real receiver would keep).
+  using DedupTable = std::vector<uint64_t, obs::CountingAllocator<uint64_t>>;
+  std::vector<DedupTable> dedup_;
   struct PairHandles {
     obs::Counter* bytes = nullptr;
     obs::Counter* records = nullptr;

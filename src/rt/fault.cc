@@ -1,0 +1,196 @@
+#include "rt/fault.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace maze::rt::fault {
+namespace {
+
+// Splits `text` on `sep`, keeping empty pieces out.
+std::vector<std::string> SplitNonEmpty(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find(sep, begin);
+    if (end == std::string::npos) end = text.size();
+    if (end > begin) parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+Status ParseDouble(const std::string& token, const std::string& value,
+                   double* out) {
+  char* end = nullptr;
+  *out = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("faults: bad number in '" + token + "'");
+  }
+  return Status::OK();
+}
+
+Status ParseInt(const std::string& token, const std::string& value, int* out) {
+  char* end = nullptr;
+  long v = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("faults: bad integer in '" + token + "'");
+  }
+  *out = static_cast<int>(v);
+  return Status::OK();
+}
+
+// One token of the plan grammar, e.g. "drop=0.01" or "crash=1@3".
+Status ApplyToken(const std::string& token, FaultSpec* spec) {
+  size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+    return Status::InvalidArgument("faults: expected key=value, got '" + token +
+                                   "'");
+  }
+  const std::string key = token.substr(0, eq);
+  const std::string value = token.substr(eq + 1);
+  if (key == "seed") {
+    char* end = nullptr;
+    spec->seed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+      return Status::InvalidArgument("faults: bad seed in '" + token + "'");
+    }
+  } else if (key == "drop" || key == "dup") {
+    double rate = 0;
+    MAZE_RETURN_IF_ERROR(ParseDouble(token, value, &rate));
+    if (rate < 0.0 || rate >= 1.0) {
+      return Status::InvalidArgument("faults: rate must be in [0, 1) in '" +
+                                     token + "'");
+    }
+    (key == "drop" ? spec->drop_rate : spec->dup_rate) = rate;
+  } else if (key == "retries") {
+    MAZE_RETURN_IF_ERROR(ParseInt(token, value, &spec->max_retries));
+    if (spec->max_retries < 0) {
+      return Status::InvalidArgument("faults: retries must be >= 0 in '" +
+                                     token + "'");
+    }
+  } else if (key == "timeout") {
+    MAZE_RETURN_IF_ERROR(
+        ParseDouble(token, value, &spec->retry_timeout_seconds));
+    if (spec->retry_timeout_seconds < 0.0) {
+      return Status::InvalidArgument("faults: timeout must be >= 0 in '" +
+                                     token + "'");
+    }
+  } else if (key == "crash") {
+    size_t at = value.find('@');
+    if (at == std::string::npos) {
+      return Status::InvalidArgument("faults: crash wants RANK@STEP in '" +
+                                     token + "'");
+    }
+    CrashEvent ev;
+    MAZE_RETURN_IF_ERROR(ParseInt(token, value.substr(0, at), &ev.rank));
+    MAZE_RETURN_IF_ERROR(ParseInt(token, value.substr(at + 1), &ev.step));
+    if (ev.rank < 0 || ev.step < 0) {
+      return Status::InvalidArgument("faults: crash rank/step must be >= 0 in '" +
+                                     token + "'");
+    }
+    spec->crashes.push_back(ev);
+  } else if (key == "straggle") {
+    size_t x = value.find('x');
+    if (x == std::string::npos) {
+      return Status::InvalidArgument("faults: straggle wants RANKxMULT in '" +
+                                     token + "'");
+    }
+    Straggler s;
+    MAZE_RETURN_IF_ERROR(ParseInt(token, value.substr(0, x), &s.rank));
+    MAZE_RETURN_IF_ERROR(
+        ParseDouble(token, value.substr(x + 1), &s.multiplier));
+    if (s.rank < 0 || s.multiplier < 1.0) {
+      return Status::InvalidArgument(
+          "faults: straggle wants rank >= 0 and multiplier >= 1 in '" + token +
+          "'");
+    }
+    spec->stragglers.push_back(s);
+  } else if (key == "ckpt") {
+    MAZE_RETURN_IF_ERROR(ParseInt(token, value, &spec->checkpoint_interval));
+    if (spec->checkpoint_interval < 0) {
+      return Status::InvalidArgument("faults: ckpt must be >= 0 in '" + token +
+                                     "'");
+    }
+  } else if (key == "ckpt_bw") {
+    MAZE_RETURN_IF_ERROR(ParseDouble(token, value, &spec->checkpoint_bandwidth));
+    if (spec->checkpoint_bandwidth <= 0.0) {
+      return Status::InvalidArgument("faults: ckpt_bw must be > 0 in '" +
+                                     token + "'");
+    }
+  } else if (key == "ckpt_lat") {
+    MAZE_RETURN_IF_ERROR(
+        ParseDouble(token, value, &spec->checkpoint_latency_seconds));
+    if (spec->checkpoint_latency_seconds < 0.0) {
+      return Status::InvalidArgument("faults: ckpt_lat must be >= 0 in '" +
+                                     token + "'");
+    }
+  } else {
+    return Status::InvalidArgument("faults: unknown key '" + key + "'");
+  }
+  return Status::OK();
+}
+
+// Maps a SplitMix64 draw onto [0, 1).
+double ToUnit(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+}
+
+// The per-frame hash chain's initial state: decorrelates (src, dst, seq)
+// triples under one seed the same way prng.h derives per-partition streams.
+uint64_t FrameState(const FaultSpec& spec, int src, int dst, uint64_t seq) {
+  uint64_t state = spec.seed;
+  state ^= SplitMix64(state) + 0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(src) + 1);
+  state ^= SplitMix64(state) + 0xBF58476D1CE4E5B9ull * (static_cast<uint64_t>(dst) + 1);
+  state ^= SplitMix64(state) + seq;
+  return state;
+}
+
+}  // namespace
+
+StatusOr<FaultSpec> ParseFaultSpec(const std::string& text) {
+  FaultSpec spec;
+  const std::vector<std::string> tokens = SplitNonEmpty(text, ',');
+  for (const std::string& token : tokens) {
+    MAZE_RETURN_IF_ERROR(ApplyToken(token, &spec));
+  }
+  spec.enabled = !tokens.empty();
+  return spec;
+}
+
+const FaultSpec& SpecFromEnv() {
+  static const FaultSpec spec = [] {
+    const char* env = std::getenv("MAZE_FAULTS");
+    if (env == nullptr || *env == '\0') return FaultSpec{};
+    StatusOr<FaultSpec> parsed = ParseFaultSpec(env);
+    MAZE_CHECK(parsed.ok() && "MAZE_FAULTS: malformed fault spec");
+    return std::move(parsed).value();
+  }();
+  return spec;
+}
+
+TransportOutcome DecideTransport(const FaultSpec& spec, int src, int dst,
+                                 uint64_t seq) {
+  TransportOutcome outcome;
+  if (!spec.TransportFaultsEnabled() || src == dst) return outcome;
+  uint64_t state = FrameState(spec, src, dst, seq);
+  // Each delivery attempt draws once; a drop costs a retransmission. The chain
+  // is finite because the budget check aborts a run whose drop rate defeats
+  // its retry budget — dropping the frame silently would un-mask the fault.
+  while (ToUnit(SplitMix64(state)) < spec.drop_rate) {
+    ++outcome.retries;
+    MAZE_CHECK(outcome.retries <= spec.max_retries &&
+               "fault: transport retry budget exhausted (unrecoverable drop)");
+  }
+  outcome.duplicated = ToUnit(SplitMix64(state)) < spec.dup_rate;
+  return outcome;
+}
+
+uint64_t FrameId(const FaultSpec& spec, int src, int dst, uint64_t seq) {
+  uint64_t state = FrameState(spec, src, dst, seq);
+  return SplitMix64(state);
+}
+
+}  // namespace maze::rt::fault

@@ -1,0 +1,163 @@
+// Fault plans: seeded, deterministic failure injection for the simulated
+// cluster (DESIGN.md Section 4c).
+//
+// A FaultSpec describes which failures a run suffers — rank crashes at given
+// supersteps, per-record message drop/duplication on the wire, per-rank
+// straggler slowdowns — plus the recovery budget that masks them (retry count
+// and timeout for the transport, checkpoint interval and write cost for the
+// Giraph-style BSP engine). Every fault decision is a pure hash of
+// (seed, src, dst, per-pair sequence number), so a plan injects the *same*
+// faults under the serial and rank-parallel schedules, and recovery replays
+// deterministically: with recovery enabled, a faulted run's algorithm output
+// is byte-identical to the fault-free run — only the modeled clock (and the
+// wire totals, which now include retransmissions) pays for the failures.
+#ifndef MAZE_RT_FAULT_H_
+#define MAZE_RT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace maze::rt::fault {
+
+// One injected fail-stop event: `rank` crashes at the start of superstep
+// `step`. Only the BSP (Giraph-like) engine consumes crash events — it is the
+// engine the paper charges checkpointing overhead to; the others treat a crash
+// plan as fatal if it ever fires (no checkpoint to recover from).
+struct CrashEvent {
+  int rank = 0;
+  int step = 0;
+};
+
+// A rank whose compute runs `multiplier`x slower than measured (a slow node or
+// a thermally-throttled socket). Applied inside SimClock::RecordCompute, so
+// straggler time dilates the per-step compute max exactly like a real slow
+// machine would stretch the barrier.
+struct Straggler {
+  int rank = 0;
+  double multiplier = 1.0;
+};
+
+// A complete seeded fault plan plus its recovery budget. Value-semantic; a
+// default-constructed spec is disabled and injects nothing.
+struct FaultSpec {
+  bool enabled = false;
+
+  // Master seed all transport decisions derive from.
+  uint64_t seed = 1;
+
+  // Per-record probability that a frame is dropped on the wire (and must be
+  // retransmitted) or duplicated in flight (and must be deduped at the
+  // receiver). In [0, 1).
+  double drop_rate = 0.0;
+  double dup_rate = 0.0;
+
+  // Transport recovery budget: a record may be retransmitted at most
+  // `max_retries` times before the run aborts (unrecoverable); each
+  // retransmission charges one `retry_timeout_seconds` of modeled time to the
+  // sending rank (the ack timeout that triggered the resend).
+  int max_retries = 16;
+  double retry_timeout_seconds = 1e-3;
+
+  // Fail-stop schedule (BSP engine only) and straggler set.
+  std::vector<CrashEvent> crashes;
+  std::vector<Straggler> stragglers;
+
+  // BSP checkpointing: snapshot vertex state + pending messages every
+  // `checkpoint_interval` supersteps (0 disables checkpointing — any injected
+  // crash is then unrecoverable). Writing a checkpoint charges each rank
+  // `checkpoint_latency_seconds + rank_bytes / checkpoint_bandwidth` of
+  // modeled time; restoring charges the same for the read-back.
+  int checkpoint_interval = 0;
+  double checkpoint_bandwidth = 200e6;  // bytes/sec to stable storage.
+  double checkpoint_latency_seconds = 5e-3;
+
+  // True when the plan injects per-record transport faults.
+  bool TransportFaultsEnabled() const {
+    return enabled && (drop_rate > 0.0 || dup_rate > 0.0);
+  }
+
+  // Compute-time multiplier for `rank` (1.0 unless listed as a straggler).
+  double StragglerMultiplier(int rank) const {
+    if (!enabled) return 1.0;
+    for (const Straggler& s : stragglers) {
+      if (s.rank == rank) return s.multiplier;
+    }
+    return 1.0;
+  }
+};
+
+// Parses the `--faults=` / MAZE_FAULTS plan grammar: comma-separated tokens
+//
+//   seed=42 drop=0.01 dup=0.005 crash=R@S straggle=RxM ckpt=K
+//   retries=N timeout=SECS ckpt_bw=BYTES_PER_SEC ckpt_lat=SECS
+//
+// `crash=` and `straggle=` may repeat. An empty spec parses to a disabled
+// plan; any recognized token enables it. Returns InvalidArgument on unknown
+// tokens or out-of-range values (rates outside [0, 1), non-positive
+// multipliers, negative steps/intervals).
+StatusOr<FaultSpec> ParseFaultSpec(const std::string& text);
+
+// The process-wide plan parsed once from MAZE_FAULTS (disabled when unset or
+// empty). Aborts via MAZE_CHECK on a malformed value so batch runs fail loudly
+// instead of silently measuring a fault-free cluster.
+const FaultSpec& SpecFromEnv();
+
+// What the transport decided for one frame: how many times it was dropped
+// before the delivery attempt that succeeded (each costs a retransmission and
+// an ack timeout), and whether the delivered frame was duplicated in flight.
+struct TransportOutcome {
+  int retries = 0;
+  bool duplicated = false;
+};
+
+// Pure decision function: the fate of the `seq`-th frame ever sent src -> dst
+// under `spec`. Depends only on (spec.seed, src, dst, seq) — never on thread
+// timing — which is what makes injected runs schedule-invariant (the per-pair
+// send order is deterministic, so frame `seq` is the same frame in every
+// schedule). Aborts when the drop chain exceeds spec.max_retries: the sender
+// exhausted its recovery budget, which no amount of retrying masks.
+TransportOutcome DecideTransport(const FaultSpec& spec, int src, int dst,
+                                 uint64_t seq);
+
+// Globally unique id for frame `seq` of the (src, dst) pair; what the
+// receiver's dedup table stores to discard duplicate deliveries.
+uint64_t FrameId(const FaultSpec& spec, int src, int dst, uint64_t seq);
+
+// Per-(src, dst) frame sequence numbers. Slots are independent atomics, so
+// concurrent rank tasks sending over different pairs never contend, and the
+// sequence each pair observes is schedule-invariant (each pair has one
+// deterministic sender order).
+class TransportSequencer {
+ public:
+  explicit TransportSequencer(int num_ranks)
+      : num_ranks_(num_ranks),
+        seq_(std::make_unique<std::atomic<uint64_t>[]>(
+            static_cast<size_t>(num_ranks) * num_ranks)) {
+    MAZE_CHECK(num_ranks >= 1);
+    for (size_t i = 0; i < static_cast<size_t>(num_ranks) * num_ranks; ++i) {
+      seq_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Returns the next sequence number for a src -> dst frame (0, 1, 2, ...).
+  uint64_t Next(int src, int dst) {
+    MAZE_DCHECK(src >= 0 && src < num_ranks_);
+    MAZE_DCHECK(dst >= 0 && dst < num_ranks_);
+    return seq_[static_cast<size_t>(src) * num_ranks_ + dst].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+ private:
+  int num_ranks_;
+  std::unique_ptr<std::atomic<uint64_t>[]> seq_;
+};
+
+}  // namespace maze::rt::fault
+
+#endif  // MAZE_RT_FAULT_H_

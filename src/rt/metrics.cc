@@ -7,11 +7,11 @@ namespace maze::rt {
 std::string StepTraceCsv(const std::vector<StepRecord>& steps) {
   std::ostringstream out;
   out << "step,compute_seconds,wire_seconds,bytes_sent,messages_sent,"
-         "overlapped\n";
+         "overlapped,fault_seconds\n";
   for (const StepRecord& s : steps) {
     out << s.step << ',' << s.compute_seconds << ',' << s.wire_seconds << ','
         << s.bytes_sent << ',' << s.messages_sent << ','
-        << (s.overlapped ? 1 : 0) << '\n';
+        << (s.overlapped ? 1 : 0) << ',' << s.fault_seconds << '\n';
   }
   return out.str();
 }

@@ -20,6 +20,7 @@ struct StepRecord {
   uint64_t bytes_sent = 0;     // total cross-rank bytes this step.
   uint64_t messages_sent = 0;
   bool overlapped = false;     // compute/comm overlap was in effect.
+  double fault_seconds = 0;    // max over ranks, fault/recovery stall time.
 
   // Per-rank breakdown (index = rank), recorded alongside the aggregates so
   // utilization timelines can be rebuilt per rank. Empty for StepRecords
@@ -27,11 +28,14 @@ struct StepRecord {
   std::vector<double> rank_compute_seconds;
   std::vector<uint64_t> rank_bytes;
 
-  // Simulated duration of this step as charged by the clock.
+  // Simulated duration of this step as charged by the clock. Fault/recovery
+  // stalls (retry timeouts, checkpoint writes, restores) extend the barrier on
+  // top of the compute/comm combination.
   double StepSeconds() const {
-    return overlapped ? (compute_seconds > wire_seconds ? compute_seconds
-                                                        : wire_seconds)
-                      : compute_seconds + wire_seconds;
+    double base = overlapped ? (compute_seconds > wire_seconds ? compute_seconds
+                                                               : wire_seconds)
+                             : compute_seconds + wire_seconds;
+    return base + fault_seconds;
   }
 };
 
@@ -72,6 +76,16 @@ struct RunMetrics {
   // compute / (ranks * elapsed), scaled by the engine's intra-node thread usage:
   // the Figure 6 "CPU utilization" bar in [0, 1].
   double cpu_utilization = 0;
+
+  // Fault injection & recovery accounting (all zero when no fault plan was
+  // active). Retransmissions and duplicates are *included* in bytes_sent /
+  // messages_sent — a lossy link really does move those extra frames.
+  uint64_t faults_injected = 0;     // drops + duplications the plan fired.
+  uint64_t transport_retries = 0;   // frames retransmitted after a drop.
+  uint64_t duplicated_frames = 0;   // extra in-flight copies deduped on arrival.
+  uint64_t checkpoints_written = 0; // BSP superstep checkpoints taken.
+  uint64_t crash_restarts = 0;      // rank crashes recovered via restore+replay.
+  double recovery_seconds = 0;      // modeled time lost to faults/recovery.
 
   // Bytes per rank (Figure 6 normalizes traffic per node).
   double BytesPerRank(int ranks) const {

@@ -15,6 +15,12 @@
 // MAZE_SERIAL_RANKS=1 (or SetSerialRanks) restores the one-rank-at-a-time
 // schedule as an escape hatch; tests assert both schedules produce identical
 // outputs and wire accounting.
+//
+// Fault plans (rt/fault.h) lean on the same structure: transport fault
+// decisions hash per-(src, dst) frame sequence numbers, and because each
+// rank's sends execute in program order within its task (flushes under
+// RankTurns), the sequence a pair observes — hence the injected faults and
+// the recovery cost — is identical under both schedules.
 #ifndef MAZE_RT_RANK_EXEC_H_
 #define MAZE_RT_RANK_EXEC_H_
 

@@ -60,6 +60,7 @@ void SimClock::FoldStepTotals(uint64_t* step_total_bytes,
 void SimClock::EndStep(bool overlap_comm) {
   double compute_max = 0;
   double wire_max = 0;
+  double fault_max = 0;
   for (int r = 0; r < num_ranks_; ++r) {
     compute_max =
         std::max(compute_max, step_compute_[r].load(std::memory_order_relaxed));
@@ -67,12 +68,19 @@ void SimClock::EndStep(bool overlap_comm) {
         wire_max, model_.TransferSeconds(
                       step_bytes_[r].load(std::memory_order_relaxed),
                       step_msgs_[r].load(std::memory_order_relaxed)));
+    fault_max =
+        std::max(fault_max, step_fault_[r].load(std::memory_order_relaxed));
   }
   uint64_t step_total_bytes = 0;
   uint64_t step_total_msgs = 0;
   FoldStepTotals(&step_total_bytes, &step_total_msgs);
+  // Fault/recovery stalls (retry timeouts, checkpoint writes, restores) hold
+  // the barrier like compute does: the slowest rank's stall extends the step.
   double step_time =
-      overlap_comm ? std::max(compute_max, wire_max) : compute_max + wire_max;
+      (overlap_comm ? std::max(compute_max, wire_max)
+                    : compute_max + wire_max) +
+      fault_max;
+  metrics_.recovery_seconds += fault_max;
   if (obs::Enabled()) {
     ObserveStep(compute_max, wire_max, step_time, overlap_comm);
   }
@@ -81,7 +89,8 @@ void SimClock::EndStep(bool overlap_comm) {
 
   if (trace_enabled_) {
     StepRecord record{static_cast<int>(trace_.size()), compute_max, wire_max,
-                      step_total_bytes, step_total_msgs, overlap_comm};
+                      step_total_bytes, step_total_msgs, overlap_comm,
+                      fault_max};
     record.rank_compute_seconds.resize(num_ranks_);
     record.rank_bytes.resize(num_ranks_);
     for (int r = 0; r < num_ranks_; ++r) {
@@ -163,6 +172,53 @@ void SimClock::ObserveStep(double compute_max, double wire_max,
   }
 }
 
+void SimClock::InjectTransportFaults(int src, int dst, uint64_t bytes,
+                                     uint64_t messages) {
+  uint64_t seq = transport_seq_->Next(src, dst);
+  fault::TransportOutcome outcome =
+      fault::DecideTransport(faults_, src, dst, seq);
+  if (outcome.retries == 0 && !outcome.duplicated) return;
+  // Retransmitted and duplicated frames are real traffic: charge them through
+  // the normal accounting so wire counters/histograms and the comm model see
+  // them exactly like first-try sends.
+  uint64_t extra_frames =
+      static_cast<uint64_t>(outcome.retries) + (outcome.duplicated ? 1 : 0);
+  RecordSendPreFaulted(src, dst, bytes * extra_frames, messages * extra_frames);
+  NoteTransportFaults(src, static_cast<uint64_t>(outcome.retries),
+                      outcome.duplicated ? 1 : 0);
+}
+
+void SimClock::NoteTransportFaults(int rank, uint64_t retries, uint64_t dups) {
+  if (retries == 0 && dups == 0) return;
+  MAZE_CHECK(rank >= 0 && rank < num_ranks_);
+  if (retries > 0) {
+    // Every retransmission was triggered by an ack timeout the sender sat out.
+    step_fault_[rank].fetch_add(retries * faults_.retry_timeout_seconds,
+                                std::memory_order_relaxed);
+    retries_total_.fetch_add(retries, std::memory_order_relaxed);
+    fault_retries_counter_->Add(retries);
+  }
+  if (dups > 0) {
+    dups_total_.fetch_add(dups, std::memory_order_relaxed);
+    fault_dups_counter_->Add(dups);
+  }
+  faults_injected_total_.fetch_add(retries + dups, std::memory_order_relaxed);
+  fault_injected_counter_->Add(retries + dups);
+}
+
+void SimClock::ChargeRecovery(int rank, double seconds, uint64_t bytes,
+                              const char* what) {
+  MAZE_CHECK(rank >= 0 && rank < num_ranks_);
+  MAZE_CHECK(seconds >= 0);
+  step_fault_[rank].fetch_add(seconds, std::memory_order_relaxed);
+  if (obs::Enabled()) {
+    // Recovery lives in the simulated clock domain, next to the wire spans.
+    obs::PushWireSpan(what, rank, steps_ended_,
+                      metrics_.elapsed_seconds * 1e6, seconds * 1e6, bytes,
+                      0);
+  }
+}
+
 RunMetrics SimClock::Finish(double intra_rank_utilization) {
   MAZE_CHECK(intra_rank_utilization > 0 && intra_rank_utilization <= 1.0);
   // Harvest anything recorded after the last EndStep (it contributes to the
@@ -170,7 +226,17 @@ RunMetrics SimClock::Finish(double intra_rank_utilization) {
   uint64_t leftover_bytes = 0;
   uint64_t leftover_msgs = 0;
   FoldStepTotals(&leftover_bytes, &leftover_msgs);
+  for (int r = 0; r < num_ranks_; ++r) {
+    metrics_.recovery_seconds +=
+        step_fault_[r].load(std::memory_order_relaxed);
+  }
   ResetStep();
+  metrics_.faults_injected =
+      faults_injected_total_.load(std::memory_order_relaxed);
+  metrics_.transport_retries = retries_total_.load(std::memory_order_relaxed);
+  metrics_.duplicated_frames = dups_total_.load(std::memory_order_relaxed);
+  metrics_.checkpoints_written = checkpoints_;
+  metrics_.crash_restarts = restarts_;
   // Footprint: the arena's per-rank watermark where the engine attributed
   // phases, max'd with the legacy unattributed RecordMemory path.
   metrics_.memory_peak_bytes =

@@ -16,13 +16,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "obs/counters.h"
 #include "obs/obs.h"
 #include "obs/resource.h"
 #include "rt/comm_model.h"
+#include "rt/fault.h"
 #include "rt/metrics.h"
 #include "util/check.h"
 
@@ -61,15 +64,34 @@ double EngineComputeScale(int engine_threads);
 // calls made between rank barriers.
 class SimClock {
  public:
-  SimClock(int num_ranks, CommModel model, bool trace = false)
+  // `faults` is the run's fault plan (defaults to the MAZE_FAULTS env plan,
+  // which is disabled when the variable is unset). Straggler multipliers apply
+  // inside RecordCompute; transport drop/duplication applies inside RecordSend;
+  // recovery stalls extend the step barrier via ChargeRecovery.
+  SimClock(int num_ranks, CommModel model, bool trace = false,
+           fault::FaultSpec faults = fault::SpecFromEnv())
       : num_ranks_(num_ranks),
         model_(std::move(model)),
+        faults_(std::move(faults)),
         step_compute_(num_ranks),
         step_bytes_(num_ranks),
         step_msgs_(num_ranks),
+        step_fault_(num_ranks),
+        straggler_scale_(static_cast<size_t>(num_ranks), 1.0),
         arena_(num_ranks),
         trace_enabled_(trace) {
     MAZE_CHECK(num_ranks >= 1);
+    if (faults_.enabled) {
+      for (int r = 0; r < num_ranks_; ++r) {
+        straggler_scale_[r] = faults_.StragglerMultiplier(r);
+      }
+      if (faults_.TransportFaultsEnabled()) {
+        transport_seq_ = std::make_unique<fault::TransportSequencer>(num_ranks);
+      }
+      fault_injected_counter_ = &obs::GetCounter("fault.injected");
+      fault_retries_counter_ = &obs::GetCounter("fault.retries");
+      fault_dups_counter_ = &obs::GetCounter("fault.dups");
+    }
     ResetStep();
   }
 
@@ -84,14 +106,32 @@ class SimClock {
   // workers passes EngineComputeScale(4)).
   void RecordCompute(int rank, double seconds, double scale = 1.0) {
     MAZE_CHECK(rank >= 0 && rank < num_ranks_);
-    double charged = seconds * scale * host_to_node_scale_;
+    // straggler_scale_ is 1.0 everywhere unless the fault plan slows this rank.
+    double charged =
+        seconds * scale * host_to_node_scale_ * straggler_scale_[rank];
     step_compute_[rank].fetch_add(charged, std::memory_order_relaxed);
   }
 
   // Registers `bytes` leaving `src` for `dst` in the current step. Same-rank
   // traffic is free (it never crosses the network). With obs tracing enabled,
   // feeds the per-(src, dst) byte/message counters and the send-size histogram.
+  // Under a transport fault plan the call is one frame: the plan may drop it
+  // (charging retransmissions plus ack-timeout stall to `src`) or duplicate it
+  // (charging one extra in-flight copy) — decided by a pure hash of
+  // (seed, src, dst, frame sequence number), so the injected traffic is the
+  // same under every schedule.
   void RecordSend(int src, int dst, uint64_t bytes, uint64_t messages = 1) {
+    RecordSendPreFaulted(src, dst, bytes, messages);
+    if (transport_seq_ != nullptr && src != dst) {
+      InjectTransportFaults(src, dst, bytes, messages);
+    }
+  }
+
+  // RecordSend without fault injection: for transports (rt::Exchange) that
+  // make their own per-record fault decisions and report the already-faulted
+  // frame totals — injecting again here would double-charge the plan.
+  void RecordSendPreFaulted(int src, int dst, uint64_t bytes,
+                            uint64_t messages = 1) {
     MAZE_CHECK(src >= 0 && src < num_ranks_);
     MAZE_CHECK(dst >= 0 && dst < num_ranks_);
     if (src == dst) return;
@@ -124,8 +164,44 @@ class SimClock {
   }
   obs::TrackingArena& arena() { return arena_; }
 
+  // --- Fault & recovery accounting ------------------------------------------
+
+  const fault::FaultSpec& fault_spec() const { return faults_; }
+
+  // Per-(src, dst) frame sequencer; non-null only under a transport fault
+  // plan. Record-granularity transports (rt::Exchange) draw sequence numbers
+  // from here so their per-record decisions share the clock's streams.
+  fault::TransportSequencer* transport_sequencer() {
+    return transport_seq_.get();
+  }
+
+  // Charges `seconds` of fault/recovery stall to `rank` in the current step
+  // (folded as max over ranks into the barrier, like compute). Emits a
+  // recovery span named `what` ("checkpoint", "restore") on the rank's
+  // simulated-time track while tracing. `what` must be a string literal.
+  void ChargeRecovery(int rank, double seconds, uint64_t bytes,
+                      const char* what);
+
+  // Accounts transport faults decided outside the clock (rt::Exchange's
+  // per-record path): `retries` retransmitted frames — each stalls `rank` one
+  // retry timeout — and `dups` duplicate deliveries. The caller reports the
+  // corresponding extra traffic via RecordSendPreFaulted.
+  void NoteTransportFaults(int rank, uint64_t retries, uint64_t dups);
+
+  // One checkpoint written / one crash recovered (BSP engine bookkeeping;
+  // orchestration-thread calls between barriers).
+  void NoteCheckpoint() {
+    ++checkpoints_;
+    obs::GetCounter("fault.checkpoints").Add(1);
+  }
+  void NoteRestart() {
+    ++restarts_;
+    obs::GetCounter("fault.restarts").Add(1);
+  }
+
   // Closes the current step, charging simulated time. `overlap_comm` selects
-  // max(compute, comm) instead of compute + comm.
+  // max(compute, comm) instead of compute + comm; fault/recovery stalls add on
+  // top of either combination.
   void EndStep(bool overlap_comm = false);
 
   // Enables per-step timeline recording (see StepRecord); call before the run.
@@ -147,8 +223,14 @@ class SimClock {
       step_compute_[r].store(0.0, std::memory_order_relaxed);
       step_bytes_[r].store(0, std::memory_order_relaxed);
       step_msgs_[r].store(0, std::memory_order_relaxed);
+      step_fault_[r].store(0.0, std::memory_order_relaxed);
     }
   }
+
+  // Cold path of RecordSend under a transport plan: decides the frame's fate
+  // and charges retransmissions/duplicates (sim_clock.cc).
+  void InjectTransportFaults(int src, int dst, uint64_t bytes,
+                             uint64_t messages);
 
   // Folds the current step's per-rank slots into the run totals (rank order, so
   // floating-point sums are schedule-invariant). Returns via out-params the
@@ -162,6 +244,7 @@ class SimClock {
 
   int num_ranks_;
   CommModel model_;
+  fault::FaultSpec faults_;
   // Captured at construction so a run is internally consistent even if the
   // modeled width changes between runs.
   double host_to_node_scale_ = internal::HostToNodeScale();
@@ -170,6 +253,22 @@ class SimClock {
   std::vector<std::atomic<double>> step_compute_;
   std::vector<std::atomic<uint64_t>> step_bytes_;
   std::vector<std::atomic<uint64_t>> step_msgs_;
+  std::vector<std::atomic<double>> step_fault_;
+  // 1.0 per rank unless the fault plan marks it a straggler (read-only after
+  // construction, so the hot RecordCompute path pays one multiply).
+  std::vector<double> straggler_scale_;
+  std::unique_ptr<fault::TransportSequencer> transport_seq_;
+  // Run totals for the fault plan; atomics because rank tasks inject
+  // concurrently, folded into RunMetrics at Finish.
+  std::atomic<uint64_t> faults_injected_total_{0};
+  std::atomic<uint64_t> retries_total_{0};
+  std::atomic<uint64_t> dups_total_{0};
+  uint64_t checkpoints_ = 0;  // Orchestration-thread only.
+  uint64_t restarts_ = 0;
+  // Cached fault counter handles (resolved in the ctor when a plan is active).
+  obs::Counter* fault_injected_counter_ = nullptr;
+  obs::Counter* fault_retries_counter_ = nullptr;
+  obs::Counter* fault_dups_counter_ = nullptr;
   obs::TrackingArena arena_;
   std::atomic<uint64_t> memory_peak_{0};
   bool trace_enabled_ = false;

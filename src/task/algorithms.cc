@@ -29,7 +29,7 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
   MAZE_CHECK(g.has_in());
   MAZE_CHECK(g.has_out());
   const VertexId n = g.num_vertices();
-  rt::SimClock clock(1, config.comm, config.trace);
+  rt::SimClock clock(1, config.comm, config.trace, config.faults);
 
   std::vector<double> pr(n, 1.0);
   std::vector<double> next(n, 0.0);
@@ -72,7 +72,7 @@ rt::BfsResult Bfs(const Graph& g, const rt::BfsOptions& options,
   MAZE_CHECK(g.has_out());
   const VertexId n = g.num_vertices();
   MAZE_CHECK(options.source < n);
-  rt::SimClock clock(1, config.comm, config.trace);
+  rt::SimClock clock(1, config.comm, config.trace, config.faults);
 
   // Algorithm 3: per-level worklists maintained by the BSP executor.
   std::vector<std::atomic<uint32_t>> level(n);
@@ -115,7 +115,7 @@ rt::TriangleCountResult TriangleCount(const Graph& g,
                                       rt::EngineConfig config) {
   MAZE_CHECK_EQ(config.num_ranks, 1);
   MAZE_CHECK(g.has_out());
-  rt::SimClock clock(1, config.comm, config.trace);
+  rt::SimClock clock(1, config.comm, config.trace, config.faults);
 
   // Algorithm 4: sorted adjacency lists allow linear-time set-intersections.
   // (No bitvector trick — that is why Galois lands ~2.5x off native on this
@@ -177,7 +177,7 @@ rt::ConnectedComponentsResult ConnectedComponents(
   MAZE_CHECK_EQ(config.num_ranks, 1);
   MAZE_CHECK(g.has_out());
   const VertexId n = g.num_vertices();
-  rt::SimClock clock(1, config.comm, config.trace);
+  rt::SimClock clock(1, config.comm, config.trace, config.faults);
 
   std::vector<std::atomic<VertexId>> label(n);
   std::vector<VertexId> all(n);
@@ -229,7 +229,7 @@ rt::SsspResult Sssp(const WeightedGraph& g, const rt::SsspOptions& options,
   MAZE_CHECK_EQ(config.num_ranks, 1);
   const VertexId n = g.num_vertices();
   MAZE_CHECK(options.source < n);
-  rt::SimClock clock(1, config.comm, config.trace);
+  rt::SimClock clock(1, config.comm, config.trace, config.faults);
 
   // Delta-stepping: bucket b holds vertices with tentative distance in
   // [b*delta, (b+1)*delta); buckets drain in priority order and relaxations

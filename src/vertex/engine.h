@@ -92,7 +92,7 @@ class SyncEngine {
   SyncEngine(const Graph& g, const rt::EngineConfig& config)
       : g_(g),
         config_(config),
-        clock_(config.num_ranks, config.comm, config.trace),
+        clock_(config.num_ranks, config.comm, config.trace, config.faults),
         part_(rt::Partition1D::VertexBalanced(g.num_vertices(),
                                               config.num_ranks)) {}
 

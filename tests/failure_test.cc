@@ -3,11 +3,13 @@
 // corrupting state.
 #include <gtest/gtest.h>
 
+#include "bench_support/runner.h"
 #include "core/graph.h"
 #include "core/io.h"
 #include "datalog/table.h"
 #include "native/bfs.h"
 #include "native/pagerank.h"
+#include "rt/fault.h"
 #include "rt/partition.h"
 #include "rt/sim_clock.h"
 #include "task/algorithms.h"
@@ -65,6 +67,48 @@ TEST(FailureDeathTest, TableRejectsKeysOutsideDeclaredSpace) {
   int64_t row[1] = {99};
   t.AppendRow(row);
   EXPECT_DEATH(t.TailNest(/*key_space=*/10), "MAZE_CHECK failed");
+}
+
+TEST(FailureDeathTest, RankCrashWithoutCheckpointingIsUnrecoverable) {
+  // A fault plan may crash a rank, but only the checkpointing BSP engine can
+  // recover; a crash with no checkpoint interval is a hard configuration error.
+  EdgeList el = testgraphs::Figure2();
+  rt::PageRankOptions opt;
+  opt.iterations = 4;
+  bench::RunConfig config;
+  config.num_ranks = 2;
+  config.faults = rt::fault::ParseFaultSpec("crash=0@1").value();
+  EXPECT_DEATH(
+      bench::RunPageRank(bench::EngineKind::kBspgraph, el, opt, config),
+      "MAZE_CHECK failed");
+}
+
+TEST(FailureDeathTest, TransportRetryBudgetExhaustionIsFatal) {
+  // retries=0 leaves a dropped frame with no retransmission path: the modeled
+  // ack protocol cannot deliver it, so the run must abort rather than let the
+  // receiver silently miss messages.
+  rt::fault::FaultSpec spec =
+      rt::fault::ParseFaultSpec("seed=1,drop=0.9,retries=0").value();
+  EXPECT_DEATH(
+      {
+        rt::SimClock clock(2, rt::CommModel::Mpi(), false, spec);
+        for (int i = 0; i < 1000; ++i) clock.RecordSend(0, 1, 64, 1);
+      },
+      "MAZE_CHECK failed");
+}
+
+TEST(FailureStatusTest, MalformedFaultPlansAreStatusesNotCrashes) {
+  auto out_of_range = rt::fault::ParseFaultSpec("drop=2.0");
+  EXPECT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+
+  auto unknown_key = rt::fault::ParseFaultSpec("chaos=1");
+  EXPECT_FALSE(unknown_key.ok());
+  EXPECT_EQ(unknown_key.status().code(), StatusCode::kInvalidArgument);
+
+  auto bad_crash = rt::fault::ParseFaultSpec("crash=3");
+  EXPECT_FALSE(bad_crash.ok());
+  EXPECT_EQ(bad_crash.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(FailureStatusTest, IoFailuresAreStatusesNotCrashes) {

@@ -1,0 +1,306 @@
+// rt::fault unit coverage: the plan grammar, the pure per-frame transport
+// decision (determinism + seed sensitivity + rate calibration), and the
+// SimClock/Exchange integration — stragglers stretch compute, drops charge
+// retransmissions plus ack-timeout stall, duplicates are deduped so inbox
+// contents never change.
+#include "rt/fault.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rt/exchange.h"
+#include "rt/sim_clock.h"
+
+namespace maze::rt {
+namespace {
+
+fault::FaultSpec MustParse(const std::string& text) {
+  auto spec = fault::ParseFaultSpec(text);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return spec.value();
+}
+
+TEST(FaultSpecParseTest, EmptySpecIsDisabled) {
+  fault::FaultSpec spec = MustParse("");
+  EXPECT_FALSE(spec.enabled);
+  EXPECT_FALSE(spec.TransportFaultsEnabled());
+  EXPECT_DOUBLE_EQ(spec.StragglerMultiplier(0), 1.0);
+}
+
+TEST(FaultSpecParseTest, FullGrammarRoundTrips) {
+  fault::FaultSpec spec = MustParse(
+      "seed=42,drop=0.01,dup=0.005,crash=1@3,crash=2@5,straggle=0x2.5,"
+      "ckpt=2,retries=8,timeout=0.002,ckpt_bw=1e8,ckpt_lat=0.01");
+  EXPECT_TRUE(spec.enabled);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_DOUBLE_EQ(spec.drop_rate, 0.01);
+  EXPECT_DOUBLE_EQ(spec.dup_rate, 0.005);
+  ASSERT_EQ(spec.crashes.size(), 2u);
+  EXPECT_EQ(spec.crashes[0].rank, 1);
+  EXPECT_EQ(spec.crashes[0].step, 3);
+  EXPECT_EQ(spec.crashes[1].rank, 2);
+  EXPECT_EQ(spec.crashes[1].step, 5);
+  ASSERT_EQ(spec.stragglers.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.StragglerMultiplier(0), 2.5);
+  EXPECT_DOUBLE_EQ(spec.StragglerMultiplier(1), 1.0);
+  EXPECT_EQ(spec.checkpoint_interval, 2);
+  EXPECT_EQ(spec.max_retries, 8);
+  EXPECT_DOUBLE_EQ(spec.retry_timeout_seconds, 0.002);
+  EXPECT_DOUBLE_EQ(spec.checkpoint_bandwidth, 1e8);
+  EXPECT_DOUBLE_EQ(spec.checkpoint_latency_seconds, 0.01);
+  EXPECT_TRUE(spec.TransportFaultsEnabled());
+}
+
+TEST(FaultSpecParseTest, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "drop=2.0",       // Rate outside [0, 1).
+      "dup=1.0",        // Dup rate must stay below 1.
+      "bogus=1",        // Unknown key.
+      "crash=5",        // Missing @STEP.
+      "crash=-1@2",     // Negative rank.
+      "straggle=1",     // Missing xMULT.
+      "straggle=1x0.5", // Sub-unit multiplier would speed the rank up.
+      "ckpt=-3",        // Negative interval.
+      "drop",           // Not key=value.
+      "seed=abc",       // Non-numeric.
+      "ckpt_bw=0",      // Zero bandwidth divides by zero.
+  };
+  for (const char* text : bad) {
+    auto spec = fault::ParseFaultSpec(text);
+    EXPECT_FALSE(spec.ok()) << text;
+    EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+TEST(DecideTransportTest, PureFunctionOfSeedPairAndSequence) {
+  fault::FaultSpec spec = MustParse("seed=7,drop=0.3,dup=0.2,retries=1000");
+  for (uint64_t seq = 0; seq < 200; ++seq) {
+    fault::TransportOutcome a = fault::DecideTransport(spec, 0, 1, seq);
+    fault::TransportOutcome b = fault::DecideTransport(spec, 0, 1, seq);
+    EXPECT_EQ(a.retries, b.retries) << seq;
+    EXPECT_EQ(a.duplicated, b.duplicated) << seq;
+  }
+}
+
+TEST(DecideTransportTest, SeedAndPairChangeTheFaultPattern) {
+  fault::FaultSpec a = MustParse("seed=1,drop=0.3,retries=1000");
+  fault::FaultSpec b = MustParse("seed=2,drop=0.3,retries=1000");
+  int diff_seed = 0;
+  int diff_pair = 0;
+  for (uint64_t seq = 0; seq < 500; ++seq) {
+    diff_seed += fault::DecideTransport(a, 0, 1, seq).retries !=
+                 fault::DecideTransport(b, 0, 1, seq).retries;
+    diff_pair += fault::DecideTransport(a, 0, 1, seq).retries !=
+                 fault::DecideTransport(a, 1, 0, seq).retries;
+  }
+  EXPECT_GT(diff_seed, 0);
+  EXPECT_GT(diff_pair, 0);
+}
+
+TEST(DecideTransportTest, ZeroRatesNeverFault) {
+  fault::FaultSpec spec = MustParse("seed=3,straggle=0x2.0");
+  for (uint64_t seq = 0; seq < 100; ++seq) {
+    fault::TransportOutcome o = fault::DecideTransport(spec, 0, 1, seq);
+    EXPECT_EQ(o.retries, 0);
+    EXPECT_FALSE(o.duplicated);
+  }
+}
+
+TEST(DecideTransportTest, RetryFrequencyTracksTheDropRate) {
+  // With drop rate p, a frame needs p/(1-p) retransmissions in expectation:
+  // 0.25 per frame at p = 0.2. Check the empirical mean lands near it.
+  fault::FaultSpec spec = MustParse("seed=9,drop=0.2,retries=1000");
+  const uint64_t frames = 20000;
+  uint64_t retries = 0;
+  uint64_t dups = 0;
+  for (uint64_t seq = 0; seq < frames; ++seq) {
+    fault::TransportOutcome o = fault::DecideTransport(spec, 2, 5, seq);
+    retries += static_cast<uint64_t>(o.retries);
+    dups += o.duplicated;
+  }
+  double mean = static_cast<double>(retries) / frames;
+  EXPECT_NEAR(mean, 0.25, 0.02);
+  EXPECT_EQ(dups, 0u);
+}
+
+TEST(TransportSequencerTest, PerPairMonotoneAndIndependent) {
+  fault::TransportSequencer seqr(3);
+  EXPECT_EQ(seqr.Next(0, 1), 0u);
+  EXPECT_EQ(seqr.Next(0, 1), 1u);
+  EXPECT_EQ(seqr.Next(1, 0), 0u);  // Other pairs have their own stream.
+  EXPECT_EQ(seqr.Next(0, 2), 0u);
+  EXPECT_EQ(seqr.Next(0, 1), 2u);
+}
+
+TEST(SimClockFaultTest, StragglerStretchesTheBarrier) {
+  fault::FaultSpec spec = MustParse("straggle=1x3.0");
+  SimClock clock(2, CommModel::Mpi(), /*trace=*/false, spec);
+  clock.RecordCompute(0, 1.0);
+  clock.RecordCompute(1, 1.0);  // Charged as 3.0 by the plan.
+  clock.EndStep();
+  RunMetrics m = clock.Finish();
+  EXPECT_DOUBLE_EQ(m.elapsed_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(m.total_compute_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(m.recovery_seconds, 0.0);
+}
+
+TEST(SimClockFaultTest, DropsChargeRetransmissionsAndTimeoutStall) {
+  fault::FaultSpec spec =
+      MustParse("seed=5,drop=0.3,retries=1000,timeout=0.25");
+  SimClock clock(2, CommModel::Mpi(), /*trace=*/false, spec);
+  const uint64_t frames = 100;
+  const uint64_t frame_bytes = 1000;
+  for (uint64_t i = 0; i < frames; ++i) {
+    clock.RecordSend(0, 1, frame_bytes, 1);
+  }
+  clock.EndStep();
+  RunMetrics m = clock.Finish();
+  EXPECT_GT(m.transport_retries, 0u);
+  EXPECT_EQ(m.faults_injected, m.transport_retries);  // No dup plan.
+  EXPECT_EQ(m.duplicated_frames, 0u);
+  // Every retransmission is a full extra frame on the wire...
+  EXPECT_EQ(m.bytes_sent, (frames + m.transport_retries) * frame_bytes);
+  EXPECT_EQ(m.messages_sent, frames + m.transport_retries);
+  // ...and one ack timeout of stall, which extends the barrier.
+  EXPECT_DOUBLE_EQ(m.recovery_seconds, 0.25 * m.transport_retries);
+  EXPECT_GE(m.elapsed_seconds, m.recovery_seconds);
+}
+
+TEST(SimClockFaultTest, DuplicatesChargeOneExtraFrameNoStall) {
+  fault::FaultSpec spec = MustParse("seed=5,dup=0.4");
+  SimClock clock(2, CommModel::Mpi(), /*trace=*/false, spec);
+  const uint64_t frames = 100;
+  for (uint64_t i = 0; i < frames; ++i) clock.RecordSend(0, 1, 64, 1);
+  clock.EndStep();
+  RunMetrics m = clock.Finish();
+  EXPECT_GT(m.duplicated_frames, 0u);
+  EXPECT_EQ(m.transport_retries, 0u);
+  EXPECT_EQ(m.bytes_sent, (frames + m.duplicated_frames) * 64);
+  EXPECT_DOUBLE_EQ(m.recovery_seconds, 0.0);
+}
+
+TEST(SimClockFaultTest, SameRankTrafficIsNeverFaulted) {
+  fault::FaultSpec spec = MustParse("seed=5,drop=0.9,retries=2");
+  SimClock clock(2, CommModel::Mpi(), /*trace=*/false, spec);
+  for (int i = 0; i < 1000; ++i) clock.RecordSend(1, 1, 1 << 20, 1);
+  clock.EndStep();
+  RunMetrics m = clock.Finish();
+  EXPECT_EQ(m.bytes_sent, 0u);
+  EXPECT_EQ(m.transport_retries, 0u);
+}
+
+TEST(SimClockFaultTest, ChargeRecoveryExtendsBarrierAndTrace) {
+  fault::FaultSpec spec = MustParse("ckpt=1");
+  SimClock clock(2, CommModel::Mpi(), /*trace=*/true, spec);
+  clock.RecordCompute(0, 1.0);
+  clock.ChargeRecovery(0, 0.5, 4096, "checkpoint");
+  clock.ChargeRecovery(1, 0.75, 4096, "checkpoint");
+  clock.NoteCheckpoint();
+  clock.EndStep();
+  RunMetrics m = clock.Finish();
+  // The slowest rank's stall holds the barrier, on top of the compute max.
+  EXPECT_DOUBLE_EQ(m.elapsed_seconds, 1.0 + 0.75);
+  EXPECT_DOUBLE_EQ(m.recovery_seconds, 0.75);
+  EXPECT_EQ(m.checkpoints_written, 1u);
+  ASSERT_EQ(m.steps.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.steps[0].fault_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(m.steps[0].StepSeconds(), 1.75);
+}
+
+TEST(SimClockFaultTest, DisabledPlanChangesNothing) {
+  SimClock base(2, CommModel::Mpi());
+  SimClock faulted(2, CommModel::Mpi(), false, fault::FaultSpec{});
+  for (SimClock* c : {&base, &faulted}) {
+    c->RecordCompute(0, 0.5);
+    c->RecordSend(0, 1, 4096, 2);
+    c->EndStep();
+  }
+  RunMetrics a = base.Finish();
+  RunMetrics b = faulted.Finish();
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, b.elapsed_seconds);
+  EXPECT_EQ(b.faults_injected, 0u);
+}
+
+// The Exchange ack/retry/dedup protocol: a lossy, duplicating link must hand
+// the receiver exactly the records a perfect link would, while the wire totals
+// grow by the retransmitted and duplicated frames and the receiver's dedup
+// table records the discarded copies.
+TEST(ExchangeFaultTest, LossyLinkDeliversIdenticalInboxes) {
+  fault::FaultSpec spec =
+      MustParse("seed=21,drop=0.2,dup=0.2,retries=1000,timeout=1e-4");
+  SimClock clean_clock(2, CommModel::Mpi());
+  SimClock lossy_clock(2, CommModel::Mpi(), false, spec);
+  Exchange<int> clean(2);
+  Exchange<int> lossy(2);
+  const int records = 500;
+  for (int i = 0; i < records; ++i) {
+    clean.OutBox(0, 1).push_back(i);
+    lossy.OutBox(0, 1).push_back(i);
+  }
+  clean.Deliver(&clean_clock);
+  lossy.Deliver(&lossy_clock);
+
+  // Dedup + retry make the faulted inbox byte-identical to the clean one.
+  ASSERT_EQ(lossy.InBox(1, 0).size(), clean.InBox(1, 0).size());
+  for (int i = 0; i < records; ++i) {
+    EXPECT_EQ(lossy.InBox(1, 0)[i], clean.InBox(1, 0)[i]);
+  }
+
+  clean_clock.EndStep();
+  lossy_clock.EndStep();
+  RunMetrics cm = clean_clock.Finish();
+  RunMetrics lm = lossy_clock.Finish();
+  EXPECT_GT(lm.transport_retries, 0u);
+  EXPECT_GT(lm.duplicated_frames, 0u);
+  EXPECT_GT(lm.bytes_sent, cm.bytes_sent);
+  EXPECT_GT(lm.messages_sent, cm.messages_sent);
+  EXPECT_GT(lm.recovery_seconds, 0.0);
+  // Each duplicated record's id landed in the receiver's dedup table.
+  EXPECT_EQ(lossy.DedupTableSize(1), lm.duplicated_frames);
+  EXPECT_EQ(lossy.DedupTableSize(0), 0u);
+  // Extra traffic is per-record: bytes grew by exactly the faulted records.
+  uint64_t extra = lm.transport_retries + lm.duplicated_frames;
+  EXPECT_EQ(lm.bytes_sent, cm.bytes_sent + extra * sizeof(int));
+  EXPECT_EQ(lm.messages_sent, cm.messages_sent + extra);
+}
+
+TEST(ExchangeFaultTest, FaultDecisionsAreReproducibleAcrossExchanges) {
+  // Two independent runs of the same plan over the same traffic must inject
+  // the same faults (the determinism the differential harness relies on).
+  auto run = [](uint64_t* retries, uint64_t* dups, size_t* dedup) {
+    fault::FaultSpec spec =
+        MustParse("seed=33,drop=0.1,dup=0.1,retries=1000,timeout=1e-4");
+    SimClock clock(3, CommModel::Mpi(), false, spec);
+    Exchange<uint64_t> ex(3);
+    for (int step = 0; step < 4; ++step) {
+      for (int src = 0; src < 3; ++src) {
+        for (int dst = 0; dst < 3; ++dst) {
+          for (int i = 0; i < 50; ++i) {
+            ex.OutBox(src, dst).push_back(static_cast<uint64_t>(i));
+          }
+        }
+      }
+      ex.Deliver(&clock);
+      clock.EndStep();
+    }
+    RunMetrics m = clock.Finish();
+    *retries = m.transport_retries;
+    *dups = m.duplicated_frames;
+    *dedup = ex.DedupTableSize(0) + ex.DedupTableSize(1) + ex.DedupTableSize(2);
+  };
+  uint64_t r1, d1, r2, d2;
+  size_t t1, t2;
+  run(&r1, &d1, &t1);
+  run(&r2, &d2, &t2);
+  EXPECT_GT(r1, 0u);
+  EXPECT_GT(d1, 0u);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(t1, t2);
+}
+
+}  // namespace
+}  // namespace maze::rt

@@ -2,6 +2,8 @@
 // every engine agrees with the serial references on every algorithm. This is
 // the repository's strongest end-to-end invariant — performance may differ by
 // orders of magnitude, answers may not.
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "bench_support/runner.h"
@@ -9,6 +11,7 @@
 #include "core/rmat.h"
 #include "native/cc.h"
 #include "native/reference.h"
+#include "rt/fault.h"
 
 namespace maze {
 namespace {
@@ -89,6 +92,61 @@ TEST_P(FuzzConsistencyTest, AllEnginesAgreeOnComponents) {
     config.num_ranks = engine == bench::EngineKind::kTaskflow ? 1 : 2;
     auto result = bench::RunConnectedComponents(engine, el, {}, config);
     ASSERT_EQ(result.label, expected) << bench::EngineName(engine);
+  }
+}
+
+// Fault mode: the same agreement must hold while a seeded fault plan is
+// dropping, duplicating, and slowing traffic underneath every engine (and
+// crashing a rank mid-run under the checkpointing BSP engine). Recovery is
+// expected to be invisible to the answers, not just "mostly harmless".
+TEST_P(FuzzConsistencyTest, AllEnginesAgreeOnPageRankUnderFaults) {
+  const FuzzCase fuzz = GetParam();
+  EdgeList el = FuzzGraph(fuzz, false);
+  Graph g = Graph::FromEdges(el, GraphDirections::kBoth);
+  rt::PageRankOptions opt;
+  opt.iterations = 3;
+  auto expected = native::ReferencePageRank(g, 3, opt.jump);
+  // Derive the plan from the fuzz seed so every case injects different faults.
+  std::string plan = "seed=" + std::to_string(fuzz.seed) +
+                     ",drop=0.04,dup=0.04,retries=64,timeout=1e-4,"
+                     "straggle=0x2.0,ckpt=2,crash=1@1,ckpt_lat=0.001";
+  uint64_t total_faults = 0;
+  for (bench::EngineKind engine : bench::AllEngines()) {
+    bench::RunConfig config;
+    config.num_ranks = engine == bench::EngineKind::kTaskflow ? 1 : 4;
+    config.faults = rt::fault::ParseFaultSpec(plan).value();
+    auto result = bench::RunPageRank(engine, el, opt, config);
+    for (size_t v = 0; v < expected.size(); ++v) {
+      ASSERT_NEAR(result.ranks[v], expected[v], 1e-9)
+          << bench::EngineName(engine) << " vertex " << v;
+    }
+    total_faults += result.metrics.faults_injected;
+    if (engine == bench::EngineKind::kBspgraph) {
+      EXPECT_EQ(result.metrics.crash_restarts, 1u);
+    }
+  }
+  // Per-engine frame counts vary (matblas's 2-D grid sends a handful of large
+  // frames), but across all engines a 4% plan must have fired somewhere.
+  EXPECT_GT(total_faults, 0u);
+}
+
+TEST_P(FuzzConsistencyTest, AllEnginesAgreeOnBfsUnderFaults) {
+  const FuzzCase fuzz = GetParam();
+  EdgeList el = FuzzGraph(fuzz, true);
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  VertexId source = 0;
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    if (g.OutDegree(v) > g.OutDegree(source)) source = v;
+  }
+  auto expected = native::ReferenceBfs(g, source);
+  std::string plan = "seed=" + std::to_string(fuzz.seed ^ 0xbf5) +
+                     ",drop=0.05,retries=64,timeout=1e-4,straggle=1x1.5";
+  for (bench::EngineKind engine : bench::AllEngines()) {
+    bench::RunConfig config;
+    config.num_ranks = engine == bench::EngineKind::kTaskflow ? 1 : 3;
+    config.faults = rt::fault::ParseFaultSpec(plan).value();
+    auto result = bench::RunBfs(engine, el, rt::BfsOptions{source}, config);
+    ASSERT_EQ(result.distance, expected) << bench::EngineName(engine);
   }
 }
 

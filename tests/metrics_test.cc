@@ -23,7 +23,7 @@ TEST(StepTraceCsvTest, HeaderShape) {
   ASSERT_EQ(lines.size(), 1u);  // Header only for an empty trace.
   EXPECT_EQ(lines[0],
             "step,compute_seconds,wire_seconds,bytes_sent,messages_sent,"
-            "overlapped");
+            "overlapped,fault_seconds");
 }
 
 TEST(StepTraceCsvTest, OneRowPerStep) {
@@ -32,10 +32,10 @@ TEST(StepTraceCsvTest, OneRowPerStep) {
   auto lines = Lines(StepTraceCsv(steps));
   ASSERT_EQ(lines.size(), 6u);  // Header + 5 rows.
   for (size_t i = 1; i < lines.size(); ++i) {
-    // Every row has the header's 6 columns.
+    // Every row has the header's 7 columns.
     size_t commas = 0;
     for (char c : lines[i]) commas += c == ',';
-    EXPECT_EQ(commas, 5u) << lines[i];
+    EXPECT_EQ(commas, 6u) << lines[i];
     EXPECT_EQ(lines[i].substr(0, 1), std::to_string(i - 1));
   }
 }
@@ -47,10 +47,22 @@ TEST(StepTraceCsvTest, OverlappedFlagRendersAsZeroOne) {
   };
   auto lines = Lines(StepTraceCsv(steps));
   ASSERT_EQ(lines.size(), 3u);
-  EXPECT_EQ(lines[1].back(), '1');
-  EXPECT_EQ(lines[2].back(), '0');
-  EXPECT_EQ(lines[1], "0,1,0.5,64,1,1");
-  EXPECT_EQ(lines[2], "1,2,0,0,0,0");
+  EXPECT_EQ(lines[1], "0,1,0.5,64,1,1,0");
+  EXPECT_EQ(lines[2], "1,2,0,0,0,0,0");
+}
+
+TEST(StepTraceCsvTest, FaultSecondsColumnRendersRecoveryStall) {
+  StepRecord s{0, 1.0, 0.5, 64, 1, false, 0.25};
+  auto lines = Lines(StepTraceCsv({s}));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "0,1,0.5,64,1,0,0.25");
+}
+
+TEST(StepRecordTest, StepSecondsIncludesFaultStall) {
+  StepRecord s{0, 1.0, 0.5, 0, 0, false, 0.25};
+  EXPECT_DOUBLE_EQ(s.StepSeconds(), 1.75);
+  s.overlapped = true;
+  EXPECT_DOUBLE_EQ(s.StepSeconds(), 1.25);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "obs/obs.h"
 #include "obs/resource.h"
 #include "rt/exchange.h"
+#include "rt/fault.h"
 #include "rt/metrics.h"
 #include "rt/rank_exec.h"
 #include "rt/sim_clock.h"
@@ -146,6 +147,54 @@ TEST_F(ResourceTest, ExchangeChargesBoxesToOwningRanks) {
     EXPECT_EQ(arena.LiveBytes(r, MemPhase::kMessageBuffers), 0u) << r;
   }
   EXPECT_GT(arena.PeakFootprint(), 0u);
+}
+
+TEST_F(ResourceTest, ExchangeDedupTableChargesReceiverMessageBuffers) {
+  // Under a transport fault plan, the receiver's dedup table (ids of frames
+  // the plan duplicated in flight) is real fault-mode state: it must allocate
+  // through the counting allocator and land in the receiving rank's
+  // message-buffer budget.
+  obs::SetResourceEnabled(true);
+  auto spec = rt::fault::ParseFaultSpec("seed=8,dup=0.5").value();
+  rt::SimClock clock(2, rt::CommModel::Mpi(), /*trace=*/false, spec);
+  rt::Exchange<uint64_t> ex(2, &clock.arena());
+  for (int i = 0; i < 400; ++i) {
+    ex.OutBox(0, 1).push_back(static_cast<uint64_t>(i));
+  }
+  const uint64_t receiver_before =
+      clock.arena().LiveBytes(1, MemPhase::kMessageBuffers);
+  ex.Deliver(&clock, sizeof(uint64_t));
+  ASSERT_GT(ex.DedupTableSize(1), 0u);
+  // Receiver now holds the inbox plus the dedup ids; the dedup ids alone
+  // account for at least their own storage on top of the moved inbox buffer.
+  EXPECT_GE(clock.arena().LiveBytes(1, MemPhase::kMessageBuffers),
+            receiver_before + 400 * sizeof(uint64_t) +
+                ex.DedupTableSize(1) * sizeof(uint64_t));
+  EXPECT_EQ(ex.DedupTableSize(0), 0u);
+}
+
+TEST_F(ResourceTest, BspCheckpointBuffersAreArenaAttributed) {
+  // Superstep checkpoints copy the full run state (values + boxed inboxes);
+  // those buffers must show up in the run's phase-attributed footprint, not
+  // escape untracked. Compare a checkpointing run against a fault-free one.
+  obs::SetResourceEnabled(true);
+  EdgeList el = testgraphs::SmallRmat(9);
+  rt::PageRankOptions opt;
+  opt.iterations = 4;
+  bench::RunConfig config;
+  config.num_ranks = 4;
+  auto plain = bench::RunPageRank(bench::EngineKind::kBspgraph, el, opt,
+                                  config);
+  config.faults = rt::fault::ParseFaultSpec("ckpt=1,ckpt_lat=0.001").value();
+  auto ckpt = bench::RunPageRank(bench::EngineKind::kBspgraph, el, opt,
+                                 config);
+  EXPECT_GT(ckpt.metrics.checkpoints_written, 0u);
+  // Checkpoint copies of the engine state and message buffers raise both
+  // phase watermarks above the fault-free run's.
+  EXPECT_GT(ckpt.metrics.memory_state_bytes, plain.metrics.memory_state_bytes);
+  EXPECT_GE(ckpt.metrics.memory_msgbuf_bytes,
+            plain.metrics.memory_msgbuf_bytes);
+  EXPECT_GT(ckpt.metrics.memory_peak_bytes, plain.metrics.memory_peak_bytes);
 }
 
 TEST_F(ResourceTest, ExchangeWithoutArenaStillDelivers) {
