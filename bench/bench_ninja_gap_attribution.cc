@@ -1,0 +1,169 @@
+// PR 5 artifact: critical-path time attribution for every engine x
+// {PageRank, BFS} — the quantitative version of the paper's §5.4 narrative.
+// For each traced run, obs::attrib decomposes the modeled elapsed time into
+// critical-compute / critical-wire / imbalance-idle / fault-recovery and
+// recomputes what-if lower bounds (infinite bandwidth, perfect balance, zero
+// faults, all three) from the same step records; actual/bound is the "ninja
+// gap" each framework could still close (GraphMat's framing).
+//
+// Self-checks (exit 1 and "ok": false on violation):
+//   1. the four components sum to the run's elapsed_seconds (<= 1e-9 rel.);
+//   2. every what-if bound is <= the actual elapsed time, and the best-case
+//      bound is <= each single-counterfactual bound;
+//   3. per step, the component split sums back to that step's barrier time;
+//   4. imbalance factors are >= 1 and per-rank slack is >= 0.
+//
+// Writes BENCH_pr5.json (path via MAZE_BENCH_JSON, default ./BENCH_pr5.json).
+// Schedule invariance (serial vs rank-parallel byte-identical output) is
+// asserted by tests/attrib_differential_test.cc; this binary checks the
+// decomposition algebra on real engine runs and prints the report.
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/attrib.h"
+#include "obs/json.h"
+#include "rt/metrics.h"
+
+namespace maze::bench {
+namespace {
+
+bool RelClose(double a, double b, double rel) {
+  double scale = std::max({std::fabs(a), std::fabs(b), 1e-30});
+  return std::fabs(a - b) <= rel * scale;
+}
+
+// Tolerant one-sided comparison for the bound checks: a <= b up to rounding.
+bool AtMost(double a, double b) { return a <= b * (1.0 + 1e-9) + 1e-30; }
+
+void CheckRun(const Measurement& m, const obs::attrib::Attribution& a,
+              std::vector<std::string>* violations) {
+  std::string tag = std::string(EngineName(m.engine)) + "/" + m.algorithm;
+  auto fail = [&](const std::string& what) {
+    violations->push_back(tag + ": " + what);
+  };
+
+  if (!a.available) {
+    fail("attribution unavailable for a traced run");
+    return;
+  }
+  if (!RelClose(a.ComponentSum(), m.metrics.elapsed_seconds, 1e-9)) {
+    fail("components sum " + std::to_string(a.ComponentSum()) +
+         " != elapsed " + std::to_string(m.metrics.elapsed_seconds));
+  }
+  if (!RelClose(a.elapsed_seconds, m.metrics.elapsed_seconds, 1e-9)) {
+    fail("recomputed elapsed diverges from RunMetrics::elapsed_seconds");
+  }
+
+  const obs::attrib::WhatIfBounds& b = a.bounds;
+  double actual = a.elapsed_seconds;
+  if (!AtMost(b.infinite_bandwidth_seconds, actual)) {
+    fail("infinite-bandwidth bound exceeds actual");
+  }
+  if (!AtMost(b.perfect_balance_seconds, actual)) {
+    fail("perfect-balance bound exceeds actual");
+  }
+  if (!AtMost(b.zero_fault_seconds, actual)) {
+    fail("zero-fault bound exceeds actual");
+  }
+  if (!AtMost(b.best_case_seconds, actual)) {
+    fail("best-case bound exceeds actual");
+  }
+  if (!AtMost(b.best_case_seconds, b.infinite_bandwidth_seconds) ||
+      !AtMost(b.best_case_seconds, b.perfect_balance_seconds) ||
+      !AtMost(b.best_case_seconds, b.zero_fault_seconds)) {
+    fail("best-case bound exceeds a single-counterfactual bound");
+  }
+
+  if (a.max_imbalance_factor < 1.0 || a.mean_imbalance_factor < 1.0) {
+    fail("imbalance factor below 1");
+  }
+  if (!AtMost(a.mean_imbalance_factor, a.max_imbalance_factor)) {
+    fail("mean imbalance factor exceeds the max");
+  }
+  for (double s : a.rank_slack_seconds) {
+    if (s < 0) fail("negative per-rank slack");
+  }
+  for (const obs::attrib::StepAttribution& s : a.steps) {
+    double sum = s.compute_seconds + s.wire_seconds + s.imbalance_seconds +
+                 s.fault_seconds;
+    if (!RelClose(sum, s.step_seconds, 1e-9)) {
+      fail("step " + std::to_string(s.step) +
+           " component split does not sum to the barrier time");
+    }
+    if (s.compute_seconds < 0 || s.wire_seconds < 0 ||
+        s.imbalance_seconds < 0 || s.fault_seconds < 0) {
+      fail("step " + std::to_string(s.step) + " has a negative component");
+    }
+  }
+}
+
+void WriteBenchJson(const obs::attrib::AttributionReport& report,
+                    const std::vector<std::string>& violations) {
+  const char* env = std::getenv("MAZE_BENCH_JSON");
+  std::string path = (env != nullptr && env[0] != '\0') ? env : "BENCH_pr5.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench json: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n\"attribution\": %s,\n\"violations\": [",
+               report.ToJson().c_str());
+  for (size_t i = 0; i < violations.size(); ++i) {
+    std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
+                 obs::JsonEscape(violations[i]).c_str());
+  }
+  std::fprintf(f, "],\n\"ok\": %s\n}\n", violations.empty() ? "true" : "false");
+  std::fclose(f);
+  std::printf("bench json: wrote %s\n", path.c_str());
+}
+
+int Run() {
+  Banner("PR 5: critical-path attribution & ninja gap (all engines, PR + BFS)");
+  int adjust = ScaleAdjust();
+
+  EdgeList directed = LoadGraphDataset("rmat", adjust);
+  EdgeList undirected = directed;
+  undirected.Symmetrize();
+
+  obs::attrib::AttributionReport report;
+  std::vector<std::string> violations;
+  for (EngineKind engine : AllEngines()) {
+    // taskflow is the single-node family; everything else runs 4 ranks like
+    // the paper's multi-node comparison.
+    int ranks = engine == EngineKind::kTaskflow ? 1 : 4;
+    for (const Measurement& m :
+         {MeasurePageRank(engine, directed, "rmat", ranks, /*iterations=*/5,
+                          /*trace=*/true),
+          MeasureBfs(engine, undirected, "rmat", ranks, /*trace=*/true)}) {
+      obs::attrib::AttributionRow row;
+      row.engine = EngineName(m.engine);
+      row.algorithm = m.algorithm;
+      row.dataset = m.dataset;
+      row.ranks = m.ranks;
+      row.attribution = obs::attrib::Attribute(m.metrics);
+      CheckRun(m, row.attribution, &violations);
+      report.Add(std::move(row));
+    }
+  }
+
+  std::printf("%s\n", report.ToMarkdown().c_str());
+  WriteBenchJson(report, violations);
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", v.c_str());
+  }
+  std::printf(
+      "Paper shape (§5.4): the framework engines spend most of their barrier\n"
+      "time on the wire (network-bound), native keeps the largest compute\n"
+      "share, and the bsp engine adds the widest imbalance-idle slice — the\n"
+      "what-if columns quantify how much each gap is worth.\n");
+  return violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace maze::bench
+
+int main() { return maze::bench::Run(); }

@@ -14,6 +14,7 @@
 #include "core/ratings_gen.h"
 #include "core/rmat.h"
 #include "native/cc.h"
+#include "obs/attrib.h"
 #include "obs/counters.h"
 #include "obs/export.h"
 #include "obs/json.h"
@@ -226,11 +227,15 @@ StatusOr<bench::EngineKind> EngineByName(const std::string& name) {
 }
 
 // Runs one (algo, engine) pair and prints its summary + metrics line. When
-// `report` is non-null, appends the run's resource row to it.
+// `report` is non-null, appends the run's resource row to it; when
+// `attribution` is non-null, appends the run's critical-path decomposition
+// (and annotates the live trace when spans are being recorded).
 Status RunOnce(const std::string& algo, bench::EngineKind engine,
                const EdgeList& edges, const std::string& dataset,
                int iterations, bench::RunConfig config,
-               obs::ResourceReport* report, std::ostream& out) {
+               obs::ResourceReport* report,
+               obs::attrib::AttributionReport* attribution,
+               std::ostream& out) {
   rt::RunMetrics metrics;
   std::string summary;
   if (algo == "pagerank") {
@@ -289,11 +294,28 @@ Status RunOnce(const std::string& algo, bench::EngineKind engine,
         << " restarts=" << metrics.crash_restarts << " recovery_seconds="
         << FormatDouble(metrics.recovery_seconds, 5) << "\n";
   }
+  std::string dataset_label =
+      dataset.empty() ? (algo == "cf" ? "netflix" : "input") : dataset;
+  if (attribution != nullptr || obs::Enabled()) {
+    obs::attrib::Attribution attributed = obs::attrib::Attribute(metrics);
+    // Overlay the critical path onto the live trace (no-op unless spans are
+    // being recorded) even when no attribution report was requested.
+    obs::attrib::AnnotateTrace(attributed, bench::EngineName(engine));
+    if (attribution != nullptr) {
+      obs::attrib::AttributionRow row;
+      row.engine = bench::EngineName(engine);
+      row.algorithm = algo;
+      row.dataset = dataset_label;
+      row.ranks = config.num_ranks;
+      row.attribution = std::move(attributed);
+      attribution->Add(std::move(row));
+    }
+  }
   if (report != nullptr) {
     bench::Measurement m;
     m.engine = engine;
     m.algorithm = algo;
-    m.dataset = dataset.empty() ? (algo == "cf" ? "netflix" : "input") : dataset;
+    m.dataset = dataset_label;
     m.ranks = config.num_ranks;
     m.seconds = metrics.elapsed_seconds;
     m.metrics = std::move(metrics);
@@ -302,13 +324,15 @@ Status RunOnce(const std::string& algo, bench::EngineKind engine,
   return Status::OK();
 }
 
-// The --metrics dump: the resource report plus name-sorted counter and
-// histogram snapshots, one JSON object.
+// The --metrics dump: the resource report, the critical-path attribution
+// summary, and name-sorted counter and histogram snapshots, one JSON object.
 Status WriteMetricsJson(const obs::ResourceReport& report,
+                        const obs::attrib::AttributionReport& attribution,
                         const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open " + path);
-  out << "{\n\"resource\": " << report.ToJson() << ",\n\"counters\": [\n";
+  out << "{\n\"resource\": " << report.ToJson() << ",\n\"attribution\": "
+      << attribution.ToJson() << ",\n\"counters\": [\n";
   auto counters = obs::SnapshotCounters();
   for (size_t i = 0; i < counters.size(); ++i) {
     out << "  {\"name\": \"" << obs::JsonEscape(counters[i].name)
@@ -339,6 +363,7 @@ Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
   MAZE_RETURN_IF_ERROR(iterations.status());
   std::string trace_path = FlagOr(parsed, "trace", "");
   std::string metrics_path = FlagOr(parsed, "metrics", "");
+  std::string explain_path = FlagOr(parsed, "explain", "");
 
   // "--engine all" sweeps every engine that supports the rank count.
   std::vector<bench::EngineKind> engines;
@@ -353,8 +378,10 @@ Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
 
   bench::RunConfig config;
   config.num_ranks = ranks.value();
-  // The resource report wants the per-step timeline for its percentiles.
-  config.trace = !metrics_path.empty() || !trace_path.empty();
+  // The resource report wants the per-step timeline for its percentiles, and
+  // attribution can only explain steps that were recorded.
+  config.trace =
+      !metrics_path.empty() || !trace_path.empty() || !explain_path.empty();
 
   // Fault plan: --faults=<spec> wins over the MAZE_FAULTS environment plan
   // (which RunConfig already defaulted to).
@@ -388,10 +415,13 @@ Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
   }
 
   obs::ResourceReport report;
+  obs::attrib::AttributionReport attribution;
+  bool want_attribution = !metrics_path.empty() || !explain_path.empty();
   for (bench::EngineKind engine : engines) {
     MAZE_RETURN_IF_ERROR(RunOnce(algo, engine, edges, dataset,
                                  iterations.value(), config,
                                  metrics_path.empty() ? nullptr : &report,
+                                 want_attribution ? &attribution : nullptr,
                                  out));
   }
 
@@ -406,9 +436,17 @@ Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
     out << obs::SummaryText();
   }
   if (!metrics_path.empty()) {
-    MAZE_RETURN_IF_ERROR(WriteMetricsJson(report, metrics_path));
+    MAZE_RETURN_IF_ERROR(WriteMetricsJson(report, attribution, metrics_path));
     out << "metrics: wrote " << metrics_path << "\n";
     out << report.ToMarkdown();
+  }
+  if (!explain_path.empty()) {
+    std::ofstream f(explain_path);
+    if (!f) return Status::IoError("cannot open " + explain_path);
+    f << attribution.ToJson() << "\n";
+    if (!f.good()) return Status::IoError("write failed for " + explain_path);
+    out << "explain: wrote " << explain_path << "\n";
+    out << attribution.ToMarkdown();
   }
   return Status::OK();
 }

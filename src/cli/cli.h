@@ -11,8 +11,12 @@
 //   stats PATH                                           (degree distribution)
 //   datasets                                             (stand-in registry)
 //   run --algo pagerank|bfs|triangles|cf|cc --engine native|vertexlab|matblas|
-//       datalite|taskflow|bspgraph [--ranks N] [--iterations N]
-//       (--input PATH | --dataset NAME)
+//       datalite|taskflow|bspgraph|all [--ranks N] [--iterations N]
+//       (--input PATH | --dataset NAME) [--faults SPEC]
+//       [--trace PATH]    Chrome/Perfetto trace, incl. the critical-path track
+//       [--metrics PATH]  resource + attribution + counters/histograms JSON
+//       [--explain PATH]  critical-path attribution JSON; prints the markdown
+//                         per-engine table (who is network-bound and why)
 #ifndef MAZE_CLI_CLI_H_
 #define MAZE_CLI_CLI_H_
 

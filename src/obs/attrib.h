@@ -1,0 +1,165 @@
+// maze::obs::attrib — critical-path time attribution: explain every modeled
+// second of a run.
+//
+// The paper's contribution is not the timings but the explanations — which
+// frameworks are network-bound vs compute-bound, where the Giraph-like engine
+// loses time to load imbalance, what each native optimization buys (§5–6).
+// This module decomposes a traced run's RunMetrics::elapsed_seconds into four
+// components that sum *exactly* back to the modeled elapsed time:
+//
+//   elapsed = critical_compute + critical_wire + imbalance_idle + fault_recovery
+//
+// Per step barrier (rt::StepRecord), with cmax/cmean the max/mean over ranks
+// of charged compute, wmax/wmean of modeled wire time, fmax the slowest
+// rank's fault/recovery stall:
+//
+//   non-overlapped step  = cmax + wmax + fmax
+//     -> compute cmean, wire wmean, imbalance (cmax-cmean)+(wmax-wmean),
+//        fault fmax
+//   overlapped step      = max(cmax, wmax) + fmax
+//     -> only the binding side contributes (the other is hidden under it):
+//        compute-bound: compute cmean, imbalance cmax-cmean;
+//        wire-bound:    wire wmean,    imbalance wmax-wmean
+//
+// so "critical compute/wire" is the perfectly-balanced share of the barrier,
+// "imbalance idle" is the extra time the barrier waits for the slowest rank
+// beyond the mean (the max-over-mean excess), and "fault/recovery" is the
+// slowest rank's injected stall. Each step also gets a *binding term* (which
+// of compute/wire/fault is the barrier's largest contribution) and a *binding
+// rank* (the argmax rank of that term) — the critical path — plus a max/mean
+// load-imbalance factor and per-rank slack.
+//
+// What-if lower bounds are recomputed from the same records, never measured:
+//   infinite_bandwidth : wire removed          -> sum of cmax + fmax
+//   perfect_balance    : maxes become means    -> (overlap?max(cmean,wmean)
+//                                                 :cmean+wmean) + fmax
+//   zero_fault         : stalls removed        -> the compute/wire base
+//   best_case          : all three at once     -> sum of cmean
+// All four are <= the actual elapsed time; actual/bound is the quantitative
+// "ninja gap" each framework could close (GraphMat's framing).
+//
+// Exported three ways: AttributionReport (JSON + markdown per-engine table:
+// who is network-bound, the §5.4 narrative), Perfetto annotations on existing
+// traces (AnnotateTrace: a critical-path track + flow arrows linking binding
+// ranks across steps), and `maze_cli run --explain=<path>`.
+//
+// Attribution is a pure function of the recorded steps: same records, same
+// output bytes — the differential tests assert this across the serial and
+// rank-parallel schedules and under fault injection.
+#ifndef MAZE_OBS_ATTRIB_H_
+#define MAZE_OBS_ATTRIB_H_
+
+#include <string>
+#include <vector>
+
+#include "rt/metrics.h"
+
+namespace maze::obs::attrib {
+
+// Which term of the step barrier (or of the whole run) binds.
+enum class BindingTerm {
+  kNone = 0,  // Zero-duration step (e.g. the trailing leftover-bytes record).
+  kCompute,
+  kWire,
+  kFault,
+  kImbalance,  // Run-level verdicts only; never binds a single barrier.
+};
+const char* BindingTermName(BindingTerm term);
+
+// One step barrier's share of the run decomposition.
+struct StepAttribution {
+  int step = 0;
+  double step_seconds = 0;       // This barrier's simulated duration.
+  BindingTerm binding_term = BindingTerm::kNone;
+  int binding_rank = -1;         // argmax rank of the binding term; -1 when
+                                 // the record has no per-rank breakdown.
+  double compute_seconds = 0;    // Balanced (mean-over-ranks) compute share.
+  double wire_seconds = 0;       // Balanced wire share (0 when hidden).
+  double imbalance_seconds = 0;  // Max-over-mean excess of the counted terms.
+  double fault_seconds = 0;      // Slowest rank's fault/recovery stall.
+  double imbalance_factor = 1;   // compute max/mean, >= 1.
+};
+
+// Lower bounds on elapsed time recomputed from the same step records.
+struct WhatIfBounds {
+  double infinite_bandwidth_seconds = 0;
+  double perfect_balance_seconds = 0;
+  double zero_fault_seconds = 0;
+  double best_case_seconds = 0;  // All three counterfactuals at once.
+};
+
+// Whole-run decomposition. `available` is false when the run was not traced
+// (no step records): nothing can be attributed.
+struct Attribution {
+  bool available = false;
+  int num_ranks = 0;  // Widest per-rank breakdown seen (0 = aggregates only).
+  double elapsed_seconds = 0;
+
+  // The four components; ComponentSum() == elapsed_seconds to <= 1e-9 rel.
+  double critical_compute_seconds = 0;
+  double critical_wire_seconds = 0;
+  double imbalance_idle_seconds = 0;
+  double fault_recovery_seconds = 0;
+  double ComponentSum() const {
+    return critical_compute_seconds + critical_wire_seconds +
+           imbalance_idle_seconds + fault_recovery_seconds;
+  }
+
+  // The largest component: the run's one-word explanation ("network-bound").
+  BindingTerm DominantComponent() const;
+  const char* Verdict() const;
+
+  // Load imbalance: max over steps, and the step-time-weighted mean.
+  double max_imbalance_factor = 1;
+  double mean_imbalance_factor = 1;
+
+  WhatIfBounds bounds;
+
+  // Per-rank barrier slack summed over steps with a per-rank breakdown: how
+  // long each rank sat idle while the binding rank held the barrier.
+  std::vector<double> rank_slack_seconds;
+
+  std::vector<StepAttribution> steps;
+
+  // Machine artifact; deterministic byte-for-byte for equal inputs.
+  std::string ToJson() const;
+};
+
+// Decomposes a traced run. Pure: consumes only metrics.steps (per-rank vectors
+// when present, the aggregate fields otherwise) and metrics.elapsed_seconds.
+Attribution Attribute(const rt::RunMetrics& metrics);
+
+// One (engine, algorithm, dataset) line of the cross-engine report.
+struct AttributionRow {
+  std::string engine;
+  std::string algorithm;
+  std::string dataset;
+  int ranks = 1;
+  Attribution attribution;
+};
+
+// Aggregates rows and renders them as JSON (machine artifact) and markdown
+// (the per-engine "who is network-bound" table, one per algorithm).
+class AttributionReport {
+ public:
+  void Add(AttributionRow row) { rows_.push_back(std::move(row)); }
+  const std::vector<AttributionRow>& rows() const { return rows_; }
+  bool empty() const { return rows_.empty(); }
+
+  std::string ToJson() const;
+  std::string ToMarkdown() const;
+
+ private:
+  std::vector<AttributionRow> rows_;
+};
+
+// Pushes the attribution onto the live obs rings as Perfetto annotations: one
+// critical-path slice per step barrier (named by binding term, args carry the
+// binding rank and imbalance factor) plus flow arrows linking consecutive
+// binding slices. `engine_cat` must be a static string (obs contract). No-op
+// when tracing is disabled or the attribution is unavailable.
+void AnnotateTrace(const Attribution& attribution, const char* engine_cat);
+
+}  // namespace maze::obs::attrib
+
+#endif  // MAZE_OBS_ATTRIB_H_

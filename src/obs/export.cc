@@ -32,11 +32,26 @@ std::string ChromeTraceJson() {
     return out;
   };
 
-  // Name the process tracks: measured ranks and their simulated-wire shadows.
+  // Name the process tracks: measured ranks, their simulated-wire shadows, and
+  // the critical-path track when attribution annotations are present.
   std::set<int> measured_ranks;
   std::set<int> wire_ranks;  // Wire spans and counter tracks share these pids.
+  bool critical_path = false;
   for (const Event& e : events) {
-    (e.kind == EventKind::kSpan ? measured_ranks : wire_ranks).insert(e.rank);
+    switch (e.kind) {
+      case EventKind::kSpan:
+        measured_ranks.insert(e.rank);
+        break;
+      case EventKind::kWireSpan:
+      case EventKind::kCounter:
+        wire_ranks.insert(e.rank);
+        break;
+      case EventKind::kCritSpan:
+      case EventKind::kFlowStart:
+      case EventKind::kFlowEnd:
+        critical_path = true;
+        break;
+    }
   }
   for (int r : measured_ranks) {
     begin_event() << "{\"ph\":\"M\",\"pid\":" << r
@@ -47,6 +62,11 @@ std::string ChromeTraceJson() {
     begin_event() << "{\"ph\":\"M\",\"pid\":" << kSimWirePidBase + r
                   << ",\"name\":\"process_name\",\"args\":{\"name\":\"rank " << r
                   << " (simulated wire)\"}}";
+  }
+  if (critical_path) {
+    begin_event() << "{\"ph\":\"M\",\"pid\":" << kCritPathPid
+                  << ",\"name\":\"process_name\",\"args\":{\"name\":"
+                     "\"critical path (modeled)\"}}";
   }
 
   for (const Event& e : events) {
@@ -65,6 +85,29 @@ std::string ChromeTraceJson() {
                     << JsonEscape(e.cat) << "\",\"ts\":" << Micros(e.ts_us)
                     << ",\"args\":{\"" << JsonEscape(e.name)
                     << "\":" << e.value << "}}";
+    } else if (e.kind == EventKind::kCritSpan) {
+      // One slice per step barrier on the critical-path track, named by its
+      // binding term; args pin the binding rank and load-imbalance factor.
+      begin_event() << "{\"ph\":\"X\",\"pid\":" << kCritPathPid
+                    << ",\"tid\":0,\"ts\":" << Micros(e.ts_us)
+                    << ",\"dur\":" << Micros(e.dur_us) << ",\"name\":\""
+                    << JsonEscape(e.name) << "\",\"cat\":\"" << JsonEscape(e.cat)
+                    << "\",\"args\":{\"binding_rank\":" << e.rank
+                    << ",\"step\":" << e.step << ",\"imbalance_factor\":"
+                    << e.value << "}}";
+    } else if (e.kind == EventKind::kFlowStart ||
+               e.kind == EventKind::kFlowEnd) {
+      // Flow arrows linking binding slices across steps ("s" starts inside the
+      // upstream slice, "f" with bp=e binds to the enclosing downstream one).
+      const bool start = e.kind == EventKind::kFlowStart;
+      begin_event() << "{\"ph\":\"" << (start ? "s" : "f")
+                    << (start ? "" : "\",\"bp\":\"e")
+                    << "\",\"pid\":" << kCritPathPid
+                    << ",\"tid\":0,\"id\":" << e.bytes
+                    << ",\"ts\":" << Micros(e.ts_us) << ",\"name\":\""
+                    << JsonEscape(e.name) << "\",\"cat\":\"" << JsonEscape(e.cat)
+                    << "\",\"args\":{\"binding_rank\":" << e.rank
+                    << ",\"step\":" << e.step << "}}";
     } else {
       // Simulated wire time: one async begin/end pair per SimClock step & rank.
       int pid = kSimWirePidBase + e.rank;

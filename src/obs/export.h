@@ -6,6 +6,9 @@
 //                        tid = recording host thread);
 //   - pid 10000 + r    : rank r's modeled wire time, as async "b"/"e" span
 //                        pairs in the *simulated* clock domain (SimClock);
+//   - pid 20000        : the run's critical path (obs::attrib annotations):
+//                        one slice per step barrier named by its binding term,
+//                        with flow arrows linking binding ranks across steps;
 //   - counters/histograms ride along under "otherData" and in the summary.
 #ifndef MAZE_OBS_EXPORT_H_
 #define MAZE_OBS_EXPORT_H_
@@ -18,6 +21,9 @@ namespace maze::obs {
 
 // Synthetic pid offset for the simulated-wire-time track of each rank.
 inline constexpr int kSimWirePidBase = 10000;
+
+// Synthetic pid of the critical-path track (obs::attrib annotations).
+inline constexpr int kCritPathPid = 20000;
 
 // Serializes the current snapshot (events + counters + histograms) as Chrome
 // trace-event JSON.

@@ -120,6 +120,55 @@ void PushCounterSample(const char* track, int rank, int step, double sim_ts_us,
   ring->Push(e);
 }
 
+void PushCritSpan(const char* term, const char* cat, int binding_rank, int step,
+                  double sim_ts_us, double sim_dur_us, double value) {
+  ThreadRing* ring = Registry::Get().RingForThisThread();
+  Event e;
+  e.name = term;
+  e.cat = cat;
+  e.kind = EventKind::kCritSpan;
+  e.rank = binding_rank;
+  e.tid = ring->tid;
+  e.step = step;
+  e.ts_us = sim_ts_us;
+  e.dur_us = sim_dur_us;
+  e.value = value;
+  ring->Push(e);
+}
+
+uint64_t PushFlowStart(const char* name, const char* cat, int rank, int step,
+                       double sim_ts_us) {
+  Registry& reg = Registry::Get();
+  ThreadRing* ring = reg.RingForThisThread();
+  uint64_t id = reg.next_async_id.fetch_add(1, std::memory_order_relaxed);
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.kind = EventKind::kFlowStart;
+  e.rank = rank;
+  e.tid = ring->tid;
+  e.step = step;
+  e.ts_us = sim_ts_us;
+  e.bytes = id;
+  ring->Push(e);
+  return id;
+}
+
+void PushFlowEnd(const char* name, const char* cat, int rank, int step,
+                 double sim_ts_us, uint64_t flow_id) {
+  ThreadRing* ring = Registry::Get().RingForThisThread();
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.kind = EventKind::kFlowEnd;
+  e.rank = rank;
+  e.tid = ring->tid;
+  e.step = step;
+  e.ts_us = sim_ts_us;
+  e.bytes = flow_id;
+  ring->Push(e);
+}
+
 std::vector<Event> SnapshotEvents() {
   Registry& reg = Registry::Get();
   std::vector<Event> events;

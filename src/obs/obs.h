@@ -43,6 +43,9 @@ enum class EventKind : uint8_t {
   kSpan,      // Complete measured span ("X" in Chrome trace), real-time domain.
   kWireSpan,  // Simulated wire-time span, rendered as async "b"/"e" events.
   kCounter,   // Sampled counter-track value ("C"), simulated-time domain.
+  kCritSpan,  // Critical-path slice (obs::attrib), simulated-time domain.
+  kFlowStart, // Flow-arrow endpoints ("s"/"f") linking critical-path slices
+  kFlowEnd,   // across steps; the flow id rides in Event::bytes.
 };
 
 struct Event {
@@ -75,6 +78,22 @@ void PushWireSpan(const char* name, int rank, int step, double sim_ts_us,
 // on the rank's simulated pid. `track` must be a static string. Thread-safe.
 void PushCounterSample(const char* track, int rank, int step, double sim_ts_us,
                        double value);
+
+// Appends one critical-path slice (obs::attrib annotations): the binding term
+// of one step barrier on the synthetic critical-path track, in the simulated
+// clock domain. `term` names the binding term ("compute"/"wire"/"fault") and
+// `cat` the engine family; both must be static strings. `value` carries the
+// step's max/mean load-imbalance factor into the slice args.
+void PushCritSpan(const char* term, const char* cat, int binding_rank, int step,
+                  double sim_ts_us, double sim_dur_us, double value);
+
+// Flow-arrow pair linking two critical-path slices (Perfetto "s"/"f" events):
+// PushFlowStart allocates and returns the flow id; pass it to PushFlowEnd at
+// the downstream slice. `name`/`cat` must be static strings.
+uint64_t PushFlowStart(const char* name, const char* cat, int rank, int step,
+                       double sim_ts_us);
+void PushFlowEnd(const char* name, const char* cat, int rank, int step,
+                 double sim_ts_us, uint64_t flow_id);
 
 // Scoped RAII phase timer. When tracing is disabled construction is one
 // relaxed load; nothing is recorded.

@@ -7,11 +7,17 @@ namespace maze::rt {
 std::string StepTraceCsv(const std::vector<StepRecord>& steps) {
   std::ostringstream out;
   out << "step,compute_seconds,wire_seconds,bytes_sent,messages_sent,"
-         "overlapped,fault_seconds\n";
+         "overlapped,fault_seconds,rank_fault_seconds\n";
   for (const StepRecord& s : steps) {
     out << s.step << ',' << s.compute_seconds << ',' << s.wire_seconds << ','
         << s.bytes_sent << ',' << s.messages_sent << ','
-        << (s.overlapped ? 1 : 0) << ',' << s.fault_seconds << '\n';
+        << (s.overlapped ? 1 : 0) << ',' << s.fault_seconds << ',';
+    // The per-rank stall breakdown rides in one ';'-joined cell (empty for
+    // records carrying only the aggregates), keeping the row count stable.
+    for (size_t r = 0; r < s.rank_fault_seconds.size(); ++r) {
+      out << (r == 0 ? "" : ";") << s.rank_fault_seconds[r];
+    }
+    out << '\n';
   }
   return out.str();
 }

@@ -23,10 +23,13 @@ struct StepRecord {
   double fault_seconds = 0;    // max over ranks, fault/recovery stall time.
 
   // Per-rank breakdown (index = rank), recorded alongside the aggregates so
-  // utilization timelines can be rebuilt per rank. Empty for StepRecords
-  // built by hand with the aggregate fields only.
+  // utilization timelines and critical-path attribution (obs::attrib) can be
+  // rebuilt per rank, not just from the max. Empty for StepRecords built by
+  // hand with the aggregate fields only.
   std::vector<double> rank_compute_seconds;
   std::vector<uint64_t> rank_bytes;
+  std::vector<double> rank_wire_seconds;   // Modeled per-rank transfer time.
+  std::vector<double> rank_fault_seconds;  // Per-rank fault/recovery stall.
 
   // Simulated duration of this step as charged by the clock. Fault/recovery
   // stalls (retry timeouts, checkpoint writes, restores) extend the barrier on
@@ -110,9 +113,10 @@ struct UtilizationBucket {
 
 // Expands a traced run (metrics.steps with per-rank breakdowns) into
 // per-(step, rank) utilization buckets. Bucket byte counts partition the run's
-// wire totals exactly: the sum over buckets equals metrics.bytes_sent (minus
-// any bytes recorded after the final EndStep). Returns empty when the run was
-// not traced.
+// wire totals exactly: the sum over buckets equals metrics.bytes_sent
+// unconditionally — bytes recorded after the final EndStep land in a trailing
+// zero-duration StepRecord appended by SimClock::Finish. Returns empty when
+// the run was not traced.
 std::vector<UtilizationBucket> UtilizationTimeline(const RunMetrics& metrics);
 
 }  // namespace maze::rt

@@ -93,10 +93,16 @@ void SimClock::EndStep(bool overlap_comm) {
                       fault_max};
     record.rank_compute_seconds.resize(num_ranks_);
     record.rank_bytes.resize(num_ranks_);
+    record.rank_wire_seconds.resize(num_ranks_);
+    record.rank_fault_seconds.resize(num_ranks_);
     for (int r = 0; r < num_ranks_; ++r) {
       record.rank_compute_seconds[r] =
           step_compute_[r].load(std::memory_order_relaxed);
       record.rank_bytes[r] = step_bytes_[r].load(std::memory_order_relaxed);
+      record.rank_wire_seconds[r] = model_.TransferSeconds(
+          record.rank_bytes[r], step_msgs_[r].load(std::memory_order_relaxed));
+      record.rank_fault_seconds[r] =
+          step_fault_[r].load(std::memory_order_relaxed);
     }
     trace_.push_back(std::move(record));
   }
@@ -229,6 +235,23 @@ RunMetrics SimClock::Finish(double intra_rank_utilization) {
   for (int r = 0; r < num_ranks_; ++r) {
     metrics_.recovery_seconds +=
         step_fault_[r].load(std::memory_order_relaxed);
+  }
+  if (trace_enabled_ && (leftover_bytes > 0 || leftover_msgs > 0)) {
+    // Fold post-final-EndStep traffic into a trailing zero-duration record so
+    // UtilizationTimeline's bucket bytes partition bytes_sent unconditionally.
+    // No simulated time was charged for these sends, so every time field (and
+    // therefore StepSeconds) stays zero and obs::attrib's exact-sum invariant
+    // against elapsed_seconds is untouched.
+    StepRecord record{static_cast<int>(trace_.size()), 0.0, 0.0,
+                      leftover_bytes, leftover_msgs, false, 0.0};
+    record.rank_compute_seconds.assign(num_ranks_, 0.0);
+    record.rank_wire_seconds.assign(num_ranks_, 0.0);
+    record.rank_fault_seconds.assign(num_ranks_, 0.0);
+    record.rank_bytes.resize(num_ranks_);
+    for (int r = 0; r < num_ranks_; ++r) {
+      record.rank_bytes[r] = step_bytes_[r].load(std::memory_order_relaxed);
+    }
+    trace_.push_back(std::move(record));
   }
   ResetStep();
   metrics_.faults_injected =

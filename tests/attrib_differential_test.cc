@@ -1,0 +1,173 @@
+// Differential attribution harness: obs::attrib output must be byte-identical
+// under the serial and rank-parallel schedules, with and without injected
+// transport faults, for every engine on PageRank and BFS.
+//
+// Step structure, per-rank bytes, modeled wire seconds, and fault stalls are
+// schedule-invariant by construction (rank-ordered slot folding). Per-rank
+// *compute* seconds are measured host CPU time and therefore noisy, so both
+// sides are canonicalized first: compute is replaced by a deterministic
+// function of (step, rank, rank bytes) — inputs that ARE schedule-invariant —
+// and the aggregates re-derived. After that, Attribute().ToJson() comparing
+// equal proves (a) everything else the decomposition consumes is
+// schedule-invariant end to end, and (b) attribution itself is a pure
+// function of the records.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_support/runner.h"
+#include "obs/attrib.h"
+#include "rt/fault.h"
+#include "rt/metrics.h"
+#include "rt/rank_exec.h"
+#include "tests/test_graphs.h"
+
+namespace maze::bench {
+namespace {
+
+// Force a real pool before first use so the parallel schedule is exercised
+// even on a single-core host (mirrors rank_parallel_test).
+const bool kForcePoolSize = [] {
+  setenv("MAZE_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+int RanksFor(EngineKind engine) {
+  return engine == EngineKind::kTaskflow ? 1 : 16;
+}
+
+rt::fault::FaultSpec Plan(const std::string& text) {
+  auto spec = rt::fault::ParseFaultSpec(text);
+  EXPECT_TRUE(spec.ok()) << text << ": " << spec.status().ToString();
+  return spec.value();
+}
+
+// Transport-fault plans only: stragglers/crashes perturb measured compute by
+// design, and the point here is schedule invariance of everything modeled.
+struct PlanCase {
+  const char* name;
+  const char* spec;  // Empty = fault-free.
+};
+const PlanCase kPlans[] = {
+    {"clean", ""},
+    {"drop", "seed=11,drop=0.05,retries=64,timeout=1e-4"},
+    {"dup", "seed=12,dup=0.08"},
+    {"dropdup", "seed=15,drop=0.03,dup=0.05,retries=64,timeout=1e-4"},
+};
+
+// Replaces measured per-rank compute with a deterministic function of
+// schedule-invariant inputs and re-derives the aggregates, so the byte
+// comparison below is not at the mercy of host timer noise.
+void CanonicalizeCompute(rt::RunMetrics* m) {
+  double elapsed = 0;
+  for (rt::StepRecord& s : m->steps) {
+    if (!s.rank_compute_seconds.empty() && s.StepSeconds() > 0) {
+      double max = 0;
+      for (size_t r = 0; r < s.rank_compute_seconds.size(); ++r) {
+        uint64_t bytes = r < s.rank_bytes.size() ? s.rank_bytes[r] : 0;
+        double fake = 1e-4 * (1 + (s.step * 31 + static_cast<int>(r) * 7) % 5) +
+                      static_cast<double>(bytes) * 1e-12;
+        s.rank_compute_seconds[r] = fake;
+        max = std::max(max, fake);
+      }
+      s.compute_seconds = max;
+    }
+    elapsed += s.StepSeconds();
+  }
+  m->elapsed_seconds = elapsed;
+}
+
+// The bench-grade invariants, checked on the *real* (uncanonicalized) run.
+void CheckDecomposition(const rt::RunMetrics& metrics, const std::string& tag) {
+  obs::attrib::Attribution a = obs::attrib::Attribute(metrics);
+  ASSERT_TRUE(a.available) << tag;
+  double scale = std::max(1e-30, metrics.elapsed_seconds);
+  EXPECT_LE(std::abs(a.ComponentSum() - metrics.elapsed_seconds), 1e-9 * scale)
+      << tag;
+  EXPECT_LE(std::abs(a.elapsed_seconds - metrics.elapsed_seconds), 1e-9 * scale)
+      << tag;
+  double actual = a.elapsed_seconds * (1.0 + 1e-9) + 1e-30;
+  EXPECT_LE(a.bounds.infinite_bandwidth_seconds, actual) << tag;
+  EXPECT_LE(a.bounds.perfect_balance_seconds, actual) << tag;
+  EXPECT_LE(a.bounds.zero_fault_seconds, actual) << tag;
+  EXPECT_LE(a.bounds.best_case_seconds, actual) << tag;
+  EXPECT_GE(a.max_imbalance_factor, 1.0) << tag;
+  for (double s : a.rank_slack_seconds) EXPECT_GE(s, 0.0) << tag;
+}
+
+class AttribDifferentialTest : public ::testing::TestWithParam<EngineKind> {
+ protected:
+  void TearDown() override { rt::SetSerialRanks(-1); }
+};
+
+std::string EngineCaseName(const ::testing::TestParamInfo<EngineKind>& info) {
+  return EngineName(info.param);
+}
+
+TEST_P(AttribDifferentialTest, PageRankAttributionIsScheduleInvariant) {
+  const EngineKind engine = GetParam();
+  EdgeList el = testgraphs::SmallRmat(9);
+  rt::PageRankOptions opt;
+  opt.iterations = 4;
+
+  for (const PlanCase& plan : kPlans) {
+    RunConfig config;
+    config.num_ranks = RanksFor(engine);
+    config.trace = true;
+    if (plan.spec[0] != '\0') config.faults = Plan(plan.spec);
+
+    rt::SetSerialRanks(1);
+    auto serial = RunPageRank(engine, el, opt, config);
+    rt::SetSerialRanks(0);
+    auto parallel = RunPageRank(engine, el, opt, config);
+
+    std::string tag =
+        std::string(EngineName(engine)) + "/pagerank/" + plan.name;
+    CheckDecomposition(serial.metrics, tag + "/serial");
+    CheckDecomposition(parallel.metrics, tag + "/parallel");
+
+    CanonicalizeCompute(&serial.metrics);
+    CanonicalizeCompute(&parallel.metrics);
+    EXPECT_EQ(obs::attrib::Attribute(serial.metrics).ToJson(),
+              obs::attrib::Attribute(parallel.metrics).ToJson())
+        << tag;
+  }
+}
+
+TEST_P(AttribDifferentialTest, BfsAttributionIsScheduleInvariant) {
+  const EngineKind engine = GetParam();
+  EdgeList el = testgraphs::SmallRmatUndirected(9);
+  rt::BfsOptions opt{3};
+
+  for (const PlanCase& plan : kPlans) {
+    RunConfig config;
+    config.num_ranks = RanksFor(engine);
+    config.trace = true;
+    if (plan.spec[0] != '\0') config.faults = Plan(plan.spec);
+
+    rt::SetSerialRanks(1);
+    auto serial = RunBfs(engine, el, opt, config);
+    rt::SetSerialRanks(0);
+    auto parallel = RunBfs(engine, el, opt, config);
+
+    std::string tag = std::string(EngineName(engine)) + "/bfs/" + plan.name;
+    CheckDecomposition(serial.metrics, tag + "/serial");
+    CheckDecomposition(parallel.metrics, tag + "/parallel");
+
+    CanonicalizeCompute(&serial.metrics);
+    CanonicalizeCompute(&parallel.metrics);
+    EXPECT_EQ(obs::attrib::Attribute(serial.metrics).ToJson(),
+              obs::attrib::Attribute(parallel.metrics).ToJson())
+        << tag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, AttribDifferentialTest,
+                         ::testing::ValuesIn(AllEngines()), EngineCaseName);
+
+}  // namespace
+}  // namespace maze::bench

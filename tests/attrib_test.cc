@@ -1,0 +1,297 @@
+// Unit tests for obs::attrib on hand-built StepRecord vectors: binding-term
+// classification, the exact four-component decomposition, what-if bounds,
+// slack/imbalance accounting, and the JSON/Perfetto exports.
+#include "obs/attrib.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "tests/json_checker.h"
+
+namespace maze::obs::attrib {
+namespace {
+
+double MaxOf(const std::vector<double>& v) {
+  double m = 0;
+  for (double x : v) m = std::max(m, x);
+  return m;
+}
+
+// Builds a traced StepRecord the way SimClock does: per-rank vectors plus
+// aggregates that are the per-rank maxes.
+rt::StepRecord Step(int idx, std::vector<double> compute,
+                    std::vector<double> wire, std::vector<double> fault,
+                    bool overlapped = false) {
+  rt::StepRecord s;
+  s.step = idx;
+  s.overlapped = overlapped;
+  s.compute_seconds = MaxOf(compute);
+  s.wire_seconds = MaxOf(wire);
+  s.fault_seconds = MaxOf(fault);
+  s.rank_compute_seconds = std::move(compute);
+  s.rank_wire_seconds = std::move(wire);
+  s.rank_fault_seconds = std::move(fault);
+  return s;
+}
+
+rt::RunMetrics MakeRun(std::vector<rt::StepRecord> steps) {
+  rt::RunMetrics m;
+  for (const rt::StepRecord& s : steps) m.elapsed_seconds += s.StepSeconds();
+  m.steps = std::move(steps);
+  return m;
+}
+
+TEST(AttribTest, UntracedRunIsUnavailable) {
+  rt::RunMetrics m;
+  m.elapsed_seconds = 3.0;  // Elapsed alone cannot be explained.
+  Attribution a = Attribute(m);
+  EXPECT_FALSE(a.available);
+  EXPECT_EQ(a.ToJson(), "{\"available\":false}");
+  EXPECT_TRUE(testutil::JsonChecker(a.ToJson()).Valid());
+}
+
+TEST(AttribTest, BindingTermAndRankClassification) {
+  Attribution a = Attribute(MakeRun({
+      Step(0, {0.1, 0.5}, {0.2, 0.1}, {0, 0}),    // compute binds, rank 1.
+      Step(1, {0.1, 0.1}, {0.6, 0.2}, {0, 0}),    // wire binds, rank 0.
+      Step(2, {0.1, 0.1}, {0.2, 0.1}, {0, 0.9}),  // fault binds, rank 1.
+  }));
+  ASSERT_TRUE(a.available);
+  ASSERT_EQ(a.steps.size(), 3u);
+  EXPECT_EQ(a.steps[0].binding_term, BindingTerm::kCompute);
+  EXPECT_EQ(a.steps[0].binding_rank, 1);
+  EXPECT_EQ(a.steps[1].binding_term, BindingTerm::kWire);
+  EXPECT_EQ(a.steps[1].binding_rank, 0);
+  EXPECT_EQ(a.steps[2].binding_term, BindingTerm::kFault);
+  EXPECT_EQ(a.steps[2].binding_rank, 1);
+}
+
+TEST(AttribTest, ZeroDurationStepBindsNothing) {
+  Attribution a = Attribute(MakeRun({Step(0, {0, 0}, {0, 0}, {0, 0})}));
+  ASSERT_EQ(a.steps.size(), 1u);
+  EXPECT_EQ(a.steps[0].binding_term, BindingTerm::kNone);
+  EXPECT_EQ(a.steps[0].binding_rank, -1);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, 0.0);
+}
+
+TEST(AttribTest, OverlapHidesTheSmallerTerm) {
+  // Overlapped barrier = max(compute, wire): the hidden side contributes 0.
+  Attribution a = Attribute(
+      MakeRun({Step(0, {0.5, 0.2}, {0.4, 0.1}, {0, 0}, /*overlapped=*/true)}));
+  ASSERT_EQ(a.steps.size(), 1u);
+  EXPECT_EQ(a.steps[0].binding_term, BindingTerm::kCompute);
+  EXPECT_DOUBLE_EQ(a.steps[0].wire_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(a.steps[0].step_seconds, 0.5);
+  // compute mean 0.35 + imbalance 0.15 = 0.5, exactly the barrier.
+  EXPECT_DOUBLE_EQ(a.steps[0].compute_seconds, 0.35);
+  EXPECT_DOUBLE_EQ(a.steps[0].imbalance_seconds, 0.15);
+  EXPECT_DOUBLE_EQ(a.ComponentSum(), 0.5);
+
+  // Wire-bound overlap: compute hides instead.
+  Attribution b = Attribute(
+      MakeRun({Step(0, {0.1, 0.2}, {0.6, 0.4}, {0, 0}, /*overlapped=*/true)}));
+  EXPECT_EQ(b.steps[0].binding_term, BindingTerm::kWire);
+  EXPECT_DOUBLE_EQ(b.steps[0].compute_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(b.steps[0].wire_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(b.steps[0].imbalance_seconds, 0.1);
+}
+
+TEST(AttribTest, OverlapTieGoesToCompute) {
+  Attribution a = Attribute(
+      MakeRun({Step(0, {0.5, 0.5}, {0.5, 0.5}, {0, 0}, /*overlapped=*/true)}));
+  EXPECT_EQ(a.steps[0].binding_term, BindingTerm::kCompute);
+  EXPECT_DOUBLE_EQ(a.steps[0].wire_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(a.ComponentSum(), 0.5);
+}
+
+TEST(AttribTest, ComponentsSumExactlyToElapsed) {
+  rt::RunMetrics m = MakeRun({
+      Step(0, {0.1, 0.5, 0.3}, {0.2, 0.1, 0.05}, {0, 0, 0}),
+      Step(1, {0.4, 0.4, 0.4}, {0.3, 0.6, 0.1}, {0.2, 0, 0.1},
+           /*overlapped=*/true),
+      Step(2, {1.0, 0.2, 0.1}, {0, 0, 0}, {0, 0, 0}),
+  });
+  Attribution a = Attribute(m);
+  ASSERT_TRUE(a.available);
+  EXPECT_NEAR(a.ComponentSum(), m.elapsed_seconds,
+              1e-9 * std::max(1.0, m.elapsed_seconds));
+  EXPECT_NEAR(a.elapsed_seconds, m.elapsed_seconds,
+              1e-9 * std::max(1.0, m.elapsed_seconds));
+  // Every per-step split sums to its own barrier time too.
+  for (const StepAttribution& s : a.steps) {
+    EXPECT_NEAR(s.compute_seconds + s.wire_seconds + s.imbalance_seconds +
+                    s.fault_seconds,
+                s.step_seconds, 1e-12)
+        << "step " << s.step;
+  }
+}
+
+TEST(AttribTest, WhatIfBoundsAreMonotoneAndBelowActual) {
+  rt::RunMetrics m = MakeRun({
+      Step(0, {0.1, 0.5}, {0.4, 0.2}, {0.1, 0}),
+      Step(1, {0.3, 0.3}, {0.5, 0.6}, {0, 0.2}, /*overlapped=*/true),
+      Step(2, {0.8, 0.1}, {0, 0}, {0, 0}),
+  });
+  Attribution a = Attribute(m);
+  const WhatIfBounds& b = a.bounds;
+  double actual = a.elapsed_seconds;
+  EXPECT_LE(b.infinite_bandwidth_seconds, actual);
+  EXPECT_LE(b.perfect_balance_seconds, actual);
+  EXPECT_LE(b.zero_fault_seconds, actual);
+  EXPECT_LE(b.best_case_seconds, actual);
+  // The all-counterfactuals bound cannot beat any single counterfactual.
+  EXPECT_LE(b.best_case_seconds, b.infinite_bandwidth_seconds);
+  EXPECT_LE(b.best_case_seconds, b.perfect_balance_seconds);
+  EXPECT_LE(b.best_case_seconds, b.zero_fault_seconds);
+  // And with faults + wire + imbalance all present, each is strictly better.
+  EXPECT_LT(b.infinite_bandwidth_seconds, actual);
+  EXPECT_LT(b.perfect_balance_seconds, actual);
+  EXPECT_LT(b.zero_fault_seconds, actual);
+}
+
+TEST(AttribTest, ImbalanceFactorTracksComputeSkew) {
+  Attribution a = Attribute(MakeRun({
+      Step(0, {0.2, 0.6}, {0, 0}, {0, 0}),  // mean 0.4, max 0.6 -> 1.5.
+      Step(1, {0.3, 0.3}, {0, 0}, {0, 0}),  // balanced -> 1.0.
+  }));
+  ASSERT_EQ(a.steps.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.steps[0].imbalance_factor, 1.5);
+  EXPECT_DOUBLE_EQ(a.steps[1].imbalance_factor, 1.0);
+  EXPECT_DOUBLE_EQ(a.max_imbalance_factor, 1.5);
+  EXPECT_GT(a.mean_imbalance_factor, 1.0);
+  EXPECT_LT(a.mean_imbalance_factor, 1.5);
+}
+
+TEST(AttribTest, RankSlackMeasuresBarrierIdleTime) {
+  Attribution a = Attribute(MakeRun({
+      Step(0, {0.5, 0.1}, {0.3, 0.1}, {0, 0}),
+  }));
+  // Barrier = 0.5 + 0.3 = 0.8; rank 0 busy 0.8 (slack 0), rank 1 busy 0.2.
+  ASSERT_EQ(a.rank_slack_seconds.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.rank_slack_seconds[0], 0.0);
+  EXPECT_NEAR(a.rank_slack_seconds[1], 0.6, 1e-12);
+  EXPECT_EQ(a.num_ranks, 2);
+}
+
+TEST(AttribTest, AggregateOnlyRecordsFallBackGracefully) {
+  // Hand-built record with no per-rank vectors: mean degrades to the max, so
+  // imbalance reads as zero and no binding rank can be named.
+  rt::StepRecord s{0, 1.0, 0.5, 64, 1, false, 0.25};
+  Attribution a = Attribute(MakeRun({s}));
+  ASSERT_TRUE(a.available);
+  ASSERT_EQ(a.steps.size(), 1u);
+  EXPECT_EQ(a.steps[0].binding_term, BindingTerm::kCompute);
+  EXPECT_EQ(a.steps[0].binding_rank, -1);
+  EXPECT_DOUBLE_EQ(a.steps[0].imbalance_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(a.steps[0].imbalance_factor, 1.0);
+  EXPECT_EQ(a.num_ranks, 0);
+  EXPECT_NEAR(a.ComponentSum(), 1.75, 1e-12);
+}
+
+TEST(AttribTest, TrailingZeroDurationRecordChangesNothing) {
+  std::vector<rt::StepRecord> steps = {Step(0, {0.2, 0.4}, {0.1, 0.3}, {0, 0})};
+  Attribution before = Attribute(MakeRun(steps));
+
+  rt::StepRecord tail;  // SimClock::Finish's leftover-bytes record.
+  tail.step = 1;
+  tail.bytes_sent = 4096;
+  tail.messages_sent = 2;
+  tail.rank_compute_seconds = {0, 0};
+  tail.rank_wire_seconds = {0, 0};
+  tail.rank_fault_seconds = {0, 0};
+  steps.push_back(tail);
+  Attribution after = Attribute(MakeRun(steps));
+
+  EXPECT_DOUBLE_EQ(after.ComponentSum(), before.ComponentSum());
+  EXPECT_DOUBLE_EQ(after.elapsed_seconds, before.elapsed_seconds);
+  ASSERT_EQ(after.steps.size(), 2u);
+  EXPECT_EQ(after.steps[1].binding_term, BindingTerm::kNone);
+}
+
+TEST(AttribTest, VerdictNamesTheDominantComponent) {
+  Attribution wire_bound =
+      Attribute(MakeRun({Step(0, {0.1, 0.1}, {0.9, 0.9}, {0, 0})}));
+  EXPECT_EQ(std::string(wire_bound.Verdict()), "network-bound");
+  Attribution compute_bound =
+      Attribute(MakeRun({Step(0, {0.9, 0.9}, {0.1, 0.1}, {0, 0})}));
+  EXPECT_EQ(std::string(compute_bound.Verdict()), "compute-bound");
+  Attribution fault_bound =
+      Attribute(MakeRun({Step(0, {0.1, 0.1}, {0.1, 0.1}, {0.9, 0.9})}));
+  EXPECT_EQ(std::string(fault_bound.Verdict()), "fault-bound");
+  // Three ranks, one straggler: mean compute 0.3 but 0.6 of imbalance idle.
+  Attribution imbalance_bound =
+      Attribute(MakeRun({Step(0, {0.0, 0.0, 0.9}, {0.1, 0.1, 0.1}, {0, 0, 0})}));
+  EXPECT_EQ(std::string(imbalance_bound.Verdict()), "imbalance-bound");
+}
+
+TEST(AttribTest, JsonIsValidAndByteDeterministic) {
+  rt::RunMetrics m = MakeRun({
+      Step(0, {0.1, 0.5}, {0.4, 0.2}, {0.1, 0}),
+      Step(1, {0.3, 0.3}, {0.5, 0.6}, {0, 0.2}, /*overlapped=*/true),
+  });
+  Attribution a = Attribute(m);
+  std::string json = a.ToJson();
+  EXPECT_TRUE(testutil::JsonChecker(json).Valid()) << json;
+  // Pure function of the records: identical bytes on every evaluation.
+  EXPECT_EQ(json, Attribute(m).ToJson());
+
+  AttributionReport report;
+  AttributionRow row;
+  row.engine = "native";
+  row.algorithm = "pagerank";
+  row.dataset = "rmat";
+  row.ranks = 2;
+  row.attribution = a;
+  report.Add(row);
+  EXPECT_TRUE(testutil::JsonChecker(report.ToJson()).Valid())
+      << report.ToJson();
+  std::string md = report.ToMarkdown();
+  EXPECT_NE(md.find("| native | rmat | 2 |"), std::string::npos) << md;
+  EXPECT_NE(md.find("## pagerank"), std::string::npos) << md;
+}
+
+TEST(AttribTest, AnnotateTracePushesCritSlicesAndFlows) {
+  ResetAll();
+  SetEnabled(true);
+  Attribution a = Attribute(MakeRun({
+      Step(0, {0.1, 0.5}, {0.4, 0.2}, {0, 0}),
+      Step(1, {0.1, 0.1}, {0.6, 0.2}, {0, 0}),
+      Step(2, {0.9, 0.1}, {0.1, 0.1}, {0, 0}),
+  }));
+  AnnotateTrace(a, "native");
+  SetEnabled(false);
+
+  int crit = 0;
+  int flow_starts = 0;
+  int flow_ends = 0;
+  for (const Event& e : SnapshotEvents()) {
+    crit += e.kind == EventKind::kCritSpan;
+    flow_starts += e.kind == EventKind::kFlowStart;
+    flow_ends += e.kind == EventKind::kFlowEnd;
+  }
+  EXPECT_EQ(crit, 3);         // One slice per non-empty barrier.
+  EXPECT_EQ(flow_starts, 3);  // A start in every slice...
+  EXPECT_EQ(flow_ends, 2);    // ...consumed by the next slice.
+
+  std::string trace = ChromeTraceJson();
+  EXPECT_TRUE(testutil::JsonChecker(trace).Valid());
+  EXPECT_NE(trace.find("critical path (modeled)"), std::string::npos);
+  EXPECT_NE(trace.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(trace.find("binding_rank"), std::string::npos);
+  ResetAll();
+}
+
+TEST(AttribTest, AnnotateTraceIsNoOpWhenDisabled) {
+  ResetAll();
+  Attribution a = Attribute(MakeRun({Step(0, {0.5}, {0.1}, {0})}));
+  AnnotateTrace(a, "native");  // Tracing disabled: must push nothing.
+  EXPECT_TRUE(SnapshotEvents().empty());
+}
+
+}  // namespace
+}  // namespace maze::obs::attrib

@@ -171,6 +171,92 @@ TEST(CliTest, RunWithTraceWritesChromeTrace) {
   std::remove(trace.c_str());
 }
 
+std::string Slurp(const std::string& path) {
+  std::string content;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return content;
+}
+
+TEST(CliTest, RunWithExplainWritesAttributionAndPrintsMarkdown) {
+  std::string graph = TempPath("cli_explain_graph.txt");
+  std::string explain = TempPath("cli_explain.json");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--kind", "graph", "--scale", "8", "--out",
+                   graph},
+                  &out)
+                  .ok());
+  ASSERT_TRUE(RunCli({"run", "--algo", "pagerank", "--engine", "all", "--ranks",
+                   "2", "--iterations", "2", "--input", graph,
+                   "--explain=" + explain},
+                  &out)
+                  .ok())
+      << out;
+  EXPECT_NE(out.find("explain: wrote"), std::string::npos);
+  // The markdown table: one row per engine with a verdict column.
+  EXPECT_NE(out.find("# Time attribution (critical path)"), std::string::npos);
+  EXPECT_NE(out.find("| native |"), std::string::npos);
+  EXPECT_NE(out.find("| bspgraph |"), std::string::npos);
+  EXPECT_NE(out.find("-bound"), std::string::npos);
+
+  std::string json = Slurp(explain);
+  EXPECT_NE(json.find("\"rows\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_wire_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"what_if\""), std::string::npos);
+  EXPECT_NE(json.find("\"binding_term\""), std::string::npos);
+  std::remove(graph.c_str());
+  std::remove(explain.c_str());
+}
+
+TEST(CliTest, RunMetricsJsonIncludesAttributionBlock) {
+  std::string graph = TempPath("cli_attrib_graph.txt");
+  std::string metrics = TempPath("cli_attrib_metrics.json");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--kind", "graph", "--scale", "8", "--out",
+                   graph},
+                  &out)
+                  .ok());
+  ASSERT_TRUE(RunCli({"run", "--algo", "pagerank", "--engine", "native",
+                   "--ranks", "2", "--iterations", "2", "--input", graph,
+                   "--metrics=" + metrics},
+                  &out)
+                  .ok())
+      << out;
+  std::string json = Slurp(metrics);
+  EXPECT_NE(json.find("\"resource\""), std::string::npos);
+  EXPECT_NE(json.find("\"attribution\""), std::string::npos);
+  EXPECT_NE(json.find("\"components\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\""), std::string::npos);
+  std::remove(graph.c_str());
+  std::remove(metrics.c_str());
+}
+
+TEST(CliTest, TraceIncludesCriticalPathTrack) {
+  std::string graph = TempPath("cli_crit_graph.txt");
+  std::string trace = TempPath("cli_crit_trace.json");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--kind", "graph", "--scale", "8", "--out",
+                   graph},
+                  &out)
+                  .ok());
+  ASSERT_TRUE(RunCli({"run", "--algo", "pagerank", "--engine", "native",
+                   "--ranks", "2", "--iterations", "2", "--input", graph,
+                   "--trace=" + trace},
+                  &out)
+                  .ok())
+      << out;
+  std::string json = Slurp(trace);
+  EXPECT_NE(json.find("critical path (modeled)"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":20000"), std::string::npos);
+  EXPECT_NE(json.find("\"binding_rank\""), std::string::npos);
+  std::remove(graph.c_str());
+  std::remove(trace.c_str());
+}
+
 TEST(CliTest, RunNeedsInputOrDataset) {
   std::string out;
   Status s = RunCli({"run", "--algo", "bfs", "--engine", "native"}, &out);

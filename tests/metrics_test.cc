@@ -1,5 +1,6 @@
 #include "rt/metrics.h"
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -17,13 +18,23 @@ std::vector<std::string> Lines(const std::string& s) {
   return lines;
 }
 
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream in(s);
+  while (std::getline(in, cell, sep)) cells.push_back(cell);
+  // A trailing separator means a final empty cell getline won't surface.
+  if (!s.empty() && s.back() == sep) cells.push_back("");
+  return cells;
+}
+
 TEST(StepTraceCsvTest, HeaderShape) {
   std::string csv = StepTraceCsv({});
   auto lines = Lines(csv);
   ASSERT_EQ(lines.size(), 1u);  // Header only for an empty trace.
   EXPECT_EQ(lines[0],
             "step,compute_seconds,wire_seconds,bytes_sent,messages_sent,"
-            "overlapped,fault_seconds");
+            "overlapped,fault_seconds,rank_fault_seconds");
 }
 
 TEST(StepTraceCsvTest, OneRowPerStep) {
@@ -32,10 +43,10 @@ TEST(StepTraceCsvTest, OneRowPerStep) {
   auto lines = Lines(StepTraceCsv(steps));
   ASSERT_EQ(lines.size(), 6u);  // Header + 5 rows.
   for (size_t i = 1; i < lines.size(); ++i) {
-    // Every row has the header's 7 columns.
+    // Every row has the header's 8 columns.
     size_t commas = 0;
     for (char c : lines[i]) commas += c == ',';
-    EXPECT_EQ(commas, 6u) << lines[i];
+    EXPECT_EQ(commas, 7u) << lines[i];
     EXPECT_EQ(lines[i].substr(0, 1), std::to_string(i - 1));
   }
 }
@@ -47,15 +58,63 @@ TEST(StepTraceCsvTest, OverlappedFlagRendersAsZeroOne) {
   };
   auto lines = Lines(StepTraceCsv(steps));
   ASSERT_EQ(lines.size(), 3u);
-  EXPECT_EQ(lines[1], "0,1,0.5,64,1,1,0");
-  EXPECT_EQ(lines[2], "1,2,0,0,0,0,0");
+  EXPECT_EQ(lines[1], "0,1,0.5,64,1,1,0,");
+  EXPECT_EQ(lines[2], "1,2,0,0,0,0,0,");
 }
 
 TEST(StepTraceCsvTest, FaultSecondsColumnRendersRecoveryStall) {
   StepRecord s{0, 1.0, 0.5, 64, 1, false, 0.25};
   auto lines = Lines(StepTraceCsv({s}));
   ASSERT_EQ(lines.size(), 2u);
-  EXPECT_EQ(lines[1], "0,1,0.5,64,1,0,0.25");
+  EXPECT_EQ(lines[1], "0,1,0.5,64,1,0,0.25,");
+}
+
+TEST(StepTraceCsvTest, RankFaultSecondsCellJoinsPerRankStalls) {
+  StepRecord s{0, 1.0, 0.5, 64, 2, false, 0.25};
+  s.rank_fault_seconds = {0.0, 0.25, 0.1};
+  auto lines = Lines(StepTraceCsv({s}));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "0,1,0.5,64,2,0,0.25,0;0.25;0.1");
+}
+
+// Header-driven parse: locate columns by name instead of position, so the CSV
+// contract is "the header names the cells", not "column 7 is fault_seconds".
+TEST(StepTraceCsvTest, HeaderDrivenParseRoundTripsRankFaults) {
+  StepRecord s{3, 2.0, 1.0, 128, 4, true, 0.5};
+  s.rank_fault_seconds = {0.5, 0.0};
+  auto lines = Lines(StepTraceCsv({s}));
+  ASSERT_EQ(lines.size(), 2u);
+
+  auto header = SplitOn(lines[0], ',');
+  auto row = SplitOn(lines[1], ',');
+  ASSERT_EQ(header.size(), row.size()) << lines[1];
+
+  int fault_col = -1;
+  int rank_fault_col = -1;
+  int step_col = -1;
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == "fault_seconds") fault_col = static_cast<int>(i);
+    if (header[i] == "rank_fault_seconds") rank_fault_col = static_cast<int>(i);
+    if (header[i] == "step") step_col = static_cast<int>(i);
+  }
+  ASSERT_GE(fault_col, 0);
+  ASSERT_GE(rank_fault_col, 0);
+  ASSERT_GE(step_col, 0);
+
+  EXPECT_EQ(row[static_cast<size_t>(step_col)], "3");
+  EXPECT_DOUBLE_EQ(std::stod(row[static_cast<size_t>(fault_col)]), 0.5);
+  auto stalls = SplitOn(row[static_cast<size_t>(rank_fault_col)], ';');
+  ASSERT_EQ(stalls.size(), 2u);
+  EXPECT_DOUBLE_EQ(std::stod(stalls[0]), 0.5);
+  EXPECT_DOUBLE_EQ(std::stod(stalls[1]), 0.0);
+
+  // The aggregate must equal the per-rank max — the invariant a header-driven
+  // consumer relies on when both cells are present.
+  double max_stall = 0;
+  for (const std::string& cell : stalls) {
+    max_stall = std::max(max_stall, std::stod(cell));
+  }
+  EXPECT_DOUBLE_EQ(max_stall, std::stod(row[static_cast<size_t>(fault_col)]));
 }
 
 TEST(StepRecordTest, StepSecondsIncludesFaultStall) {

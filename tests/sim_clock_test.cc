@@ -114,6 +114,74 @@ TEST(SimClockTest, CpuUtilizationComputedFromBusyFraction) {
   EXPECT_NEAR(metrics.cpu_utilization, 0.5, 1e-9);
 }
 
+TEST(SimClockTest, TraceRecordsPerRankWireAndFaultBreakdowns) {
+  CommModel m{"test", 1e9, 0.0};
+  SimClock clock(2, m);
+  clock.EnableTrace();
+  clock.RecordCompute(0, 0.2);
+  clock.RecordSend(0, 1, 500'000'000);  // 0.5 s wire time on rank 0.
+  clock.ChargeRecovery(1, 0.25, 0, "restore");
+  clock.EndStep();
+  clock.Finish();
+
+  ASSERT_EQ(clock.trace().size(), 1u);
+  const StepRecord& s = clock.trace()[0];
+  ASSERT_EQ(s.rank_wire_seconds.size(), 2u);
+  ASSERT_EQ(s.rank_fault_seconds.size(), 2u);
+  EXPECT_NEAR(s.rank_wire_seconds[0], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(s.rank_wire_seconds[1], 0.0);
+  EXPECT_DOUBLE_EQ(s.rank_fault_seconds[0], 0.0);
+  EXPECT_NEAR(s.rank_fault_seconds[1], 0.25, 1e-12);
+  // Aggregates are the per-rank maxes.
+  EXPECT_DOUBLE_EQ(s.wire_seconds, s.rank_wire_seconds[0]);
+  EXPECT_DOUBLE_EQ(s.fault_seconds, s.rank_fault_seconds[1]);
+}
+
+// Regression: bytes recorded after the final EndStep (e.g. a result-gather
+// phase the engine never barriers on) must land in a trailing zero-duration
+// record so the utilization buckets partition bytes_sent unconditionally.
+TEST(SimClockTest, LeftoverBytesLandInTrailingZeroDurationRecord) {
+  CommModel m{"test", 1e9, 0.0};
+  SimClock clock(2, m);
+  clock.EnableTrace();
+  clock.RecordCompute(0, 0.1);
+  clock.RecordSend(0, 1, 1'000'000, 1);
+  clock.EndStep();
+  clock.RecordSend(1, 0, 2'000'000, 3);  // After the last barrier.
+  RunMetrics metrics = clock.Finish();
+
+  EXPECT_EQ(metrics.bytes_sent, 3'000'000u);
+  ASSERT_EQ(metrics.steps.size(), 2u);
+  const StepRecord& tail = metrics.steps[1];
+  EXPECT_EQ(tail.bytes_sent, 2'000'000u);
+  EXPECT_EQ(tail.messages_sent, 3u);
+  // No simulated time was charged for the leftovers: elapsed stays at the
+  // barriered step's 0.1 compute + 0.001 wire, and the trailing record
+  // contributes zero seconds everywhere.
+  EXPECT_DOUBLE_EQ(tail.StepSeconds(), 0.0);
+  EXPECT_NEAR(metrics.elapsed_seconds, 0.101, 1e-12);
+  ASSERT_EQ(tail.rank_bytes.size(), 2u);
+  EXPECT_EQ(tail.rank_bytes[1], 2'000'000u);
+
+  // The whole point: bucket bytes now sum to bytes_sent exactly.
+  uint64_t bucket_bytes = 0;
+  for (const UtilizationBucket& b : UtilizationTimeline(metrics)) {
+    bucket_bytes += b.bytes;
+  }
+  EXPECT_EQ(bucket_bytes, metrics.bytes_sent);
+}
+
+TEST(SimClockTest, NoTrailingRecordWhenNothingLeftOver) {
+  CommModel m{"test", 1e9, 0.0};
+  SimClock clock(2, m);
+  clock.EnableTrace();
+  clock.RecordCompute(0, 0.1);
+  clock.RecordSend(0, 1, 1'000'000, 1);
+  clock.EndStep();
+  RunMetrics metrics = clock.Finish();
+  EXPECT_EQ(metrics.steps.size(), 1u);
+}
+
 TEST(SimClockTest, MemoryPeakKeepsMax) {
   SimClock clock(2, CommModel::Mpi());
   clock.RecordMemory(0, 100);
