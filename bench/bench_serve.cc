@@ -1,0 +1,330 @@
+// PR 6 artifact: closed-loop load generation against maze::serve::Service.
+//
+// A sweep of client counts (1..16 closed-loop threads, each waiting for its
+// response before sending the next request) drives a fixed mix of 8 distinct
+// query keys — pagerank/bfs/cc/triangles across three engines — through one
+// service. Between sweeps the snapshot epoch is bumped, so every sweep starts
+// cache-cold and re-exercises admission, dedup, execution, and caching.
+// Reported per client count: throughput, p50/p99 latency, and hit/dedup rates.
+//
+// Self-checking (non-zero exit on violation):
+//   1. Byte identity — every successful response payload equals the payload an
+//      isolated fresh service produced for the same request. Dedup'd and
+//      cached responses must be indistinguishable from solo executions.
+//   2. No spurious backpressure — the closed-loop phase bounds outstanding
+//      requests by the client count, which is below the queue depth, so
+//      rejections must be zero.
+//   3. Exact backpressure — with dispatch paused and the queue filled to its
+//      bound with distinct keys, further distinct submissions are rejected
+//      (kUnavailable) while identical ones still join in-flight work: rejects
+//      happen iff the queue is at its bound.
+//
+// Writes BENCH_serve.json (path via MAZE_BENCH_JSON, default
+// ./BENCH_serve.json).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/service.h"
+
+namespace maze::bench {
+namespace {
+
+using serve::QueryKind;
+using serve::Request;
+using serve::Response;
+using serve::Service;
+using serve::ServiceOptions;
+using serve::ServiceStats;
+
+// The fixed request mix: 8 distinct execution keys over three cheap engines.
+std::vector<Request> RequestMix() {
+  std::vector<Request> mix;
+  auto add = [&](const std::string& algo, const std::string& engine,
+                 int iterations, VertexId source) {
+    Request r;
+    r.snapshot = "g";
+    r.algo = algo;
+    r.engine = engine;
+    r.iterations = iterations;
+    r.source = source;
+    mix.push_back(r);
+  };
+  add("pagerank", "native", 3, 0);
+  add("pagerank", "native", 5, 0);
+  add("pagerank", "vertexlab", 3, 0);
+  add("pagerank", "matblas", 3, 0);
+  add("bfs", "native", 10, 0);
+  add("bfs", "native", 10, 1);
+  add("cc", "native", 10, 0);
+  add("triangles", "native", 10, 0);
+  return mix;
+}
+
+// Parameter signature independent of snapshot epoch: the graph source is
+// deterministic, so expected payloads hold across bumps.
+std::string VariantKey(const Request& r) {
+  return r.algo + "/" + r.engine + "/it=" + std::to_string(r.iterations) +
+         "/src=" + std::to_string(r.source);
+}
+
+EdgeList ServeGraph() {
+  auto loaded = TryLoadGraphDataset("facebook", ScaleAdjust(-2));
+  MAZE_CHECK(loaded.ok());
+  return std::move(loaded).value();
+}
+
+struct SweepRow {
+  int clients = 0;
+  uint64_t requests = 0;
+  double seconds = 0;
+  double throughput_rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double hit_rate = 0;
+  double dedup_rate = 0;
+  uint64_t rejected = 0;
+};
+
+double PercentileMs(std::vector<double>& sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0;
+  size_t idx = static_cast<size_t>(q * (sorted_seconds.size() - 1));
+  return sorted_seconds[idx] * 1e3;
+}
+
+int Main() {
+  Banner("BENCH_serve: concurrent query service under closed-loop load "
+         "(PR 6 artifact)");
+  int failures = 0;
+
+  const std::vector<Request> mix = RequestMix();
+
+  // Expected payload per variant, from an isolated service: the byte-identity
+  // reference every concurrent response is checked against.
+  std::map<std::string, std::string> expected;
+  {
+    Service solo(ServiceOptions{});
+    solo.registry().Install("g", ServeGraph());
+    for (const Request& r : mix) {
+      Response resp = solo.Call(r);
+      if (!resp.status.ok()) {
+        std::fprintf(stderr, "FAIL: solo %s: %s\n", VariantKey(r).c_str(),
+                     resp.status.ToString().c_str());
+        ++failures;
+        continue;
+      }
+      expected[VariantKey(r)] = resp.payload;
+    }
+  }
+
+  // --- Closed-loop client sweep --------------------------------------------
+  const std::vector<int> client_counts = {1, 2, 4, 8, 16};
+  constexpr int kRequestsPerClient = 32;
+  // Outstanding requests never exceed the client count in a closed loop, so
+  // a queue deeper than max(clients) makes rejections impossible (check 2).
+  ServiceOptions options;
+  options.workers = 3;
+  options.queue_depth = 32;
+  Service service(options);
+  service.registry().Install("g", ServeGraph());
+
+  std::vector<SweepRow> rows;
+  uint64_t identity_mismatches = 0;
+  uint64_t closed_loop_rejects = 0;
+  for (int clients : client_counts) {
+    // Cache-cold start for every sweep; answers stay identical (check 1).
+    service.registry().Install("g", ServeGraph());
+    ServiceStats before = service.Stats();
+
+    std::mutex mu;
+    std::vector<double> latencies;
+    uint64_t mismatches = 0, errors = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          const Request& r = mix[(c + i) % mix.size()];
+          Response resp = service.Call(r);
+          std::lock_guard<std::mutex> lock(mu);
+          if (!resp.status.ok()) {
+            ++errors;
+            std::fprintf(stderr, "FAIL: clients=%d %s: %s\n", clients,
+                         VariantKey(r).c_str(),
+                         resp.status.ToString().c_str());
+          } else if (resp.payload != expected[VariantKey(r)]) {
+            ++mismatches;
+            std::fprintf(stderr,
+                         "FAIL: clients=%d %s: payload diverges from solo run "
+                         "(hit=%d dedup=%d epoch=%llu)\n",
+                         clients, VariantKey(r).c_str(), resp.cache_hit,
+                         resp.deduped,
+                         static_cast<unsigned long long>(resp.epoch));
+          }
+          latencies.push_back(resp.latency_seconds);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    service.Drain();
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    ServiceStats after = service.Stats();
+
+    SweepRow row;
+    row.clients = clients;
+    row.requests = static_cast<uint64_t>(clients) * kRequestsPerClient;
+    row.seconds = seconds;
+    row.throughput_rps = seconds > 0 ? row.requests / seconds : 0;
+    std::sort(latencies.begin(), latencies.end());
+    row.p50_ms = PercentileMs(latencies, 0.50);
+    row.p99_ms = PercentileMs(latencies, 0.99);
+    row.hit_rate =
+        static_cast<double>(after.cache_hits - before.cache_hits) /
+        row.requests;
+    row.dedup_rate =
+        static_cast<double>(after.dedup_joined - before.dedup_joined) /
+        row.requests;
+    row.rejected = after.rejected - before.rejected;
+    rows.push_back(row);
+
+    identity_mismatches += mismatches;
+    closed_loop_rejects += row.rejected;
+    failures += static_cast<int>(mismatches + errors);
+    if (row.rejected != 0) {
+      std::fprintf(stderr,
+                   "FAIL: clients=%d: %llu rejections in a closed loop whose "
+                   "queue depth exceeds the client count\n",
+                   clients, static_cast<unsigned long long>(row.rejected));
+      ++failures;
+    }
+    std::printf(
+        "clients=%2d  %6llu req  %7.1f req/s  p50 %7.3f ms  p99 %7.3f ms  "
+        "hit %4.2f  dedup %4.2f  rejected %llu\n",
+        clients, static_cast<unsigned long long>(row.requests),
+        row.throughput_rps, row.p50_ms, row.p99_ms, row.hit_rate,
+        row.dedup_rate, static_cast<unsigned long long>(row.rejected));
+  }
+
+  // --- Exact backpressure: rejects iff the queue is at its bound -----------
+  uint64_t paused_rejects = 0, paused_admitted = 0, paused_dedup = 0;
+  bool admission_exact = true;
+  {
+    ServiceOptions small;
+    small.workers = 2;
+    small.queue_depth = 4;
+    Service gate(small);
+    gate.registry().Install("g", ServeGraph());
+    gate.Pause();
+    std::vector<std::shared_future<Response>> admitted;
+    // Fill the queue to its bound with distinct keys.
+    for (int it = 1; it <= 4; ++it) {
+      Request r = mix[0];
+      r.iterations = 10 + it;
+      admitted.push_back(gate.Submit(r));
+    }
+    // Identical key: must join in-flight work, not be rejected.
+    {
+      Request r = mix[0];
+      r.iterations = 11;
+      admitted.push_back(gate.Submit(r));
+    }
+    // Distinct keys past the bound: every one must be rejected.
+    std::vector<std::shared_future<Response>> overflow;
+    for (int it = 1; it <= 3; ++it) {
+      Request r = mix[0];
+      r.iterations = 20 + it;
+      overflow.push_back(gate.Submit(r));
+    }
+    gate.Resume();
+    gate.Drain();
+    for (auto& f : overflow) {
+      if (f.get().status.code() != StatusCode::kUnavailable) {
+        admission_exact = false;
+      }
+    }
+    for (auto& f : admitted) {
+      if (!f.get().status.ok()) admission_exact = false;
+    }
+    ServiceStats s = gate.Stats();
+    paused_rejects = s.rejected;
+    paused_admitted = s.admitted;
+    paused_dedup = s.dedup_joined;
+    if (s.rejected != 3 || s.admitted != 4 || s.dedup_joined != 1) {
+      admission_exact = false;
+    }
+    if (!admission_exact) {
+      std::fprintf(stderr,
+                   "FAIL: admission not exact: admitted=%llu rejected=%llu "
+                   "dedup=%llu (want 4/3/1)\n",
+                   static_cast<unsigned long long>(s.admitted),
+                   static_cast<unsigned long long>(s.rejected),
+                   static_cast<unsigned long long>(s.dedup_joined));
+      ++failures;
+    }
+  }
+
+  std::printf("self-check: identity %s, closed-loop rejects %s, "
+              "admission bound %s\n",
+              identity_mismatches == 0 ? "ok" : "FAILED",
+              closed_loop_rejects == 0 ? "ok" : "FAILED",
+              admission_exact ? "ok" : "FAILED");
+
+  // --- BENCH_serve.json ----------------------------------------------------
+  const char* out_env = std::getenv("MAZE_BENCH_JSON");
+  std::string out_path = out_env != nullptr ? out_env : "BENCH_serve.json";
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serve\",\n");
+  std::fprintf(f, "  \"scale_adjust\": %d,\n", ScaleAdjust());
+  std::fprintf(f, "  \"request_mix\": %zu,\n", mix.size());
+  std::fprintf(f, "  \"sweep\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"clients\": %d, \"requests\": %llu, \"seconds\": %.6f, "
+                 "\"throughput_rps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": "
+                 "%.3f, \"hit_rate\": %.4f, \"dedup_rate\": %.4f, "
+                 "\"rejected\": %llu}%s\n",
+                 r.clients, static_cast<unsigned long long>(r.requests),
+                 r.seconds, r.throughput_rps, r.p50_ms, r.p99_ms, r.hit_rate,
+                 r.dedup_rate, static_cast<unsigned long long>(r.rejected),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"admission_check\": {\"admitted\": %llu, \"rejected\": "
+               "%llu, \"dedup_joined\": %llu, \"exact\": %s},\n",
+               static_cast<unsigned long long>(paused_admitted),
+               static_cast<unsigned long long>(paused_rejects),
+               static_cast<unsigned long long>(paused_dedup),
+               admission_exact ? "true" : "false");
+  std::fprintf(f, "  \"identity_mismatches\": %llu,\n",
+               static_cast<unsigned long long>(identity_mismatches));
+  std::fprintf(f, "  \"ok\": %s\n", failures == 0 ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_serve: %d self-check failure(s)\n", failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace maze::bench
+
+int main() { return maze::bench::Main(); }

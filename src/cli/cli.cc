@@ -20,7 +20,9 @@
 #include "obs/json.h"
 #include "obs/obs.h"
 #include "obs/resource.h"
+#include "serve/script.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace maze::cli {
 namespace {
@@ -207,15 +209,29 @@ Status CmdStats(const ParsedArgs& parsed, std::ostream& out) {
 }
 
 Status CmdDatasets(std::ostream& out) {
-  TextTable table("Registered dataset stand-ins");
+  TextTable table("Dataset registry (run --dataset NAME / serve `load`)");
   table.SetHeader({"Name", "Replaces", "Paper |V|", "Paper |E|", "Kind"});
   for (const DatasetInfo& info : AllDatasets()) {
     table.AddRow({info.name, info.paper_name,
                   std::to_string(info.paper_vertices),
                   std::to_string(info.paper_edges),
-                  info.is_ratings ? "ratings" : "graph"});
+                  info.is_ratings ? "ratings (cf)" : "graph"});
   }
   out << table.Render();
+  return Status::OK();
+}
+
+// --threads N resizes the process-wide scheduler before engine work starts.
+// Absent flag = keep the MAZE_THREADS/hardware sizing.
+Status ApplyThreadsFlag(const ParsedArgs& parsed, std::ostream& out) {
+  if (parsed.flags.find("threads") == parsed.flags.end()) return Status::OK();
+  auto threads = IntFlagOr(parsed, "threads", 0);
+  MAZE_RETURN_IF_ERROR(threads.status());
+  if (threads.value() < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
+  }
+  ThreadPool::Default().Resize(static_cast<unsigned>(threads.value()));
+  out << "threads: " << ThreadPool::Default().num_threads() << "\n";
   return Status::OK();
 }
 
@@ -268,7 +284,9 @@ Status RunOnce(const std::string& algo, bench::EngineKind engine,
     summary = "cc: " + std::to_string(r.num_components) + " components";
   } else if (algo == "cf") {
     std::string name = dataset.empty() ? "netflix" : dataset;
-    BipartiteGraph g = LoadRatingsDataset(name, -2).ToGraph();
+    auto ratings = TryLoadRatingsDataset(name, -2);
+    MAZE_RETURN_IF_ERROR(ratings.status());
+    BipartiteGraph g = ratings.value().ToGraph();
     rt::CfOptions opt;
     opt.k = 16;
     opt.iterations = iterations;
@@ -355,6 +373,7 @@ Status WriteMetricsJson(const obs::ResourceReport& report,
 }
 
 Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
+  MAZE_RETURN_IF_ERROR(ApplyThreadsFlag(parsed, out));
   std::string algo = FlagOr(parsed, "algo", "pagerank");
   std::string engine_name = FlagOr(parsed, "engine", "native");
   auto ranks = IntFlagOr(parsed, "ranks", 1);
@@ -402,7 +421,9 @@ Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
       MAZE_RETURN_IF_ERROR(loaded.status());
       edges = std::move(loaded).value();
     } else if (!dataset.empty()) {
-      edges = LoadGraphDataset(dataset, -2);
+      auto loaded = TryLoadGraphDataset(dataset, -2);
+      MAZE_RETURN_IF_ERROR(loaded.status());
+      edges = std::move(loaded).value();
     } else {
       return Status::InvalidArgument("run needs --input or --dataset");
     }
@@ -451,12 +472,62 @@ Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
   return Status::OK();
 }
 
+Status CmdServe(const ParsedArgs& parsed, std::ostream& out) {
+  MAZE_RETURN_IF_ERROR(ApplyThreadsFlag(parsed, out));
+  std::string script_path = FlagOr(parsed, "script", "");
+  if (script_path.empty()) {
+    return Status::InvalidArgument("serve needs --script PATH");
+  }
+
+  serve::ScriptOptions options;
+  auto workers = IntFlagOr(parsed, "workers", options.service.workers);
+  MAZE_RETURN_IF_ERROR(workers.status());
+  if (workers.value() < 1) {
+    return Status::InvalidArgument("--workers must be >= 1");
+  }
+  options.service.workers = workers.value();
+  auto queue_depth = IntFlagOr(parsed, "queue-depth",
+                               static_cast<int>(options.service.queue_depth));
+  MAZE_RETURN_IF_ERROR(queue_depth.status());
+  if (queue_depth.value() < 1) {
+    return Status::InvalidArgument("--queue-depth must be >= 1");
+  }
+  options.service.queue_depth = static_cast<size_t>(queue_depth.value());
+  auto cache_bytes = IntFlagOr(parsed, "cache-bytes",
+                               static_cast<int>(options.service.cache_bytes));
+  MAZE_RETURN_IF_ERROR(cache_bytes.status());
+  if (cache_bytes.value() < 0) {
+    return Status::InvalidArgument("--cache-bytes must be >= 0");
+  }
+  options.service.cache_bytes = static_cast<size_t>(cache_bytes.value());
+  auto scale_adjust =
+      IntFlagOr(parsed, "scale-adjust", options.default_scale_adjust);
+  MAZE_RETURN_IF_ERROR(scale_adjust.status());
+  options.default_scale_adjust = scale_adjust.value();
+
+  std::ifstream script(script_path);
+  if (!script) return Status::IoError("cannot open " + script_path);
+
+  serve::ServiceReport report;
+  MAZE_RETURN_IF_ERROR(serve::RunServeScript(script, options, out, &report));
+
+  std::string report_path = FlagOr(parsed, "report", "");
+  if (!report_path.empty()) {
+    std::ofstream f(report_path);
+    if (!f) return Status::IoError("cannot open " + report_path);
+    f << report.ToJson() << "\n";
+    if (!f.good()) return Status::IoError("write failed for " + report_path);
+    out << "report: wrote " << report_path << "\n";
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status RunCommand(const std::vector<std::string>& args, std::ostream& out) {
   if (args.empty()) {
     return Status::InvalidArgument(
-        "usage: maze_cli generate|convert|stats|datasets|run ...");
+        "usage: maze_cli generate|convert|stats|datasets|run|serve ...");
   }
   auto parsed = Parse(std::vector<std::string>(args.begin() + 1, args.end()));
   MAZE_RETURN_IF_ERROR(parsed.status());
@@ -466,6 +537,7 @@ Status RunCommand(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "stats") return CmdStats(parsed.value(), out);
   if (command == "datasets") return CmdDatasets(out);
   if (command == "run") return CmdRun(parsed.value(), out);
+  if (command == "serve") return CmdServe(parsed.value(), out);
   return Status::InvalidArgument("unknown command '" + command + "'");
 }
 

@@ -9,14 +9,25 @@
 //            [--seed S] [--items N] --out PATH          (.txt/.bin/.mtx by ext)
 //   convert IN OUT                                       (formats by extension)
 //   stats PATH                                           (degree distribution)
-//   datasets                                             (stand-in registry)
+//   datasets                 (the dataset registry; every listed name resolves
+//                             through run --dataset / serve scripts)
 //   run --algo pagerank|bfs|triangles|cf|cc --engine native|vertexlab|matblas|
 //       datalite|taskflow|bspgraph|all [--ranks N] [--iterations N]
-//       (--input PATH | --dataset NAME) [--faults SPEC]
+//       (--input PATH | --dataset NAME) [--faults SPEC] [--threads N]
 //       [--trace PATH]    Chrome/Perfetto trace, incl. the critical-path track
 //       [--metrics PATH]  resource + attribution + counters/histograms JSON
 //       [--explain PATH]  critical-path attribution JSON; prints the markdown
 //                         per-engine table (who is network-bound and why)
+//   serve --script PATH [--queue-depth N] [--workers N] [--cache-bytes N]
+//         [--scale-adjust K] [--threads N] [--report PATH]
+//       Runs a serve script (serve/script.h grammar) against a fresh
+//       maze::serve::Service: snapshot loads/epoch bumps, concurrent
+//       run/point/top-k requests through the bounded admission queue, and the
+//       service report (markdown to stdout, JSON via --report).
+//
+// --threads N resizes the process-wide task scheduler (ThreadPool::Default())
+// before any engine work runs; the MAZE_THREADS environment variable remains
+// the default when the flag is absent.
 #ifndef MAZE_CLI_CLI_H_
 #define MAZE_CLI_CLI_H_
 

@@ -28,6 +28,58 @@ const std::vector<DatasetInfo>& AllDatasets() {
   return datasets;
 }
 
+const DatasetInfo* FindDataset(const std::string& name) {
+  for (const DatasetInfo& info : AllDatasets()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// "facebook, wikipedia, ..." — the registry names of one kind, for messages.
+std::string NamesOfKind(bool is_ratings) {
+  std::string names;
+  for (const DatasetInfo& info : AllDatasets()) {
+    if (info.is_ratings != is_ratings) continue;
+    if (!names.empty()) names += ", ";
+    names += info.name;
+  }
+  return names;
+}
+
+}  // namespace
+
+StatusOr<EdgeList> TryLoadGraphDataset(const std::string& name,
+                                       int scale_adjust) {
+  const DatasetInfo* info = FindDataset(name);
+  if (info == nullptr) {
+    return Status::NotFound("unknown dataset '" + name + "' (graph datasets: " +
+                            NamesOfKind(false) + ")");
+  }
+  if (info->is_ratings) {
+    return Status::InvalidArgument("dataset '" + name +
+                                   "' is a ratings dataset (graph datasets: " +
+                                   NamesOfKind(false) + ")");
+  }
+  return LoadGraphDataset(name, scale_adjust);
+}
+
+StatusOr<RatingsDataset> TryLoadRatingsDataset(const std::string& name,
+                                               int scale_adjust) {
+  const DatasetInfo* info = FindDataset(name);
+  if (info == nullptr) {
+    return Status::NotFound("unknown dataset '" + name +
+                            "' (ratings datasets: " + NamesOfKind(true) + ")");
+  }
+  if (!info->is_ratings) {
+    return Status::InvalidArgument("dataset '" + name +
+                                   "' is a graph dataset (ratings datasets: " +
+                                   NamesOfKind(true) + ")");
+  }
+  return LoadRatingsDataset(name, scale_adjust);
+}
+
 EdgeList LoadGraphDataset(const std::string& name, int scale_adjust) {
   // Stand-in parameters: scale/edge-factor chosen so vertex:edge ratios track the
   // real datasets at ~1/32 size; seeds differ per dataset so the graphs are not

@@ -16,6 +16,7 @@
 
 #include "core/edge_list.h"
 #include "core/ratings_gen.h"
+#include "util/status.h"
 
 namespace maze {
 
@@ -31,6 +32,20 @@ struct DatasetInfo {
 
 // All registered stand-ins, in Table 3 order.
 const std::vector<DatasetInfo>& AllDatasets();
+
+// Registry lookup: the entry named `name`, or nullptr when unregistered.
+// Every entry in AllDatasets() resolves through the matching loader below
+// (TryLoadGraphDataset when !is_ratings, TryLoadRatingsDataset otherwise);
+// datasets_test asserts this registry/loader agreement.
+const DatasetInfo* FindDataset(const std::string& name);
+
+// Status-returning loaders for callers handling user-supplied names (CLI,
+// serve): kNotFound for unregistered names, kInvalidArgument when the name is
+// registered but of the other kind.
+StatusOr<EdgeList> TryLoadGraphDataset(const std::string& name,
+                                       int scale_adjust = 0);
+StatusOr<RatingsDataset> TryLoadRatingsDataset(const std::string& name,
+                                               int scale_adjust = 0);
 
 // Graph stand-ins: "facebook", "wikipedia", "livejournal", "twitter", "rmat".
 // `scale_adjust` shifts the RMAT scale (e.g. -2 quarters the vertex count) so test

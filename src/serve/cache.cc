@@ -1,0 +1,49 @@
+#include "serve/cache.h"
+
+#include <utility>
+
+namespace maze::serve {
+
+ExecResultPtr ResultCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->result;
+}
+
+void ResultCache::Insert(const std::string& key, ExecResultPtr result) {
+  size_t cost = result->CacheBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.count(key) != 0) return;  // A concurrent execution published it.
+  if (cost > byte_budget_) return;     // Never evict everything for one entry.
+  while (bytes_ + cost > byte_budget_ && !lru_.empty()) {
+    bytes_ -= lru_.back().result->CacheBytes();
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, std::move(result)});
+  index_[key] = lru_.begin();
+  bytes_ += cost;
+  ++insertions_;
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.byte_budget = byte_budget_;
+  return s;
+}
+
+}  // namespace maze::serve

@@ -1,0 +1,86 @@
+// Completed-result cache for the serving layer: LRU over canonical execution
+// keys with a byte budget (DESIGN.md §4e).
+//
+// Values are shared immutable ExecResults — the same object a run's in-flight
+// joiners received — so a cache hit costs one map lookup and one shared_ptr
+// copy. Keys embed the snapshot epoch (see serve::ExecKey), which makes epoch
+// bumps an implicit invalidation: entries for dead epochs simply stop being
+// looked up and age out of the LRU under byte pressure.
+#ifndef MAZE_SERVE_CACHE_H_
+#define MAZE_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace maze::serve {
+
+// The outcome of one underlying engine execution, shared by the request that
+// triggered it, every deduped joiner, and the cache. Immutable once published.
+struct ExecResult {
+  // One-line human summary ("pagerank: 5 iterations").
+  std::string summary;
+  // Canonical byte serialization of the full answer. Deterministic for a given
+  // (snapshot, algo, engine, params), which is what makes "cached response is
+  // byte-identical to a fresh run" a checkable invariant (bench_serve).
+  std::string payload;
+  // Vertex-indexed values backing point lookups and top-k extraction
+  // (PageRank scores, BFS levels, CC labels). Empty when the algorithm has no
+  // per-vertex answer (triangle counting).
+  std::vector<double> per_vertex;
+  // Modeled seconds of the execution that produced this result.
+  double modeled_seconds = 0;
+
+  // Approximate resident bytes, charged against the cache budget.
+  size_t CacheBytes() const {
+    return payload.size() + summary.size() + per_vertex.size() * sizeof(double);
+  }
+};
+
+using ExecResultPtr = std::shared_ptr<const ExecResult>;
+
+// Thread-safe LRU keyed by canonical execution key. Inserting past the byte
+// budget evicts least-recently-used entries; a single result larger than the
+// whole budget is not cached at all.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t byte_budget) : byte_budget_(byte_budget) {}
+
+  // Returns the cached result and marks it most-recently-used; null on miss.
+  ExecResultPtr Lookup(const std::string& key);
+
+  // Publishes `result` under `key` (no-op if the key is already present).
+  void Insert(const std::string& key, ExecResultPtr result);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;
+    uint64_t bytes = 0;        // Current resident bytes.
+    uint64_t byte_budget = 0;  // Configured bound.
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    ExecResultPtr result;
+  };
+
+  const size_t byte_budget_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0, misses_ = 0, insertions_ = 0, evictions_ = 0;
+};
+
+}  // namespace maze::serve
+
+#endif  // MAZE_SERVE_CACHE_H_

@@ -1,0 +1,211 @@
+#include "serve/script.h"
+
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/datasets.h"
+#include "core/io.h"
+
+namespace maze::serve {
+namespace {
+
+struct ScriptLine {
+  std::string command;
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> kv;
+};
+
+ScriptLine ParseLine(const std::string& line) {
+  ScriptLine parsed;
+  std::istringstream tokens(line.substr(0, line.find('#')));
+  std::string token;
+  while (tokens >> token) {
+    if (parsed.command.empty()) {
+      parsed.command = token;
+      continue;
+    }
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      parsed.positional.push_back(token);
+    } else {
+      parsed.kv[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  return parsed;
+}
+
+StatusOr<long> ParseInt(const std::string& what, const std::string& text) {
+  char* end = nullptr;
+  long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument(what + " expects an integer, got '" + text +
+                                   "'");
+  }
+  return value;
+}
+
+StatusOr<double> ParseDouble(const std::string& what, const std::string& text) {
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument(what + " expects a number, got '" + text +
+                                   "'");
+  }
+  return value;
+}
+
+// How a snapshot was first loaded, so `bump` can re-install the same source
+// as a new epoch.
+struct SnapshotSource {
+  std::string dataset;  // Registry name, or
+  std::string path;     // edge-list file.
+  int scale_adjust = 0;
+};
+
+StatusOr<EdgeList> LoadSource(const SnapshotSource& source) {
+  if (!source.path.empty()) {
+    auto ends_with = [&](const char* suffix) {
+      std::string s = suffix;
+      return source.path.size() >= s.size() &&
+             source.path.compare(source.path.size() - s.size(), s.size(), s) ==
+                 0;
+    };
+    if (ends_with(".bin")) return ReadEdgeListBinary(source.path);
+    if (ends_with(".mtx")) return ReadMatrixMarket(source.path);
+    return ReadEdgeListText(source.path);
+  }
+  return TryLoadGraphDataset(source.dataset, source.scale_adjust);
+}
+
+std::string ResponseLine(size_t index, const Response& r) {
+  std::string line = "[" + std::to_string(index) + "] ";
+  if (!r.status.ok()) return line + r.status.ToString() + "\n";
+  line += "ok " + r.summary + " epoch=" + std::to_string(r.epoch) +
+          " hit=" + std::to_string(r.cache_hit) +
+          " dedup=" + std::to_string(r.deduped);
+  return line + "\n";
+}
+
+}  // namespace
+
+Status RunServeScript(std::istream& script, const ScriptOptions& options,
+                      std::ostream& out, ServiceReport* report_out) {
+  Service service(options.service);
+  std::map<std::string, SnapshotSource> sources;
+  std::vector<std::shared_future<Response>> pending;
+  size_t printed = 0;  // Responses are numbered in global submission order.
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(script, line)) {
+    ++line_no;
+    ScriptLine cmd = ParseLine(line);
+    auto error = [&](const std::string& message) {
+      return Status::InvalidArgument("serve script line " +
+                                     std::to_string(line_no) + ": " + message);
+    };
+    if (cmd.command.empty()) continue;
+
+    if (cmd.command == "load" || cmd.command == "bump") {
+      if (cmd.positional.size() != 1) {
+        return error(cmd.command + " needs exactly one snapshot name");
+      }
+      const std::string& name = cmd.positional[0];
+      if (cmd.command == "load") {
+        SnapshotSource source;
+        source.dataset = cmd.kv.count("dataset") ? cmd.kv["dataset"] : name;
+        source.scale_adjust = options.default_scale_adjust;
+        if (cmd.kv.count("path")) source.path = cmd.kv["path"];
+        if (cmd.kv.count("scale_adjust")) {
+          auto v = ParseInt("scale_adjust", cmd.kv["scale_adjust"]);
+          if (!v.ok()) return error(v.status().message());
+          source.scale_adjust = static_cast<int>(v.value());
+        }
+        sources[name] = source;
+      } else if (sources.count(name) == 0) {
+        return error("bump of never-loaded snapshot '" + name + "'");
+      }
+      auto edges = LoadSource(sources[name]);
+      if (!edges.ok()) return error(edges.status().ToString());
+      SnapshotPtr snap =
+          service.registry().Install(name, std::move(edges).value());
+      out << cmd.command << " " << name << ": epoch " << snap->epoch << ", "
+          << snap->directed.num_vertices << " vertices, "
+          << snap->directed.edges.size() << " edges\n";
+    } else if (cmd.command == "pause") {
+      service.Pause();
+    } else if (cmd.command == "resume") {
+      service.Resume();
+    } else if (cmd.command == "sleep") {
+      if (cmd.positional.size() != 1) return error("sleep needs MILLIS");
+      auto ms = ParseInt("sleep", cmd.positional[0]);
+      if (!ms.ok()) return error(ms.status().message());
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms.value()));
+    } else if (cmd.command == "run" || cmd.command == "point" ||
+               cmd.command == "topk") {
+      Request request;
+      request.kind = cmd.command == "run"     ? QueryKind::kRun
+                     : cmd.command == "point" ? QueryKind::kPoint
+                                              : QueryKind::kTopK;
+      long repeat = 1;
+      for (const auto& [key, value] : cmd.kv) {
+        if (key == "algo") {
+          request.algo = value;
+        } else if (key == "engine") {
+          request.engine = value;
+        } else if (key == "snapshot") {
+          request.snapshot = value;
+        } else if (key == "deadline") {
+          auto v = ParseDouble(key, value);
+          if (!v.ok()) return error(v.status().message());
+          request.deadline_seconds = v.value();
+        } else {
+          auto v = ParseInt(key, value);
+          if (!v.ok()) return error(v.status().message());
+          if (key == "ranks") {
+            request.ranks = static_cast<int>(v.value());
+          } else if (key == "iterations") {
+            request.iterations = static_cast<int>(v.value());
+          } else if (key == "source") {
+            request.source = static_cast<VertexId>(v.value());
+          } else if (key == "vertex") {
+            request.vertex = static_cast<VertexId>(v.value());
+          } else if (key == "k") {
+            request.k = static_cast<int>(v.value());
+          } else if (key == "repeat") {
+            repeat = v.value();
+          } else {
+            return error("unknown parameter '" + key + "'");
+          }
+        }
+      }
+      if (request.snapshot.empty()) return error("missing snapshot=");
+      for (long i = 0; i < repeat; ++i) pending.push_back(service.Submit(request));
+    } else if (cmd.command == "wait") {
+      service.Resume();
+      service.Drain();
+      for (size_t i = 0; i < pending.size(); ++i) {
+        out << ResponseLine(printed + i, pending[i].get());
+      }
+      printed += pending.size();
+      pending.clear();
+    } else if (cmd.command == "report") {
+      out << service.Report().ToMarkdown();
+    } else {
+      return error("unknown command '" + cmd.command + "'");
+    }
+  }
+
+  service.Resume();
+  service.Drain();
+  for (size_t i = 0; i < pending.size(); ++i) {
+    out << ResponseLine(printed + i, pending[i].get());
+  }
+  if (report_out != nullptr) *report_out = service.Report();
+  return Status::OK();
+}
+
+}  // namespace maze::serve

@@ -1,0 +1,59 @@
+// Deterministic batch driver for the query service: a line-oriented request
+// script that `maze_cli serve --script PATH` (and the serve tests) execute
+// against a fresh Service. Scripts express an offered-load schedule — what is
+// submitted, in what order, with explicit pause/resume choreography — so
+// admission, dedup, and cache behavior are reproducible and unit-testable.
+//
+// Grammar (one command per line; '#' starts a comment; blank lines ignored):
+//
+//   load NAME [dataset=REG] [scale_adjust=K] [path=FILE]
+//       Installs snapshot NAME: from the dataset registry stand-in REG
+//       (default: NAME itself) at scale adjust K (default -4), or from an
+//       edge-list file when path= is given.
+//   bump NAME
+//       Re-installs NAME from its original source: a new epoch sharing no
+//       cached results with the old one.
+//   pause | resume
+//       Holds/releases the dispatchers (deterministic queue buildup).
+//   run   algo=A engine=E snapshot=NAME [ranks=N] [iterations=N] [source=V]
+//         [deadline=SECONDS] [repeat=N]
+//   point algo=A engine=E snapshot=NAME vertex=V [...]
+//   topk  algo=A engine=E snapshot=NAME k=K [...]
+//       Submit requests (repeat= submits N copies back-to-back).
+//   sleep MILLIS
+//       Wall-clock pacing between submissions (load scheduling).
+//   wait
+//       Resolves every outstanding future, printing one line per response in
+//       submission order.
+//   report
+//       Prints the service report as markdown.
+#ifndef MAZE_SERVE_SCRIPT_H_
+#define MAZE_SERVE_SCRIPT_H_
+
+#include <istream>
+#include <ostream>
+
+#include "serve/service.h"
+#include "util/status.h"
+
+namespace maze::serve {
+
+struct ScriptOptions {
+  ServiceOptions service;
+  // Scale adjust applied to registry dataset loads without an explicit
+  // scale_adjust= (negative = smaller stand-ins).
+  int default_scale_adjust = -4;
+};
+
+// Runs `script` against a fresh Service, writing per-response lines and
+// reports to `out`. Returns the first script error (unknown command, bad
+// value, missing snapshot source); request-level failures (rejections,
+// deadline expiries) are printed, not returned, since backpressure is
+// expected behavior under offered load. When `report_out` is non-null, the
+// final ServiceReport is stored there for machine-readable export.
+Status RunServeScript(std::istream& script, const ScriptOptions& options,
+                      std::ostream& out, ServiceReport* report_out = nullptr);
+
+}  // namespace maze::serve
+
+#endif  // MAZE_SERVE_SCRIPT_H_

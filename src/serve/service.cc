@@ -1,0 +1,616 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <utility>
+
+#include "bench_support/runner.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+
+namespace maze::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Shortest round-trippable decimal form; integral doubles print as integers
+// ("3", not "3.0000000000000000e+00"), so BFS levels and CC labels stay
+// readable while PageRank scores keep full precision.
+std::string FormatValue(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+StatusOr<bench::EngineKind> EngineByName(const std::string& name) {
+  for (bench::EngineKind e : bench::AllEngines()) {
+    if (name == bench::EngineName(e)) return e;
+  }
+  return Status::InvalidArgument("unknown engine '" + name + "'");
+}
+
+bool AlgoHasPerVertexResult(const std::string& algo) {
+  return algo == "pagerank" || algo == "bfs" || algo == "cc";
+}
+
+// Runs the request's algorithm on its pinned snapshot and serializes the
+// answer canonically. The payload is a pure function of (snapshot, algo,
+// engine, params): engine answers are schedule-invariant (PR 2), so a cached
+// or deduped payload is byte-identical to a fresh run's.
+StatusOr<ExecResultPtr> ExecuteRequest(const Request& request,
+                                       const Snapshot& snap) {
+  auto engine = EngineByName(request.engine);
+  MAZE_RETURN_IF_ERROR(engine.status());
+  bench::RunConfig config;
+  config.num_ranks = request.ranks;
+
+  auto result = std::make_shared<ExecResult>();
+  char head[160];
+  if (request.algo == "pagerank") {
+    rt::PageRankOptions opt;
+    opt.iterations = request.iterations;
+    auto r = bench::RunPageRank(engine.value(), snap.directed, opt, config);
+    result->per_vertex.assign(r.ranks.begin(), r.ranks.end());
+    result->summary = "pagerank: " + std::to_string(r.iterations) + " iterations";
+    result->modeled_seconds = r.metrics.elapsed_seconds;
+    std::snprintf(head, sizeof(head), "pagerank n=%zu iterations=%d\n",
+                  r.ranks.size(), r.iterations);
+  } else if (request.algo == "bfs") {
+    rt::BfsOptions opt;
+    opt.source = request.source;
+    auto r = bench::RunBfs(engine.value(), snap.symmetric, opt, config);
+    uint64_t reached = 0;
+    result->per_vertex.reserve(r.distance.size());
+    for (uint32_t d : r.distance) {
+      bool hit = d != kInfiniteDistance;
+      reached += hit;
+      result->per_vertex.push_back(hit ? static_cast<double>(d) : -1.0);
+    }
+    result->summary = "bfs: reached " + std::to_string(reached) +
+                      " vertices in " + std::to_string(r.levels) + " levels";
+    result->modeled_seconds = r.metrics.elapsed_seconds;
+    std::snprintf(head, sizeof(head), "bfs n=%zu source=%u levels=%d\n",
+                  r.distance.size(), request.source, r.levels);
+  } else if (request.algo == "cc") {
+    auto r = bench::RunConnectedComponents(engine.value(), snap.symmetric, {},
+                                           config);
+    result->per_vertex.assign(r.label.begin(), r.label.end());
+    result->summary =
+        "cc: " + std::to_string(r.num_components) + " components";
+    result->modeled_seconds = r.metrics.elapsed_seconds;
+    std::snprintf(head, sizeof(head), "cc n=%zu components=%llu\n",
+                  r.label.size(),
+                  static_cast<unsigned long long>(r.num_components));
+  } else if (request.algo == "triangles") {
+    // §6.1.3: bspgraph triangle counting needs superstep splitting (as in the
+    // CLI run command).
+    if (engine.value() == bench::EngineKind::kBspgraph) config.bsp_phases = 100;
+    auto r = bench::RunTriangleCount(engine.value(), snap.oriented, {}, config);
+    result->summary = "triangles: " + std::to_string(r.triangles);
+    result->modeled_seconds = r.metrics.elapsed_seconds;
+    std::snprintf(head, sizeof(head), "triangles %llu\n",
+                  static_cast<unsigned long long>(r.triangles));
+  } else {
+    return Status::InvalidArgument("unknown algo '" + request.algo + "'");
+  }
+
+  result->payload = head;
+  for (double v : result->per_vertex) {
+    result->payload += FormatValue(v);
+    result->payload += '\n';
+  }
+  return ExecResultPtr(std::move(result));
+}
+
+// Extracts the per-request view of a shared execution result.
+Response BuildResponse(const Request& request, const ExecResult& result,
+                       uint64_t epoch) {
+  Response r;
+  r.epoch = epoch;
+  r.summary = result.summary;
+  r.modeled_seconds = result.modeled_seconds;
+  switch (request.kind) {
+    case QueryKind::kRun:
+      r.payload = result.payload;
+      break;
+    case QueryKind::kPoint:
+      r.payload = request.algo + " vertex " + std::to_string(request.vertex) +
+                  " = " + FormatValue(result.per_vertex[request.vertex]) + "\n";
+      break;
+    case QueryKind::kTopK: {
+      size_t k = std::min<size_t>(request.k, result.per_vertex.size());
+      std::vector<uint32_t> order(result.per_vertex.size());
+      std::iota(order.begin(), order.end(), 0u);
+      std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                        [&](uint32_t a, uint32_t b) {
+                          if (result.per_vertex[a] != result.per_vertex[b]) {
+                            return result.per_vertex[a] > result.per_vertex[b];
+                          }
+                          return a < b;  // Deterministic tie-break.
+                        });
+      r.payload = request.algo + " top " + std::to_string(k) + "\n";
+      for (size_t i = 0; i < k; ++i) {
+        r.payload += std::to_string(order[i]) + " " +
+                     FormatValue(result.per_vertex[order[i]]) + "\n";
+      }
+      break;
+    }
+  }
+  return r;
+}
+
+void BumpObsCounter(const char* name) { obs::GetCounter(name).Add(1); }
+
+obs::HistogramSnapshot SnapshotOf(const char* name, const obs::Histogram& h) {
+  obs::HistogramSnapshot s;
+  s.name = name;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.max = h.max();
+  s.p50 = h.P50();
+  s.p95 = h.P95();
+  s.p99 = h.P99();
+  return s;
+}
+
+}  // namespace
+
+// One admitted execution: the canonical key, the pinned snapshot, the request
+// whose parameters drive the engine, and everyone waiting on the answer.
+struct Service::Flight {
+  std::string key;
+  SnapshotPtr snap;
+  Request origin;
+
+  struct Joiner {
+    Request req;
+    std::promise<Response> promise;
+    Clock::time_point submitted;
+    bool deduped = false;
+  };
+  // Guarded by Service::mu_ until the flight is retired from inflight_.
+  std::vector<Joiner> joiners;
+};
+
+StatusOr<std::string> Service::ExecKey(const Request& request,
+                                       const Snapshot& snap) {
+  auto engine = EngineByName(request.engine);
+  MAZE_RETURN_IF_ERROR(engine.status());
+  if (request.ranks < 1) {
+    return Status::InvalidArgument("ranks must be >= 1");
+  }
+  const VertexId n = snap.directed.num_vertices;
+  std::string key = snap.name + "@" + std::to_string(snap.epoch) + "/" +
+                    request.algo + "/" + request.engine +
+                    "/ranks=" + std::to_string(request.ranks);
+  if (request.algo == "pagerank") {
+    if (request.iterations < 1) {
+      return Status::InvalidArgument("pagerank needs iterations >= 1");
+    }
+    key += "/iterations=" + std::to_string(request.iterations);
+  } else if (request.algo == "bfs") {
+    if (request.source >= n) {
+      return Status::InvalidArgument("bfs source " +
+                                     std::to_string(request.source) +
+                                     " out of range (n=" + std::to_string(n) +
+                                     ")");
+    }
+    key += "/source=" + std::to_string(request.source);
+  } else if (request.algo != "cc" && request.algo != "triangles") {
+    return Status::InvalidArgument("unknown algo '" + request.algo +
+                                   "' (pagerank|bfs|cc|triangles)");
+  }
+  if (request.kind != QueryKind::kRun &&
+      !AlgoHasPerVertexResult(request.algo)) {
+    return Status::InvalidArgument("algo '" + request.algo +
+                                   "' has no per-vertex result for "
+                                   "point/top-k queries");
+  }
+  if (request.kind == QueryKind::kPoint && request.vertex >= n) {
+    return Status::InvalidArgument(
+        "point vertex " + std::to_string(request.vertex) + " out of range (n=" +
+        std::to_string(n) + ")");
+  }
+  if (request.kind == QueryKind::kTopK && request.k < 1) {
+    return Status::InvalidArgument("top-k needs k >= 1");
+  }
+  return key;
+}
+
+Service::Service(const ServiceOptions& options)
+    : options_(options), cache_(options.cache_bytes) {
+  int workers = std::max(1, options.workers);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+Service::~Service() {
+  Resume();
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::shared_future<Response> Service::Submit(const Request& request) {
+  const Clock::time_point submitted = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+  }
+  BumpObsCounter("serve.submitted");
+
+  auto reply_now = [&](Response r) {
+    r.latency_seconds = SecondsSince(submitted);
+    std::promise<Response> p;
+    p.set_value(std::move(r));
+    return p.get_future().share();
+  };
+  auto fail_now = [&](Status status, uint64_t ServiceStats::*counter,
+                      const char* obs_name) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++(stats_.*counter);
+    }
+    BumpObsCounter(obs_name);
+    Response r;
+    r.status = std::move(status);
+    return reply_now(std::move(r));
+  };
+
+  auto snap_or = registry_.Get(request.snapshot);
+  if (!snap_or.ok()) {
+    return fail_now(snap_or.status(), &ServiceStats::invalid, "serve.invalid");
+  }
+  SnapshotPtr snap = std::move(snap_or).value();
+  auto key_or = ExecKey(request, *snap);
+  if (!key_or.ok()) {
+    return fail_now(key_or.status(), &ServiceStats::invalid, "serve.invalid");
+  }
+  const std::string& key = key_or.value();
+
+  if (ExecResultPtr hit = cache_.Lookup(key)) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.cache_hits;
+      ++stats_.completed;
+    }
+    BumpObsCounter("serve.cache_hit");
+    BumpObsCounter("serve.completed");
+    Response r = BuildResponse(request, *hit, snap->epoch);
+    r.cache_hit = true;
+    auto fut = reply_now(std::move(r));
+    latency_us_.Record(
+        static_cast<uint64_t>(fut.get().latency_seconds * 1e6));
+    return fut;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    Flight::Joiner joiner;
+    joiner.req = request;
+    joiner.submitted = submitted;
+    joiner.deduped = true;
+    auto fut = joiner.promise.get_future().share();
+    it->second->joiners.push_back(std::move(joiner));
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.dedup_joined;
+    }
+    BumpObsCounter("serve.dedup_joined");
+    return fut;
+  }
+  if (queue_.size() >= options_.queue_depth) {
+    lock.unlock();
+    return fail_now(
+        Status::Unavailable("admission queue full (depth " +
+                            std::to_string(options_.queue_depth) + ")"),
+        &ServiceStats::rejected, "serve.rejected");
+  }
+
+  auto flight = std::make_shared<Flight>();
+  flight->key = key;
+  flight->snap = std::move(snap);
+  flight->origin = request;
+  Flight::Joiner joiner;
+  joiner.req = request;
+  joiner.submitted = submitted;
+  auto fut = joiner.promise.get_future().share();
+  flight->joiners.push_back(std::move(joiner));
+  inflight_.emplace(key, flight);
+  queue_.push_back(std::move(flight));
+  queue_peak_ = std::max<uint64_t>(queue_peak_, queue_.size());
+  lock.unlock();
+  work_cv_.notify_one();
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.admitted;
+  }
+  BumpObsCounter("serve.admitted");
+  return fut;
+}
+
+Response Service::Call(const Request& request) {
+  return Submit(request).get();
+}
+
+void Service::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Service::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void Service::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void Service::WorkerMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock,
+                  [&] { return stop_ || (!paused_ && !queue_.empty()); });
+    if (stop_) return;
+    FlightPtr flight = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    ExecuteFlight(flight);
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) drain_cv_.notify_all();
+  }
+}
+
+void Service::ExecuteFlight(const FlightPtr& flight) {
+  const Clock::time_point exec_start = Clock::now();
+
+  // A flight expires only when *every* joined request's queue-wait budget has
+  // passed: as long as one joiner is still willing to wait, executing serves
+  // them all. Deadlines bound time in queue, not execution.
+  bool expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    expired = !flight->joiners.empty();
+    for (const Flight::Joiner& j : flight->joiners) {
+      if (j.req.deadline_seconds <= 0 ||
+          std::chrono::duration<double>(exec_start - j.submitted).count() <=
+              j.req.deadline_seconds) {
+        expired = false;
+        break;
+      }
+    }
+  }
+
+  StatusOr<ExecResultPtr> result =
+      Status::DeadlineExceeded("queue-wait deadline passed before dispatch");
+  if (!expired) {
+    MAZE_OBS_SPAN("serve.execute", "serve");
+    result = ExecuteRequest(flight->origin, *flight->snap);
+    // Publish before retiring the flight: a submitter racing with retirement
+    // either joins (fulfilled below) or finds the cache populated.
+    if (result.ok()) cache_.Insert(flight->key, result.value());
+  }
+
+  std::vector<Flight::Joiner> joiners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(flight->key);
+    joiners.swap(flight->joiners);
+  }
+
+  const uint64_t epoch = flight->snap->epoch;
+  uint64_t completed = 0, failed = 0, expired_count = 0;
+  std::vector<Response> responses;
+  responses.reserve(joiners.size());
+  for (Flight::Joiner& j : joiners) {
+    Response r;
+    if (result.ok()) {
+      r = BuildResponse(j.req, *result.value(), epoch);
+      r.deduped = j.deduped;
+      // Joiners that attached after dispatch have a negative wait: they never
+      // queued, they boarded a flight already in the air.
+      r.queue_seconds = std::max(
+          0.0, std::chrono::duration<double>(exec_start - j.submitted).count());
+      queue_wait_us_.Record(static_cast<uint64_t>(r.queue_seconds * 1e6));
+      ++completed;
+    } else {
+      r.status = result.status();
+      r.epoch = epoch;
+      if (r.status.code() == StatusCode::kDeadlineExceeded) {
+        ++expired_count;
+      } else {
+        ++failed;
+      }
+    }
+    r.latency_seconds = SecondsSince(j.submitted);
+    latency_us_.Record(static_cast<uint64_t>(r.latency_seconds * 1e6));
+    responses.push_back(std::move(r));
+  }
+
+  // Publish the accounting BEFORE fulfilling any joiner: a client whose Call()
+  // just returned must see stats that include its own request.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (expired) {
+      stats_.expired += expired_count;
+    } else if (result.ok()) {
+      ++stats_.executed;
+    } else {
+      ++stats_.exec_failed;
+    }
+    stats_.completed += completed;
+    stats_.failed += failed;
+  }
+  if (!expired) {
+    BumpObsCounter(result.ok() ? "serve.executed" : "serve.exec_failed");
+  }
+  for (uint64_t i = 0; i < completed; ++i) BumpObsCounter("serve.completed");
+  for (uint64_t i = 0; i < failed; ++i) BumpObsCounter("serve.failed");
+  for (uint64_t i = 0; i < expired_count; ++i) BumpObsCounter("serve.expired");
+
+  for (size_t i = 0; i < joiners.size(); ++i) {
+    joiners[i].promise.set_value(std::move(responses[i]));
+  }
+}
+
+ServiceStats Service::Stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = queue_.size();
+    s.queue_peak = queue_peak_;
+    s.inflight = static_cast<uint64_t>(active_);
+  }
+  s.cache = cache_.GetStats();
+  return s;
+}
+
+ServiceReport Service::Report() const {
+  ServiceReport report;
+  report.options = options_;
+  report.stats = Stats();
+  report.latency = SnapshotOf("serve.latency_us", latency_us_);
+  report.queue_wait = SnapshotOf("serve.queue_wait_us", queue_wait_us_);
+  for (const SnapshotPtr& snap : registry_.All()) {
+    ServiceReport::SnapshotRow row;
+    row.name = snap->name;
+    row.epoch = snap->epoch;
+    row.vertices = snap->directed.num_vertices;
+    row.edges = snap->directed.edges.size();
+    row.bytes = snap->MemoryBytes();
+    report.snapshots.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string ServiceReport::ToJson() const {
+  std::string out = "{\n";
+  out += "\"options\": {\"workers\": " + std::to_string(options.workers) +
+         ", \"queue_depth\": " + std::to_string(options.queue_depth) +
+         ", \"cache_bytes\": " + std::to_string(options.cache_bytes) + "},\n";
+  out += "\"stats\": {";
+  auto field = [&](const char* name, uint64_t v, bool last = false) {
+    out += std::string("\"") + name + "\": " + std::to_string(v) +
+           (last ? "" : ", ");
+  };
+  field("submitted", stats.submitted);
+  field("admitted", stats.admitted);
+  field("rejected", stats.rejected);
+  field("invalid", stats.invalid);
+  field("cache_hits", stats.cache_hits);
+  field("dedup_joined", stats.dedup_joined);
+  field("executed", stats.executed);
+  field("exec_failed", stats.exec_failed);
+  field("completed", stats.completed);
+  field("failed", stats.failed);
+  field("expired", stats.expired);
+  field("queue_depth", stats.queue_depth);
+  field("queue_peak", stats.queue_peak);
+  field("inflight", stats.inflight, /*last=*/true);
+  out += "},\n";
+  auto hist = [&](const char* name, const obs::HistogramSnapshot& h) {
+    out += std::string("\"") + name + "\": {\"count\": " +
+           std::to_string(h.count) + ", \"sum\": " + std::to_string(h.sum) +
+           ", \"max\": " + std::to_string(h.max) +
+           ", \"p50\": " + std::to_string(h.p50) +
+           ", \"p95\": " + std::to_string(h.p95) +
+           ", \"p99\": " + std::to_string(h.p99) + "},\n";
+  };
+  hist("latency_us", latency);
+  hist("queue_wait_us", queue_wait);
+  out += "\"cache\": {";
+  field("hits", stats.cache.hits);
+  field("misses", stats.cache.misses);
+  field("insertions", stats.cache.insertions);
+  field("evictions", stats.cache.evictions);
+  field("entries", stats.cache.entries);
+  field("bytes", stats.cache.bytes);
+  field("byte_budget", stats.cache.byte_budget, /*last=*/true);
+  out += "},\n";
+  out += "\"snapshots\": [\n";
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    const SnapshotRow& s = snapshots[i];
+    out += "  {\"name\": \"" + obs::JsonEscape(s.name) +
+           "\", \"epoch\": " + std::to_string(s.epoch) +
+           ", \"vertices\": " + std::to_string(s.vertices) +
+           ", \"edges\": " + std::to_string(s.edges) +
+           ", \"bytes\": " + std::to_string(s.bytes) + "}" +
+           (i + 1 < snapshots.size() ? "," : "") + "\n";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+std::string ServiceReport::ToMarkdown() const {
+  std::string out = "# Service report\n\n";
+  out += "workers=" + std::to_string(options.workers) +
+         " queue_depth=" + std::to_string(options.queue_depth) +
+         " cache_bytes=" + std::to_string(options.cache_bytes) + "\n\n";
+  out += "## Requests\n\n| counter | value |\n|---|---|\n";
+  auto row = [&](const char* name, uint64_t v) {
+    out += std::string("| ") + name + " | " + std::to_string(v) + " |\n";
+  };
+  row("submitted", stats.submitted);
+  row("admitted (new executions queued)", stats.admitted);
+  row("rejected (queue full)", stats.rejected);
+  row("invalid", stats.invalid);
+  row("cache hits", stats.cache_hits);
+  row("dedup joins", stats.dedup_joined);
+  row("executed", stats.executed);
+  row("completed", stats.completed);
+  row("failed", stats.failed + stats.exec_failed);
+  row("expired (deadline)", stats.expired);
+  row("queue peak", stats.queue_peak);
+  out += "\n## Latency (microseconds)\n\n";
+  out += "| series | count | p50 | p95 | p99 | max |\n|---|---|---|---|---|---|\n";
+  auto hrow = [&](const char* name, const obs::HistogramSnapshot& h) {
+    out += std::string("| ") + name + " | " + std::to_string(h.count) + " | " +
+           std::to_string(h.p50) + " | " + std::to_string(h.p95) + " | " +
+           std::to_string(h.p99) + " | " + std::to_string(h.max) + " |\n";
+  };
+  hrow("request latency", latency);
+  hrow("queue wait", queue_wait);
+  out += "\n## Cache\n\n| hits | misses | insertions | evictions | entries | "
+         "bytes | budget |\n|---|---|---|---|---|---|---|\n| " +
+         std::to_string(stats.cache.hits) + " | " +
+         std::to_string(stats.cache.misses) + " | " +
+         std::to_string(stats.cache.insertions) + " | " +
+         std::to_string(stats.cache.evictions) + " | " +
+         std::to_string(stats.cache.entries) + " | " +
+         std::to_string(stats.cache.bytes) + " | " +
+         std::to_string(stats.cache.byte_budget) + " |\n";
+  out += "\n## Snapshots\n\n| name | epoch | vertices | edges | bytes "
+         "|\n|---|---|---|---|---|\n";
+  for (const SnapshotRow& s : snapshots) {
+    out += "| " + s.name + " | " + std::to_string(s.epoch) + " | " +
+           std::to_string(s.vertices) + " | " + std::to_string(s.edges) +
+           " | " + std::to_string(s.bytes) + " |\n";
+  }
+  return out;
+}
+
+}  // namespace maze::serve

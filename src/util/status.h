@@ -21,6 +21,8 @@ enum class StatusCode {
   kUnimplemented,
   kFailedPrecondition,
   kResourceExhausted,
+  kUnavailable,        // Transient: the caller may retry later (backpressure).
+  kDeadlineExceeded,   // The request's deadline passed before completion.
 };
 
 // Value-semantic result of a fallible operation. Cheap to copy when OK.
@@ -51,6 +53,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

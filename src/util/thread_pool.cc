@@ -55,6 +55,30 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   }
 }
 
+void ThreadPool::Resize(unsigned num_threads) {
+  if (num_threads == 0) num_threads = EnvThreads();
+  if (num_threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw != 0 ? hw : 4;
+  }
+  if (num_threads == this->num_threads()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MAZE_CHECK(loops_.empty() && "ThreadPool::Resize requires quiescence");
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = false;
+  }
+  for (unsigned i = 1; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);

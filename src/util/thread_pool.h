@@ -87,6 +87,13 @@ class ThreadPool {
 
   unsigned num_threads() const { return static_cast<unsigned>(threads_.size()) + 1; }
 
+  // Re-sizes the pool to `num_threads` workers (0 = the MAZE_THREADS/hardware
+  // default, as in the constructor). Must be called at quiescence: no parallel
+  // region may be active and no other thread may be submitting work. The CLI
+  // uses this to honor --threads on the process-wide Default() pool before any
+  // engine work is scheduled.
+  void Resize(unsigned num_threads);
+
   // Runs body(begin, end) over [0, n) split into `grain`-sized chunks claimed
   // dynamically by the caller and the pool's workers. Chunks are claimed in
   // increasing range order. Loops with n <= grain (or on a worker-less pool) run

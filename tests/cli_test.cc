@@ -3,11 +3,14 @@
 #include "cli/cli.h"
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "core/datasets.h"
 #include "core/io.h"
+#include "util/thread_pool.h"
 
 namespace maze::cli {
 namespace {
@@ -285,6 +288,111 @@ TEST(CliTest, RunTrianglesOnDatasetStandin) {
                   .ok())
       << out;
   EXPECT_NE(out.find("triangles:"), std::string::npos);
+}
+
+TEST(CliTest, RunUnknownDatasetIsNotFoundWithValidNames) {
+  std::string out;
+  Status s = RunCli({"run", "--algo", "pagerank", "--engine", "native",
+                  "--dataset", "ghost"},
+                 &out);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  // The error names valid alternatives so the listing is actionable.
+  EXPECT_NE(s.message().find("facebook"), std::string::npos) << s.ToString();
+}
+
+TEST(CliTest, RunGraphAlgoOnRatingsDatasetIsInvalid) {
+  std::string out;
+  Status s = RunCli({"run", "--algo", "pagerank", "--engine", "native",
+                  "--dataset", "netflix"},
+                 &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliTest, RunCfOnGraphDatasetIsInvalid) {
+  std::string out;
+  Status s = RunCli({"run", "--algo", "cf", "--engine", "native", "--dataset",
+                  "facebook"},
+                 &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CliTest, ThreadsFlagResizesDefaultPool) {
+  unsigned before = ThreadPool::Default().num_threads();
+  std::string out;
+  ASSERT_TRUE(RunCli({"run", "--algo", "pagerank", "--engine", "native",
+                   "--iterations", "2", "--dataset", "facebook", "--threads",
+                   "3"},
+                  &out)
+                  .ok())
+      << out;
+  EXPECT_NE(out.find("threads: 3"), std::string::npos) << out;
+  EXPECT_EQ(ThreadPool::Default().num_threads(), 3u);
+  ThreadPool::Default().Resize(before);  // Restore for other tests.
+}
+
+TEST(CliTest, ThreadsFlagRejectsNonPositive) {
+  std::string out;
+  Status s = RunCli({"run", "--algo", "pagerank", "--engine", "native",
+                  "--dataset", "facebook", "--threads", "0"},
+                 &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("threads"), std::string::npos);
+}
+
+TEST(CliTest, ServeNeedsScript) {
+  std::string out;
+  Status s = RunCli({"serve"}, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("script"), std::string::npos);
+}
+
+TEST(CliTest, ServeRunsScriptAndWritesReport) {
+  std::string script_path = TempPath("cli_serve_script.txt");
+  {
+    std::ofstream f(script_path);
+    f << "load g dataset=facebook scale_adjust=-6\n"
+      << "run algo=pagerank engine=native snapshot=g iterations=2 repeat=2\n"
+      << "wait\n"
+      << "report\n";
+  }
+  std::string report_path = TempPath("cli_serve_report.json");
+  std::string out;
+  ASSERT_TRUE(RunCli({"serve", "--script", script_path, "--workers", "2",
+                   "--report", report_path},
+                  &out)
+                  .ok())
+      << out;
+  EXPECT_NE(out.find("load g: epoch 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("[0] ok pagerank"), std::string::npos) << out;
+  EXPECT_NE(out.find("# Service report"), std::string::npos) << out;
+  std::string json = Slurp(report_path);
+  EXPECT_NE(json.find("\"submitted\": 2"), std::string::npos) << json;
+  std::remove(script_path.c_str());
+  std::remove(report_path.c_str());
+}
+
+TEST(CliTest, ServeRejectsBadOptionValues) {
+  std::string out;
+  EXPECT_EQ(RunCli({"serve", "--script", "/nonexistent", "--queue-depth", "0"},
+                &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCli({"serve", "--script", "/nonexistent", "--workers", "0"},
+                &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      RunCli({"serve", "--script", "/nonexistent/x.txt"}, &out).code(),
+      StatusCode::kIoError);
+}
+
+TEST(CliTest, DatasetsListsEveryRegistryEntry) {
+  std::string out;
+  ASSERT_TRUE(RunCli({"datasets"}, &out).ok());
+  for (const DatasetInfo& info : AllDatasets()) {
+    EXPECT_NE(out.find(info.name), std::string::npos)
+        << "missing " << info.name << " in:\n" << out;
+  }
 }
 
 TEST(CliTest, GenerateRatings) {

@@ -64,5 +64,46 @@ TEST(DatasetsTest, LoadIsDeterministic) {
   EXPECT_EQ(a.edges, b.edges);
 }
 
+TEST(DatasetsTest, FindDatasetResolvesEveryRegistryName) {
+  for (const DatasetInfo& info : AllDatasets()) {
+    const DatasetInfo* found = FindDataset(info.name);
+    ASSERT_NE(found, nullptr) << info.name;
+    EXPECT_EQ(found->name, info.name);
+  }
+  EXPECT_EQ(FindDataset("ghost"), nullptr);
+}
+
+// The CLI contract: every name `datasets` lists resolves through the loader
+// matching its kind, at reduced scale.
+TEST(DatasetsTest, EveryListedDatasetLoadsThroughTryLoaders) {
+  for (const DatasetInfo& info : AllDatasets()) {
+    SCOPED_TRACE(info.name);
+    if (info.is_ratings) {
+      auto ds = TryLoadRatingsDataset(info.name, /*scale_adjust=*/-4);
+      ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+      EXPECT_GT(ds.value().num_users, 0u);
+      EXPECT_GT(ds.value().ratings.size(), 0u);
+    } else {
+      auto el = TryLoadGraphDataset(info.name, /*scale_adjust=*/-4);
+      ASSERT_TRUE(el.ok()) << el.status().ToString();
+      EXPECT_GT(el.value().num_vertices, 0u);
+      EXPECT_GT(el.value().edges.size(), 0u);
+    }
+  }
+}
+
+TEST(DatasetsTest, TryLoadersRejectUnknownAndWrongKind) {
+  EXPECT_EQ(TryLoadGraphDataset("ghost").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(TryLoadRatingsDataset("ghost").status().code(),
+            StatusCode::kNotFound);
+  // Kind mismatches are invalid-argument, and the message says which kind the
+  // name actually is.
+  EXPECT_EQ(TryLoadGraphDataset("netflix").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TryLoadRatingsDataset("facebook").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace maze

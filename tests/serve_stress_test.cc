@@ -1,0 +1,195 @@
+// Concurrency stress for the serving layer, designed to run under
+// ThreadSanitizer (CI: serve.yml). Many client threads hammer one Service with
+// a mix of duplicate and distinct requests while another thread bumps snapshot
+// epochs and churns pause/resume. Checks that survive arbitrary interleaving:
+//
+//   * every response for a given (algo, engine, params) is byte-identical,
+//     across epochs too — the test sources are deterministic, so dedup, cache,
+//     and fresh execution must all serialize the same answer;
+//   * the request-accounting identities hold after drain;
+//   * no request is lost: every future resolves with OK or a legitimate
+//     admission outcome (kUnavailable under backpressure).
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/datasets.h"
+#include "serve/service.h"
+#include "util/check.h"
+
+namespace maze::serve {
+namespace {
+
+EdgeList TestGraph() {
+  auto loaded = TryLoadGraphDataset("facebook", /*scale_adjust=*/-6);
+  MAZE_CHECK(loaded.ok());
+  return std::move(loaded).value();
+}
+
+Request MakeRequest(int variant) {
+  Request r;
+  r.snapshot = "g";
+  r.engine = "native";
+  switch (variant % 4) {
+    case 0:
+      r.algo = "pagerank";
+      r.iterations = 1 + (variant / 4) % 3;
+      break;
+    case 1:
+      r.algo = "bfs";
+      r.source = static_cast<VertexId>((variant / 4) % 8);
+      break;
+    case 2:
+      r.algo = "cc";
+      break;
+    default:
+      r.algo = "triangles";
+      break;
+  }
+  return r;
+}
+
+// Parameter signature independent of epoch, for cross-epoch byte-identity.
+std::string VariantKey(const Request& r) {
+  return r.algo + "/it=" + std::to_string(r.iterations) +
+         "/src=" + std::to_string(r.source);
+}
+
+TEST(ServeStressTest, ConcurrentClientsEpochBumpsAndPauseChurn) {
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 24;
+
+  ServiceOptions options;
+  options.workers = 3;
+  options.queue_depth = 16;
+  Service service(options);
+  service.registry().Install("g", TestGraph());
+
+  std::atomic<bool> done{false};
+  // Epoch bumper: reinstalls the same deterministic source, so answers are
+  // identical across epochs while cache keys are not.
+  std::thread bumper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      service.registry().Install("g", TestGraph());
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  // Pause/resume churn: stalls dispatch at arbitrary points so queue buildup,
+  // rejection, and dedup-join paths all get exercised.
+  std::thread churn([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      service.Pause();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      service.Resume();
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  });
+
+  std::vector<std::thread> clients;
+  std::mutex results_mu;
+  // variant key -> first payload seen; all later payloads must match.
+  std::map<std::string, std::string> canonical;
+  std::atomic<uint64_t> ok_count{0}, rejected_count{0}, other_count{0};
+
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        Request r = MakeRequest(c + i);
+        Response resp = service.Call(r);
+        if (resp.status.ok()) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(results_mu);
+          auto [it, inserted] =
+              canonical.emplace(VariantKey(r), resp.payload);
+          if (!inserted) {
+            EXPECT_EQ(resp.payload, it->second)
+                << "divergent payload for " << it->first
+                << " (epoch " << resp.epoch << ")";
+          }
+        } else if (resp.status.code() == StatusCode::kUnavailable) {
+          rejected_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          other_count.fetch_add(1, std::memory_order_relaxed);
+          ADD_FAILURE() << "unexpected status: " << resp.status.ToString();
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  done.store(true, std::memory_order_relaxed);
+  bumper.join();
+  churn.join();
+  service.Resume();
+  service.Drain();
+
+  constexpr uint64_t kTotal =
+      static_cast<uint64_t>(kClients) * kRequestsPerClient;
+  EXPECT_EQ(ok_count + rejected_count + other_count, kTotal);
+  EXPECT_GT(ok_count, 0u);
+
+  ServiceStats s = service.Stats();
+  EXPECT_EQ(s.submitted, kTotal);
+  EXPECT_EQ(s.submitted,
+            s.completed + s.failed + s.expired + s.rejected + s.invalid);
+  EXPECT_EQ(s.submitted, s.admitted + s.dedup_joined + s.cache_hits +
+                             s.rejected + s.invalid);
+  EXPECT_EQ(s.rejected, rejected_count.load());
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.invalid, 0u);
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.inflight, 0u);
+}
+
+// Tight loop on the hot Submit path with a single hot key: maximizes
+// cache-hit and dedup-join interleavings against flight retirement.
+TEST(ServeStressTest, HotKeySubmitStorm) {
+  ServiceOptions options;
+  options.workers = 2;
+  Service service(options);
+  service.registry().Install("g", TestGraph());
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 50;
+  std::atomic<uint64_t> ok_count{0};
+  std::mutex payload_mu;
+  std::string expected;
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kPerClient; ++i) {
+        Request r;
+        r.snapshot = "g";
+        r.algo = "pagerank";
+        r.iterations = 2;
+        Response resp = service.Call(r);
+        ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+        ok_count.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(payload_mu);
+        if (expected.empty()) {
+          expected = resp.payload;
+        } else {
+          EXPECT_EQ(resp.payload, expected);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.Drain();
+
+  constexpr uint64_t kTotal = static_cast<uint64_t>(kClients) * kPerClient;
+  EXPECT_EQ(ok_count.load(), kTotal);
+  ServiceStats s = service.Stats();
+  EXPECT_EQ(s.completed, kTotal);
+  // One hot key: almost everything dedups or hits; executions are rare. The
+  // exact split depends on timing, but the identity must balance.
+  EXPECT_EQ(s.admitted + s.dedup_joined + s.cache_hits, kTotal);
+  EXPECT_GE(s.cache_hits + s.dedup_joined, kTotal - s.admitted);
+}
+
+}  // namespace
+}  // namespace maze::serve

@@ -1,0 +1,587 @@
+// Serving-layer tests: snapshot epochs, result-cache LRU accounting, canonical
+// execution keys, dedup/cache byte-identity across all engines, deterministic
+// admission control (rejection + deadline expiry), point/top-k extraction,
+// report rendering, and the serve-script driver.
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_support/runner.h"
+#include "core/datasets.h"
+#include "serve/cache.h"
+#include "serve/script.h"
+#include "serve/snapshot.h"
+#include "tests/json_checker.h"
+
+namespace maze::serve {
+namespace {
+
+// Small stand-in graph shared by most tests; loading is deterministic, so two
+// loads produce identical edge lists (the bump-reproducibility tests rely on
+// this).
+EdgeList TestGraph() {
+  auto loaded = TryLoadGraphDataset("facebook", /*scale_adjust=*/-6);
+  MAZE_CHECK(loaded.ok());
+  return std::move(loaded).value();
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotRegistry
+
+TEST(SnapshotRegistryTest, InstallAssignsEpochsPerName) {
+  SnapshotRegistry registry;
+  SnapshotPtr a1 = registry.Install("a", TestGraph());
+  EXPECT_EQ(a1->name, "a");
+  EXPECT_EQ(a1->epoch, 1u);
+  SnapshotPtr b1 = registry.Install("b", TestGraph());
+  EXPECT_EQ(b1->epoch, 1u);
+  SnapshotPtr a2 = registry.Install("a", TestGraph());
+  EXPECT_EQ(a2->epoch, 2u);
+
+  auto got = registry.Get("a");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value()->epoch, 2u);
+  // The old generation stays alive for holders of the shared_ptr.
+  EXPECT_EQ(a1->epoch, 1u);
+}
+
+TEST(SnapshotRegistryTest, GetUnknownIsNotFound) {
+  SnapshotRegistry registry;
+  EXPECT_EQ(registry.Get("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotRegistryTest, PrebuiltViewsMatchAlgorithmNeeds) {
+  SnapshotRegistry registry;
+  SnapshotPtr snap = registry.Install("g", TestGraph());
+  EXPECT_GT(snap->directed.edges.size(), 0u);
+  // Symmetrized view has both directions; oriented view only src < dst.
+  EXPECT_GE(snap->symmetric.edges.size(), snap->directed.edges.size());
+  for (const Edge& e : snap->oriented.edges) EXPECT_LT(e.src, e.dst);
+  EXPECT_GT(snap->MemoryBytes(), 0u);
+}
+
+TEST(SnapshotRegistryTest, AllIsNameSorted) {
+  SnapshotRegistry registry;
+  registry.Install("zeta", TestGraph());
+  registry.Install("alpha", TestGraph());
+  auto all = registry.All();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->name, "alpha");
+  EXPECT_EQ(all[1]->name, "zeta");
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+
+ExecResultPtr MakeResult(const std::string& payload) {
+  auto r = std::make_shared<ExecResult>();
+  r->payload = payload;
+  return r;
+}
+
+TEST(ResultCacheTest, LookupHitAndMissAccounting) {
+  ResultCache cache(1 << 20);
+  EXPECT_EQ(cache.Lookup("k"), nullptr);
+  cache.Insert("k", MakeResult("v"));
+  ExecResultPtr hit = cache.Lookup("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->payload, "v");
+  auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Each entry costs 100 payload bytes; budget fits two.
+  ResultCache cache(200);
+  cache.Insert("a", MakeResult(std::string(100, 'a')));
+  cache.Insert("b", MakeResult(std::string(100, 'b')));
+  // Touch "a" so "b" is now least recently used.
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  cache.Insert("c", MakeResult(std::string(100, 'c')));
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr) << "LRU entry should have been evicted";
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  auto stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, 200u);
+}
+
+TEST(ResultCacheTest, OversizedResultIsNotCached) {
+  ResultCache cache(50);
+  cache.Insert("small", MakeResult(std::string(40, 's')));
+  cache.Insert("huge", MakeResult(std::string(1000, 'h')));
+  EXPECT_EQ(cache.Lookup("huge"), nullptr);
+  // The resident entry survives: one oversized insert must not flush the cache.
+  EXPECT_NE(cache.Lookup("small"), nullptr);
+}
+
+TEST(ResultCacheTest, InsertExistingKeyIsNoOp) {
+  ResultCache cache(1 << 20);
+  cache.Insert("k", MakeResult("first"));
+  cache.Insert("k", MakeResult("second"));
+  EXPECT_EQ(cache.Lookup("k")->payload, "first");
+  EXPECT_EQ(cache.GetStats().insertions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical execution keys
+
+class ExecKeyTest : public ::testing::Test {
+ protected:
+  ExecKeyTest() { snap_ = registry_.Install("g", TestGraph()); }
+  SnapshotRegistry registry_;
+  SnapshotPtr snap_;
+};
+
+TEST_F(ExecKeyTest, EmbedsEpochAlgoEngineAndConsumedParams) {
+  Request r;
+  r.snapshot = "g";
+  r.algo = "pagerank";
+  r.engine = "native";
+  r.iterations = 7;
+  auto key = Service::ExecKey(r, *snap_);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key.value(), "g@1/pagerank/native/ranks=1/iterations=7");
+
+  r.algo = "bfs";
+  r.source = 3;
+  key = Service::ExecKey(r, *snap_);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key.value(), "g@1/bfs/native/ranks=1/source=3");
+
+  // Params an algorithm does not consume are excluded.
+  r.algo = "cc";
+  key = Service::ExecKey(r, *snap_);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key.value(), "g@1/cc/native/ranks=1");
+}
+
+TEST_F(ExecKeyTest, EpochBumpChangesKey) {
+  Request r;
+  r.snapshot = "g";
+  auto k1 = Service::ExecKey(r, *snap_);
+  SnapshotPtr bumped = registry_.Install("g", TestGraph());
+  auto k2 = Service::ExecKey(r, *bumped);
+  ASSERT_TRUE(k1.ok());
+  ASSERT_TRUE(k2.ok());
+  EXPECT_NE(k1.value(), k2.value());
+}
+
+TEST_F(ExecKeyTest, QueryKindSharesTheRunsKey) {
+  Request run;
+  run.snapshot = "g";
+  Request point = run;
+  point.kind = QueryKind::kPoint;
+  point.vertex = 5;
+  Request topk = run;
+  topk.kind = QueryKind::kTopK;
+  topk.k = 3;
+  auto kr = Service::ExecKey(run, *snap_);
+  auto kp = Service::ExecKey(point, *snap_);
+  auto kt = Service::ExecKey(topk, *snap_);
+  ASSERT_TRUE(kr.ok());
+  ASSERT_TRUE(kp.ok());
+  ASSERT_TRUE(kt.ok());
+  EXPECT_EQ(kr.value(), kp.value());
+  EXPECT_EQ(kr.value(), kt.value());
+}
+
+TEST_F(ExecKeyTest, RejectsInvalidRequests) {
+  Request r;
+  r.snapshot = "g";
+  r.algo = "sssp";
+  EXPECT_EQ(Service::ExecKey(r, *snap_).status().code(),
+            StatusCode::kInvalidArgument);
+  r.algo = "pagerank";
+  r.engine = "spark";
+  EXPECT_EQ(Service::ExecKey(r, *snap_).status().code(),
+            StatusCode::kInvalidArgument);
+  r.engine = "native";
+  r.iterations = 0;
+  EXPECT_EQ(Service::ExecKey(r, *snap_).status().code(),
+            StatusCode::kInvalidArgument);
+  r.iterations = 10;
+  r.algo = "bfs";
+  r.source = static_cast<VertexId>(snap_->directed.num_vertices);
+  EXPECT_EQ(Service::ExecKey(r, *snap_).status().code(),
+            StatusCode::kInvalidArgument);
+  r.source = 0;
+  r.kind = QueryKind::kPoint;
+  r.vertex = static_cast<VertexId>(snap_->directed.num_vertices);
+  EXPECT_EQ(Service::ExecKey(r, *snap_).status().code(),
+            StatusCode::kInvalidArgument);
+  r.kind = QueryKind::kTopK;
+  r.k = 0;
+  EXPECT_EQ(Service::ExecKey(r, *snap_).status().code(),
+            StatusCode::kInvalidArgument);
+  // Triangles has no per-vertex answer to extract from.
+  r = Request{};
+  r.snapshot = "g";
+  r.algo = "triangles";
+  r.kind = QueryKind::kPoint;
+  EXPECT_EQ(Service::ExecKey(r, *snap_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Service: dedup + cache byte-identity across every engine
+
+Request PageRankRequest(const std::string& engine) {
+  Request r;
+  r.snapshot = "g";
+  r.algo = "pagerank";
+  r.engine = engine;
+  r.iterations = 3;
+  return r;
+}
+
+// N concurrent identical requests produce byte-identical payloads from exactly
+// one underlying execution — for every engine. This is the core serving-layer
+// correctness claim: dedup and caching are invisible to the client.
+TEST(ServiceDedupTest, ConcurrentIdenticalRequestsShareOneExecution) {
+  constexpr int kCopies = 6;
+  for (bench::EngineKind kind : bench::AllEngines()) {
+    const std::string engine = bench::EngineName(kind);
+    SCOPED_TRACE(engine);
+
+    // Reference payload from an isolated solo run.
+    std::string expected;
+    {
+      Service solo;
+      solo.registry().Install("g", TestGraph());
+      Response r = solo.Call(PageRankRequest(engine));
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      expected = r.payload;
+      ASSERT_FALSE(expected.empty());
+    }
+
+    Service service;
+    service.registry().Install("g", TestGraph());
+    // Pause dispatch so all copies are submitted before any executes: the
+    // first admits a flight, the rest must join it.
+    service.Pause();
+    std::vector<std::shared_future<Response>> futures;
+    for (int i = 0; i < kCopies; ++i) {
+      futures.push_back(service.Submit(PageRankRequest(engine)));
+    }
+    service.Resume();
+    service.Drain();
+
+    int deduped = 0;
+    for (auto& f : futures) {
+      Response r = f.get();
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      EXPECT_EQ(r.payload, expected) << "payload must be byte-identical";
+      EXPECT_FALSE(r.cache_hit);
+      deduped += r.deduped;
+    }
+    EXPECT_EQ(deduped, kCopies - 1);
+
+    ServiceStats stats = service.Stats();
+    EXPECT_EQ(stats.executed, 1u) << "exactly one underlying execution";
+    EXPECT_EQ(stats.admitted, 1u);
+    EXPECT_EQ(stats.dedup_joined, static_cast<uint64_t>(kCopies - 1));
+    EXPECT_EQ(stats.completed, static_cast<uint64_t>(kCopies));
+  }
+}
+
+TEST(ServiceCacheTest, RepeatAfterCompletionIsCacheHitWithIdenticalBytes) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  Response first = service.Call(PageRankRequest("native"));
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+
+  Response second = service.Call(PageRankRequest("native"));
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.payload, first.payload);
+  EXPECT_EQ(second.queue_seconds, 0.0);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(ServiceCacheTest, EpochBumpInvalidatesCachedResults) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  Response first = service.Call(PageRankRequest("native"));
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_EQ(first.epoch, 1u);
+
+  service.registry().Install("g", TestGraph());  // Bump to epoch 2.
+  Response second = service.Call(PageRankRequest("native"));
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_FALSE(second.cache_hit) << "bumped epoch must miss the cache";
+  EXPECT_EQ(second.epoch, 2u);
+  // Same deterministic source: the answer itself is unchanged.
+  EXPECT_EQ(second.payload, first.payload);
+  EXPECT_EQ(service.Stats().executed, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+TEST(ServiceAdmissionTest, QueueFullRejectsWithUnavailable) {
+  ServiceOptions options;
+  options.queue_depth = 2;
+  Service service(options);
+  service.registry().Install("g", TestGraph());
+  service.Pause();
+
+  // Distinct keys so nothing dedups: with dispatch paused, submissions past
+  // the bound must be rejected.
+  std::vector<std::shared_future<Response>> admitted;
+  for (int it = 1; it <= 2; ++it) {
+    Request r = PageRankRequest("native");
+    r.iterations = it;
+    admitted.push_back(service.Submit(r));
+  }
+  Request third = PageRankRequest("native");
+  third.iterations = 3;
+  Response rejected = service.Submit(third).get();
+  EXPECT_EQ(rejected.status.code(), StatusCode::kUnavailable);
+
+  service.Resume();
+  service.Drain();
+  for (auto& f : admitted) EXPECT_TRUE(f.get().status.ok());
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.queue_peak, 2u);
+}
+
+TEST(ServiceAdmissionTest, ExpiredDeadlineAnswersDeadlineExceeded) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  service.Pause();
+  Request r = PageRankRequest("native");
+  r.deadline_seconds = 1e-4;
+  auto expired = service.Submit(r);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.Resume();
+  service.Drain();
+  EXPECT_EQ(expired.get().status.code(), StatusCode::kDeadlineExceeded);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.executed, 0u) << "expired flights must not execute";
+}
+
+TEST(ServiceAdmissionTest, FlightSurvivesIfAnyJoinerStillHasBudget) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  service.Pause();
+  Request tight = PageRankRequest("native");
+  tight.deadline_seconds = 1e-4;
+  auto f_tight = service.Submit(tight);
+  Request lax = PageRankRequest("native");  // Same key, no deadline: joins.
+  auto f_lax = service.Submit(lax);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.Resume();
+  service.Drain();
+  // One joiner still in budget → the flight executes and everyone is served.
+  EXPECT_TRUE(f_tight.get().status.ok());
+  EXPECT_TRUE(f_lax.get().status.ok());
+  EXPECT_EQ(service.Stats().executed, 1u);
+}
+
+TEST(ServiceAdmissionTest, InvalidRequestsFailFastWithoutAdmission) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  Request unknown_snap = PageRankRequest("native");
+  unknown_snap.snapshot = "ghost";
+  EXPECT_EQ(service.Call(unknown_snap).status.code(), StatusCode::kNotFound);
+  Request bad_algo = PageRankRequest("native");
+  bad_algo.algo = "sssp";
+  EXPECT_EQ(service.Call(bad_algo).status.code(),
+            StatusCode::kInvalidArgument);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.invalid, 2u);
+  EXPECT_EQ(stats.admitted, 0u);
+}
+
+// After Drain, every submission is accounted for exactly once on both axes.
+TEST(ServiceAdmissionTest, AccountingIdentityHoldsAfterDrain) {
+  ServiceOptions options;
+  options.queue_depth = 4;
+  Service service(options);
+  service.registry().Install("g", TestGraph());
+  service.Pause();
+  std::vector<std::shared_future<Response>> futures;
+  for (int i = 0; i < 12; ++i) {
+    Request r = PageRankRequest("native");
+    r.iterations = 1 + (i % 6);  // Mix of duplicate and distinct keys.
+    futures.push_back(service.Submit(r));
+  }
+  Request invalid = PageRankRequest("native");
+  invalid.snapshot = "ghost";
+  futures.push_back(service.Submit(invalid));
+  service.Resume();
+  service.Drain();
+  for (auto& f : futures) f.wait();
+
+  ServiceStats s = service.Stats();
+  EXPECT_EQ(s.submitted, 13u);
+  EXPECT_EQ(s.submitted, s.completed + s.failed + s.expired + s.rejected +
+                             s.invalid);
+  EXPECT_EQ(s.submitted,
+            s.admitted + s.dedup_joined + s.cache_hits + s.rejected +
+                s.invalid);
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.inflight, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Point and top-k extraction
+
+TEST(ServiceQueryTest, PointAndTopKExtractFromTheFullRun) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  Request run = PageRankRequest("native");
+  Response full = service.Call(run);
+  ASSERT_TRUE(full.status.ok());
+
+  // Payload: header line then one value per vertex.
+  std::vector<std::string> lines;
+  std::istringstream in(full.payload);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_GT(lines.size(), 8u);
+
+  Request point = run;
+  point.kind = QueryKind::kPoint;
+  point.vertex = 7;
+  Response pr = service.Call(point);
+  ASSERT_TRUE(pr.status.ok());
+  EXPECT_TRUE(pr.cache_hit) << "point query must reuse the run's execution";
+  // lines[0] is the header; vertex v's value is lines[1 + v].
+  EXPECT_EQ(pr.payload, "pagerank vertex 7 = " + lines[1 + 7] + "\n");
+
+  Request topk = run;
+  topk.kind = QueryKind::kTopK;
+  topk.k = 5;
+  Response tr = service.Call(topk);
+  ASSERT_TRUE(tr.status.ok());
+  EXPECT_TRUE(tr.cache_hit);
+  std::istringstream tin(tr.payload);
+  std::string header;
+  std::getline(tin, header);
+  EXPECT_EQ(header, "pagerank top 5");
+  double prev = std::numeric_limits<double>::infinity();
+  int rows = 0;
+  for (std::string line; std::getline(tin, line);) {
+    std::istringstream row(line);
+    uint64_t vertex;
+    double value;
+    ASSERT_TRUE(row >> vertex >> value) << line;
+    EXPECT_LE(value, prev) << "top-k must be sorted descending";
+    prev = value;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 5);
+  EXPECT_EQ(service.Stats().executed, 1u)
+      << "run, point, and top-k share one execution";
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering
+
+TEST(ServiceReportTest, JsonIsWellFormedAndMarkdownHasCounters) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  service.Call(PageRankRequest("native"));
+  service.Call(PageRankRequest("native"));  // One hit.
+  ServiceReport report = service.Report();
+  EXPECT_TRUE(testutil::JsonChecker(report.ToJson()).Valid())
+      << report.ToJson();
+  std::string md = report.ToMarkdown();
+  EXPECT_NE(md.find("cache hits"), std::string::npos);
+  EXPECT_NE(md.find("| g |"), std::string::npos) << md;
+  ASSERT_EQ(report.snapshots.size(), 1u);
+  EXPECT_EQ(report.snapshots[0].name, "g");
+  EXPECT_EQ(report.stats.cache_hits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Script driver
+
+TEST(ServeScriptTest, EndToEndScriptRunsAndReports) {
+  std::istringstream script(R"(
+# comment-only line
+load g dataset=facebook scale_adjust=-6
+pause
+run algo=pagerank engine=native snapshot=g iterations=3 repeat=3
+resume
+wait
+run algo=pagerank engine=native snapshot=g iterations=3
+bump g
+run algo=pagerank engine=native snapshot=g iterations=3
+wait
+report
+)");
+  ScriptOptions options;
+  std::ostringstream out;
+  ServiceReport report;
+  Status s = RunServeScript(script, options, out, &report);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("load g: epoch 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("bump g: epoch 2"), std::string::npos) << text;
+  // Global submission-order numbering across wait blocks: 3 (repeat) + 1
+  // (cache hit) + 1 (post-bump) = 5 responses.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NE(text.find("[" + std::to_string(i) + "] ok"), std::string::npos)
+        << "missing response line " << i << " in:\n" << text;
+  }
+  EXPECT_NE(text.find("hit=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("# Service report"), std::string::npos);
+  EXPECT_EQ(report.stats.submitted, 5u);
+  EXPECT_EQ(report.stats.executed, 2u) << "dedup + cache leave 2 executions";
+}
+
+TEST(ServeScriptTest, ScriptErrorsAreReportedWithLineNumbers) {
+  ScriptOptions options;
+  std::ostringstream out;
+  {
+    std::istringstream script("frobnicate g\n");
+    Status s = RunServeScript(script, options, out);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("line 1"), std::string::npos) << s.ToString();
+  }
+  {
+    // Submitting against a never-loaded snapshot is a request-level failure,
+    // not a script error: the response line carries the status.
+    std::istringstream script(
+        "run algo=pagerank engine=native snapshot=ghost\nwait\n");
+    std::ostringstream out2;
+    Status s = RunServeScript(script, options, out2);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_NE(out2.str().find("NOT_FOUND"), std::string::npos) << out2.str();
+  }
+  {
+    // Load failures become script errors carrying the loader's status text.
+    std::istringstream script("load g dataset=ghost\n");
+    Status s = RunServeScript(script, options, out);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("NOT_FOUND"), std::string::npos)
+        << s.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace maze::serve

@@ -165,6 +165,25 @@ TEST(ThreadPoolTest, InlineFastPathChargesSerialNotWorker) {
   EXPECT_EQ(meter.worker_nanos(), 0u);
 }
 
+TEST(ThreadPoolTest, ResizeChangesWorkerCountAndPoolStaysUsable) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2u);
+  pool.Resize(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(1000, 16, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) sum.fetch_add(1);
+  });
+  EXPECT_EQ(sum.load(), 1000u);
+  pool.Resize(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  sum = 0;
+  pool.ParallelFor(100, 16, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) sum.fetch_add(1);
+  });
+  EXPECT_EQ(sum.load(), 100u);
+}
+
 TEST(ThreadPoolTest, DefaultPoolIsUsable) {
   std::atomic<uint64_t> sum{0};
   ParallelFor(10000, 64, [&](uint64_t lo, uint64_t hi) {
