@@ -1,7 +1,10 @@
 #include "bsp/algorithms.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -10,6 +13,62 @@
 #include "util/check.h"
 
 namespace maze::bsp {
+
+namespace {
+
+// -1 = follow MAZE_BSP_ARENA (default on); 0/1 = forced by SetArenaEnabled.
+std::atomic<int> g_arena_force{-1};
+
+std::atomic<uint64_t> g_boxed_requests{0};
+std::atomic<uint64_t> g_pool_reused{0};
+std::atomic<uint64_t> g_pool_slab_allocations{0};
+std::atomic<uint64_t> g_pool_slab_bytes{0};
+std::atomic<uint64_t> g_heap_boxed{0};
+
+}  // namespace
+
+bool ArenaEnabled() {
+  int force = g_arena_force.load(std::memory_order_relaxed);
+  if (force >= 0) return force != 0;
+  const char* env = std::getenv("MAZE_BSP_ARENA");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+void SetArenaEnabled(int force) {
+  g_arena_force.store(force < 0 ? -1 : (force != 0 ? 1 : 0),
+                      std::memory_order_relaxed);
+}
+
+void ResetArenaCounters() {
+  g_boxed_requests.store(0, std::memory_order_relaxed);
+  g_pool_reused.store(0, std::memory_order_relaxed);
+  g_pool_slab_allocations.store(0, std::memory_order_relaxed);
+  g_pool_slab_bytes.store(0, std::memory_order_relaxed);
+  g_heap_boxed.store(0, std::memory_order_relaxed);
+}
+
+ArenaCounters GetArenaCounters() {
+  ArenaCounters c;
+  c.boxed_requests = g_boxed_requests.load(std::memory_order_relaxed);
+  c.pool_reused = g_pool_reused.load(std::memory_order_relaxed);
+  c.pool_slab_allocations =
+      g_pool_slab_allocations.load(std::memory_order_relaxed);
+  c.pool_slab_bytes = g_pool_slab_bytes.load(std::memory_order_relaxed);
+  c.heap_boxed = g_heap_boxed.load(std::memory_order_relaxed);
+  return c;
+}
+
+namespace internal {
+void AccumulateArenaCounters(const ArenaCounters& c) {
+  g_boxed_requests.fetch_add(c.boxed_requests, std::memory_order_relaxed);
+  g_pool_reused.fetch_add(c.pool_reused, std::memory_order_relaxed);
+  g_pool_slab_allocations.fetch_add(c.pool_slab_allocations,
+                                    std::memory_order_relaxed);
+  g_pool_slab_bytes.fetch_add(c.pool_slab_bytes, std::memory_order_relaxed);
+  g_heap_boxed.fetch_add(c.heap_boxed, std::memory_order_relaxed);
+}
+}  // namespace internal
+
 namespace {
 
 // --- PageRank (Algorithm 1) ---------------------------------------------------
@@ -29,7 +88,7 @@ class PageRankBsp : public BspProgram<PrValue, double> {
   }
 
   void Fold(VertexId, PrValue* value,
-            const std::vector<std::unique_ptr<double>>& batch) override {
+            const std::vector<Boxed<double>>& batch) override {
     for (const auto& m : batch) value->partial += *m;
   }
 
@@ -70,7 +129,7 @@ class BfsBsp : public BspProgram<BfsValue, uint32_t> {
   }
 
   void Fold(VertexId, BfsValue* value,
-            const std::vector<std::unique_ptr<uint32_t>>& batch) override {
+            const std::vector<Boxed<uint32_t>>& batch) override {
     for (const auto& m : batch) value->candidate = std::min(value->candidate, *m);
   }
 
@@ -103,8 +162,7 @@ class TriangleBsp : public BspProgram<uint64_t, std::vector<VertexId>> {
   void Init(VertexId, const Graph&, uint64_t* value) override { *value = 0; }
 
   void Fold(VertexId v, uint64_t* value,
-            const std::vector<std::unique_ptr<std::vector<VertexId>>>& batch)
-      override {
+            const std::vector<Boxed<std::vector<VertexId>>>& batch) override {
     const auto own = g_.OutNeighbors(v);
     for (const auto& list : batch) {
       for (VertexId w : *list) {
@@ -164,7 +222,7 @@ class CfBsp : public BspProgram<CfValue, CfMessage> {
   }
 
   void Fold(VertexId v, CfValue* value,
-            const std::vector<std::unique_ptr<CfMessage>>& batch) override {
+            const std::vector<Boxed<CfMessage>>& batch) override {
     bool is_user = v < ratings_.num_users();
     double lambda = is_user ? options_.lambda_p : options_.lambda_q;
     for (const auto& m : batch) {
@@ -231,7 +289,7 @@ class CcBsp : public BspProgram<CcValue, VertexId> {
   }
 
   void Fold(VertexId, CcValue* value,
-            const std::vector<std::unique_ptr<VertexId>>& batch) override {
+            const std::vector<Boxed<VertexId>>& batch) override {
     for (const auto& m : batch) value->candidate = std::min(value->candidate, *m);
   }
 

@@ -40,10 +40,40 @@
 #include "rt/sim_clock.h"
 #include "util/bitvector.h"
 #include "util/check.h"
+#include "util/freelist.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace maze::bsp {
+
+// --- Boxed-message arena (DESIGN.md §4f) -------------------------------------
+// Messages stay individually boxed — that is the modeled JVM-object pathology,
+// and every modeled cost (BoxedBytes, wire bytes, msgbuf watermarks) is
+// computed from counts exactly as before. But the *host-side* allocation
+// behind each box defaults to per-rank util::FreeListPool arenas instead of
+// one heap allocation per message. MAZE_BSP_ARENA=0 (or SetArenaEnabled(0))
+// restores heap boxing, which the differential tests and bench_hotpath use as
+// the before/after baseline; outputs are byte-identical either way.
+
+// True unless MAZE_BSP_ARENA=0 (or a test forced a value).
+bool ArenaEnabled();
+// 1/0 forces the arena on/off for subsequent engines; -1 restores the env.
+void SetArenaEnabled(int force);
+
+// Process-wide allocation accounting, accumulated by engines at the end of
+// each Run (bench_hotpath's allocation-count evidence).
+struct ArenaCounters {
+  uint64_t boxed_requests = 0;         // Messages boxed (either mode).
+  uint64_t pool_reused = 0;            // Served from a free list.
+  uint64_t pool_slab_allocations = 0;  // Heap allocations backing the pools.
+  uint64_t pool_slab_bytes = 0;
+  uint64_t heap_boxed = 0;             // Arena-off: one heap allocation each.
+};
+void ResetArenaCounters();
+ArenaCounters GetArenaCounters();
+namespace internal {
+void AccumulateArenaCounters(const ArenaCounters& c);
+}  // namespace internal
 
 // Giraph deployment knobs.
 struct BspOptions {
@@ -79,6 +109,11 @@ class BspContext {
   int superstep_ = 0;
 };
 
+// One boxed message: pool-backed by default, heap-backed when the arena is
+// off (the deleter knows which — receivers treat both identically).
+template <typename Message>
+using Boxed = util::PoolPtr<Message>;
+
 // Vertex program, dispatched virtually per vertex per superstep.
 template <typename Value, typename Message>
 class BspProgram {
@@ -87,7 +122,7 @@ class BspProgram {
   virtual void Init(VertexId v, const Graph& g, Value* value) = 0;
   // Consumes one batch of boxed messages addressed to v.
   virtual void Fold(VertexId v, Value* value,
-                    const std::vector<std::unique_ptr<Message>>& batch) = 0;
+                    const std::vector<Boxed<Message>>& batch) = 0;
   // Runs once per superstep per active vertex; returns true while the program
   // wants further supersteps (meaningful for all-active programs).
   virtual bool Compute(BspContext<Message>* ctx, VertexId v, Value* value) = 0;
@@ -108,7 +143,15 @@ class BspEngine {
         options_(options),
         clock_(config.num_ranks, config.comm, config.trace, config.faults),
         part_(rt::Partition1D::VertexBalanced(g.num_vertices(),
-                                              config.num_ranks)) {}
+                                              config.num_ranks)),
+        arena_on_(ArenaEnabled()) {
+    if (arena_on_) {
+      pools_.reserve(config.num_ranks);
+      for (int p = 0; p < config.num_ranks; ++p) {
+        pools_.push_back(std::make_unique<util::FreeListPool<Message>>());
+      }
+    }
+  }
 
   int Run(BspProgram<Value, Message>* program, int max_supersteps);
 
@@ -126,6 +169,13 @@ class BspEngine {
   // Per-message resident cost: payload + JVM object header + reference.
   static size_t BoxedBytes() { return sizeof(Message) + 16 + 8; }
 
+  // Boxes one message on `pool` (the sender rank's arena) or the heap.
+  template <typename M>
+  static Boxed<Message> Box(util::FreeListPool<Message>* pool, M&& m) {
+    return pool != nullptr ? pool->Make(std::forward<M>(m))
+                           : util::HeapBoxed<Message>(std::forward<M>(m));
+  }
+
   const Graph& g_;
   rt::EngineConfig config_;
   BspOptions options_;
@@ -133,6 +183,14 @@ class BspEngine {
   rt::Partition1D part_;
   std::vector<Value> values_;
   uint64_t peak_buffer_bytes_ = 0;
+  // Per-rank boxed-message arenas (empty when MAZE_BSP_ARENA=0).
+  bool arena_on_;
+  std::vector<std::unique_ptr<util::FreeListPool<Message>>> pools_;
+  uint64_t boxed_requests_ = 0;  // Flush/checkpoint only: serialized contexts.
+  // Outbox histogram handles, resolved once per engine instead of one registry
+  // lookup per rank-flush (the Exchange/SimClock handle-caching fix, PR 2).
+  obs::Histogram* outbox_messages_hist_ = nullptr;
+  obs::Histogram* outbox_bytes_hist_ = nullptr;
 };
 
 template <typename Value, typename Message>
@@ -155,7 +213,7 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
   // splitting, receivers fold pending messages every mini-step, so only one
   // mini-step's volume is ever live — this requires Fold to be commutative,
   // which all four study algorithms satisfy.
-  std::vector<std::vector<std::unique_ptr<Message>>> inbox(n);
+  std::vector<std::vector<Boxed<Message>>> inbox(n);
   Bitvector has_msg(n);
   uint64_t live_inbox_bytes = 0;
 
@@ -201,7 +259,7 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
   std::vector<Value, obs::CountingAllocator<Value>> ckpt_values(
       obs::CountingAllocator<Value>(&clock_.arena(), 0,
                                     obs::MemPhase::kEngineState));
-  std::vector<std::vector<std::unique_ptr<Message>>> ckpt_inbox;
+  std::vector<std::vector<Boxed<Message>>> ckpt_inbox;
   Bitvector ckpt_has_msg;
   uint64_t ckpt_inbox_bytes = 0;
   uint64_t ckpt_charged_msgbuf = 0;  // Boxed-copy bytes charged to the arena.
@@ -218,6 +276,11 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
     }
   };
 
+  // Snapshot/restore copies run on the orchestration thread between barriers;
+  // they box through rank 0's arena (handle hoisted out of the copy loops).
+  util::FreeListPool<Message>* ckpt_pool =
+      arena_on_ ? pools_[0].get() : nullptr;
+
   auto take_checkpoint = [&](int step) {
     ckpt_superstep = step;
     ckpt_values.assign(values_.begin(), values_.end());
@@ -230,10 +293,11 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
       if (inbox[v].empty()) continue;
       ckpt_inbox[v].reserve(inbox[v].size());
       for (const auto& m : inbox[v]) {
-        ckpt_inbox[v].push_back(std::make_unique<Message>(*m));
+        ckpt_inbox[v].push_back(Box(ckpt_pool, *m));
       }
       copied_messages += inbox[v].size();
     }
+    boxed_requests_ += copied_messages;
     ckpt_has_msg = has_msg;
     ckpt_inbox_bytes = live_inbox_bytes;
     ckpt_charged_msgbuf = copied_messages * BoxedBytes();
@@ -247,15 +311,18 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
 
   auto restore_checkpoint = [&]() {
     values_.assign(ckpt_values.begin(), ckpt_values.end());
+    uint64_t replayed_messages = 0;
     for (VertexId v = 0; v < n; ++v) {
       inbox[v].clear();
       if (!ckpt_inbox[v].empty()) {
         inbox[v].reserve(ckpt_inbox[v].size());
         for (const auto& m : ckpt_inbox[v]) {
-          inbox[v].push_back(std::make_unique<Message>(*m));
+          inbox[v].push_back(Box(ckpt_pool, *m));
         }
+        replayed_messages += ckpt_inbox[v].size();
       }
     }
+    boxed_requests_ += replayed_messages;
     has_msg = ckpt_has_msg;
     live_inbox_bytes = ckpt_inbox_bytes;
     charge_snapshot_io(static_cast<uint64_t>(n) * sizeof(Value) +
@@ -290,8 +357,7 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
     bool wants_more = false;
     uint64_t messages_sent_this_superstep = 0;
     // Classic (unphased) BSP: messages become visible next superstep.
-    std::vector<std::vector<std::unique_ptr<Message>>> next_inbox(
-        phases == 1 ? n : 0);
+    std::vector<std::vector<Boxed<Message>>> next_inbox(phases == 1 ? n : 0);
     Bitvector next_has(phases == 1 ? n : 0);
     uint64_t next_inbox_bytes = 0;
 
@@ -303,15 +369,21 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
         // Phased mode: drain arrived messages before this mini-step's sends.
         if (phases > 1) live_inbox_bytes -= drain_rank(p);
 
+        // The rank's arena handle, resolved once per rank per phase — the
+        // inner send loop boxes straight off this pointer instead of
+        // re-resolving pool/mode state per message.
+        util::FreeListPool<Message>* pool =
+            arena_on_ ? pools_[p].get() : nullptr;
+
         // Outbox for this rank & phase (with phases == 1 this is the
         // full-superstep buffering the paper criticizes).
-        std::vector<std::pair<VertexId, std::unique_ptr<Message>>> outbox;
+        std::vector<std::pair<VertexId, Boxed<Message>>> outbox;
         std::mutex mu;
         bool rank_more = false;
         ParallelFor(part_.Size(p), 64, [&](uint64_t lo, uint64_t hi) {
           BspContext<Message> ctx;
           ctx.superstep_ = superstep;
-          std::vector<std::pair<VertexId, std::unique_ptr<Message>>> local;
+          std::vector<std::pair<VertexId, Boxed<Message>>> local;
           bool local_more = false;
           for (VertexId v = part_.Begin(p) + static_cast<VertexId>(lo);
                v < part_.Begin(p) + static_cast<VertexId>(hi); ++v) {
@@ -328,11 +400,11 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
             local_more = local_more || more;
             if (ctx.send_all_) {
               for (VertexId dst : g_.OutNeighbors(v)) {
-                local.emplace_back(dst, std::make_unique<Message>(ctx.payload_));
+                local.emplace_back(dst, Box(pool, ctx.payload_));
               }
             }
             for (auto& [dst, m] : ctx.targeted_) {
-              local.emplace_back(dst, std::make_unique<Message>(std::move(m)));
+              local.emplace_back(dst, Box(pool, std::move(m)));
             }
           }
           std::lock_guard<std::mutex> lock(mu);
@@ -348,6 +420,7 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
         // turnstile — it mutates superstep-shared buffers and accounting.
         turns.Run(p, [&] {
           wants_more = wants_more || rank_more;
+          boxed_requests_ += outbox.size();
           uint64_t outbox_bytes = outbox.size() * BoxedBytes();
           peak_buffer_bytes_ =
               std::max(peak_buffer_bytes_,
@@ -358,8 +431,15 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
 
           rt::RankTimer deliver_timer;
           if (obs::Enabled()) {
-            obs::GetHistogram("bspgraph.outbox_messages").Record(outbox.size());
-            obs::GetHistogram("bspgraph.outbox_bytes").Record(outbox_bytes);
+            // Registry handles resolved once per engine (we're serialized
+            // under the turnstile), not one map lookup per rank-flush.
+            if (outbox_messages_hist_ == nullptr) {
+              outbox_messages_hist_ =
+                  &obs::GetHistogram("bspgraph.outbox_messages");
+              outbox_bytes_hist_ = &obs::GetHistogram("bspgraph.outbox_bytes");
+            }
+            outbox_messages_hist_->Record(outbox.size());
+            outbox_bytes_hist_->Record(outbox_bytes);
           }
           std::vector<uint64_t> bytes_to(ranks, 0);
           for (auto& [dst, m] : outbox) {
@@ -418,6 +498,25 @@ int BspEngine<Value, Message>::Run(BspProgram<Value, Message>* program,
   // The snapshot's boxed-message copies die with Run; their footprint stays in
   // the watermark.
   clock_.ReleaseMemory(0, obs::MemPhase::kMessageBuffers, ckpt_charged_msgbuf);
+
+  // Fold this run's allocation behavior into the process-wide counters
+  // (bench_hotpath's evidence that the arena collapses per-message mallocs
+  // into O(slabs) heap allocations).
+  {
+    ArenaCounters c;
+    c.boxed_requests = boxed_requests_;
+    if (arena_on_) {
+      for (const auto& pool : pools_) {
+        auto s = pool->GetStats();
+        c.pool_reused += s.reused;
+        c.pool_slab_allocations += s.slab_allocations;
+        c.pool_slab_bytes += s.slab_bytes;
+      }
+    } else {
+      c.heap_boxed = boxed_requests_;
+    }
+    internal::AccumulateArenaCounters(c);
+  }
 
   clock_.ChargeMemory(0, obs::MemPhase::kGraph,
                       g_.MemoryBytes() / std::max(1, ranks));

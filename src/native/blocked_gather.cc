@@ -1,0 +1,118 @@
+#include "native/blocked_gather.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace maze::native {
+namespace {
+
+constexpr size_t kFallbackLlcBytes = 2u << 20;
+constexpr size_t kMinWindowVertices = 4096;
+
+// Blocking only pays once the gathered values spill the last-level cache, so
+// the window is sized against LLC (L3 when present, else L2). Sizing it
+// against an inner level on a big-L3 part makes the kernel slower: the values
+// were already cache-resident and the extra per-window passes are pure cost.
+size_t DetectLlcBytes() {
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  long l3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
+  if (l3 > 0) return static_cast<size_t>(l3);
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  long l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (l2 > 0) return static_cast<size_t>(l2);
+#endif
+  return kFallbackLlcBytes;
+}
+
+size_t DetectL2Bytes() {
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  long l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (l2 > 0) return static_cast<size_t>(l2);
+#endif
+  return 1u << 20;
+}
+
+}  // namespace
+
+size_t InnerCacheBytes() {
+  static const size_t l2 = DetectL2Bytes();
+  return l2;
+}
+
+size_t GatherWindowVertices(size_t value_bytes) {
+  if (const char* env = std::getenv("MAZE_HOTPATH_WINDOW")) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && v > 0) return static_cast<size_t>(v);
+  }
+  // Half of LLC: the window's values share the cache with the row id stream
+  // and the accumulators.
+  static const size_t llc = DetectLlcBytes();
+  size_t w = (llc / 2) / (value_bytes == 0 ? 1 : value_bytes);
+  return w < kMinWindowVertices ? kMinWindowVertices : w;
+}
+
+GatherBlocks GatherBlocks::Build(const EdgeId* offsets, const VertexId* targets,
+                                 VertexId row_begin, VertexId row_end,
+                                 VertexId src_begin, VertexId src_end,
+                                 size_t window) {
+  GatherBlocks gb;
+  uint64_t span = src_end > src_begin ? src_end - src_begin : 0;
+  gb.num_blocks =
+      window == 0 ? 1 : static_cast<int>((span + window - 1) / window);
+  if (gb.num_blocks <= 1) return gb;
+
+  // Walks every (row, window) run once; each row's targets are sorted, so a
+  // run ends at the first target past the window's upper bound.
+  auto for_each_run = [&](auto&& fn) {
+    for (VertexId v = row_begin; v < row_end; ++v) {
+      EdgeId e = offsets[v];
+      const EdgeId e_end = offsets[v + 1];
+      while (e < e_end) {
+        size_t b = (targets[e] - src_begin) / window;
+        uint64_t upper = static_cast<uint64_t>(src_begin) + (b + 1) * window;
+        EdgeId run_end;
+        if (upper >= src_end) {
+          run_end = e_end;
+        } else {
+          const VertexId* it =
+              std::lower_bound(targets + e, targets + e_end,
+                               static_cast<VertexId>(upper));
+          run_end = static_cast<EdgeId>(it - targets);
+        }
+        fn(b, v, e, run_end);
+        e = run_end;
+      }
+    }
+  };
+
+  // Pass 1: count segments per window; pass 2: place them in window order.
+  std::vector<size_t> counts(static_cast<size_t>(gb.num_blocks), 0);
+  for_each_run([&](size_t b, VertexId, EdgeId, EdgeId) { ++counts[b]; });
+
+  gb.seg_off.resize(static_cast<size_t>(gb.num_blocks) + 1, 0);
+  for (int b = 0; b < gb.num_blocks; ++b) {
+    gb.seg_off[b + 1] = gb.seg_off[b] + counts[b];
+  }
+  size_t total = gb.seg_off.back();
+  gb.seg_row.resize(total);
+  gb.seg_begin.resize(total);
+  gb.seg_end.resize(total);
+
+  std::vector<size_t> cursor(gb.seg_off.begin(), gb.seg_off.end() - 1);
+  for_each_run([&](size_t b, VertexId v, EdgeId e, EdgeId run_end) {
+    size_t s = cursor[b]++;
+    gb.seg_row[s] = v - row_begin;
+    gb.seg_begin[s] = e;
+    gb.seg_end[s] = run_end;
+  });
+  return gb;
+}
+
+}  // namespace maze::native

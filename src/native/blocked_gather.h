@@ -1,0 +1,69 @@
+// Cache-blocked CSR gather schedule (Section 6.1 optimization catalogue;
+// GraphMat-style backend blocking, DESIGN.md §4f).
+//
+// A pull-direction gather (`for each row v: for each in-edge (u, v): acc +=
+// contrib[u]`) streams the row's sorted source ids but hits contrib[] all over
+// memory; once contrib outgrows the last-level cache, every edge is a
+// potential cache miss. The fix is source blocking: split the source-vertex
+// range into windows sized to half of LLC and process all edges whose source
+// falls in window b before moving to window b+1 — contrib[window] stays hot
+// while every row touching it is drained.
+//
+// Because each CSR row's in-targets are sorted ascending (guaranteed by
+// Graph::BuildCsr), a row's edges within one window form one contiguous
+// sub-range of its edge list, and windows are visited in ascending order, so a
+// per-row running accumulator sees the exact same FP addition sequence as the
+// plain row-major loop: blocked results are bit-identical, not just close.
+// That is what lets MAZE_NATIVE_OPT be differentially tested for equality.
+//
+// The schedule (which rows intersect which window, and where) is static per
+// graph slice, so it is built once and reused every iteration. Rows are
+// distinct within a window (at most one segment per (row, window)), so the
+// per-window segment list can be processed by ParallelFor race-free.
+#ifndef MAZE_NATIVE_BLOCKED_GATHER_H_
+#define MAZE_NATIVE_BLOCKED_GATHER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace maze::native {
+
+// Source-window width (in source vertices) for gathers whose per-source value
+// is `value_bytes` wide: half of the last-level cache (L3 via sysconf, else
+// L2, 2 MiB fallback), floor 4096 vertices. MAZE_HOTPATH_WINDOW=<vertices>
+// overrides.
+size_t GatherWindowVertices(size_t value_bytes);
+
+// Detected L2 size (1 MiB fallback). Software prefetch of gathered values only
+// pays when the gathered span spills this level; below it the loads already
+// hit and the prefetch instructions are pure overhead.
+size_t InnerCacheBytes();
+
+struct GatherBlocks {
+  // Segment s covers local row seg_row[s] (relative to the row_begin passed to
+  // Build) and edge indices [seg_begin[s], seg_end[s]) of the caller's target
+  // array; segments of window b are [seg_off[b], seg_off[b+1]).
+  int num_blocks = 0;
+  std::vector<size_t> seg_off;
+  std::vector<VertexId> seg_row;
+  std::vector<EdgeId> seg_begin;
+  std::vector<EdgeId> seg_end;
+
+  // Blocking only pays when the source range spans multiple windows.
+  bool active() const { return num_blocks > 1; }
+
+  // Builds the schedule for rows [row_begin, row_end) of a CSR given by
+  // `offsets`/`targets`, where target (source) ids span [src_begin, src_end)
+  // and each row's targets are sorted ascending. `window` is the source-window
+  // width in vertices (see GatherWindowVertices).
+  static GatherBlocks Build(const EdgeId* offsets, const VertexId* targets,
+                            VertexId row_begin, VertexId row_end,
+                            VertexId src_begin, VertexId src_end,
+                            size_t window);
+};
+
+}  // namespace maze::native
+
+#endif  // MAZE_NATIVE_BLOCKED_GATHER_H_

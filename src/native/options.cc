@@ -1,0 +1,27 @@
+#include "native/options.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace maze::native {
+namespace {
+
+// -1 = follow MAZE_NATIVE_OPT (default off); 0/1 = forced by a test/bench.
+std::atomic<int> g_native_opt_force{-1};
+
+}  // namespace
+
+bool NativeOptEnabled() {
+  int force = g_native_opt_force.load(std::memory_order_relaxed);
+  if (force >= 0) return force != 0;
+  const char* env = std::getenv("MAZE_NATIVE_OPT");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+void SetNativeOptForTesting(int force) {
+  g_native_opt_force.store(force < 0 ? -1 : (force != 0 ? 1 : 0),
+                           std::memory_order_relaxed);
+}
+
+}  // namespace maze::native

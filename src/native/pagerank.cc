@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "native/blocked_gather.h"
 #include "obs/obs.h"
 #include "rt/partition.h"
 #include "rt/rank_exec.h"
@@ -49,6 +50,75 @@ void GatherRange(const Graph& g, VertexId begin, VertexId end, double jump,
         }
       }
       (*new_pr)[v] = jump + (1.0 - jump) * sum;
+    }
+  });
+}
+
+// Branch-lean edge-run accumulation off raw pointers: the split main loop
+// prefetches unconditionally and carries no per-edge bounds check, so the
+// compiler can unroll/vectorize the gather address stream.
+inline double AccumulateRun(const VertexId* targets, const double* contrib,
+                            EdgeId e, EdgeId e_end, double sum,
+                            bool prefetch) {
+  if (prefetch && e_end - e > static_cast<EdgeId>(kPrefetchDistance)) {
+    EdgeId main_end = e_end - kPrefetchDistance;
+    for (; e < main_end; ++e) {
+      PrefetchRead(&contrib[targets[e + kPrefetchDistance]]);
+      sum += contrib[targets[e]];
+    }
+  }
+  for (; e < e_end; ++e) {
+    sum += contrib[targets[e]];
+  }
+  return sum;
+}
+
+// MAZE_NATIVE_OPT gather (DESIGN.md §4f): same FP addition sequence as
+// GatherRange — identical per-row edge order, running accumulator from 0.0,
+// one final jump + (1-jump)*sum — so results are bit-identical. What changes
+// is the memory schedule: with a blocking plan, edges are visited one
+// contrib[] source window at a time so the window stays L2-resident.
+void GatherRangeOpt(const Graph& g, VertexId begin, VertexId end, double jump,
+                    const std::vector<double>& contrib,
+                    std::vector<double>* new_pr, bool prefetch,
+                    const GatherBlocks& blocks) {
+  const EdgeId* offsets = g.in_offsets().data();
+  const VertexId* targets = g.in_targets().data();
+  const double* c = contrib.data();
+  double* out = new_pr->data();
+  if (!blocks.active()) {
+    ParallelFor(end - begin, 256, [&](uint64_t lo, uint64_t hi) {
+      for (VertexId v = begin + static_cast<VertexId>(lo);
+           v < begin + static_cast<VertexId>(hi); ++v) {
+        double sum = AccumulateRun(targets, c, offsets[v], offsets[v + 1], 0.0,
+                                   prefetch);
+        out[v] = jump + (1.0 - jump) * sum;
+      }
+    });
+    return;
+  }
+  // Accumulate in new_pr itself: zero, drain the windows in ascending order
+  // (each row's running sum picks up where the previous window left it), then
+  // finalize. Rows are distinct within a window, so the per-window segment
+  // list parallelizes race-free.
+  ParallelFor(end - begin, 4096, [&](uint64_t lo, uint64_t hi) {
+    std::fill(out + begin + lo, out + begin + hi, 0.0);
+  });
+  for (int b = 0; b < blocks.num_blocks; ++b) {
+    const size_t s_begin = blocks.seg_off[b];
+    const size_t s_end = blocks.seg_off[b + 1];
+    ParallelFor(s_end - s_begin, 64, [&](uint64_t lo, uint64_t hi) {
+      for (size_t s = s_begin + lo; s < s_begin + hi; ++s) {
+        VertexId v = begin + blocks.seg_row[s];
+        out[v] = AccumulateRun(targets, c, blocks.seg_begin[s],
+                               blocks.seg_end[s], out[v], prefetch);
+      }
+    });
+  }
+  ParallelFor(end - begin, 4096, [&](uint64_t lo, uint64_t hi) {
+    for (VertexId v = begin + static_cast<VertexId>(lo);
+         v < begin + static_cast<VertexId>(hi); ++v) {
+      out[v] = jump + (1.0 - jump) * out[v];
     }
   });
 }
@@ -121,6 +191,25 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
   std::vector<double> new_pr(n, 0.0);
   std::vector<double> contrib(n, 0.0);
 
+  // MAZE_NATIVE_OPT: cache-blocking plans, built once per rank slice (the
+  // schedule is static across iterations) and only when contrib[] actually
+  // spans multiple LLC-sized source windows.
+  const bool opt = NativeOptEnabled();
+  std::vector<GatherBlocks> blocks(opt ? static_cast<size_t>(ranks) : 0);
+  // The opt gather prefetches only once contrib[] spills L2; below that the
+  // gathered loads already hit and prefetch instructions are pure overhead.
+  const bool opt_prefetch =
+      native.software_prefetch &&
+      static_cast<size_t>(n) * sizeof(double) > InnerCacheBytes();
+  if (opt) {
+    size_t window = GatherWindowVertices(sizeof(double));
+    for (int p = 0; p < ranks; ++p) {
+      blocks[p] = GatherBlocks::Build(g.in_offsets().data(),
+                                      g.in_targets().data(), part.Begin(p),
+                                      part.End(p), 0, n, window);
+    }
+  }
+
   uint64_t buffer_bytes = 0;
   int executed_iterations = 0;
   for (int iter = 0; iter < options.iterations; ++iter) {
@@ -131,13 +220,28 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
       rt::RankTimer t;
       VertexId b = part.Begin(p);
       VertexId e = part.End(p);
-      ParallelFor(e - b, 1024, [&](uint64_t lo, uint64_t hi) {
-        for (VertexId v = b + static_cast<VertexId>(lo);
-             v < b + static_cast<VertexId>(hi); ++v) {
-          EdgeId deg = g.OutDegree(v);
-          contrib[v] = deg > 0 ? pr[v] / static_cast<double>(deg) : 0.0;
-        }
-      });
+      if (opt) {
+        // Elementwise over raw pointers — no aliasing through the vector,
+        // vectorizable (per-element, so FP results are unchanged).
+        const EdgeId* ooff = g.out_offsets().data();
+        const double* pr_p = pr.data();
+        double* contrib_p = contrib.data();
+        ParallelFor(e - b, 1024, [&](uint64_t lo, uint64_t hi) {
+          for (VertexId v = b + static_cast<VertexId>(lo);
+               v < b + static_cast<VertexId>(hi); ++v) {
+            EdgeId deg = ooff[v + 1] - ooff[v];
+            contrib_p[v] = deg > 0 ? pr_p[v] / static_cast<double>(deg) : 0.0;
+          }
+        });
+      } else {
+        ParallelFor(e - b, 1024, [&](uint64_t lo, uint64_t hi) {
+          for (VertexId v = b + static_cast<VertexId>(lo);
+               v < b + static_cast<VertexId>(hi); ++v) {
+            EdgeId deg = g.OutDegree(v);
+            contrib[v] = deg > 0 ? pr[v] / static_cast<double>(deg) : 0.0;
+          }
+        });
+      }
       double seconds = t.Seconds();
       clock.RecordCompute(p, seconds);
       obs::EmitSpanEndingNow("contrib", "native", p, iter, seconds);
@@ -164,8 +268,13 @@ rt::PageRankResult PageRank(const Graph& g, const rt::PageRankOptions& options,
     // barrier above guarantees every rank's contrib slice is complete.
     rt::ForEachRank(ranks, [&](int p) {
       rt::RankTimer t;
-      GatherRange(g, part.Begin(p), part.End(p), options.jump, contrib, &new_pr,
-                  native.software_prefetch);
+      if (opt) {
+        GatherRangeOpt(g, part.Begin(p), part.End(p), options.jump, contrib,
+                       &new_pr, opt_prefetch, blocks[p]);
+      } else {
+        GatherRange(g, part.Begin(p), part.End(p), options.jump, contrib,
+                    &new_pr, native.software_prefetch);
+      }
       double seconds = t.Seconds();
       clock.RecordCompute(p, seconds);
       obs::EmitSpanEndingNow("gather", "native", p, iter, seconds);

@@ -1,0 +1,288 @@
+// Free-list arena for small fixed-size objects: the bsp engine's boxed-message
+// allocator (ROADMAP item 5, cf. the FreeList/FreeListVector exemplars in
+// SNIPPETS.md).
+//
+// The Giraph-like engine really pays one heap allocation per message — that is
+// the modeled pathology, and the modeled BoxedBytes() costs stay exactly as
+// they are. What this pool removes is the *host-side* malloc/free per message:
+// blocks are carved from geometrically growing slabs and recycled through an
+// intrusive free list, so a run of S supersteps over E edges does O(slabs)
+// heap allocations instead of O(S * E).
+//
+// Concurrency: rank tasks allocate and free concurrently (a rank's ParallelFor
+// workers box messages in parallel, and a message allocated by its sender is
+// freed by whichever rank folds it). The free list is striped: each thread
+// pushes/pops on its own stripe under a spinlock, so the uncontended hot path
+// is one CAS + one store per operation. Stripes refill from a central bump
+// region in batches, stealing another stripe's list before growing a new slab
+// so producer/consumer thread patterns cannot grow memory without bound.
+//
+// PoolPtr<T> is a unique_ptr whose deleter knows the owning pool; a null pool
+// falls back to operator delete, so arena-on and arena-off code paths share
+// one box type (the MAZE_BSP_ARENA differential toggle).
+#ifndef MAZE_UTIL_FREELIST_H_
+#define MAZE_UTIL_FREELIST_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace maze::util {
+
+namespace internal {
+
+// Dense thread ids for stripe selection: threads are numbered on first use, so
+// a pool of worker threads maps onto distinct stripes instead of hashing
+// std::thread::id per operation.
+inline unsigned ThreadStripeId() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Minimal spinlock; critical sections below are a handful of instructions.
+// Yields while spinning so a 1-core host cannot livelock against the holder.
+struct SpinLock {
+  std::atomic_flag flag = ATOMIC_FLAG_INIT;
+  void lock() {
+    while (flag.test_and_set(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  void unlock() { flag.clear(std::memory_order_release); }
+};
+
+}  // namespace internal
+
+template <typename T>
+class FreeListPool;
+
+// Deleter carried by PoolPtr: destroys the object and returns its block to the
+// owning pool, or plain-deletes when no pool is bound (heap-boxed fallback).
+template <typename T>
+struct PoolDeleter {
+  FreeListPool<T>* pool = nullptr;
+  void operator()(T* p) const;
+};
+
+template <typename T>
+using PoolPtr = std::unique_ptr<T, PoolDeleter<T>>;
+
+// Heap-allocated box sharing PoolPtr's type: the arena-off path.
+template <typename T, typename... Args>
+PoolPtr<T> HeapBoxed(Args&&... args) {
+  return PoolPtr<T>(new T(std::forward<Args>(args)...), PoolDeleter<T>{nullptr});
+}
+
+template <typename T>
+class FreeListPool {
+ public:
+  // Blocks double as intrusive free-list nodes, so they are at least
+  // pointer-sized and pointer-aligned even for tiny message types.
+  static constexpr size_t kBlockSize =
+      sizeof(T) < sizeof(void*) ? sizeof(void*) : sizeof(T);
+  static constexpr size_t kBlockAlign =
+      alignof(T) < alignof(void*) ? alignof(void*) : alignof(T);
+
+  struct Stats {
+    uint64_t requests = 0;          // New/Make calls served.
+    uint64_t reused = 0;            // Served from a free list (not fresh carve).
+    uint64_t freed = 0;             // Delete calls.
+    uint64_t slab_allocations = 0;  // Heap allocations backing the pool.
+    uint64_t slab_bytes = 0;
+    uint64_t live() const { return requests - freed; }
+  };
+
+  FreeListPool() = default;
+  FreeListPool(const FreeListPool&) = delete;
+  FreeListPool& operator=(const FreeListPool&) = delete;
+
+  ~FreeListPool() {
+    // Every block must be dead (its T destructed) before the slabs go away;
+    // PoolPtr guarantees this for anything it owned.
+    MAZE_DCHECK(GetStats().live() == 0);
+    for (void* slab : slabs_) {
+      ::operator delete(slab, std::align_val_t{kBlockAlign});
+    }
+  }
+
+  // Constructs a T in a pooled block.
+  template <typename... Args>
+  T* New(Args&&... args) {
+    void* block = AllocateBlock();
+    try {
+      return new (block) T(std::forward<Args>(args)...);
+    } catch (...) {
+      DeallocateBlock(block);
+      throw;
+    }
+  }
+
+  // Destroys a pool-owned T and recycles its block.
+  void Delete(T* p) {
+    p->~T();
+    DeallocateBlock(p);
+  }
+
+  // New, wrapped so destruction returns the block here automatically.
+  template <typename... Args>
+  PoolPtr<T> Make(Args&&... args) {
+    return PoolPtr<T>(New(std::forward<Args>(args)...), PoolDeleter<T>{this});
+  }
+
+  // Folds per-stripe counters; a consistent snapshot only when no concurrent
+  // allocation is in flight (how the engine and tests use it).
+  Stats GetStats() const {
+    Stats s;
+    for (const Stripe& stripe : stripes_) {
+      stripe.lock.lock();
+      s.requests += stripe.requests;
+      s.reused += stripe.reused;
+      s.freed += stripe.freed;
+      stripe.lock.unlock();
+    }
+    central_lock_.lock();
+    s.slab_allocations = slab_allocations_;
+    s.slab_bytes = slab_bytes_;
+    central_lock_.unlock();
+    return s;
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static constexpr int kStripes = 8;  // Power of two.
+  static constexpr size_t kRefillBlocks = 64;
+  static constexpr size_t kMinSlabBlocks = 256;
+  static constexpr size_t kMaxSlabBlocks = 1 << 16;
+
+  struct alignas(64) Stripe {
+    mutable internal::SpinLock lock;
+    FreeNode* head = nullptr;
+    uint64_t requests = 0;
+    uint64_t reused = 0;
+    uint64_t freed = 0;
+  };
+
+  void* AllocateBlock() {
+    Stripe& stripe = stripes_[internal::ThreadStripeId() & (kStripes - 1)];
+    stripe.lock.lock();
+    ++stripe.requests;
+    if (FreeNode* node = stripe.head; node != nullptr) {
+      stripe.head = node->next;
+      ++stripe.reused;
+      stripe.lock.unlock();
+      return node;
+    }
+    stripe.lock.unlock();
+    return RefillAndTake(stripe);
+  }
+
+  void DeallocateBlock(void* p) {
+    Stripe& stripe = stripes_[internal::ThreadStripeId() & (kStripes - 1)];
+    FreeNode* node = static_cast<FreeNode*>(p);
+    stripe.lock.lock();
+    node->next = stripe.head;
+    stripe.head = node;
+    ++stripe.freed;
+    stripe.lock.unlock();
+  }
+
+  // Slow path: carve a batch from the central bump region (growing a slab if
+  // needed), keep one block, and park the rest on the caller's stripe. Before
+  // growing, adopt another stripe's free list wholesale — blocks freed by
+  // consumer threads flow back to producer threads instead of forcing growth.
+  void* RefillAndTake(Stripe& stripe) {
+    central_lock_.lock();
+    if (bump_ == bump_end_) {
+      // Try stealing before paying for a new slab.
+      for (Stripe& other : stripes_) {
+        if (&other == &stripe) continue;
+        other.lock.lock();
+        FreeNode* chain = other.head;
+        other.head = nullptr;
+        other.lock.unlock();
+        if (chain != nullptr) {
+          central_lock_.unlock();
+          FreeNode* taken = chain;
+          stripe.lock.lock();
+          ++stripe.reused;  // Adopted blocks are recycled, not fresh carves.
+          stripe.lock.unlock();
+          InstallChain(stripe, taken->next);
+          return taken;
+        }
+      }
+      GrowSlabLocked();
+    }
+    size_t avail = static_cast<size_t>(bump_end_ - bump_) / kBlockSize;
+    size_t take = avail < kRefillBlocks ? avail : kRefillBlocks;
+    char* base = bump_;
+    bump_ += take * kBlockSize;
+    central_lock_.unlock();
+
+    // Link blocks [1, take) into the stripe; block 0 is the caller's.
+    FreeNode* chain = nullptr;
+    for (size_t i = take; i > 1; --i) {
+      FreeNode* node = reinterpret_cast<FreeNode*>(base + (i - 1) * kBlockSize);
+      node->next = chain;
+      chain = node;
+    }
+    InstallChain(stripe, chain);
+    return base;
+  }
+
+  void InstallChain(Stripe& stripe, FreeNode* chain) {
+    if (chain == nullptr) return;
+    FreeNode* tail = chain;
+    while (tail->next != nullptr) tail = tail->next;
+    stripe.lock.lock();
+    tail->next = stripe.head;
+    stripe.head = chain;
+    stripe.lock.unlock();
+  }
+
+  void GrowSlabLocked() {
+    size_t blocks = next_slab_blocks_;
+    next_slab_blocks_ =
+        next_slab_blocks_ * 2 < kMaxSlabBlocks ? next_slab_blocks_ * 2
+                                               : kMaxSlabBlocks;
+    size_t bytes = blocks * kBlockSize;
+    void* slab = ::operator new(bytes, std::align_val_t{kBlockAlign});
+    slabs_.push_back(slab);
+    ++slab_allocations_;
+    slab_bytes_ += bytes;
+    bump_ = static_cast<char*>(slab);
+    bump_end_ = bump_ + bytes;
+  }
+
+  Stripe stripes_[kStripes];
+  mutable internal::SpinLock central_lock_;
+  char* bump_ = nullptr;
+  char* bump_end_ = nullptr;
+  std::vector<void*> slabs_;
+  size_t next_slab_blocks_ = kMinSlabBlocks;
+  uint64_t slab_allocations_ = 0;
+  uint64_t slab_bytes_ = 0;
+};
+
+template <typename T>
+void PoolDeleter<T>::operator()(T* p) const {
+  if (pool != nullptr) {
+    pool->Delete(p);
+  } else {
+    delete p;
+  }
+}
+
+}  // namespace maze::util
+
+#endif  // MAZE_UTIL_FREELIST_H_

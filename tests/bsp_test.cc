@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "native/cf.h"
 #include "native/reference.h"
+#include "rt/fault.h"
 #include "tests/test_graphs.h"
 
 namespace maze::bsp {
@@ -118,6 +121,95 @@ TEST(BspEngineTest, WorkerCapLowersCpuUtilization) {
 TEST(BspEngineTest, UsesNettyCommProfile) {
   EXPECT_EQ(DefaultComm().name, "netty");
   EXPECT_LT(DefaultComm().bandwidth_bytes_per_sec, 0.5e9);
+}
+
+// --- Boxed-message arena (DESIGN.md §4f) -------------------------------------
+
+// Restores the env-driven default no matter how a test exits.
+class BspArenaTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetArenaEnabled(-1); }
+};
+
+TEST_F(BspArenaTest, ArenaOnOffResultsAreByteIdentical) {
+  Graph g = Graph::FromEdges(SmallRmat(9), GraphDirections::kOutOnly);
+  rt::PageRankOptions opt;
+  opt.iterations = 4;
+  SetArenaEnabled(0);
+  auto heap = PageRank(g, opt, Config(2));
+  SetArenaEnabled(1);
+  auto arena = PageRank(g, opt, Config(2));
+  ASSERT_EQ(heap.ranks.size(), arena.ranks.size());
+  EXPECT_EQ(0, std::memcmp(heap.ranks.data(), arena.ranks.data(),
+                           heap.ranks.size() * sizeof(double)));
+  // Modeled costs are computed from counts, not allocations: identical.
+  EXPECT_EQ(heap.metrics.bytes_sent, arena.metrics.bytes_sent);
+  EXPECT_EQ(heap.metrics.messages_sent, arena.metrics.messages_sent);
+  EXPECT_EQ(heap.metrics.memory_peak_bytes, arena.metrics.memory_peak_bytes);
+  EXPECT_EQ(heap.metrics.memory_msgbuf_bytes, arena.metrics.memory_msgbuf_bytes);
+}
+
+TEST_F(BspArenaTest, ArenaCollapsesPerMessageHeapAllocations) {
+  Graph g = Graph::FromEdges(SmallRmat(10), GraphDirections::kOutOnly);
+  rt::PageRankOptions opt;
+  opt.iterations = 4;
+
+  SetArenaEnabled(0);
+  ResetArenaCounters();
+  PageRank(g, opt, Config(2));
+  ArenaCounters heap = GetArenaCounters();
+  EXPECT_GT(heap.boxed_requests, 0u);
+  EXPECT_EQ(heap.heap_boxed, heap.boxed_requests);  // One malloc per message.
+  EXPECT_EQ(heap.pool_slab_allocations, 0u);
+
+  SetArenaEnabled(1);
+  ResetArenaCounters();
+  PageRank(g, opt, Config(2));
+  ArenaCounters arena = GetArenaCounters();
+  EXPECT_EQ(arena.boxed_requests, heap.boxed_requests);  // Same message count.
+  EXPECT_EQ(arena.heap_boxed, 0u);
+  ASSERT_GT(arena.pool_slab_allocations, 0u);
+  // The tentpole claim: boxed messages per backing heap allocation >= 10x.
+  EXPECT_GE(arena.boxed_requests / arena.pool_slab_allocations, 10u);
+  // After the first superstep primes the free lists, later boxes recycle.
+  EXPECT_GT(arena.pool_reused, arena.boxed_requests / 2);
+}
+
+TEST_F(BspArenaTest, CheckpointedRecoveryIsByteIdenticalUnderArena) {
+  // Crash + restore exercises the snapshot boxing path through the arena.
+  Graph g = Graph::FromEdges(SmallRmat(9), GraphDirections::kOutOnly);
+  rt::PageRankOptions opt;
+  opt.iterations = 4;
+  auto faulty_config = [&] {
+    rt::EngineConfig config = Config(2);
+    auto spec = rt::fault::ParseFaultSpec("seed=7,ckpt=2,crash=1@3");
+    MAZE_CHECK(spec.ok());
+    config.faults = spec.value();
+    return config;
+  };
+  SetArenaEnabled(1);
+  auto clean = PageRank(g, opt, Config(2));
+  auto recovered = PageRank(g, opt, faulty_config());
+  ASSERT_EQ(clean.ranks.size(), recovered.ranks.size());
+  EXPECT_EQ(0, std::memcmp(clean.ranks.data(), recovered.ranks.data(),
+                           clean.ranks.size() * sizeof(double)));
+  EXPECT_EQ(recovered.metrics.crash_restarts, 1u);
+  SetArenaEnabled(0);
+  auto recovered_heap = PageRank(g, opt, faulty_config());
+  EXPECT_EQ(0, std::memcmp(clean.ranks.data(), recovered_heap.ranks.data(),
+                           clean.ranks.size() * sizeof(double)));
+}
+
+TEST_F(BspArenaTest, PhasedSuperstepsWorkWithArena) {
+  Graph g = Graph::FromEdges(SmallRmatOriented(9), GraphDirections::kOutOnly);
+  uint64_t expected = native::ReferenceTriangleCount(g);
+  for (int on : {0, 1}) {
+    SetArenaEnabled(on);
+    BspOptions split;
+    split.superstep_phases = 10;
+    auto result = TriangleCount(g, {}, Config(2), split);
+    EXPECT_EQ(result.triangles, expected) << "arena=" << on;
+  }
 }
 
 TEST(BspEngineTest, PageRankTrafficIsPerEdge) {

@@ -1,0 +1,182 @@
+#include "util/freelist.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace maze::util {
+namespace {
+
+TEST(FreeListPoolTest, MakeConstructsAndDeleterReturnsBlock) {
+  FreeListPool<int> pool;
+  {
+    PoolPtr<int> p = pool.Make(42);
+    EXPECT_EQ(*p, 42);
+    auto s = pool.GetStats();
+    EXPECT_EQ(s.requests, 1u);
+    EXPECT_EQ(s.live(), 1u);
+  }
+  auto s = pool.GetStats();
+  EXPECT_EQ(s.freed, 1u);
+  EXPECT_EQ(s.live(), 0u);
+}
+
+TEST(FreeListPoolTest, FreedBlocksAreReused) {
+  FreeListPool<uint64_t> pool;
+  constexpr int kRounds = 8;
+  constexpr int kBatch = 1000;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<PoolPtr<uint64_t>> live;
+    live.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) live.push_back(pool.Make(i));
+  }
+  auto s = pool.GetStats();
+  EXPECT_EQ(s.requests, static_cast<uint64_t>(kRounds * kBatch));
+  // Rounds after the first run mostly out of the free list, so the slab count
+  // reflects one round's footprint, not eight.
+  EXPECT_GE(s.reused, static_cast<uint64_t>((kRounds - 1) * kBatch));
+  EXPECT_LE(s.slab_allocations, 8u);
+  EXPECT_EQ(s.live(), 0u);
+}
+
+TEST(FreeListPoolTest, TinyTypesGetPointerSizedBlocks) {
+  // A char block must still hold a FreeNode.
+  EXPECT_GE(FreeListPool<char>::kBlockSize, sizeof(void*));
+  EXPECT_GE(FreeListPool<char>::kBlockAlign, alignof(void*));
+  FreeListPool<char> pool;
+  std::vector<PoolPtr<char>> live;
+  for (int i = 0; i < 100; ++i) live.push_back(pool.Make('x'));
+  for (const auto& p : live) EXPECT_EQ(*p, 'x');
+}
+
+struct alignas(64) OverAligned {
+  double payload[4];
+};
+
+TEST(FreeListPoolTest, RespectsOverAlignment) {
+  FreeListPool<OverAligned> pool;
+  std::vector<PoolPtr<OverAligned>> live;
+  for (int i = 0; i < 300; ++i) {
+    live.push_back(pool.Make());
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(live.back().get()) % 64, 0u);
+  }
+}
+
+TEST(FreeListPoolTest, PoolPtrMovePreservesDeleter) {
+  FreeListPool<int> pool;
+  PoolPtr<int> a = pool.Make(7);
+  PoolPtr<int> b = std::move(a);
+  EXPECT_EQ(a.get(), nullptr);
+  ASSERT_NE(b.get(), nullptr);
+  EXPECT_EQ(*b, 7);
+  b.reset();  // Must return to the pool, not leak or double-free.
+  EXPECT_EQ(pool.GetStats().live(), 0u);
+}
+
+TEST(FreeListPoolTest, HeapBoxedSharesTheTypeWithoutAPool) {
+  PoolPtr<int> p = HeapBoxed<int>(11);
+  EXPECT_EQ(*p, 11);  // Deleter's null pool → plain delete (ASan verifies).
+  FreeListPool<int> pool;  // Outlives the boxes below.
+  std::vector<PoolPtr<int>> mixed;
+  mixed.push_back(pool.Make(1));
+  mixed.push_back(HeapBoxed<int>(2));
+  EXPECT_EQ(*mixed[0] + *mixed[1], 3);
+}
+
+struct ThrowOnOdd {
+  explicit ThrowOnOdd(int v) {
+    if (v % 2 == 1) throw std::runtime_error("odd");
+  }
+};
+
+TEST(FreeListPoolTest, ThrowingConstructorRecyclesTheBlock) {
+  FreeListPool<ThrowOnOdd> pool;
+  EXPECT_THROW(pool.Make(1), std::runtime_error);
+  // The block went back to the free list: no live object, next Make reuses it.
+  EXPECT_EQ(pool.GetStats().live(), 0u);
+  PoolPtr<ThrowOnOdd> ok = pool.Make(2);
+  EXPECT_NE(ok.get(), nullptr);
+  EXPECT_GE(pool.GetStats().reused, 1u);
+}
+
+TEST(FreeListPoolTest, NonTrivialPayloadsDestructProperly) {
+  // vector payloads exercise real destructors through Delete (leak-checked
+  // under ASan).
+  FreeListPool<std::vector<int>> pool;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<PoolPtr<std::vector<int>>> live;
+    for (int i = 0; i < 200; ++i) {
+      live.push_back(pool.Make(100, i));  // 100 ints of value i.
+    }
+    EXPECT_EQ((*live[50])[0], 50);
+  }
+  EXPECT_EQ(pool.GetStats().live(), 0u);
+}
+
+TEST(FreeListPoolTest, CrossThreadProducerConsumerStaysBounded) {
+  // Producer threads allocate, a consumer thread frees: blocks freed on the
+  // consumer's stripe must flow back to producers (steal path) instead of
+  // forcing unbounded slab growth.
+  FreeListPool<uint64_t> pool;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  std::vector<PoolPtr<uint64_t>> handoff;
+  std::mutex mu;
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    while (!done.load(std::memory_order_acquire) || !handoff.empty()) {
+      std::vector<PoolPtr<uint64_t>> batch;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        batch.swap(handoff);
+      }
+      batch.clear();  // Frees on the consumer's stripe.
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        PoolPtr<uint64_t> p = pool.Make(static_cast<uint64_t>(t) << 32 | i);
+        std::lock_guard<std::mutex> lock(mu);
+        handoff.push_back(std::move(p));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  auto s = pool.GetStats();
+  EXPECT_EQ(s.requests, static_cast<uint64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(s.live(), 0u);
+  // Bounded growth: 20k messages ride on a handful of slabs (geometric slab
+  // sizes can overshoot the peak-live footprint, but never track the request
+  // count), and freed blocks actually recycle across stripes.
+  EXPECT_GE(s.requests / s.slab_allocations, 100u);
+  EXPECT_GT(s.reused, 0u);
+}
+
+TEST(FreeListPoolTest, StatsPartitionRequests) {
+  FreeListPool<int> pool;
+  std::vector<PoolPtr<int>> live;
+  for (int i = 0; i < 500; ++i) live.push_back(pool.Make(i));
+  live.clear();
+  for (int i = 0; i < 500; ++i) live.push_back(pool.Make(i));
+  auto s = pool.GetStats();
+  EXPECT_EQ(s.requests, 1000u);
+  EXPECT_EQ(s.freed, 500u);
+  EXPECT_EQ(s.live(), 500u);
+  EXPECT_GT(s.slab_bytes, 0u);
+  live.clear();
+  EXPECT_EQ(pool.GetStats().live(), 0u);
+}
+
+}  // namespace
+}  // namespace maze::util

@@ -1,0 +1,206 @@
+// MAZE_NATIVE_OPT differential tests (DESIGN.md §4f): the cache-blocked /
+// branch-lean kernels must produce BIT-IDENTICAL results to the plain loops —
+// same FP addition sequence, not merely close — across graph shapes, rank
+// counts, and window sizes, including shapes that stress the blocking plan
+// (empty graphs, dangling vertices, isolated vertices, skewed hubs).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/graph.h"
+#include "matrix/algorithms.h"
+#include "native/blocked_gather.h"
+#include "native/options.h"
+#include "native/pagerank.h"
+#include "tests/test_graphs.h"
+
+namespace maze {
+namespace {
+
+// Restores the env-driven default no matter how a test exits.
+class NativeOptTest : public ::testing::Test {
+ protected:
+  void TearDown() override { native::SetNativeOptForTesting(-1); }
+};
+
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+rt::PageRankResult NativePr(const Graph& g, int opt, int ranks,
+                            int iterations = 5) {
+  native::SetNativeOptForTesting(opt);
+  rt::PageRankOptions options;
+  options.iterations = iterations;
+  rt::EngineConfig config;
+  config.num_ranks = ranks;
+  return native::PageRank(g, options, config, native::NativeOptions::AllOn());
+}
+
+rt::PageRankResult MatrixPr(const EdgeList& el, int opt, int ranks,
+                            int iterations = 5) {
+  native::SetNativeOptForTesting(opt);
+  rt::PageRankOptions options;
+  options.iterations = iterations;
+  rt::EngineConfig config;
+  config.num_ranks = ranks;
+  config.comm = matrix::DefaultComm();
+  return matrix::PageRank(el, options, config);
+}
+
+std::vector<EdgeList> Shapes() {
+  std::vector<EdgeList> shapes;
+  // Empty graph (vertices, no edges — every vertex dangling).
+  EdgeList empty;
+  empty.num_vertices = 64;
+  shapes.push_back(empty);
+  // Single edge amid isolated vertices.
+  EdgeList sparse;
+  sparse.num_vertices = 50;
+  sparse.edges = {{3, 47}};
+  shapes.push_back(sparse);
+  // Star: one hub fans out to (and receives from) everyone — a single row
+  // spanning every source window.
+  EdgeList star;
+  star.num_vertices = 40;
+  for (VertexId v = 1; v < 40; ++v) {
+    star.edges.push_back({0, v});
+    star.edges.push_back({v, 0});
+  }
+  shapes.push_back(star);
+  // Chain with a dangling tail (last vertex has no out-edges).
+  EdgeList chain;
+  chain.num_vertices = 33;
+  for (VertexId v = 0; v + 1 < 33; ++v) chain.edges.push_back({v, v + 1});
+  shapes.push_back(chain);
+  shapes.push_back(testgraphs::Figure2());
+  shapes.push_back(testgraphs::SmallRmat(9));
+  return shapes;
+}
+
+TEST_F(NativeOptTest, PageRankBitIdenticalAcrossShapesAndRanks) {
+  for (const EdgeList& el : Shapes()) {
+    Graph g = Graph::FromEdges(el, GraphDirections::kBoth);
+    for (int ranks : {1, 2, 4}) {
+      auto base = NativePr(g, 0, ranks);
+      auto fast = NativePr(g, 1, ranks);
+      EXPECT_TRUE(BitIdentical(base.ranks, fast.ranks))
+          << el.num_vertices << " vertices, " << el.edges.size() << " edges, "
+          << ranks << " ranks";
+      EXPECT_EQ(base.metrics.bytes_sent, fast.metrics.bytes_sent);
+      EXPECT_EQ(base.metrics.messages_sent, fast.metrics.messages_sent);
+    }
+  }
+}
+
+TEST_F(NativeOptTest, PageRankBitIdenticalWhenBlockingIsForced) {
+  // A tiny window forces multi-block plans even on small graphs, exercising
+  // the blocked accumulate + finalize path rather than the flat opt loop.
+  ASSERT_EQ(setenv("MAZE_HOTPATH_WINDOW", "8", 1), 0);
+  for (const EdgeList& el : Shapes()) {
+    Graph g = Graph::FromEdges(el, GraphDirections::kBoth);
+    auto base = NativePr(g, 0, 2);
+    auto fast = NativePr(g, 1, 2);
+    EXPECT_TRUE(BitIdentical(base.ranks, fast.ranks))
+        << el.num_vertices << " vertices, " << el.edges.size() << " edges";
+  }
+  unsetenv("MAZE_HOTPATH_WINDOW");
+}
+
+TEST_F(NativeOptTest, MatrixSpmvBitIdenticalAcrossShapesAndRanks) {
+  for (const EdgeList& el : Shapes()) {
+    for (int ranks : {1, 4}) {
+      auto base = MatrixPr(el, 0, ranks);
+      auto fast = MatrixPr(el, 1, ranks);
+      EXPECT_TRUE(BitIdentical(base.ranks, fast.ranks))
+          << el.num_vertices << " vertices, " << el.edges.size() << " edges, "
+          << ranks << " ranks";
+      EXPECT_EQ(base.metrics.bytes_sent, fast.metrics.bytes_sent);
+    }
+  }
+}
+
+TEST_F(NativeOptTest, MatrixSpmvBitIdenticalWhenBlockingIsForced) {
+  ASSERT_EQ(setenv("MAZE_HOTPATH_WINDOW", "8", 1), 0);
+  for (const EdgeList& el : Shapes()) {
+    auto base = MatrixPr(el, 0, 4);
+    auto fast = MatrixPr(el, 1, 4);
+    EXPECT_TRUE(BitIdentical(base.ranks, fast.ranks))
+        << el.num_vertices << " vertices, " << el.edges.size() << " edges";
+  }
+  unsetenv("MAZE_HOTPATH_WINDOW");
+}
+
+TEST_F(NativeOptTest, ToggleDefaultsOffAndForcesBothWays) {
+  unsetenv("MAZE_NATIVE_OPT");
+  native::SetNativeOptForTesting(-1);
+  EXPECT_FALSE(native::NativeOptEnabled());
+  native::SetNativeOptForTesting(1);
+  EXPECT_TRUE(native::NativeOptEnabled());
+  native::SetNativeOptForTesting(0);
+  EXPECT_FALSE(native::NativeOptEnabled());
+  native::SetNativeOptForTesting(-1);
+  ASSERT_EQ(setenv("MAZE_NATIVE_OPT", "1", 1), 0);
+  EXPECT_TRUE(native::NativeOptEnabled());
+  ASSERT_EQ(setenv("MAZE_NATIVE_OPT", "0", 1), 0);
+  EXPECT_FALSE(native::NativeOptEnabled());
+  unsetenv("MAZE_NATIVE_OPT");
+}
+
+// --- GatherBlocks schedule invariants ----------------------------------------
+
+TEST(GatherBlocksTest, CoversEveryEdgeExactlyOnceInSortedOrder) {
+  Graph g = Graph::FromEdges(testgraphs::SmallRmat(8), GraphDirections::kBoth);
+  const VertexId n = g.num_vertices();
+  auto gb = native::GatherBlocks::Build(g.in_offsets().data(),
+                                        g.in_targets().data(), 0, n, 0, n,
+                                        /*window=*/64);
+  ASSERT_TRUE(gb.active());
+  // Per row, concatenating its segments in window order must reproduce the
+  // row's full edge range in order; rows must be distinct within a window.
+  std::vector<EdgeId> cursor(n);
+  for (VertexId v = 0; v < n; ++v) cursor[v] = g.in_offsets()[v];
+  for (int b = 0; b < gb.num_blocks; ++b) {
+    std::vector<bool> seen(n, false);
+    for (size_t s = gb.seg_off[b]; s < gb.seg_off[b + 1]; ++s) {
+      VertexId row = gb.seg_row[s];
+      ASSERT_FALSE(seen[row]) << "row repeated within window " << b;
+      seen[row] = true;
+      ASSERT_EQ(gb.seg_begin[s], cursor[row]);
+      ASSERT_LT(gb.seg_begin[s], gb.seg_end[s]);
+      for (EdgeId e = gb.seg_begin[s]; e < gb.seg_end[s]; ++e) {
+        ASSERT_EQ(static_cast<size_t>(g.in_targets()[e] / 64),
+                  static_cast<size_t>(b));
+      }
+      cursor[row] = gb.seg_end[s];
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_EQ(cursor[v], g.in_offsets()[v + 1]) << "row " << v << " not drained";
+  }
+}
+
+TEST(GatherBlocksTest, SingleWindowIsInactive) {
+  Graph g = Graph::FromEdges(testgraphs::Figure2(), GraphDirections::kBoth);
+  auto gb = native::GatherBlocks::Build(g.in_offsets().data(),
+                                        g.in_targets().data(), 0,
+                                        g.num_vertices(), 0, g.num_vertices(),
+                                        /*window=*/1 << 20);
+  EXPECT_FALSE(gb.active());
+  EXPECT_EQ(gb.num_blocks, 1);
+}
+
+TEST(GatherBlocksTest, WindowSizingHasFloorAndOverride) {
+  size_t w = native::GatherWindowVertices(sizeof(double));
+  EXPECT_GE(w, 4096u);
+  ASSERT_EQ(setenv("MAZE_HOTPATH_WINDOW", "12345", 1), 0);
+  EXPECT_EQ(native::GatherWindowVertices(sizeof(double)), 12345u);
+  unsetenv("MAZE_HOTPATH_WINDOW");
+}
+
+}  // namespace
+}  // namespace maze
