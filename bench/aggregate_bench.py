@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Fold every checked-in BENCH_*.json into one BENCH_trajectory.json.
+
+Each bench binary writes a self-checking JSON artifact (BENCH_serve.json,
+BENCH_telemetry.json, ...). Some of those are checked in at the repository
+root as the performance trajectory of record. This script folds them into a
+single deterministic BENCH_trajectory.json — sorted keys, sorted files, no
+timestamps or host identifiers introduced — so CI can diff the trajectory as
+one artifact, and prints a markdown summary table to stdout.
+
+Exit status is non-zero when any artifact fails to parse or carries
+"ok": false: a checked-in artifact that failed its own self-checks should
+never ride along silently.
+
+Usage: aggregate_bench.py [--root DIR] [--out FILE]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def headline(content):
+    """One short human string per artifact: its largest list field (top level
+    or one level down), if any."""
+    best_key, best_len = None, -1
+    if isinstance(content, dict):
+        for key, value in sorted(content.items()):
+            if isinstance(value, list) and len(value) > best_len:
+                best_key, best_len = key, len(value)
+            elif isinstance(value, dict):
+                for sub_key, sub in sorted(value.items()):
+                    if isinstance(sub, list) and len(sub) > best_len:
+                        best_key, best_len = f"{key}.{sub_key}", len(sub)
+    if best_key is None:
+        return "-"
+    return f"{best_len} {best_key} entries"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument("--root", default=default_root,
+                        help="directory scanned for BENCH_*.json")
+    parser.add_argument("--out", default=None,
+                        help="output path (default ROOT/BENCH_trajectory.json)")
+    args = parser.parse_args()
+    out_path = args.out or os.path.join(args.root, "BENCH_trajectory.json")
+    out_name = os.path.basename(out_path)
+
+    names = sorted(
+        n for n in os.listdir(args.root)
+        if n.startswith("BENCH_") and n.endswith(".json") and n != out_name)
+    if not names:
+        print(f"aggregate_bench: no BENCH_*.json under {args.root}",
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    rows = []
+    artifacts = {}
+    for name in names:
+        path = os.path.join(args.root, name)
+        try:
+            with open(path, encoding="utf-8") as f:
+                content = json.load(f)
+        except (OSError, ValueError) as err:
+            print(f"aggregate_bench: {name}: {err}", file=sys.stderr)
+            failures += 1
+            continue
+        ok = content.get("ok") if isinstance(content, dict) else None
+        if ok is False:
+            print(f"aggregate_bench: {name}: self-check failed (ok=false)",
+                  file=sys.stderr)
+            failures += 1
+        bench = (content.get("bench")
+                 if isinstance(content, dict) else None) or name[6:-5]
+        rows.append({
+            "file": name,
+            "bench": bench,
+            "ok": ok,
+            "scale_adjust": (content.get("scale_adjust")
+                             if isinstance(content, dict) else None),
+            "headline": headline(content),
+        })
+        artifacts[name] = content
+
+    trajectory = {
+        "artifacts": artifacts,
+        "benches": rows,
+        "all_ok": failures == 0 and all(r["ok"] is not False for r in rows),
+    }
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(trajectory, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    print(f"# Bench trajectory ({len(rows)} artifacts)")
+    print()
+    print("| artifact | bench | ok | scale | headline |")
+    print("|---|---|---|---|---|")
+    for r in rows:
+        ok = {True: "yes", False: "**no**", None: "-"}[r["ok"]]
+        scale = "-" if r["scale_adjust"] is None else str(r["scale_adjust"])
+        print(f"| {r['file']} | {r['bench']} | {ok} | {scale} "
+              f"| {r['headline']} |")
+    print()
+    print(f"wrote {out_path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

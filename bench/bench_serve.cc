@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "obs/openmetrics.h"
 #include "serve/service.h"
 
 namespace maze::bench {
@@ -327,4 +328,18 @@ int Main() {
 }  // namespace
 }  // namespace maze::bench
 
-int main() { return maze::bench::Main(); }
+int main() {
+  // MAZE_TELEMETRY="listen=PORT,interval=S" exposes /metrics for the whole
+  // run, so CI can curl a live scrape mid-bench (telemetry.yml).
+  auto live = maze::obs::StartTelemetryFromEnv();
+  if (!live.ok()) {
+    std::fprintf(stderr, "MAZE_TELEMETRY: %s\n",
+                 live.status().ToString().c_str());
+    return 1;
+  }
+  if (live.value().endpoint != nullptr) {
+    std::printf("telemetry: listening on 127.0.0.1:%d\n",
+                live.value().endpoint->port());
+  }
+  return maze::bench::Main();
+}

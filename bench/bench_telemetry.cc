@@ -1,0 +1,533 @@
+// PR 8 artifact: closed-loop gate for the live telemetry plane (DESIGN.MD §4g).
+//
+// Phase 1 — live scrape under load. Client threads drive maze::serve through a
+// fixed request mix while the main thread pulls /metrics from a MetricsEndpoint
+// mid-run. Every exposition must parse under tests/openmetrics_checker.h, and
+// consecutive pulls must be monotone (counters and histogram counts never step
+// backwards, even while Record races the scrape). After Drain(), the scraped
+// maze_serve_* counters must reconcile EXACTLY with ServiceReport accounting:
+// the live plane and the post-hoc report are two views of one set of atomics,
+// so any divergence is a bug, not noise. (slo_requests == completed -
+// cache_hits: cache hits reuse a paid execution and are excluded from SLO
+// accounting.)
+//
+// Phase 2 — SLO watchdog spike/recovery, run twice: once under the serial
+// one-rank-at-a-time schedule and once rank-parallel. A clean probe sets the
+// p99 target well above clean modeled time; an injected straggler fault plan
+// (faults=seed=1,straggle=0x4096) dilates modeled time far past it. The
+// watchdog must trip to level 2 on the spike window, shed a fresh execution
+// while still serving cache hits, then recover hysteretically over idle
+// windows. Because the watchdog judges exact modeled-time counter deltas, its
+// structured JSON event log must be BYTE-IDENTICAL across the two schedules —
+// and the straggled payload must equal the clean payload (faults dilate the
+// modeled clock, never the answer).
+//
+// Writes BENCH_telemetry.json (path via MAZE_BENCH_JSON).
+//
+// Also: `bench_telemetry --check FILE` validates an OpenMetrics exposition
+// file and exits 0/1 — CI uses it to vet a curl'd /metrics scrape.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/openmetrics.h"
+#include "obs/telemetry.h"
+#include "rt/rank_exec.h"
+#include "serve/service.h"
+#include "serve/slo.h"
+#include "tests/json_checker.h"
+#include "tests/openmetrics_checker.h"
+
+namespace maze::bench {
+namespace {
+
+using serve::Request;
+using serve::Response;
+using serve::Service;
+using serve::ServiceOptions;
+using serve::ServiceStats;
+using serve::SloOptions;
+using serve::SloWatchdog;
+using testutil::OpenMetricsChecker;
+
+EdgeList BenchGraph() {
+  auto loaded = TryLoadGraphDataset("facebook", ScaleAdjust(-4));
+  MAZE_CHECK(loaded.ok());
+  return std::move(loaded).value();
+}
+
+Request MakeRequest(const std::string& algo, int iterations, VertexId source,
+                    int ranks = 1, const std::string& faults = "") {
+  Request r;
+  r.snapshot = "g";
+  r.algo = algo;
+  r.engine = "native";
+  r.iterations = iterations;
+  r.source = source;
+  r.ranks = ranks;
+  r.faults = faults;
+  return r;
+}
+
+// --- Phase 1: mid-run scrapes + exact counter reconciliation -----------------
+
+struct ScrapeGate {
+  int pulls = 0;
+  bool valid = true;
+  bool monotonic = true;
+  bool exemplars_seen = false;
+  bool reconciled = true;
+  std::vector<std::string> mismatches;
+};
+
+// One exact equality; records the mismatch instead of aborting so the JSON
+// artifact shows every divergent counter at once.
+void MustEqual(ScrapeGate* gate, const std::string& what, uint64_t scraped,
+               uint64_t stats) {
+  if (scraped == stats) return;
+  gate->reconciled = false;
+  std::ostringstream os;
+  os << what << ": scraped " << scraped << " != stats " << stats;
+  gate->mismatches.push_back(os.str());
+  std::fprintf(stderr, "FAIL: reconcile %s\n", os.str().c_str());
+}
+
+ScrapeGate RunScrapeGate(int* failures) {
+  ScrapeGate gate;
+  obs::ResetCountersAndHistograms();
+  obs::ResetExemplars();
+
+  ServiceOptions options;
+  options.workers = 3;
+  options.queue_depth = 64;
+  Service service(options);
+  service.registry().Install("g", BenchGraph());
+
+  obs::TelemetryRegistry telemetry;
+  obs::MetricsEndpoint endpoint(&telemetry);
+  endpoint.SetReport([&service] { return service.Report().ToJson(); });
+  MAZE_CHECK(endpoint.Start(0).ok());
+
+  // 4 closed-loop clients over a 6-key mix, 3 passes each: the repeats force
+  // cache hits and dedup joins so every accounting counter moves.
+  const std::vector<Request> mix = {
+      MakeRequest("pagerank", 2, 0), MakeRequest("pagerank", 3, 0),
+      MakeRequest("bfs", 10, 0),     MakeRequest("bfs", 10, 1),
+      MakeRequest("cc", 10, 0),      MakeRequest("triangles", 10, 0),
+  };
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 18;
+  std::mutex mu;
+  uint64_t errors = 0;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        Response resp = service.Call(mix[(c + i) % mix.size()]);
+        if (!resp.status.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++errors;
+          std::fprintf(stderr, "FAIL: serve error: %s\n",
+                       resp.status.ToString().c_str());
+        }
+      }
+    });
+  }
+
+  // Mid-run pulls: each is a fresh ScrapeOnce racing live Record()s.
+  std::string prev_body;
+  auto pull = [&](const char* when) {
+    auto body = obs::HttpGet(endpoint.port(), "/metrics");
+    if (!body.ok()) {
+      gate.valid = false;
+      std::fprintf(stderr, "FAIL: %s pull: %s\n", when,
+                   body.status().ToString().c_str());
+      return std::string();
+    }
+    ++gate.pulls;
+    OpenMetricsChecker checker(body.value());
+    if (!checker.Valid()) {
+      gate.valid = false;
+      std::fprintf(stderr, "FAIL: %s pull invalid: %s\n", when,
+                   checker.error().c_str());
+    }
+    if (!prev_body.empty()) {
+      std::string why;
+      if (!OpenMetricsChecker::CheckMonotonic(OpenMetricsChecker(prev_body),
+                                              checker, &why)) {
+        gate.monotonic = false;
+        std::fprintf(stderr, "FAIL: %s pull not monotone: %s\n", when,
+                     why.c_str());
+      }
+    }
+    prev_body = body.value();
+    return body.value();
+  };
+  for (int p = 0; p < 3; ++p) {
+    pull("mid-run");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  for (auto& t : clients) t.join();
+  service.Drain();
+  const std::string final_body = pull("post-drain");
+  endpoint.Stop();
+  *failures += static_cast<int>(errors);
+  if (final_body.empty()) {
+    ++*failures;
+    return gate;
+  }
+  gate.exemplars_seen =
+      final_body.find("# {request_id=\"") != std::string::npos;
+  if (!gate.exemplars_seen) {
+    std::fprintf(stderr, "FAIL: no request-id exemplars in final scrape\n");
+  }
+
+  // Exact reconciliation against the post-Drain report. The scrape is
+  // cumulative and this process ran exactly one Service since the reset, so
+  // every number must match to the unit.
+  const ServiceStats stats = service.Stats();
+  OpenMetricsChecker checker(final_body);
+  MAZE_CHECK(checker.Valid());
+  const auto& counters = checker.counters();
+  auto scraped = [&](const std::string& family) -> uint64_t {
+    auto it = counters.find(family);
+    if (it == counters.end()) {
+      gate.reconciled = false;
+      gate.mismatches.push_back(family + ": missing from exposition");
+      return ~uint64_t{0};
+    }
+    return it->second;
+  };
+  MustEqual(&gate, "submitted", scraped("maze_serve_submitted"),
+            stats.submitted);
+  MustEqual(&gate, "rejected", scraped("maze_serve_rejected"), stats.rejected);
+  MustEqual(&gate, "shed", scraped("maze_serve_shed"), stats.shed);
+  MustEqual(&gate, "invalid", scraped("maze_serve_invalid"), stats.invalid);
+  MustEqual(&gate, "cache_hit", scraped("maze_serve_cache_hit"),
+            stats.cache_hits);
+  MustEqual(&gate, "dedup_joined", scraped("maze_serve_dedup_joined"),
+            stats.dedup_joined);
+  MustEqual(&gate, "admitted", scraped("maze_serve_admitted"), stats.admitted);
+  MustEqual(&gate, "executed", scraped("maze_serve_executed"), stats.executed);
+  MustEqual(&gate, "exec_failed", scraped("maze_serve_exec_failed"),
+            stats.exec_failed);
+  MustEqual(&gate, "completed", scraped("maze_serve_completed"),
+            stats.completed);
+  MustEqual(&gate, "failed", scraped("maze_serve_failed"), stats.failed);
+  MustEqual(&gate, "expired", scraped("maze_serve_expired"), stats.expired);
+  // SLO accounting covers paid work only: cache hits are excluded.
+  MustEqual(&gate, "slo_requests", scraped("maze_serve_slo_requests"),
+            stats.completed - stats.cache_hits);
+  MustEqual(&gate, "slo_over_target (unarmed)",
+            scraped("maze_serve_slo_over_target"), 0);
+  // Latency is recorded for every answered request; modeled time only for
+  // paid executions.
+  const auto& hists = checker.histograms();
+  auto hist_count = [&](const std::string& family) -> uint64_t {
+    auto it = hists.find(family);
+    if (it == hists.end() || !it->second.has_count) {
+      gate.reconciled = false;
+      gate.mismatches.push_back(family + ": missing histogram _count");
+      return ~uint64_t{0};
+    }
+    return it->second.count;
+  };
+  MustEqual(&gate, "latency_us count", hist_count("maze_serve_latency_us"),
+            stats.completed + stats.failed + stats.expired);
+  MustEqual(&gate, "modeled_us count", hist_count("maze_serve_modeled_us"),
+            stats.completed - stats.cache_hits);
+
+  if (!gate.valid || !gate.monotonic || !gate.exemplars_seen ||
+      !gate.reconciled) {
+    ++*failures;
+  }
+  std::printf(
+      "scrape gate: %d pulls, valid %s, monotone %s, exemplars %s, "
+      "reconciled %s (%llu submitted, %llu cache hits, %llu dedup)\n",
+      gate.pulls, gate.valid ? "ok" : "FAILED",
+      gate.monotonic ? "ok" : "FAILED", gate.exemplars_seen ? "ok" : "FAILED",
+      gate.reconciled ? "ok" : "FAILED",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.dedup_joined));
+  return gate;
+}
+
+// --- Phase 2: watchdog spike/shed/recovery, serial vs rank-parallel ----------
+
+struct WatchdogRun {
+  bool ok = true;
+  double target_ms = 0;
+  std::vector<std::string> events;
+  uint64_t shed = 0;
+  uint64_t windows = 0;
+  int peak_level = 0;
+  int final_level = 0;
+  bool payload_stable = true;   // Straggled payload == clean payload.
+  bool shed_then_served = true; // Level 2 sheds misses, serves hits, recovers.
+};
+
+constexpr char kSpikeFaults[] = "seed=1,straggle=0x4096";
+
+WatchdogRun RunWatchdogScenario(bool serial) {
+  rt::SetSerialRanks(serial ? 1 : 0);
+  WatchdogRun run;
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_depth = 8;
+  Service service(options);
+  service.registry().Install("g", BenchGraph());
+
+  // Clean probe fixes the target: 8x clean modeled time leaves every clean
+  // request (up to iterations=5 below) under target, while the x4096 rank-0
+  // straggler dilates modeled time orders of magnitude past it. The target is
+  // a pure function of the deterministic modeled clock, so both schedules
+  // derive the identical value — a precondition for byte-stable event logs.
+  Response probe = service.Call(MakeRequest("pagerank", 2, 0, /*ranks=*/4));
+  if (!probe.status.ok()) {
+    std::fprintf(stderr, "FAIL: probe: %s\n", probe.status.ToString().c_str());
+    run.ok = false;
+    return run;
+  }
+  run.target_ms = probe.modeled_seconds * 1e3 * 8;
+  service.Drain();
+
+  obs::TelemetryRegistry telemetry;
+  telemetry.ScrapeOnce();  // Baseline: absorbs all prior cumulative counts.
+
+  std::ostringstream log;
+  SloOptions slo;
+  slo.p99_target_ms = run.target_ms;
+  slo.burn_threshold = 2.0;
+  slo.error_budget = 0.01;
+  slo.recover_windows = 2;
+  slo.min_window_requests = 1;
+  SloWatchdog watchdog(slo, &telemetry, &service, &log);
+
+  auto call = [&](int iterations, const std::string& faults) {
+    return service.Call(
+        MakeRequest("pagerank", iterations, 0, /*ranks=*/4, faults));
+  };
+
+  // Window 1 — healthy: three clean executions, all under target.
+  std::map<int, std::string> clean_payloads;
+  for (int it : {3, 4, 5}) {
+    Response r = call(it, "");
+    if (!r.status.ok()) run.ok = false;
+    clean_payloads[it] = r.payload;
+  }
+  telemetry.ScrapeOnce();
+  if (watchdog.level() != 0) {
+    std::fprintf(stderr, "FAIL: degraded on clean window (level %d)\n",
+                 watchdog.level());
+    run.ok = false;
+  }
+
+  // Window 2 — spike: the same three requests under a straggler fault plan.
+  // Distinct execution keys (faults are keyed), identical payloads, dilated
+  // modeled clock: burn = (3/3)/0.01 = 100 >= 2x threshold, straight to 2.
+  for (int it : {3, 4, 5}) {
+    Response r = call(it, kSpikeFaults);
+    if (!r.status.ok()) run.ok = false;
+    if (r.payload != clean_payloads[it]) {
+      run.payload_stable = false;
+      std::fprintf(stderr,
+                   "FAIL: straggled payload diverges from clean (it=%d)\n", it);
+    }
+    if (r.modeled_seconds * 1e3 <= run.target_ms) {
+      std::fprintf(stderr,
+                   "FAIL: straggled modeled time %.3f ms under target %.3f ms\n",
+                   r.modeled_seconds * 1e3, run.target_ms);
+      run.ok = false;
+    }
+  }
+  telemetry.ScrapeOnce();
+  run.peak_level = watchdog.level();
+  if (run.peak_level != 2) {
+    std::fprintf(stderr, "FAIL: spike window left level %d, want 2\n",
+                 run.peak_level);
+    run.ok = false;
+  }
+
+  // Window 3 — degraded service: a fresh key is shed, a cached key is served.
+  {
+    Response miss = call(9, "");
+    Response hit = call(3, "");
+    if (miss.status.code() != StatusCode::kUnavailable || !hit.status.ok() ||
+        !hit.cache_hit) {
+      run.shed_then_served = false;
+      std::fprintf(stderr, "FAIL: level 2 must shed misses and serve hits\n");
+    }
+  }
+  // Windows 3..6 — idle (shed and cache-hit traffic is excluded from SLO
+  // accounting), so four healthy windows walk 2 -> 1 -> 0 at two per step.
+  for (int w = 0; w < 4; ++w) telemetry.ScrapeOnce();
+  run.final_level = watchdog.level();
+  if (run.final_level != 0) {
+    std::fprintf(stderr, "FAIL: recovery stalled at level %d\n",
+                 run.final_level);
+    run.ok = false;
+  }
+  {
+    Response after = call(9, "");
+    if (!after.status.ok()) {
+      run.shed_then_served = false;
+      std::fprintf(stderr, "FAIL: recovered service still shedding\n");
+    }
+  }
+
+  run.events = watchdog.EventLines();
+  run.windows = watchdog.windows_evaluated();
+  run.shed = service.Stats().shed;
+  for (const std::string& e : run.events) {
+    if (!testutil::JsonChecker(e).Valid()) {
+      std::fprintf(stderr, "FAIL: event not valid JSON: %s\n", e.c_str());
+      run.ok = false;
+    }
+  }
+  if (run.shed == 0) {
+    std::fprintf(stderr, "FAIL: no requests shed during degradation\n");
+    run.ok = false;
+  }
+  if (!run.payload_stable || !run.shed_then_served) run.ok = false;
+  return run;
+}
+
+std::string JsonStringArray(const std::vector<std::string>& lines,
+                            const std::string& indent) {
+  // Event lines are themselves JSON objects; embed them raw.
+  std::ostringstream os;
+  os << "[\n";
+  for (size_t i = 0; i < lines.size(); ++i) {
+    os << indent << "  " << lines[i] << (i + 1 < lines.size() ? "," : "")
+       << "\n";
+  }
+  os << indent << "]";
+  return os.str();
+}
+
+int CheckExpositionFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_telemetry --check: cannot read %s\n", path);
+    return 1;
+  }
+  std::ostringstream body;
+  body << in.rdbuf();
+  OpenMetricsChecker checker(body.str());
+  if (!checker.Valid()) {
+    std::fprintf(stderr, "bench_telemetry --check: %s: %s\n", path,
+                 checker.error().c_str());
+    return 1;
+  }
+  std::printf("bench_telemetry --check: %s ok (%zu counter families, "
+              "%zu histogram families)\n",
+              path, checker.counters().size(), checker.histograms().size());
+  return 0;
+}
+
+int Main() {
+  Banner("BENCH_telemetry: live scrape gate + SLO watchdog spike/recovery "
+         "(PR 8 artifact)");
+  int failures = 0;
+
+  const ScrapeGate gate = RunScrapeGate(&failures);
+
+  const WatchdogRun serial = RunWatchdogScenario(/*serial=*/true);
+  const WatchdogRun parallel = RunWatchdogScenario(/*serial=*/false);
+  rt::SetSerialRanks(-1);
+  if (!serial.ok || !parallel.ok) ++failures;
+  const bool byte_stable = serial.events == parallel.events;
+  if (!byte_stable) {
+    std::fprintf(stderr,
+                 "FAIL: watchdog events diverge between schedules "
+                 "(%zu serial vs %zu parallel lines)\n",
+                 serial.events.size(), parallel.events.size());
+    for (const std::string& e : serial.events) {
+      std::fprintf(stderr, "  serial:   %s\n", e.c_str());
+    }
+    for (const std::string& e : parallel.events) {
+      std::fprintf(stderr, "  parallel: %s\n", e.c_str());
+    }
+    ++failures;
+  }
+  std::printf(
+      "watchdog: target %.3f ms, peak level %d, final level %d, %llu shed, "
+      "%llu windows, %zu events, byte-stable %s\n",
+      serial.target_ms, serial.peak_level, serial.final_level,
+      static_cast<unsigned long long>(serial.shed),
+      static_cast<unsigned long long>(serial.windows), serial.events.size(),
+      byte_stable ? "ok" : "FAILED");
+  for (const std::string& e : serial.events) std::printf("  %s\n", e.c_str());
+
+  const char* out_env = std::getenv("MAZE_BENCH_JSON");
+  std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_telemetry.json";
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"telemetry\",\n");
+  std::fprintf(f, "  \"scale_adjust\": %d,\n", ScaleAdjust());
+  std::fprintf(f,
+               "  \"scrape_gate\": {\"pulls\": %d, \"valid\": %s, "
+               "\"monotonic\": %s, \"exemplars_seen\": %s, "
+               "\"reconciled\": %s},\n",
+               gate.pulls, gate.valid ? "true" : "false",
+               gate.monotonic ? "true" : "false",
+               gate.exemplars_seen ? "true" : "false",
+               gate.reconciled ? "true" : "false");
+  std::fprintf(f, "  \"watchdog\": {\n");
+  std::fprintf(f, "    \"spike_faults\": \"%s\",\n", kSpikeFaults);
+  std::fprintf(f, "    \"peak_level\": %d,\n", serial.peak_level);
+  std::fprintf(f, "    \"final_level\": %d,\n", serial.final_level);
+  std::fprintf(f, "    \"shed\": %llu,\n",
+               static_cast<unsigned long long>(serial.shed));
+  std::fprintf(f, "    \"windows\": %llu,\n",
+               static_cast<unsigned long long>(serial.windows));
+  std::fprintf(f, "    \"payload_stable_under_faults\": %s,\n",
+               serial.payload_stable && parallel.payload_stable ? "true"
+                                                                : "false");
+  std::fprintf(f, "    \"byte_stable_across_schedules\": %s,\n",
+               byte_stable ? "true" : "false");
+  std::fprintf(f, "    \"events\": %s\n",
+               JsonStringArray(serial.events, "    ").c_str());
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"ok\": %s\n", failures == 0 ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_telemetry: %d self-check failure(s)\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace maze::bench
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--check") {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: bench_telemetry --check FILE\n");
+      return 1;
+    }
+    return maze::bench::CheckExpositionFile(argv[2]);
+  }
+  return maze::bench::Main();
+}

@@ -1,8 +1,10 @@
 #include "cli/cli.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "bench_support/report.h"
@@ -19,8 +21,11 @@
 #include "obs/export.h"
 #include "obs/json.h"
 #include "obs/obs.h"
+#include "obs/openmetrics.h"
 #include "obs/resource.h"
+#include "obs/telemetry.h"
 #include "serve/script.h"
+#include "serve/slo.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -74,6 +79,19 @@ StatusOr<int> IntFlagOr(const ParsedArgs& parsed, const std::string& name,
                                    it->second);
   }
   return static_cast<int>(value);
+}
+
+StatusOr<double> DoubleFlagOr(const ParsedArgs& parsed, const std::string& name,
+                              double fallback) {
+  auto it = parsed.flags.find(name);
+  if (it == parsed.flags.end()) return fallback;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name + " expects a number, got " +
+                                   it->second);
+  }
+  return value;
 }
 
 // --- Format dispatch ---------------------------------------------------------------
@@ -505,11 +523,73 @@ Status CmdServe(const ParsedArgs& parsed, std::ostream& out) {
   MAZE_RETURN_IF_ERROR(scale_adjust.status());
   options.default_scale_adjust = scale_adjust.value();
 
+  auto listen = IntFlagOr(parsed, "listen", -1);
+  MAZE_RETURN_IF_ERROR(listen.status());
+  if (parsed.flags.count("listen") != 0 &&
+      (listen.value() < 0 || listen.value() > 65535)) {
+    return Status::InvalidArgument("--listen must be a port in [0, 65535]");
+  }
+  auto slo_p99 = DoubleFlagOr(parsed, "slo-p99-ms", 0.0);
+  MAZE_RETURN_IF_ERROR(slo_p99.status());
+  if (parsed.flags.count("slo-p99-ms") != 0 && slo_p99.value() <= 0) {
+    return Status::InvalidArgument("--slo-p99-ms must be > 0");
+  }
+  auto slo_burn = DoubleFlagOr(parsed, "slo-burn", 2.0);
+  MAZE_RETURN_IF_ERROR(slo_burn.status());
+  if (slo_burn.value() <= 0) {
+    return Status::InvalidArgument("--slo-burn must be > 0");
+  }
+
   std::ifstream script(script_path);
   if (!script) return Status::IoError("cannot open " + script_path);
 
+  serve::Service service(options.service);
+
+  // MAZE_TELEMETRY configures the scrape interval, ring depth, file sink, and
+  // (optionally) the endpoint port; --listen overrides the port. Port 0 binds
+  // an ephemeral port, printed below so callers can find it.
+  obs::TelemetrySpec spec;
+  const char* env = std::getenv("MAZE_TELEMETRY");
+  if (env != nullptr && *env != '\0') {
+    auto parsed_spec = obs::ParseTelemetrySpec(env);
+    MAZE_RETURN_IF_ERROR(parsed_spec.status());
+    spec = parsed_spec.value();
+  }
+  if (listen.value() >= 0) spec.listen_port = listen.value();
+  obs::TelemetryRegistry telemetry(spec.options);
+  std::unique_ptr<obs::MetricsEndpoint> endpoint;
+  if (spec.listen_port >= 0) {
+    endpoint = std::make_unique<obs::MetricsEndpoint>(&telemetry);
+    endpoint->SetHealthz([&service] {
+      return "{\"status\": \"ok\", \"degradation\": " +
+             std::to_string(service.degradation()) + "}";
+    });
+    endpoint->SetReport([&service] { return service.Report().ToJson(); });
+    MAZE_RETURN_IF_ERROR(endpoint->Start(spec.listen_port));
+    out << "telemetry: listening on 127.0.0.1:" << endpoint->port() << "\n";
+  }
+  // Background scraping only when something consumes it live; script `scrape`
+  // commands still work without the thread.
+  if (endpoint != nullptr || !spec.options.file_sink.empty()) telemetry.Start();
+
+  std::unique_ptr<serve::SloWatchdog> watchdog;
+  if (parsed.flags.count("slo-p99-ms") != 0) {
+    serve::SloOptions slo;
+    slo.p99_target_ms = slo_p99.value();
+    slo.burn_threshold = slo_burn.value();
+    // Events go to stderr: background scrapes emit from the telemetry thread,
+    // and stderr is a synchronized standard stream while `out` may not be.
+    watchdog = std::make_unique<serve::SloWatchdog>(slo, &telemetry, &service,
+                                                    &std::cerr);
+  }
+
   serve::ServiceReport report;
-  MAZE_RETURN_IF_ERROR(serve::RunServeScript(script, options, out, &report));
+  Status run =
+      serve::RunServeScript(service, script, options, out, &report, &telemetry);
+  watchdog.reset();  // Unhooks before the registry stops.
+  if (endpoint != nullptr) endpoint->Stop();
+  telemetry.Stop();
+  MAZE_RETURN_IF_ERROR(run);
 
   std::string report_path = FlagOr(parsed, "report", "");
   if (!report_path.empty()) {

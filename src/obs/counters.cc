@@ -23,6 +23,8 @@ struct CounterRegistry {
   }
 };
 
+std::atomic<uint64_t> g_registry_lookups{0};
+
 }  // namespace
 
 int Histogram::BucketIndex(uint64_t value) {
@@ -75,7 +77,17 @@ void Histogram::Reset() {
   max_.store(0, std::memory_order_relaxed);
 }
 
+std::array<uint64_t, Histogram::kNumBuckets> Histogram::SnapshotBuckets()
+    const {
+  std::array<uint64_t, kNumBuckets> out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 Counter& GetCounter(const std::string& name) {
+  g_registry_lookups.fetch_add(1, std::memory_order_relaxed);
   CounterRegistry& reg = CounterRegistry::Get();
   std::lock_guard<std::mutex> lock(reg.mu);
   auto& slot = reg.counters[name];
@@ -84,11 +96,44 @@ Counter& GetCounter(const std::string& name) {
 }
 
 Histogram& GetHistogram(const std::string& name) {
+  g_registry_lookups.fetch_add(1, std::memory_order_relaxed);
   CounterRegistry& reg = CounterRegistry::Get();
   std::lock_guard<std::mutex> lock(reg.mu);
   auto& slot = reg.histograms[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
+}
+
+uint64_t RegistryLookups() {
+  return g_registry_lookups.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+void BumpRegistryLookup() {
+  g_registry_lookups.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace internal
+
+std::vector<std::pair<std::string, Counter*>> AllCounters() {
+  CounterRegistry& reg = CounterRegistry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, Counter*>> out;
+  out.reserve(reg.counters.size());
+  for (const auto& [name, counter] : reg.counters) {
+    out.emplace_back(name, counter.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram*>> AllHistograms() {
+  CounterRegistry& reg = CounterRegistry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, Histogram*>> out;
+  out.reserve(reg.histograms.size());
+  for (const auto& [name, h] : reg.histograms) {
+    out.emplace_back(name, h.get());
+  }
+  return out;
 }
 
 std::vector<CounterSnapshot> SnapshotCounters() {

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace maze::obs {
@@ -60,6 +61,13 @@ class Histogram {
   static int BucketIndex(uint64_t value);
   static uint64_t BucketUpperBound(int index);  // Inclusive.
 
+  // Relaxed per-bucket loads. Each bucket is individually monotone under
+  // concurrent Record, so a count derived by summing this array can never
+  // decrease between two snapshots — the property the telemetry scraper
+  // depends on (count_ read separately could be ahead of the bucket the
+  // racing Record already bumped, or behind it, depending on scrape timing).
+  std::array<uint64_t, kNumBuckets> SnapshotBuckets() const;
+
  private:
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
@@ -71,6 +79,24 @@ class Histogram {
 // life of the process (Reset zeroes values but never invalidates).
 Counter& GetCounter(const std::string& name);
 Histogram& GetHistogram(const std::string& name);
+
+// Total GetCounter/GetHistogram/GetExemplars calls so far. Each lookup takes
+// the registry lock, so per-request hot paths must cache the returned
+// references; serve_stress_test asserts the delta across a request storm is
+// zero using this.
+uint64_t RegistryLookups();
+
+namespace internal {
+// Lets sibling registries (telemetry's exemplar store) count toward
+// RegistryLookups without exposing the counter itself.
+void BumpRegistryLookup();
+}  // namespace internal
+
+// Name-sorted (name, object) pairs for every registered counter/histogram.
+// The pointers stay valid for the life of the process; does not count as a
+// lookup (it is the scraper's periodic enumeration, not a hot-path miss).
+std::vector<std::pair<std::string, Counter*>> AllCounters();
+std::vector<std::pair<std::string, Histogram*>> AllHistograms();
 
 struct CounterSnapshot {
   std::string name;

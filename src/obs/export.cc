@@ -71,12 +71,17 @@ std::string ChromeTraceJson() {
 
   for (const Event& e : events) {
     if (e.kind == EventKind::kSpan) {
+      // Measured spans reuse Event::bytes for the serving-layer request id
+      // (PushSpanWithId); non-zero ids become a slice arg so an exemplar's
+      // request_id finds its trace slice by search.
       begin_event() << "{\"ph\":\"X\",\"pid\":" << e.rank << ",\"tid\":" << e.tid
                     << ",\"ts\":" << Micros(e.ts_us)
                     << ",\"dur\":" << Micros(e.dur_us) << ",\"name\":\""
                     << JsonEscape(e.name) << "\",\"cat\":\"" << JsonEscape(e.cat)
                     << "\",\"args\":{\"rank\":" << e.rank
-                    << ",\"step\":" << e.step << "}}";
+                    << ",\"step\":" << e.step;
+      if (e.bytes != 0) out << ",\"request_id\":" << e.bytes;
+      out << "}}";
     } else if (e.kind == EventKind::kCounter) {
       // Counter tracks ("C") live in the simulated clock domain alongside the
       // wire spans: one series per (rank pid, track name).

@@ -87,6 +87,22 @@ void PushSpan(const char* name, const char* cat, int rank, int step,
   ring->Push(e);
 }
 
+void PushSpanWithId(const char* name, const char* cat, int rank, int step,
+                    double ts_us, double dur_us, uint64_t request_id) {
+  ThreadRing* ring = Registry::Get().RingForThisThread();
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.kind = EventKind::kSpan;
+  e.rank = rank;
+  e.tid = ring->tid;
+  e.step = step;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.bytes = request_id;
+  ring->Push(e);
+}
+
 void PushWireSpan(const char* name, int rank, int step, double sim_ts_us,
                   double sim_dur_us, uint64_t bytes, uint64_t msgs) {
   Registry& reg = Registry::Get();

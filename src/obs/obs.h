@@ -69,6 +69,12 @@ double NowMicros();
 void PushSpan(const char* name, const char* cat, int rank, int step,
               double ts_us, double dur_us);
 
+// PushSpan tagged with the serving-layer request id that produced the work;
+// the id rides in Event::bytes (free for kSpan) and the exporter renders it
+// as a "request_id" slice arg, linking histogram exemplars to trace slices.
+void PushSpanWithId(const char* name, const char* cat, int rank, int step,
+                    double ts_us, double dur_us, uint64_t request_id);
+
 // Appends a simulated wire-time span (SimClock's domain). Thread-safe.
 void PushWireSpan(const char* name, int rank, int step, double sim_ts_us,
                   double sim_dur_us, uint64_t bytes, uint64_t msgs);

@@ -1,0 +1,311 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+
+#include "obs/openmetrics.h"
+
+namespace maze::obs {
+namespace {
+
+// Leaked for the same reason as the counter registry: handed-out references
+// must survive static destruction of client code.
+struct ExemplarRegistry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<ExemplarStore>> stores;
+
+  static ExemplarRegistry& Get() {
+    static ExemplarRegistry* r = new ExemplarRegistry();
+    return *r;
+  }
+};
+
+// Nearest-rank percentile over a window's delta buckets.
+uint64_t DeltaPercentile(const std::array<uint64_t, Histogram::kNumBuckets>& d,
+                         uint64_t n, double p) {
+  if (n == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    cumulative += d[i];
+    if (cumulative >= rank) return Histogram::BucketUpperBound(i);
+  }
+  return 0;
+}
+
+}  // namespace
+
+void ExemplarStore::Record(uint64_t value, uint64_t request_id) {
+  int bucket = Histogram::BucketIndex(value);
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_[bucket] = {value, request_id};
+}
+
+std::vector<std::pair<int, Exemplar>> ExemplarStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<int, Exemplar>> out;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (slots_[i].request_id != 0) out.emplace_back(i, slots_[i]);
+  }
+  return out;
+}
+
+void ExemplarStore::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.fill(Exemplar{});
+}
+
+ExemplarStore& GetExemplars(const std::string& name) {
+  internal::BumpRegistryLookup();
+  ExemplarRegistry& reg = ExemplarRegistry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto& slot = reg.stores[name];
+  if (slot == nullptr) slot = std::make_unique<ExemplarStore>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, ExemplarStore*>> AllExemplars() {
+  ExemplarRegistry& reg = ExemplarRegistry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, ExemplarStore*>> out;
+  out.reserve(reg.stores.size());
+  for (const auto& [name, store] : reg.stores) {
+    out.emplace_back(name, store.get());
+  }
+  return out;
+}
+
+void ResetExemplars() {
+  ExemplarRegistry& reg = ExemplarRegistry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, store] : reg.stores) store->Reset();
+}
+
+StatusOr<TelemetrySpec> ParseTelemetrySpec(const std::string& text) {
+  TelemetrySpec spec;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    std::string token = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("telemetry spec token '" + token +
+                                     "' is not key=value");
+    }
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "interval") {
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || v <= 0) {
+        return Status::InvalidArgument("telemetry interval '" + value +
+                                       "' must be a positive number");
+      }
+      spec.options.interval_seconds = v;
+    } else if (key == "rings") {
+      long v = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || v < 1) {
+        return Status::InvalidArgument("telemetry rings '" + value +
+                                       "' must be a positive integer");
+      }
+      spec.options.ring_windows = static_cast<size_t>(v);
+    } else if (key == "file") {
+      spec.options.file_sink = value;
+    } else if (key == "listen") {
+      long v = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || v < 0 || v > 65535) {
+        return Status::InvalidArgument("telemetry listen '" + value +
+                                       "' must be a port in [0, 65535]");
+      }
+      spec.listen_port = static_cast<int>(v);
+    } else {
+      return Status::InvalidArgument(
+          "unknown telemetry key '" + key +
+          "' (interval|rings|file|listen)");
+    }
+  }
+  return spec;
+}
+
+TelemetryRegistry::TelemetryRegistry(const TelemetryOptions& options)
+    : options_(options) {}
+
+TelemetryRegistry::~TelemetryRegistry() { Stop(); }
+
+uint64_t TelemetryRegistry::ScrapeOnce() {
+  std::lock_guard<std::mutex> scrape_lock(scrape_mu_);
+  const uint64_t scrape = scrapes_.load(std::memory_order_relaxed) + 1;
+
+  // Enumerate outside mu_ (AllCounters takes the counter-registry lock).
+  auto counters = AllCounters();
+  auto histograms = AllHistograms();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, src] : counters) {
+      CounterState& state = counters_[name];
+      state.src = src;
+      CounterWindow w;
+      w.scrape = scrape;
+      w.value = src->value();
+      w.delta = state.ring.windows.empty()
+                    ? w.value
+                    : w.value - std::min(w.value, state.ring.windows.back().value);
+      state.ring.windows.push_back(w);
+      if (state.ring.windows.size() > options_.ring_windows) {
+        state.ring.windows.erase(state.ring.windows.begin());
+      }
+    }
+    for (auto& [name, src] : histograms) {
+      HistogramState& state = histograms_[name];
+      const bool first = state.src == nullptr;
+      state.src = src;
+      auto buckets = src->SnapshotBuckets();
+      std::array<uint64_t, Histogram::kNumBuckets> delta;
+      uint64_t count = 0, delta_count = 0;
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        count += buckets[i];
+        // Buckets are individually monotone; clamp anyway so a Reset between
+        // scrapes degrades to an empty window instead of wrapping.
+        delta[i] = buckets[i] - std::min(buckets[i], state.buckets[i]);
+        delta_count += delta[i];
+      }
+      HistogramWindow w;
+      w.scrape = scrape;
+      w.count = count;
+      w.sum = src->sum();
+      uint64_t prev_sum = first ? 0
+                                : (state.ring.windows.empty()
+                                       ? 0
+                                       : state.ring.windows.back().sum);
+      w.delta_count = delta_count;
+      w.delta_sum = w.sum - std::min(w.sum, prev_sum);
+      w.delta_p50 = DeltaPercentile(delta, delta_count, 50);
+      w.delta_p99 = DeltaPercentile(delta, delta_count, 99);
+      for (int i = Histogram::kNumBuckets - 1; i >= 0; --i) {
+        if (delta[i] != 0) {
+          w.delta_max = Histogram::BucketUpperBound(i);
+          break;
+        }
+      }
+      state.buckets = buckets;
+      state.ring.windows.push_back(w);
+      if (state.ring.windows.size() > options_.ring_windows) {
+        state.ring.windows.erase(state.ring.windows.begin());
+      }
+    }
+    scrapes_.store(scrape, std::memory_order_release);
+  }
+
+  if (!options_.file_sink.empty()) {
+    std::ofstream out(options_.file_sink, std::ios::trunc);
+    if (out) out << OpenMetricsText(*this);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(hooks_mu_);
+    for (auto& [token, hook] : hooks_) hook(scrape);
+  }
+  return scrape;
+}
+
+void TelemetryRegistry::Start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (scraper_.joinable()) return;
+  stop_ = false;
+  scraper_ = std::thread([this] { ScraperMain(); });
+}
+
+void TelemetryRegistry::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!scraper_.joinable()) return;
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  scraper_.join();
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  scraper_ = std::thread();
+}
+
+void TelemetryRegistry::ScraperMain() {
+  const auto interval = std::chrono::duration<double>(options_.interval_seconds);
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  while (!stop_) {
+    if (stop_cv_.wait_for(lock, interval, [this] { return stop_; })) return;
+    lock.unlock();
+    ScrapeOnce();
+    lock.lock();
+  }
+}
+
+size_t TelemetryRegistry::AddScrapeHook(ScrapeHook hook) {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  size_t token = next_hook_token_++;
+  hooks_.emplace_back(token, std::move(hook));
+  return token;
+}
+
+void TelemetryRegistry::RemoveScrapeHook(size_t token) {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  for (size_t i = 0; i < hooks_.size(); ++i) {
+    if (hooks_[i].first == token) {
+      hooks_.erase(hooks_.begin() + i);
+      return;
+    }
+  }
+}
+
+std::vector<CounterSeries> TelemetryRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSeries> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, state] : counters_) {
+    out.push_back({name, state.ring.windows});
+  }
+  return out;
+}
+
+std::vector<HistogramSeries> TelemetryRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSeries> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, state] : histograms_) {
+    HistogramSeries s;
+    s.name = name;
+    s.windows = state.ring.windows;
+    s.buckets = state.buckets;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::optional<CounterWindow> TelemetryRegistry::LatestCounter(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end() || it->second.ring.windows.empty()) {
+    return std::nullopt;
+  }
+  return it->second.ring.windows.back();
+}
+
+std::optional<HistogramWindow> TelemetryRegistry::LatestHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end() || it->second.ring.windows.empty()) {
+    return std::nullopt;
+  }
+  return it->second.ring.windows.back();
+}
+
+}  // namespace maze::obs

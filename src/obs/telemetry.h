@@ -1,0 +1,195 @@
+// maze::obs live telemetry (DESIGN.md §4g).
+//
+// The PR 1/5 observability substrate is post-hoc: counters are read at
+// quiescence, reports render after Drain(). TelemetryRegistry makes the same
+// counters and histograms scrapeable *while the service runs*: each
+// ScrapeOnce() walks the process-wide counter registry and appends one
+// fixed-size time-series window per metric — monotonic cumulative values plus
+// per-window deltas — into a bounded ring, without ever pausing writers.
+//
+// Lock discipline: writers (Counter::Add / Histogram::Record) stay lock-free
+// and are never blocked by a scrape; the scraper takes only its own mutex and
+// the registry enumeration lock. Histogram windows derive their cumulative
+// count by summing the per-bucket relaxed loads instead of reading count_:
+// each bucket is individually monotone, so between-scrape counts can never
+// decrease even when Record races the scrape (the satellite-1 monotonicity
+// fix; see telemetry_test's hammer).
+//
+// Exemplars attach a request id to the latest value recorded in each
+// histogram bucket, so an OpenMetrics consumer can walk from a p99 bucket to
+// the Perfetto trace slice of the request that landed there.
+#ifndef MAZE_OBS_TELEMETRY_H_
+#define MAZE_OBS_TELEMETRY_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.h"
+#include "util/status.h"
+
+namespace maze::obs {
+
+// One scrape of a monotonic counter.
+struct CounterWindow {
+  uint64_t scrape = 0;  // 1-based scrape id that produced this window.
+  uint64_t value = 0;   // Cumulative value at scrape time.
+  uint64_t delta = 0;   // Increase since the previous scrape (the full
+                        // cumulative value on a metric's first window).
+};
+
+// One scrape of a histogram: cumulative totals plus the delta distribution of
+// values recorded inside this window.
+struct HistogramWindow {
+  uint64_t scrape = 0;
+  uint64_t count = 0;      // Cumulative, derived from bucket sums (monotone).
+  uint64_t sum = 0;        // Cumulative.
+  uint64_t delta_count = 0;
+  uint64_t delta_sum = 0;
+  uint64_t delta_p50 = 0;  // Nearest-rank percentiles of the window's values.
+  uint64_t delta_p99 = 0;
+  uint64_t delta_max = 0;  // Upper bound of the window's highest bucket.
+};
+
+struct CounterSeries {
+  std::string name;
+  std::vector<CounterWindow> windows;  // Oldest first, at most ring_windows.
+};
+
+struct HistogramSeries {
+  std::string name;
+  std::vector<HistogramWindow> windows;
+  // Cumulative per-bucket counts as of the latest scrape; the exposition
+  // renders these so bucket counts and _count come from one consistent read.
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+};
+
+// Latest value recorded into a bucket, tagged with the request that produced
+// it. request_id == 0 means the slot is empty.
+struct Exemplar {
+  uint64_t value = 0;
+  uint64_t request_id = 0;
+};
+
+// Per-histogram exemplar slots, one per bucket. Record takes a mutex — it is
+// called once per served request, not per engine event — and callers cache
+// the reference like any other registry handle.
+class ExemplarStore {
+ public:
+  void Record(uint64_t value, uint64_t request_id);
+  // Non-empty slots as (bucket index, exemplar) pairs.
+  std::vector<std::pair<int, Exemplar>> Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::array<Exemplar, Histogram::kNumBuckets> slots_{};
+};
+
+// Registry lookup; same lifetime/caching contract as GetCounter. The name
+// should match the histogram the exemplars annotate ("serve.latency_us").
+ExemplarStore& GetExemplars(const std::string& name);
+std::vector<std::pair<std::string, ExemplarStore*>> AllExemplars();
+void ResetExemplars();
+
+struct TelemetryOptions {
+  double interval_seconds = 1.0;  // Background scrape period.
+  size_t ring_windows = 64;       // Windows retained per metric.
+  std::string file_sink;          // Non-empty: write exposition here per scrape.
+};
+
+// Parses a MAZE_TELEMETRY-style spec: comma-separated key=value with keys
+//   interval=SECONDS  rings=N  file=PATH  listen=PORT
+// "listen" is returned separately because the HTTP endpoint lives in
+// openmetrics.h (it needs a scrape target, not the other way around).
+struct TelemetrySpec {
+  TelemetryOptions options;
+  int listen_port = -1;  // -1: no endpoint requested.
+};
+StatusOr<TelemetrySpec> ParseTelemetrySpec(const std::string& text);
+
+class TelemetryRegistry {
+ public:
+  explicit TelemetryRegistry(const TelemetryOptions& options = {});
+  ~TelemetryRegistry();  // Stops the background scraper if running.
+
+  TelemetryRegistry(const TelemetryRegistry&) = delete;
+  TelemetryRegistry& operator=(const TelemetryRegistry&) = delete;
+
+  // Takes one scrape of every registered counter/histogram and appends the
+  // windows. Returns the 1-based scrape id. Safe to call concurrently with
+  // writers, the background scraper, and endpoint pulls (scrapes serialize on
+  // an internal mutex). Scrape hooks run synchronously before returning.
+  uint64_t ScrapeOnce();
+
+  // Background scraping every interval_seconds. Stop() (and the destructor)
+  // joins the thread; Start() after Stop() restarts it.
+  void Start();
+  void Stop();
+
+  uint64_t scrapes() const { return scrapes_.load(std::memory_order_acquire); }
+
+  // Hooks run inside ScrapeOnce after the windows are published, with the
+  // scrape id; the SLO watchdog evaluates its windows here. Removal blocks
+  // until any in-progress invocation finishes.
+  using ScrapeHook = std::function<void(uint64_t scrape)>;
+  size_t AddScrapeHook(ScrapeHook hook);
+  void RemoveScrapeHook(size_t token);
+
+  // Time-series accessors (name-sorted; windows oldest first).
+  std::vector<CounterSeries> Counters() const;
+  std::vector<HistogramSeries> Histograms() const;
+  std::optional<CounterWindow> LatestCounter(const std::string& name) const;
+  std::optional<HistogramWindow> LatestHistogram(const std::string& name) const;
+
+  const TelemetryOptions& options() const { return options_; }
+
+ private:
+  template <typename T>
+  struct Ring {
+    std::vector<T> windows;  // Oldest first; bounded by ring_windows.
+  };
+  struct CounterState {
+    Counter* src = nullptr;
+    Ring<CounterWindow> ring;
+  };
+  struct HistogramState {
+    Histogram* src = nullptr;
+    std::array<uint64_t, Histogram::kNumBuckets> buckets{};  // Latest scrape.
+    Ring<HistogramWindow> ring;
+  };
+
+  void ScraperMain();
+
+  const TelemetryOptions options_;
+
+  // Serializes scrapes (script thread, background thread, endpoint pulls).
+  std::mutex scrape_mu_;
+  // Guards the series maps; held briefly by scrapes and readers.
+  mutable std::mutex mu_;
+  std::map<std::string, CounterState> counters_;
+  std::map<std::string, HistogramState> histograms_;
+  std::atomic<uint64_t> scrapes_{0};
+
+  std::mutex hooks_mu_;
+  std::vector<std::pair<size_t, ScrapeHook>> hooks_;
+  size_t next_hook_token_ = 1;
+
+  std::mutex thread_mu_;  // Guards scraper_/stop_ across Start/Stop.
+  std::thread scraper_;
+  bool stop_ = false;
+  std::condition_variable stop_cv_;
+};
+
+}  // namespace maze::obs
+
+#endif  // MAZE_OBS_TELEMETRY_H_

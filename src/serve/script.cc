@@ -1,13 +1,18 @@
 #include "serve/script.h"
 
 #include <chrono>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "core/datasets.h"
 #include "core/io.h"
+#include "obs/openmetrics.h"
+#include "obs/telemetry.h"
+#include "serve/slo.h"
 
 namespace maze::serve {
 namespace {
@@ -94,7 +99,26 @@ std::string ResponseLine(size_t index, const Response& r) {
 Status RunServeScript(std::istream& script, const ScriptOptions& options,
                       std::ostream& out, ServiceReport* report_out) {
   Service service(options.service);
+  return RunServeScript(service, script, options, out, report_out);
+}
+
+Status RunServeScript(Service& service, std::istream& script,
+                      const ScriptOptions& options, std::ostream& out,
+                      ServiceReport* report_out,
+                      obs::TelemetryRegistry* telemetry) {
   std::map<std::string, SnapshotSource> sources;
+  // Script-local telemetry when the caller provided none; manual scrapes
+  // only, so single-threaded script execution stays deterministic. The
+  // watchdog (if armed) must die before the registries it hooks.
+  std::unique_ptr<obs::TelemetryRegistry> own_telemetry;
+  std::unique_ptr<SloWatchdog> watchdog;
+  auto scrape_target = [&]() -> obs::TelemetryRegistry* {
+    if (telemetry != nullptr) return telemetry;
+    if (own_telemetry == nullptr) {
+      own_telemetry = std::make_unique<obs::TelemetryRegistry>();
+    }
+    return own_telemetry.get();
+  };
   std::vector<std::shared_future<Response>> pending;
   size_t printed = 0;  // Responses are numbered in global submission order.
 
@@ -158,6 +182,10 @@ Status RunServeScript(std::istream& script, const ScriptOptions& options,
           request.engine = value;
         } else if (key == "snapshot") {
           request.snapshot = value;
+        } else if (key == "faults") {
+          // A fault spec is comma-separated without spaces, so the whole plan
+          // arrives as this one token's value.
+          request.faults = value;
         } else if (key == "deadline") {
           auto v = ParseDouble(key, value);
           if (!v.ok()) return error(v.status().message());
@@ -194,6 +222,47 @@ Status RunServeScript(std::istream& script, const ScriptOptions& options,
       pending.clear();
     } else if (cmd.command == "report") {
       out << service.Report().ToMarkdown();
+    } else if (cmd.command == "slo") {
+      if (watchdog != nullptr) return error("slo watchdog already armed");
+      SloOptions slo;
+      if (cmd.kv.count("target_ms") == 0) return error("slo needs target_ms=");
+      for (const auto& [key, value] : cmd.kv) {
+        if (key == "target_ms" || key == "burn" || key == "budget") {
+          auto v = ParseDouble(key, value);
+          if (!v.ok()) return error(v.status().message());
+          if (v.value() <= 0) return error(key + " must be positive");
+          if (key == "target_ms") slo.p99_target_ms = v.value();
+          if (key == "burn") slo.burn_threshold = v.value();
+          if (key == "budget") slo.error_budget = v.value();
+        } else if (key == "recover" || key == "min" || key == "log_windows") {
+          auto v = ParseInt(key, value);
+          if (!v.ok()) return error(v.status().message());
+          if (key == "recover") slo.recover_windows = static_cast<int>(v.value());
+          if (key == "min") slo.min_window_requests = static_cast<uint64_t>(v.value());
+          if (key == "log_windows") slo.log_windows = v.value() != 0;
+        } else {
+          return error("unknown slo parameter '" + key + "'");
+        }
+      }
+      watchdog = std::make_unique<SloWatchdog>(slo, scrape_target(), &service,
+                                               &out);
+      out << "slo armed target_ms=" << slo.p99_target_ms
+          << " burn=" << slo.burn_threshold << " budget=" << slo.error_budget
+          << "\n";
+    } else if (cmd.command == "scrape") {
+      uint64_t scrape = scrape_target()->ScrapeOnce();
+      out << "scrape " << scrape << "\n";
+      if (cmd.kv.count("file") != 0) {
+        std::ofstream sink(cmd.kv["file"], std::ios::trunc);
+        if (!sink) return error("cannot write '" + cmd.kv["file"] + "'");
+        sink << obs::OpenMetricsText(*scrape_target());
+      }
+    } else if (cmd.command == "degrade") {
+      if (cmd.positional.size() != 1) return error("degrade needs LEVEL");
+      auto level = ParseInt("degrade", cmd.positional[0]);
+      if (!level.ok()) return error(level.status().message());
+      service.SetDegradation(static_cast<int>(level.value()));
+      out << "degrade level=" << service.degradation() << "\n";
     } else {
       return error("unknown command '" + cmd.command + "'");
     }

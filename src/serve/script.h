@@ -16,10 +16,12 @@
 //   pause | resume
 //       Holds/releases the dispatchers (deterministic queue buildup).
 //   run   algo=A engine=E snapshot=NAME [ranks=N] [iterations=N] [source=V]
-//         [deadline=SECONDS] [repeat=N]
+//         [deadline=SECONDS] [repeat=N] [faults=SPEC]
 //   point algo=A engine=E snapshot=NAME vertex=V [...]
 //   topk  algo=A engine=E snapshot=NAME k=K [...]
-//       Submit requests (repeat= submits N copies back-to-back).
+//       Submit requests (repeat= submits N copies back-to-back; faults= is an
+//       rt::fault::ParseFaultSpec plan, e.g. faults=seed=1,straggle=0x64 — it
+//       parses as one token because fault specs are comma-separated).
 //   sleep MILLIS
 //       Wall-clock pacing between submissions (load scheduling).
 //   wait
@@ -27,6 +29,15 @@
 //       submission order.
 //   report
 //       Prints the service report as markdown.
+//   slo target_ms=F [burn=F] [budget=F] [recover=N] [min=N] [log_windows=0|1]
+//       Arms the SLO watchdog (serve/slo.h) over the script's telemetry
+//       registry; watchdog events print to the script output.
+//   scrape [file=PATH]
+//       Closes one telemetry window (runs watchdog evaluation) and prints
+//       "scrape N"; with file=, also writes the OpenMetrics exposition there.
+//   degrade LEVEL
+//       Manually sets the degradation level (tests; the watchdog overrides it
+//       on its next level change).
 #ifndef MAZE_SERVE_SCRIPT_H_
 #define MAZE_SERVE_SCRIPT_H_
 
@@ -35,6 +46,10 @@
 
 #include "serve/service.h"
 #include "util/status.h"
+
+namespace maze::obs {
+class TelemetryRegistry;
+}  // namespace maze::obs
 
 namespace maze::serve {
 
@@ -53,6 +68,15 @@ struct ScriptOptions {
 // final ServiceReport is stored there for machine-readable export.
 Status RunServeScript(std::istream& script, const ScriptOptions& options,
                       std::ostream& out, ServiceReport* report_out = nullptr);
+
+// Same, against a caller-owned Service — the CLI uses this to wire the HTTP
+// endpoint and a --slo watchdog around the script run. When `telemetry` is
+// null, the first slo/scrape command lazily creates a script-local registry
+// (manual scrapes only, no background thread).
+Status RunServeScript(Service& service, std::istream& script,
+                      const ScriptOptions& options, std::ostream& out,
+                      ServiceReport* report_out = nullptr,
+                      obs::TelemetryRegistry* telemetry = nullptr);
 
 }  // namespace maze::serve
 

@@ -9,6 +9,8 @@
 #include "bench_support/runner.h"
 #include "obs/json.h"
 #include "obs/obs.h"
+#include "obs/telemetry.h"
+#include "rt/fault.h"
 
 namespace maze::serve {
 namespace {
@@ -49,6 +51,11 @@ StatusOr<ExecResultPtr> ExecuteRequest(const Request& request,
   MAZE_RETURN_IF_ERROR(engine.status());
   bench::RunConfig config;
   config.num_ranks = request.ranks;
+  if (!request.faults.empty()) {
+    auto faults = rt::fault::ParseFaultSpec(request.faults);
+    MAZE_RETURN_IF_ERROR(faults.status());
+    config.faults = std::move(faults).value();
+  }
 
   auto result = std::make_shared<ExecResult>();
   char head[160];
@@ -145,7 +152,41 @@ Response BuildResponse(const Request& request, const ExecResult& result,
   return r;
 }
 
-void BumpObsCounter(const char* name) { obs::GetCounter(name).Add(1); }
+// Every obs handle the dispatch path touches, resolved through the locked
+// registry exactly once (the PR 2/7 Exchange::ObserveDeliver pattern). After
+// the first request warms this struct, the serve hot path performs zero
+// registry lookups per request — serve_stress_test pins that with
+// obs::RegistryLookups().
+struct ServeObs {
+  obs::Counter& submitted = obs::GetCounter("serve.submitted");
+  obs::Counter& invalid = obs::GetCounter("serve.invalid");
+  obs::Counter& rejected = obs::GetCounter("serve.rejected");
+  obs::Counter& shed = obs::GetCounter("serve.shed");
+  obs::Counter& cache_hit = obs::GetCounter("serve.cache_hit");
+  obs::Counter& dedup_joined = obs::GetCounter("serve.dedup_joined");
+  obs::Counter& admitted = obs::GetCounter("serve.admitted");
+  obs::Counter& executed = obs::GetCounter("serve.executed");
+  obs::Counter& exec_failed = obs::GetCounter("serve.exec_failed");
+  obs::Counter& completed = obs::GetCounter("serve.completed");
+  obs::Counter& failed = obs::GetCounter("serve.failed");
+  obs::Counter& expired = obs::GetCounter("serve.expired");
+  obs::Counter& slo_requests = obs::GetCounter("serve.slo_requests");
+  obs::Counter& slo_over_target = obs::GetCounter("serve.slo_over_target");
+  obs::Histogram& latency_us = obs::GetHistogram("serve.latency_us");
+  obs::Histogram& queue_wait_us = obs::GetHistogram("serve.queue_wait_us");
+  obs::Histogram& modeled_us = obs::GetHistogram("serve.modeled_us");
+  obs::ExemplarStore& latency_exemplars = obs::GetExemplars("serve.latency_us");
+  obs::ExemplarStore& modeled_exemplars = obs::GetExemplars("serve.modeled_us");
+
+  static ServeObs& Get() {
+    static ServeObs* o = new ServeObs();
+    return *o;
+  }
+};
+
+uint64_t ToMicros(double seconds) {
+  return static_cast<uint64_t>(seconds * 1e6);
+}
 
 obs::HistogramSnapshot SnapshotOf(const char* name, const obs::Histogram& h) {
   obs::HistogramSnapshot s;
@@ -167,12 +208,14 @@ struct Service::Flight {
   std::string key;
   SnapshotPtr snap;
   Request origin;
+  uint64_t origin_id = 0;  // Request id of the joiner that opened the flight.
 
   struct Joiner {
     Request req;
     std::promise<Response> promise;
     Clock::time_point submitted;
     bool deduped = false;
+    uint64_t request_id = 0;
   };
   // Guarded by Service::mu_ until the flight is retired from inflight_.
   std::vector<Joiner> joiners;
@@ -220,11 +263,19 @@ StatusOr<std::string> Service::ExecKey(const Request& request,
   if (request.kind == QueryKind::kTopK && request.k < 1) {
     return Status::InvalidArgument("top-k needs k >= 1");
   }
+  if (!request.faults.empty()) {
+    auto spec = rt::fault::ParseFaultSpec(request.faults);
+    MAZE_RETURN_IF_ERROR(spec.status());
+    // Keyed by the spec text, not its parse: two spellings of one plan are
+    // distinct keys, which errs toward re-executing rather than aliasing.
+    key += "/faults=" + request.faults;
+  }
   return key;
 }
 
 Service::Service(const ServiceOptions& options)
     : options_(options), cache_(options.cache_bytes) {
+  ServeObs::Get();  // Resolve every obs handle before the first request.
   int workers = std::max(1, options.workers);
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
@@ -245,25 +296,31 @@ Service::~Service() {
 
 std::shared_future<Response> Service::Submit(const Request& request) {
   const Clock::time_point submitted = Clock::now();
+  const uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  ServeObs& so = ServeObs::Get();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.submitted;
   }
-  BumpObsCounter("serve.submitted");
+  so.submitted.Add(1);
 
   auto reply_now = [&](Response r) {
     r.latency_seconds = SecondsSince(submitted);
+    r.request_id = request_id;
     std::promise<Response> p;
     p.set_value(std::move(r));
     return p.get_future().share();
   };
   auto fail_now = [&](Status status, uint64_t ServiceStats::*counter,
-                      const char* obs_name) {
+                      obs::Counter& obs_counter, bool shed = false) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++(stats_.*counter);
+      if (shed) ++stats_.shed;
     }
-    BumpObsCounter(obs_name);
+    obs_counter.Add(1);
+    if (shed) so.shed.Add(1);
     Response r;
     r.status = std::move(status);
     return reply_now(std::move(r));
@@ -271,12 +328,12 @@ std::shared_future<Response> Service::Submit(const Request& request) {
 
   auto snap_or = registry_.Get(request.snapshot);
   if (!snap_or.ok()) {
-    return fail_now(snap_or.status(), &ServiceStats::invalid, "serve.invalid");
+    return fail_now(snap_or.status(), &ServiceStats::invalid, so.invalid);
   }
   SnapshotPtr snap = std::move(snap_or).value();
   auto key_or = ExecKey(request, *snap);
   if (!key_or.ok()) {
-    return fail_now(key_or.status(), &ServiceStats::invalid, "serve.invalid");
+    return fail_now(key_or.status(), &ServiceStats::invalid, so.invalid);
   }
   const std::string& key = key_or.value();
 
@@ -286,13 +343,12 @@ std::shared_future<Response> Service::Submit(const Request& request) {
       ++stats_.cache_hits;
       ++stats_.completed;
     }
-    BumpObsCounter("serve.cache_hit");
-    BumpObsCounter("serve.completed");
+    so.cache_hit.Add(1);
+    so.completed.Add(1);
     Response r = BuildResponse(request, *hit, snap->epoch);
     r.cache_hit = true;
     auto fut = reply_now(std::move(r));
-    latency_us_.Record(
-        static_cast<uint64_t>(fut.get().latency_seconds * 1e6));
+    ObserveResponse(fut.get());
     return fut;
   }
 
@@ -302,6 +358,7 @@ std::shared_future<Response> Service::Submit(const Request& request) {
     joiner.req = request;
     joiner.submitted = submitted;
     joiner.deduped = true;
+    joiner.request_id = request_id;
     auto fut = joiner.promise.get_future().share();
     it->second->joiners.push_back(std::move(joiner));
     lock.unlock();
@@ -309,24 +366,40 @@ std::shared_future<Response> Service::Submit(const Request& request) {
       std::lock_guard<std::mutex> slock(stats_mu_);
       ++stats_.dedup_joined;
     }
-    BumpObsCounter("serve.dedup_joined");
+    so.dedup_joined.Add(1);
     return fut;
   }
-  if (queue_.size() >= options_.queue_depth) {
+  // Degradation gates only *new executions*: cache hits and dedup joins above
+  // ride work that is already paid for. Level 2 sheds every miss; level 1
+  // halves the effective queue depth so backpressure kicks in earlier.
+  const int degradation = degradation_.load(std::memory_order_relaxed);
+  if (degradation >= 2) {
+    lock.unlock();
+    return fail_now(
+        Status::Unavailable("shedding new executions (degradation level 2)"),
+        &ServiceStats::rejected, so.rejected, /*shed=*/true);
+  }
+  size_t effective_depth =
+      degradation > 0 ? std::max<size_t>(1, options_.queue_depth >> degradation)
+                      : options_.queue_depth;
+  if (queue_.size() >= effective_depth) {
+    const bool shed = queue_.size() < options_.queue_depth;
     lock.unlock();
     return fail_now(
         Status::Unavailable("admission queue full (depth " +
-                            std::to_string(options_.queue_depth) + ")"),
-        &ServiceStats::rejected, "serve.rejected");
+                            std::to_string(effective_depth) + ")"),
+        &ServiceStats::rejected, so.rejected, shed);
   }
 
   auto flight = std::make_shared<Flight>();
   flight->key = key;
   flight->snap = std::move(snap);
   flight->origin = request;
+  flight->origin_id = request_id;
   Flight::Joiner joiner;
   joiner.req = request;
   joiner.submitted = submitted;
+  joiner.request_id = request_id;
   auto fut = joiner.promise.get_future().share();
   flight->joiners.push_back(std::move(joiner));
   inflight_.emplace(key, flight);
@@ -338,8 +411,32 @@ std::shared_future<Response> Service::Submit(const Request& request) {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.admitted;
   }
-  BumpObsCounter("serve.admitted");
+  so.admitted.Add(1);
   return fut;
+}
+
+void Service::SetDegradation(int level) {
+  degradation_.store(std::clamp(level, 0, 2), std::memory_order_relaxed);
+}
+
+void Service::ObserveResponse(const Response& r) {
+  ServeObs& so = ServeObs::Get();
+  const uint64_t latency_us = ToMicros(r.latency_seconds);
+  latency_us_.Record(latency_us);
+  so.latency_us.Record(latency_us);
+  so.latency_exemplars.Record(latency_us, r.request_id);
+  // Modeled-time and SLO accounting cover paid work only: a cache hit's
+  // modeled_seconds describes the execution it reused, not this response, and
+  // counting it would keep the burn rate pinned high under full shedding
+  // (cache-only traffic) so the watchdog could never recover.
+  if (!r.status.ok() || r.cache_hit) return;
+  const uint64_t modeled_us = ToMicros(r.modeled_seconds);
+  modeled_us_.Record(modeled_us);
+  so.modeled_us.Record(modeled_us);
+  so.modeled_exemplars.Record(modeled_us, r.request_id);
+  so.slo_requests.Add(1);
+  const uint64_t target = slo_target_us_.load(std::memory_order_relaxed);
+  if (target != 0 && modeled_us > target) so.slo_over_target.Add(1);
 }
 
 Response Service::Call(const Request& request) {
@@ -404,8 +501,15 @@ void Service::ExecuteFlight(const FlightPtr& flight) {
   StatusOr<ExecResultPtr> result =
       Status::DeadlineExceeded("queue-wait deadline passed before dispatch");
   if (!expired) {
-    MAZE_OBS_SPAN("serve.execute", "serve");
+    // The span carries the opening joiner's request id, so a latency-exemplar
+    // request_id finds this slice (and the engine spans nested under it on
+    // this thread) in the Perfetto trace.
+    const double span_start = obs::Enabled() ? obs::NowMicros() : 0;
     result = ExecuteRequest(flight->origin, *flight->snap);
+    if (obs::Enabled()) {
+      obs::PushSpanWithId("serve.execute", "serve", 0, -1, span_start,
+                          obs::NowMicros() - span_start, flight->origin_id);
+    }
     // Publish before retiring the flight: a submitter racing with retirement
     // either joins (fulfilled below) or finds the cache populated.
     if (result.ok()) cache_.Insert(flight->key, result.value());
@@ -422,6 +526,7 @@ void Service::ExecuteFlight(const FlightPtr& flight) {
   uint64_t completed = 0, failed = 0, expired_count = 0;
   std::vector<Response> responses;
   responses.reserve(joiners.size());
+  ServeObs& so = ServeObs::Get();
   for (Flight::Joiner& j : joiners) {
     Response r;
     if (result.ok()) {
@@ -431,7 +536,9 @@ void Service::ExecuteFlight(const FlightPtr& flight) {
       // queued, they boarded a flight already in the air.
       r.queue_seconds = std::max(
           0.0, std::chrono::duration<double>(exec_start - j.submitted).count());
-      queue_wait_us_.Record(static_cast<uint64_t>(r.queue_seconds * 1e6));
+      const uint64_t queue_us = ToMicros(r.queue_seconds);
+      queue_wait_us_.Record(queue_us);
+      so.queue_wait_us.Record(queue_us);
       ++completed;
     } else {
       r.status = result.status();
@@ -443,7 +550,8 @@ void Service::ExecuteFlight(const FlightPtr& flight) {
       }
     }
     r.latency_seconds = SecondsSince(j.submitted);
-    latency_us_.Record(static_cast<uint64_t>(r.latency_seconds * 1e6));
+    r.request_id = j.request_id;
+    ObserveResponse(r);
     responses.push_back(std::move(r));
   }
 
@@ -462,11 +570,11 @@ void Service::ExecuteFlight(const FlightPtr& flight) {
     stats_.failed += failed;
   }
   if (!expired) {
-    BumpObsCounter(result.ok() ? "serve.executed" : "serve.exec_failed");
+    (result.ok() ? so.executed : so.exec_failed).Add(1);
   }
-  for (uint64_t i = 0; i < completed; ++i) BumpObsCounter("serve.completed");
-  for (uint64_t i = 0; i < failed; ++i) BumpObsCounter("serve.failed");
-  for (uint64_t i = 0; i < expired_count; ++i) BumpObsCounter("serve.expired");
+  so.completed.Add(completed);
+  so.failed.Add(failed);
+  so.expired.Add(expired_count);
 
   for (size_t i = 0; i < joiners.size(); ++i) {
     joiners[i].promise.set_value(std::move(responses[i]));
@@ -493,8 +601,10 @@ ServiceReport Service::Report() const {
   ServiceReport report;
   report.options = options_;
   report.stats = Stats();
+  report.degradation = degradation();
   report.latency = SnapshotOf("serve.latency_us", latency_us_);
   report.queue_wait = SnapshotOf("serve.queue_wait_us", queue_wait_us_);
+  report.modeled = SnapshotOf("serve.modeled_us", modeled_us_);
   for (const SnapshotPtr& snap : registry_.All()) {
     ServiceReport::SnapshotRow row;
     row.name = snap->name;
@@ -520,6 +630,7 @@ std::string ServiceReport::ToJson() const {
   field("submitted", stats.submitted);
   field("admitted", stats.admitted);
   field("rejected", stats.rejected);
+  field("shed", stats.shed);
   field("invalid", stats.invalid);
   field("cache_hits", stats.cache_hits);
   field("dedup_joined", stats.dedup_joined);
@@ -532,6 +643,7 @@ std::string ServiceReport::ToJson() const {
   field("queue_peak", stats.queue_peak);
   field("inflight", stats.inflight, /*last=*/true);
   out += "},\n";
+  out += "\"degradation\": " + std::to_string(degradation) + ",\n";
   auto hist = [&](const char* name, const obs::HistogramSnapshot& h) {
     out += std::string("\"") + name + "\": {\"count\": " +
            std::to_string(h.count) + ", \"sum\": " + std::to_string(h.sum) +
@@ -542,6 +654,7 @@ std::string ServiceReport::ToJson() const {
   };
   hist("latency_us", latency);
   hist("queue_wait_us", queue_wait);
+  hist("modeled_us", modeled);
   out += "\"cache\": {";
   field("hits", stats.cache.hits);
   field("misses", stats.cache.misses);
@@ -577,6 +690,7 @@ std::string ServiceReport::ToMarkdown() const {
   row("submitted", stats.submitted);
   row("admitted (new executions queued)", stats.admitted);
   row("rejected (queue full)", stats.rejected);
+  row("shed (SLO degradation)", stats.shed);
   row("invalid", stats.invalid);
   row("cache hits", stats.cache_hits);
   row("dedup joins", stats.dedup_joined);
@@ -594,6 +708,7 @@ std::string ServiceReport::ToMarkdown() const {
   };
   hrow("request latency", latency);
   hrow("queue wait", queue_wait);
+  hrow("modeled run time", modeled);
   out += "\n## Cache\n\n| hits | misses | insertions | evictions | entries | "
          "bytes | budget |\n|---|---|---|---|---|---|---|\n| " +
          std::to_string(stats.cache.hits) + " | " +

@@ -35,6 +35,7 @@
 #ifndef MAZE_SERVE_SERVICE_H_
 #define MAZE_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -74,6 +75,13 @@ struct Request {
   // is expired (kDeadlineExceeded) only when every joined request's deadline
   // has passed before a dispatcher picks it up.
   double deadline_seconds = 0;
+  // Fault plan for the underlying run (rt::fault::ParseFaultSpec grammar,
+  // e.g. "seed=1,straggle=0x64"); empty = the process default (MAZE_FAULTS).
+  // Part of the execution key: a faulted run never shares a cached clean
+  // result. Engine payloads stay byte-identical under faults (the PR 4
+  // differential guarantee); only modeled time changes, which is exactly what
+  // the SLO-watchdog spike injection in bench_telemetry leans on.
+  std::string faults;
 };
 
 struct Response {
@@ -86,6 +94,10 @@ struct Response {
   double queue_seconds = 0;    // Submit -> execution start (0 for cache hits).
   double latency_seconds = 0;  // Submit -> response, wall clock.
   double modeled_seconds = 0;  // Simulated seconds of the underlying run.
+  // Unique per Submit() (1-based, assigned at admission); recorded as an
+  // exemplar on the serve.* histograms and tagged onto the execution's trace
+  // span, so a latency outlier links back to its Perfetto slice.
+  uint64_t request_id = 0;
 };
 
 // Monotonic service counters. After Drain(), the request-accounting identity
@@ -96,6 +108,8 @@ struct Response {
 struct ServiceStats {
   uint64_t submitted = 0;      // Submit() calls.
   uint64_t rejected = 0;       // Backpressure: queue was at its bound.
+  uint64_t shed = 0;           // Of rejected: due to SLO degradation, i.e.
+                               // the full queue would have admitted them.
   uint64_t invalid = 0;        // Failed validation before admission.
   uint64_t cache_hits = 0;     // Served from the result cache.
   uint64_t dedup_joined = 0;   // Joined an in-flight identical execution.
@@ -122,8 +136,10 @@ struct ServiceOptions {
 struct ServiceReport {
   ServiceOptions options;
   ServiceStats stats;
+  int degradation = 0;                // SLO degradation level at report time.
   obs::HistogramSnapshot latency;     // Request latency, microseconds.
   obs::HistogramSnapshot queue_wait;  // Admission-queue wait, microseconds.
+  obs::HistogramSnapshot modeled;     // Modeled run time, microseconds.
   struct SnapshotRow {
     std::string name;
     uint64_t epoch = 0;
@@ -170,6 +186,37 @@ class Service {
   ServiceStats Stats() const;
   ServiceReport Report() const;
 
+  // Graceful degradation under SLO pressure (normally driven by SloWatchdog,
+  // exposed for tests and the script driver's `degrade` command):
+  //   0  normal admission.
+  //   1  effective queue depth halves — new executions shed earlier, cache
+  //      hits and dedup joins unaffected.
+  //   2  every new execution is shed (kUnavailable); only cache hits and
+  //      joins of already-admitted flights are served. This is "shed
+  //      cache-miss-heavy queries first": misses are exactly the requests
+  //      that would consume engine time.
+  // Rejections caused by a level > 0 (that a full-depth queue would have
+  // admitted) are additionally counted in ServiceStats::shed.
+  void SetDegradation(int level);
+  int degradation() const {
+    return degradation_.load(std::memory_order_relaxed);
+  }
+
+  // SLO over-target accounting: when target_us > 0, every OK non-cache-hit
+  // response bumps serve.slo_requests and, if its *modeled* run time exceeds
+  // target_us, serve.slo_over_target. Cache hits are excluded — they reuse a
+  // paid execution, and counting their inherited modeled time would keep the
+  // burn rate pinned high under full shedding (cache-only traffic), blocking
+  // recovery. Modeled time is schedule-invariant (PR 2), so the
+  // watchdog's window arithmetic over these counters is deterministic where
+  // wall-clock latency would not be. 0 disables the over-target test.
+  void SetSloTargetUs(uint64_t target_us) {
+    slo_target_us_.store(target_us, std::memory_order_relaxed);
+  }
+  uint64_t slo_target_us() const {
+    return slo_target_us_.load(std::memory_order_relaxed);
+  }
+
   // The canonical execution key for `request` against `snap`: snapshot name +
   // epoch, algo, engine, ranks, and exactly the parameters the algorithm
   // consumes. Query kind is deliberately excluded — point/top-k queries share
@@ -185,6 +232,9 @@ class Service {
   void WorkerMain();
   // Runs the flight's engine execution and fulfills every joiner.
   void ExecuteFlight(const FlightPtr& flight);
+  // Records latency/modeled histograms, exemplars, and SLO counters for one
+  // answered request (not called for rejected/invalid submissions).
+  void ObserveResponse(const Response& r);
 
   const ServiceOptions options_;
   SnapshotRegistry registry_;
@@ -206,6 +256,11 @@ class Service {
   ServiceStats stats_;
   obs::Histogram latency_us_;
   obs::Histogram queue_wait_us_;
+  obs::Histogram modeled_us_;
+
+  std::atomic<uint64_t> next_request_id_{0};
+  std::atomic<int> degradation_{0};
+  std::atomic<uint64_t> slo_target_us_{0};
 
   std::vector<std::thread> workers_;
 };

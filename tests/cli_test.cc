@@ -10,6 +10,7 @@
 
 #include "core/datasets.h"
 #include "core/io.h"
+#include "tests/openmetrics_checker.h"
 #include "util/thread_pool.h"
 
 namespace maze::cli {
@@ -384,6 +385,61 @@ TEST(CliTest, ServeRejectsBadOptionValues) {
   EXPECT_EQ(
       RunCli({"serve", "--script", "/nonexistent/x.txt"}, &out).code(),
       StatusCode::kIoError);
+}
+
+TEST(CliTest, ServeListenSloAndScrapeFile) {
+  std::string script_path = TempPath("cli_serve_telemetry_script.txt");
+  std::string metrics_path = TempPath("cli_serve_scrape.om");
+  {
+    std::ofstream f(script_path);
+    f << "load g dataset=facebook scale_adjust=-6\n"
+      << "run algo=pagerank engine=native snapshot=g iterations=2 "
+         "faults=seed=1,straggle=0x64\n"
+      << "wait\n"
+      << "scrape file=" << metrics_path << "\n";
+  }
+  std::string out;
+  // --listen 0 binds an ephemeral port; --slo-p99-ms arms the watchdog (its
+  // stderr events are not asserted here — bench_telemetry byte-checks them).
+  ASSERT_TRUE(RunCli({"serve", "--script", script_path, "--listen", "0",
+                   "--slo-p99-ms", "0.001", "--slo-burn", "2"},
+                  &out)
+                  .ok())
+      << out;
+  EXPECT_NE(out.find("telemetry: listening on 127.0.0.1:"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("scrape 1"), std::string::npos) << out;
+  std::string exposition = Slurp(metrics_path);
+  testutil::OpenMetricsChecker checker(exposition);
+  EXPECT_TRUE(checker.Valid()) << checker.error();
+  EXPECT_EQ(checker.counters().count("maze_serve_submitted"), 1u)
+      << exposition;
+  std::remove(script_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(CliTest, ServeRejectsBadTelemetryFlags) {
+  std::string out;
+  EXPECT_EQ(RunCli({"serve", "--script", "/nonexistent", "--listen", "abc"},
+                &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCli({"serve", "--script", "/nonexistent", "--listen", "70000"},
+                &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      RunCli({"serve", "--script", "/nonexistent", "--slo-p99-ms", "0"}, &out)
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      RunCli({"serve", "--script", "/nonexistent", "--slo-p99-ms", "x"}, &out)
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      RunCli({"serve", "--script", "/nonexistent", "--slo-burn", "-1"}, &out)
+          .code(),
+      StatusCode::kInvalidArgument);
 }
 
 TEST(CliTest, DatasetsListsEveryRegistryEntry) {

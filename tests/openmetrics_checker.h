@@ -1,0 +1,427 @@
+// A minimal OpenMetrics text-exposition validator shared by the telemetry,
+// CLI, and bench_telemetry checks — enough to prove a /metrics scrape is
+// well-formed without a Prometheus client dependency (the sibling of
+// json_checker.h). Validates, line by line:
+//
+//   * `# EOF` terminator, exactly once, as the final line
+//   * `# TYPE name counter|histogram|gauge` before any sample of the family
+//   * `# HELP name text` with valid escaping (\\, \", \n only)
+//   * metric-name charset [a-zA-Z0-9_:], label-name charset, quoted and
+//     escaped label values
+//   * counter families expose exactly `name_total` with a non-negative value
+//   * histogram families expose `_bucket{le="..."}` with strictly ascending
+//     le, non-decreasing cumulative counts, a `+Inf` bucket equal to
+//     `_count`, and a `_sum`
+//   * exemplars (` # {labels} value`) only on bucket lines
+//
+// CheckMonotonic(prev, cur) proves between-scrape monotonicity: every counter
+// and histogram count/sum present in both expositions must not decrease.
+#ifndef MAZE_TESTS_OPENMETRICS_CHECKER_H_
+#define MAZE_TESTS_OPENMETRICS_CHECKER_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace maze::testutil {
+
+class OpenMetricsChecker {
+ public:
+  struct Histogram {
+    std::vector<std::pair<double, uint64_t>> buckets;  // (le, cumulative).
+    bool has_inf = false;
+    uint64_t inf_count = 0;
+    bool has_count = false;
+    uint64_t count = 0;
+    bool has_sum = false;
+    uint64_t sum = 0;
+  };
+
+  explicit OpenMetricsChecker(const std::string& text) { Parse(text); }
+
+  bool Valid() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  // Parsed `name_total` samples, keyed by family name (with the `maze_`
+  // prefix, e.g. "maze_serve_submitted") — the reconciliation surface.
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  // Between-scrape monotonicity: counters and histogram count/sum shared by
+  // both expositions must not decrease from prev to cur.
+  static bool CheckMonotonic(const OpenMetricsChecker& prev,
+                             const OpenMetricsChecker& cur,
+                             std::string* error = nullptr) {
+    auto fail = [&](const std::string& message) {
+      if (error != nullptr) *error = message;
+      return false;
+    };
+    for (const auto& [name, value] : prev.counters_) {
+      auto it = cur.counters_.find(name);
+      if (it == cur.counters_.end()) {
+        return fail("counter " + name + " disappeared");
+      }
+      if (it->second < value) {
+        return fail("counter " + name + " decreased: " +
+                    std::to_string(value) + " -> " +
+                    std::to_string(it->second));
+      }
+    }
+    for (const auto& [name, hist] : prev.histograms_) {
+      auto it = cur.histograms_.find(name);
+      if (it == cur.histograms_.end()) {
+        return fail("histogram " + name + " disappeared");
+      }
+      if (it->second.count < hist.count) {
+        return fail("histogram " + name + " count decreased");
+      }
+      if (it->second.sum < hist.sum) {
+        return fail("histogram " + name + " sum decreased");
+      }
+    }
+    return true;
+  }
+
+ private:
+  static bool NameChar(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == ':';
+  }
+
+  static bool ValidName(const std::string& name) {
+    if (name.empty()) return false;
+    for (char c : name) {
+      if (!NameChar(c)) return false;
+    }
+    return true;
+  }
+
+  // Escaped text: a backslash may only introduce \\, \", or \n.
+  static bool ValidEscaping(const std::string& text) {
+    for (size_t i = 0; i < text.size(); ++i) {
+      if (text[i] != '\\') continue;
+      if (i + 1 >= text.size()) return false;
+      char next = text[i + 1];
+      if (next != '\\' && next != '"' && next != 'n') return false;
+      ++i;
+    }
+    return true;
+  }
+
+  void Fail(int line_no, const std::string& message) {
+    if (error_.empty()) {
+      error_ = "line " + std::to_string(line_no) + ": " + message;
+    }
+  }
+
+  // Parses `{key="value",...}` starting at `pos` (which must point at '{');
+  // advances pos past the closing '}'. Stores le= into *le_out when present.
+  bool ParseLabels(const std::string& line, size_t& pos, int line_no,
+                   std::string* le_out) {
+    ++pos;  // '{'
+    if (pos < line.size() && line[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (pos < line.size()) {
+      size_t eq = line.find('=', pos);
+      if (eq == std::string::npos) {
+        Fail(line_no, "label without '='");
+        return false;
+      }
+      std::string key = line.substr(pos, eq - pos);
+      if (!ValidName(key) || (key[0] >= '0' && key[0] <= '9')) {
+        Fail(line_no, "bad label name '" + key + "'");
+        return false;
+      }
+      pos = eq + 1;
+      if (pos >= line.size() || line[pos] != '"') {
+        Fail(line_no, "label value must be quoted");
+        return false;
+      }
+      ++pos;
+      std::string value;
+      while (pos < line.size() && line[pos] != '"') {
+        if (line[pos] == '\\') {
+          if (pos + 1 >= line.size()) break;
+          value += line[pos];
+          value += line[pos + 1];
+          pos += 2;
+          continue;
+        }
+        value += line[pos];
+        ++pos;
+      }
+      if (pos >= line.size()) {
+        Fail(line_no, "unterminated label value");
+        return false;
+      }
+      if (!ValidEscaping(value)) {
+        Fail(line_no, "bad escape in label value");
+        return false;
+      }
+      ++pos;  // closing '"'
+      if (key == "le" && le_out != nullptr) *le_out = value;
+      if (pos < line.size() && line[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < line.size() && line[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      Fail(line_no, "expected ',' or '}' after label");
+      return false;
+    }
+    Fail(line_no, "unterminated label set");
+    return false;
+  }
+
+  bool ParseValue(const std::string& text, int line_no, double* out) {
+    if (text == "+Inf") {
+      *out = std::numeric_limits<double>::infinity();
+      return true;
+    }
+    char* end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') {
+      Fail(line_no, "bad sample value '" + text + "'");
+      return false;
+    }
+    if (value < 0) {
+      Fail(line_no, "negative sample value '" + text + "'");
+      return false;
+    }
+    *out = value;
+    return true;
+  }
+
+  void ParseSample(const std::string& line, int line_no) {
+    size_t pos = 0;
+    while (pos < line.size() && NameChar(line[pos])) ++pos;
+    std::string name = line.substr(0, pos);
+    if (!ValidName(name)) {
+      Fail(line_no, "bad metric name");
+      return;
+    }
+
+    std::string le;
+    if (pos < line.size() && line[pos] == '{') {
+      if (!ParseLabels(line, pos, line_no, &le)) return;
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      Fail(line_no, "expected ' ' before sample value");
+      return;
+    }
+    ++pos;
+    size_t value_end = line.find(' ', pos);
+    std::string value_text = line.substr(
+        pos, value_end == std::string::npos ? std::string::npos
+                                            : value_end - pos);
+    double value = 0;
+    if (!ParseValue(value_text, line_no, &value)) return;
+
+    bool has_exemplar = false;
+    if (value_end != std::string::npos) {
+      // Only ` # {labels} value` may follow the sample value.
+      pos = value_end + 1;
+      if (line.compare(pos, 2, "# ") != 0 || pos + 2 >= line.size() ||
+          line[pos + 2] != '{') {
+        Fail(line_no, "unexpected text after sample value");
+        return;
+      }
+      pos += 2;
+      if (!ParseLabels(line, pos, line_no, nullptr)) return;
+      if (pos >= line.size() || line[pos] != ' ') {
+        Fail(line_no, "exemplar needs a value");
+        return;
+      }
+      ++pos;
+      double exemplar_value = 0;
+      if (!ParseValue(line.substr(pos), line_no, &exemplar_value)) return;
+      has_exemplar = true;
+    }
+
+    // Resolve the family from the sample-name suffix.
+    auto suffix_is = [&](const char* suffix) {
+      std::string s = suffix;
+      return name.size() > s.size() &&
+             name.compare(name.size() - s.size(), s.size(), s) == 0;
+    };
+    std::string family;
+    std::string suffix;
+    for (const char* candidate : {"_total", "_bucket", "_count", "_sum"}) {
+      if (!suffix_is(candidate)) continue;
+      std::string base = name.substr(0, name.size() - std::string(candidate).size());
+      if (types_.count(base) != 0) {
+        family = base;
+        suffix = candidate;
+        break;
+      }
+    }
+    if (family.empty()) {
+      Fail(line_no, "sample '" + name + "' has no # TYPE family");
+      return;
+    }
+    const std::string& type = types_[family];
+    if (has_exemplar && suffix != "_bucket") {
+      Fail(line_no, "exemplar outside a histogram bucket");
+      return;
+    }
+
+    if (type == "counter") {
+      if (suffix != "_total") {
+        Fail(line_no, "counter family " + family + " exposes " + name);
+        return;
+      }
+      counters_[family] = static_cast<uint64_t>(value);
+      return;
+    }
+    if (type != "histogram") {
+      return;  // Gauges: charset/value checks above are all we assert.
+    }
+    Histogram& hist = histograms_[family];
+    if (suffix == "_bucket") {
+      if (le.empty()) {
+        Fail(line_no, "bucket without le label");
+        return;
+      }
+      double le_value = 0;
+      if (!ParseValue(le, line_no, &le_value)) return;
+      if (le == "+Inf") {
+        if (hist.has_inf) {
+          Fail(line_no, "duplicate +Inf bucket for " + family);
+          return;
+        }
+        hist.has_inf = true;
+        hist.inf_count = static_cast<uint64_t>(value);
+      } else if (hist.has_inf) {
+        Fail(line_no, "+Inf bucket is not last for " + family);
+        return;
+      }
+      if (!hist.buckets.empty()) {
+        if (le_value <= hist.buckets.back().first) {
+          Fail(line_no, "le not ascending for " + family);
+          return;
+        }
+        if (static_cast<uint64_t>(value) < hist.buckets.back().second) {
+          Fail(line_no, "bucket counts not cumulative for " + family);
+          return;
+        }
+      }
+      hist.buckets.emplace_back(le_value, static_cast<uint64_t>(value));
+    } else if (suffix == "_count") {
+      hist.has_count = true;
+      hist.count = static_cast<uint64_t>(value);
+    } else if (suffix == "_sum") {
+      hist.has_sum = true;
+      hist.sum = static_cast<uint64_t>(value);
+    } else {
+      Fail(line_no, "histogram family " + family + " exposes " + name);
+    }
+  }
+
+  void Parse(const std::string& text) {
+    if (text.empty() || text.back() != '\n') {
+      error_ = "exposition must end with a newline";
+      return;
+    }
+    std::istringstream lines(text);
+    std::string line;
+    int line_no = 0;
+    bool saw_eof = false;
+    while (std::getline(lines, line)) {
+      ++line_no;
+      if (saw_eof) {
+        Fail(line_no, "content after # EOF");
+        return;
+      }
+      if (line == "# EOF") {
+        saw_eof = true;
+        continue;
+      }
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::istringstream fields(line.substr(7));
+        std::string name, type, extra;
+        fields >> name >> type;
+        if (fields >> extra) {
+          Fail(line_no, "trailing text after # TYPE");
+          return;
+        }
+        if (!ValidName(name)) {
+          Fail(line_no, "bad # TYPE metric name");
+          return;
+        }
+        if (type != "counter" && type != "histogram" && type != "gauge") {
+          Fail(line_no, "unknown metric type '" + type + "'");
+          return;
+        }
+        if (types_.count(name) != 0) {
+          Fail(line_no, "duplicate # TYPE for " + name);
+          return;
+        }
+        types_[name] = type;
+        continue;
+      }
+      if (line.rfind("# HELP ", 0) == 0) {
+        size_t name_end = line.find(' ', 7);
+        std::string name =
+            line.substr(7, name_end == std::string::npos ? std::string::npos
+                                                         : name_end - 7);
+        if (!ValidName(name)) {
+          Fail(line_no, "bad # HELP metric name");
+          return;
+        }
+        if (name_end != std::string::npos &&
+            !ValidEscaping(line.substr(name_end + 1))) {
+          Fail(line_no, "bad escape in # HELP text");
+          return;
+        }
+        continue;
+      }
+      if (line.rfind("#", 0) == 0) {
+        Fail(line_no, "unknown comment line");
+        return;
+      }
+      if (line.empty()) {
+        Fail(line_no, "blank line inside exposition");
+        return;
+      }
+      ParseSample(line, line_no);
+      if (!error_.empty()) return;
+    }
+    if (!saw_eof) {
+      error_ = "missing # EOF terminator";
+      return;
+    }
+    for (const auto& [name, hist] : histograms_) {
+      if (!hist.has_inf) {
+        error_ = "histogram " + name + " has no +Inf bucket";
+        return;
+      }
+      if (!hist.has_count || !hist.has_sum) {
+        error_ = "histogram " + name + " missing _count or _sum";
+        return;
+      }
+      if (hist.inf_count != hist.count) {
+        error_ = "histogram " + name + " +Inf bucket != _count";
+        return;
+      }
+    }
+  }
+
+  std::string error_;
+  std::map<std::string, std::string> types_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace maze::testutil
+
+#endif  // MAZE_TESTS_OPENMETRICS_CHECKER_H_

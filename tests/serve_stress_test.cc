@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "core/datasets.h"
+#include "obs/counters.h"
 #include "serve/service.h"
 #include "util/check.h"
 
@@ -189,6 +190,30 @@ TEST(ServeStressTest, HotKeySubmitStorm) {
   // exact split depends on timing, but the identity must balance.
   EXPECT_EQ(s.admitted + s.dedup_joined + s.cache_hits, kTotal);
   EXPECT_GE(s.cache_hits + s.dedup_joined, kTotal - s.admitted);
+}
+
+// The serve hot path must never take the obs registry lock per request: every
+// counter/histogram/exemplar handle is cached in the constructor-warmed
+// ServeObs struct. A storm of cache-hit Calls — the hottest path — moves
+// obs::RegistryLookups() by exactly zero.
+TEST(ServeStressTest, HotPathPerformsZeroRegistryLookups) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  Request r;
+  r.snapshot = "g";
+  r.algo = "pagerank";
+  r.iterations = 2;
+  ASSERT_TRUE(service.Call(r).status.ok());  // Warm the key to completion.
+  service.Drain();
+
+  const uint64_t before = obs::RegistryLookups();
+  for (int i = 0; i < 200; ++i) {
+    Response resp = service.Call(r);
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+    ASSERT_TRUE(resp.cache_hit);
+  }
+  EXPECT_EQ(obs::RegistryLookups(), before)
+      << "cache-hit serving took a registry lock";
 }
 
 }  // namespace

@@ -18,8 +18,11 @@
 
 #include "bench_support/runner.h"
 #include "core/datasets.h"
+#include "obs/counters.h"
+#include "obs/telemetry.h"
 #include "serve/cache.h"
 #include "serve/script.h"
+#include "serve/slo.h"
 #include "serve/snapshot.h"
 #include "tests/json_checker.h"
 
@@ -200,6 +203,24 @@ TEST_F(ExecKeyTest, QueryKindSharesTheRunsKey) {
   EXPECT_EQ(kr.value(), kt.value());
 }
 
+TEST_F(ExecKeyTest, FaultSpecIsValidatedAndKeyed) {
+  Request r;
+  r.snapshot = "g";
+  r.algo = "pagerank";
+  r.engine = "native";
+  r.iterations = 3;
+  r.faults = "seed=7,straggle=0x64";
+  auto key = Service::ExecKey(r, *snap_);
+  ASSERT_TRUE(key.ok()) << key.status().ToString();
+  EXPECT_EQ(key.value(),
+            "g@1/pagerank/native/ranks=1/iterations=3/"
+            "faults=seed=7,straggle=0x64");
+
+  r.faults = "bogus=1";
+  EXPECT_EQ(Service::ExecKey(r, *snap_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST_F(ExecKeyTest, RejectsInvalidRequests) {
   Request r;
   r.snapshot = "g";
@@ -334,6 +355,26 @@ TEST(ServiceCacheTest, EpochBumpInvalidatesCachedResults) {
   EXPECT_EQ(service.Stats().executed, 2u);
 }
 
+// A straggler fault plan dilates the modeled clock without perturbing the
+// answer, and the spec is part of the execution key (no cache aliasing with
+// the clean run).
+TEST(ServiceFaultTest, StragglerFaultsDilateModeledTimeNotPayload) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  Response clean = service.Call(PageRankRequest("native"));
+  ASSERT_TRUE(clean.status.ok()) << clean.status.ToString();
+
+  Request faulted_req = PageRankRequest("native");
+  faulted_req.faults = "seed=7,straggle=0x64";
+  Response faulted = service.Call(faulted_req);
+  ASSERT_TRUE(faulted.status.ok()) << faulted.status.ToString();
+  EXPECT_FALSE(faulted.cache_hit) << "fault spec must be part of the exec key";
+  EXPECT_EQ(faulted.payload, clean.payload)
+      << "faults may only change modeled time, never the answer";
+  EXPECT_GT(faulted.modeled_seconds, clean.modeled_seconds);
+  EXPECT_EQ(service.Stats().executed, 2u);
+}
+
 // ---------------------------------------------------------------------------
 // Admission control
 
@@ -448,6 +489,164 @@ TEST(ServiceAdmissionTest, AccountingIdentityHoldsAfterDrain) {
 }
 
 // ---------------------------------------------------------------------------
+// Graceful degradation
+
+TEST(ServiceDegradationTest, LevelTwoShedsMissesButServesHits) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  ASSERT_TRUE(service.Call(PageRankRequest("native")).status.ok());
+
+  service.SetDegradation(2);
+  EXPECT_EQ(service.degradation(), 2);
+
+  // The warm key rides the cache; a fresh key is shed.
+  Response hit = service.Call(PageRankRequest("native"));
+  EXPECT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.cache_hit);
+  Request miss = PageRankRequest("native");
+  miss.iterations = 9;
+  Response shed = service.Call(miss);
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.shed, 1u) << "degradation rejections are counted as shed";
+  EXPECT_EQ(stats.cache_hits, 1u);
+
+  // Recovery restores new executions; clamping bounds the level.
+  service.SetDegradation(0);
+  EXPECT_TRUE(service.Call(miss).status.ok());
+  service.SetDegradation(7);
+  EXPECT_EQ(service.degradation(), 2);
+  service.SetDegradation(-3);
+  EXPECT_EQ(service.degradation(), 0);
+}
+
+TEST(ServiceDegradationTest, LevelOneHalvesEffectiveQueueDepth) {
+  ServiceOptions options;
+  options.queue_depth = 4;
+  Service service(options);
+  service.registry().Install("g", TestGraph());
+  service.SetDegradation(1);
+  service.Pause();
+
+  std::vector<std::shared_future<Response>> futures;
+  for (int it = 1; it <= 3; ++it) {
+    Request r = PageRankRequest("native");
+    r.iterations = it;
+    futures.push_back(service.Submit(r));
+  }
+  service.Resume();
+  service.Drain();
+
+  // Effective depth 4 >> 1 = 2: the third submission bounces, and because the
+  // full-depth queue would have admitted it, it counts as shed.
+  int ok = 0, unavailable = 0;
+  for (auto& f : futures) {
+    Response r = f.get();
+    (r.status.ok() ? ok : unavailable) += 1;
+  }
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(unavailable, 1);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.shed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Request ids (trace correlation)
+
+TEST(ServiceRequestIdTest, ResponsesCarryMonotonicRequestIds) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  Response first = service.Call(PageRankRequest("native"));
+  Response second = service.Call(PageRankRequest("native"));  // Cache hit.
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(first.request_id, 1u);
+  EXPECT_EQ(second.request_id, 2u);
+  EXPECT_TRUE(second.cache_hit);
+}
+
+// ---------------------------------------------------------------------------
+// SLO watchdog
+
+TEST(SloWatchdogTest, TripsShedsAndRecoversHysteretically) {
+  // The watchdog reads process-global serve.* counters through telemetry
+  // deltas; reset so this test's windows are self-contained.
+  obs::ResetCountersAndHistograms();
+  Service service;
+  service.registry().Install("g", TestGraph());
+  obs::TelemetryRegistry telemetry;
+  telemetry.ScrapeOnce();  // Baseline window before arming.
+
+  SloOptions slo;
+  slo.p99_target_ms = 1e-3;  // 1 us: every real execution exceeds it.
+  slo.burn_threshold = 2.0;
+  slo.error_budget = 0.01;
+  slo.recover_windows = 2;
+  std::ostringstream log;
+  SloWatchdog watchdog(slo, &telemetry, &service, &log);
+  EXPECT_EQ(service.slo_target_us(), 1u);
+
+  // Three over-target executions: burn = (3/3)/0.01 = 100 >= 2x threshold,
+  // so the watchdog jumps straight to level 2.
+  for (int it = 1; it <= 3; ++it) {
+    Request r = PageRankRequest("native");
+    r.iterations = it;
+    ASSERT_TRUE(service.Call(r).status.ok());
+  }
+  telemetry.ScrapeOnce();
+  EXPECT_EQ(watchdog.level(), 2) << log.str();
+  EXPECT_EQ(service.degradation(), 2);
+
+  // Degraded: fresh keys shed, warm keys still served from cache (and cache
+  // hits do not burn budget, so the service can recover).
+  Request miss = PageRankRequest("native");
+  miss.iterations = 9;
+  EXPECT_EQ(service.Call(miss).status.code(), StatusCode::kUnavailable);
+  Request hit = PageRankRequest("native");
+  hit.iterations = 1;
+  EXPECT_TRUE(service.Call(hit).status.ok());
+
+  // Idle windows count as healthy: recover_windows per level step-down.
+  telemetry.ScrapeOnce();  // Cache-hit-only window: idle for SLO purposes.
+  EXPECT_EQ(watchdog.level(), 2);
+  telemetry.ScrapeOnce();
+  EXPECT_EQ(watchdog.level(), 1);
+  telemetry.ScrapeOnce();
+  telemetry.ScrapeOnce();
+  EXPECT_EQ(watchdog.level(), 0);
+  EXPECT_EQ(service.degradation(), 0);
+
+  // One degrade event, two recover events, all valid one-line JSON.
+  auto events = watchdog.EventLines();
+  ASSERT_EQ(events.size(), 3u) << log.str();
+  EXPECT_NE(events[0].find("\"event\":\"slo_degrade\""), std::string::npos);
+  EXPECT_NE(events[1].find("\"event\":\"slo_recover\""), std::string::npos);
+  EXPECT_NE(events[2].find("\"event\":\"slo_recover\""), std::string::npos);
+  for (const std::string& e : events) {
+    EXPECT_TRUE(testutil::JsonChecker(e).Valid()) << e;
+  }
+  EXPECT_EQ(watchdog.windows_evaluated(), 5u);
+}
+
+TEST(SloWatchdogTest, DisarmsOnDestruction) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  obs::TelemetryRegistry telemetry;
+  {
+    SloOptions slo;
+    SloWatchdog watchdog(slo, &telemetry, &service, nullptr);
+    service.SetDegradation(2);
+    EXPECT_GT(service.slo_target_us(), 0u);
+  }
+  EXPECT_EQ(service.slo_target_us(), 0u);
+  EXPECT_EQ(service.degradation(), 0);
+}
+
+// ---------------------------------------------------------------------------
 // Point and top-k extraction
 
 TEST(ServiceQueryTest, PointAndTopKExtractFromTheFullRun) {
@@ -552,6 +751,69 @@ report
   EXPECT_NE(text.find("# Service report"), std::string::npos);
   EXPECT_EQ(report.stats.submitted, 5u);
   EXPECT_EQ(report.stats.executed, 2u) << "dedup + cache leave 2 executions";
+}
+
+TEST(ServeScriptTest, SloScrapeAndDegradeCommands) {
+  obs::ResetCountersAndHistograms();
+  std::istringstream script(R"(
+load g dataset=facebook scale_adjust=-6
+slo target_ms=0.001 burn=2 budget=0.01 recover=1 min=1
+degrade 1
+degrade 0
+run algo=pagerank engine=native snapshot=g iterations=3
+wait
+scrape
+scrape
+scrape
+report
+)");
+  ScriptOptions options;
+  std::ostringstream out;
+  ServiceReport report;
+  Status s = RunServeScript(script, options, out, &report);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("slo armed target_ms=0.001 burn=2 budget=0.01"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("degrade level=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("degrade level=0"), std::string::npos) << text;
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_NE(text.find("scrape " + std::to_string(i)), std::string::npos)
+        << text;
+  }
+  // One over-target execution in window 1 trips the watchdog to level 2
+  // (burn = 100); the two idle windows then step it back down (recover=1).
+  EXPECT_EQ(testutil::CountOccurrences(text, "\"event\":\"slo_degrade\""), 1u)
+      << text;
+  EXPECT_EQ(testutil::CountOccurrences(text, "\"event\":\"slo_recover\""), 2u)
+      << text;
+  // The watchdog hook runs inside the scrape, so its event precedes the
+  // script's own "scrape 1" line.
+  EXPECT_LT(text.find("\"event\":\"slo_degrade\""), text.find("scrape 1"));
+  EXPECT_NE(text.find("shed (SLO degradation)"), std::string::npos) << text;
+  EXPECT_EQ(report.degradation, 0);
+}
+
+TEST(ServeScriptTest, UnknownSloParameterIsAScriptError) {
+  ScriptOptions options;
+  std::ostringstream out;
+  {
+    std::istringstream script("slo burn=2\n");  // Missing target_ms.
+    Status s = RunServeScript(script, options, out);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    std::istringstream script("slo target_ms=5 frob=1\n");
+    Status s = RunServeScript(script, options, out);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("frob"), std::string::npos);
+  }
+  {
+    std::istringstream script("degrade nope\n");
+    Status s = RunServeScript(script, options, out);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(ServeScriptTest, ScriptErrorsAreReportedWithLineNumbers) {
