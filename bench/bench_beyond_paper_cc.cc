@@ -1,4 +1,4 @@
-// Beyond the paper: connected components across all six engines. The study's
+// Beyond the paper: connected components across all engines. The study's
 // thesis — the same gaps reappear on any traversal-style workload, driven by
 // the same mechanisms (transport class, message buffering, worker caps) — made
 // testable on an algorithm the paper did not include.

@@ -5,7 +5,9 @@
 #include "bsp/algorithms.h"
 #include "core/graph.h"
 #include "datalog/algorithms.h"
+#include "gmat/algorithms.h"
 #include "matrix/algorithms.h"
+#include "native/sssp.h"
 #include "native/bfs.h"
 #include "native/cc.h"
 #include "native/cf.h"
@@ -17,6 +19,26 @@
 
 namespace maze::bench {
 namespace {
+
+// The single engine registry. Everything that enumerates engines — names,
+// AllEngines(), MultiNodeEngines(), CLI/serve `--engine` parsing — derives
+// from this table, so a new engine added here is automatically picked up by
+// `--engine all` and by every test that sweeps the engine list.
+struct EngineInfo {
+  EngineKind kind;
+  const char* name;
+  bool multi_node;
+};
+
+constexpr EngineInfo kEngineRegistry[] = {
+    {EngineKind::kNative, "native", true},
+    {EngineKind::kMatblas, "matblas", true},
+    {EngineKind::kVertexlab, "vertexlab", true},
+    {EngineKind::kDatalite, "datalite", true},
+    {EngineKind::kBspgraph, "bspgraph", true},
+    {EngineKind::kGmat, "gmat", true},
+    {EngineKind::kTaskflow, "taskflow", false},
+};
 
 rt::CommModel DefaultCommFor(EngineKind engine, const RunConfig& config) {
   if (config.comm_override.has_value()) return *config.comm_override;
@@ -35,14 +57,19 @@ rt::CommModel DefaultCommFor(EngineKind engine, const RunConfig& config) {
       return rt::CommModel::Mpi();  // Single node: unused.
     case EngineKind::kBspgraph:
       return bsp::DefaultComm();
+    case EngineKind::kGmat:
+      return gmat::DefaultComm();
   }
   return rt::CommModel::Mpi();
 }
 
 rt::EngineConfig MakeConfig(EngineKind engine, const RunConfig& config) {
   rt::EngineConfig ec;
-  ec.num_ranks = engine == EngineKind::kMatblas ? MatblasRanks(config.num_ranks)
-                                                : config.num_ranks;
+  // The 2-D engines need a perfect-square process grid.
+  ec.num_ranks =
+      engine == EngineKind::kMatblas || engine == EngineKind::kGmat
+          ? MatblasRanks(config.num_ranks)
+          : config.num_ranks;
   if (engine == EngineKind::kTaskflow) ec.num_ranks = 1;
   ec.comm = DefaultCommFor(engine, config);
   ec.trace = config.trace;
@@ -64,31 +91,41 @@ bsp::BspOptions BspFor(const RunConfig& config) {
 }  // namespace
 
 const char* EngineName(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kNative:
-      return "native";
-    case EngineKind::kVertexlab:
-      return "vertexlab";
-    case EngineKind::kMatblas:
-      return "matblas";
-    case EngineKind::kDatalite:
-      return "datalite";
-    case EngineKind::kTaskflow:
-      return "taskflow";
-    case EngineKind::kBspgraph:
-      return "bspgraph";
+  for (const EngineInfo& e : kEngineRegistry) {
+    if (e.kind == kind) return e.name;
   }
   return "?";
 }
 
 std::vector<EngineKind> AllEngines() {
-  return {EngineKind::kNative,   EngineKind::kMatblas,  EngineKind::kVertexlab,
-          EngineKind::kDatalite, EngineKind::kBspgraph, EngineKind::kTaskflow};
+  std::vector<EngineKind> out;
+  for (const EngineInfo& e : kEngineRegistry) out.push_back(e.kind);
+  return out;
 }
 
 std::vector<EngineKind> MultiNodeEngines() {
-  return {EngineKind::kNative, EngineKind::kMatblas, EngineKind::kVertexlab,
-          EngineKind::kDatalite, EngineKind::kBspgraph};
+  std::vector<EngineKind> out;
+  for (const EngineInfo& e : kEngineRegistry) {
+    if (e.multi_node) out.push_back(e.kind);
+  }
+  return out;
+}
+
+std::string EngineNameList() {
+  std::string out;
+  for (const EngineInfo& e : kEngineRegistry) {
+    if (!out.empty()) out += ", ";
+    out += e.name;
+  }
+  return out;
+}
+
+StatusOr<EngineKind> EngineByName(const std::string& name) {
+  for (const EngineInfo& e : kEngineRegistry) {
+    if (name == e.name) return e.kind;
+  }
+  return Status::InvalidArgument("unknown engine '" + name +
+                                 "'; valid engines: " + EngineNameList());
 }
 
 int MatblasRanks(int requested) {
@@ -124,6 +161,8 @@ rt::PageRankResult RunPageRank(EngineKind engine, const EdgeList& directed,
       Graph g = Graph::FromEdges(directed, GraphDirections::kOutOnly);
       return bsp::PageRank(g, options, ec, BspFor(config));
     }
+    case EngineKind::kGmat:
+      return gmat::PageRank(directed, options, ec);
   }
   MAZE_CHECK(false);
   return {};
@@ -155,6 +194,8 @@ rt::BfsResult RunBfs(EngineKind engine, const EdgeList& undirected,
       Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
       return bsp::Bfs(g, options, ec, BspFor(config));
     }
+    case EngineKind::kGmat:
+      return gmat::Bfs(undirected, options, ec);
   }
   MAZE_CHECK(false);
   return {};
@@ -179,6 +220,8 @@ rt::TriangleCountResult RunTriangleCount(EngineKind engine,
       return task::TriangleCount(g, options, ec);
     case EngineKind::kBspgraph:
       return bsp::TriangleCount(g, options, ec, BspFor(config));
+    case EngineKind::kGmat:
+      return gmat::TriangleCount(oriented, options, ec);
   }
   MAZE_CHECK(false);
   return {};
@@ -205,6 +248,8 @@ rt::CfResult RunCf(EngineKind engine, const BipartiteGraph& ratings,
       return task::CollaborativeFiltering(ratings, opt, ec);
     case EngineKind::kBspgraph:
       return bsp::CollaborativeFiltering(ratings, opt, ec, BspFor(config));
+    case EngineKind::kGmat:
+      return gmat::CollaborativeFiltering(ratings, opt, ec);
   }
   MAZE_CHECK(false);
   return {};
@@ -237,6 +282,32 @@ rt::ConnectedComponentsResult RunConnectedComponents(
       Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
       return bsp::ConnectedComponents(g, options, ec, BspFor(config));
     }
+    case EngineKind::kGmat:
+      return gmat::ConnectedComponents(undirected, options, ec);
+  }
+  MAZE_CHECK(false);
+  return {};
+}
+
+bool EngineSupportsSssp(EngineKind engine) {
+  return engine == EngineKind::kNative || engine == EngineKind::kTaskflow ||
+         engine == EngineKind::kGmat;
+}
+
+rt::SsspResult RunSssp(EngineKind engine, const WeightedGraph& g,
+                       const rt::SsspOptions& options,
+                       const RunConfig& config) {
+  MAZE_CHECK(EngineSupportsSssp(engine));
+  rt::EngineConfig ec = MakeConfig(engine, config);
+  switch (engine) {
+    case EngineKind::kNative:
+      return native::Sssp(g, options, ec);
+    case EngineKind::kTaskflow:
+      return task::Sssp(g, options, ec);
+    case EngineKind::kGmat:
+      return gmat::Sssp(g, options, ec);
+    default:
+      break;
   }
   MAZE_CHECK(false);
   return {};

@@ -11,11 +11,14 @@
 
 #include "core/bipartite.h"
 #include "core/edge_list.h"
+#include "core/weighted_graph.h"
 #include "rt/algo.h"
+#include "util/status.h"
 
 namespace maze::bench {
 
-// The six execution substrates of the study.
+// The six execution substrates of the study, plus gmat (the GraphMat-style
+// compiling engine, ROADMAP item 1).
 enum class EngineKind {
   kNative,     // Hand-optimized C++ (the reference point).
   kVertexlab,  // GraphLab-like vertex programs.
@@ -23,11 +26,21 @@ enum class EngineKind {
   kDatalite,   // SociaLite-like Datalog.
   kTaskflow,   // Galois-like task/worklist (single node only).
   kBspgraph,   // Giraph-like BSP.
+  kGmat,       // GraphMat-like vertex→matrix compilation over 2-D tiles.
 };
 
+// All of the below derive from one registry table in runner.cc: adding an
+// engine there enrolls it in AllEngines(), name lookup, the CLI/serve
+// `--engine` parsers, and every differential/fault test that sweeps the list.
 const char* EngineName(EngineKind kind);
 std::vector<EngineKind> AllEngines();
 std::vector<EngineKind> MultiNodeEngines();  // All but taskflow.
+
+// Case-sensitive name → engine lookup; the error message enumerates the valid
+// names so `maze_cli run --engine <typo>` is actionable.
+StatusOr<EngineKind> EngineByName(const std::string& name);
+// "native, matblas, ..." — for help text and error messages.
+std::string EngineNameList();
 
 struct RunConfig {
   int num_ranks = 1;
@@ -44,8 +57,8 @@ struct RunConfig {
   rt::fault::FaultSpec faults = rt::fault::SpecFromEnv();
 };
 
-// matblas requires a perfect-square rank count (CombBLAS's 2-D grid); returns
-// the count the engine will actually use for `requested`.
+// matblas and gmat require a perfect-square rank count (the 2-D process grid);
+// returns the count those engines will actually use for `requested`.
 int MatblasRanks(int requested);
 
 // `directed` is the deduplicated directed edge list; engines build their own
@@ -73,6 +86,13 @@ rt::CfResult RunCf(EngineKind engine, const BipartiteGraph& ratings,
 rt::ConnectedComponentsResult RunConnectedComponents(
     EngineKind engine, const EdgeList& undirected,
     const rt::ConnectedComponentsOptions& options, const RunConfig& config);
+
+// SSSP (extension algorithm; weighted graphs). Only the engines for which
+// EngineSupportsSssp() returns true have an implementation: native (Bellman-
+// Ford), taskflow (delta-stepping), gmat (MinPlus semiring SpMSpV).
+bool EngineSupportsSssp(EngineKind engine);
+rt::SsspResult RunSssp(EngineKind engine, const WeightedGraph& g,
+                       const rt::SsspOptions& options, const RunConfig& config);
 
 }  // namespace maze::bench
 

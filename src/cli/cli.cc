@@ -253,13 +253,6 @@ Status ApplyThreadsFlag(const ParsedArgs& parsed, std::ostream& out) {
   return Status::OK();
 }
 
-StatusOr<bench::EngineKind> EngineByName(const std::string& name) {
-  for (bench::EngineKind e : bench::AllEngines()) {
-    if (name == bench::EngineName(e)) return e;
-  }
-  return Status::InvalidArgument("unknown engine '" + name + "'");
-}
-
 // Runs one (algo, engine) pair and prints its summary + metrics line. When
 // `report` is non-null, appends the run's resource row to it; when
 // `attribution` is non-null, appends the run's critical-path decomposition
@@ -408,7 +401,7 @@ Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
     engines = ranks.value() > 1 ? bench::MultiNodeEngines()
                                 : bench::AllEngines();
   } else {
-    auto engine = EngineByName(engine_name);
+    auto engine = bench::EngineByName(engine_name);
     MAZE_RETURN_IF_ERROR(engine.status());
     engines.push_back(engine.value());
   }

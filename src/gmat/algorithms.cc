@@ -1,0 +1,329 @@
+#include "gmat/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "core/graph.h"
+#include "gmat/engine.h"
+#include "matrix/semiring.h"
+#include "native/cc.h"
+#include "native/cf.h"
+#include "rt/partition.h"
+#include "rt/rank_exec.h"
+#include "rt/sim_clock.h"
+#include "util/bitvector.h"
+#include "util/check.h"
+#include "util/timer.h"
+#include "vertex/programs.h"
+
+namespace maze::gmat {
+
+// GraphMat is MPI-based, like CombBLAS.
+rt::CommModel DefaultComm() { return rt::CommModel::Mpi(); }
+
+rt::PageRankResult PageRank(const EdgeList& directed,
+                            const rt::PageRankOptions& options,
+                            rt::EngineConfig config) {
+  Graph g = Graph::FromEdges(directed, GraphDirections::kOutOnly);
+  vertex::PageRankProgram program;
+  program.graph = &g;
+  program.iterations = options.iterations;
+  program.jump = options.jump;
+  Engine<vertex::PageRankProgram> engine(directed, g, config);
+  engine.Run(&program, options.iterations + 1);
+  rt::PageRankResult result;
+  result.ranks = engine.values();
+  result.iterations = options.iterations;
+  result.metrics = engine.Finish();
+  return result;
+}
+
+rt::BfsResult Bfs(const EdgeList& undirected, const rt::BfsOptions& options,
+                  rt::EngineConfig config) {
+  Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
+  vertex::BfsProgram program;
+  program.source = options.source;
+  Engine<vertex::BfsProgram> engine(undirected, g, config);
+  int supersteps =
+      engine.Run(&program, static_cast<int>(g.num_vertices()) + 2);
+  rt::BfsResult result;
+  result.distance = engine.values();
+  result.levels = std::max(0, supersteps - 1);
+  result.metrics = engine.Finish();
+  return result;
+}
+
+rt::ConnectedComponentsResult ConnectedComponents(
+    const EdgeList& undirected, const rt::ConnectedComponentsOptions& options,
+    rt::EngineConfig config) {
+  Graph g = Graph::FromEdges(undirected, GraphDirections::kOutOnly);
+  vertex::CcProgram program;
+  Engine<vertex::CcProgram> engine(undirected, g, config);
+  int supersteps = engine.Run(&program, options.max_iterations);
+  rt::ConnectedComponentsResult result;
+  result.label = engine.values();
+  result.num_components = native::CountComponents(result.label);
+  result.iterations = supersteps;
+  result.metrics = engine.Finish();
+  return result;
+}
+
+rt::TriangleCountResult TriangleCount(const EdgeList& oriented,
+                                      const rt::TriangleCountOptions&,
+                                      rt::EngineConfig config) {
+  Graph g = Graph::FromEdges(oriented, GraphDirections::kOutOnly);
+  vertex::TriangleProgram program;
+  program.graph = &g;
+  Engine<vertex::TriangleProgram> engine(oriented, g, config);
+  engine.Run(&program, 2);
+  rt::TriangleCountResult result;
+  for (uint64_t v : engine.values()) result.triangles += v;
+  result.metrics = engine.Finish();
+  return result;
+}
+
+rt::CfResult CollaborativeFiltering(const BipartiteGraph& g,
+                                    const rt::CfOptions& options,
+                                    rt::EngineConfig config) {
+  rt::CfOptions opt = options;
+  opt.method = rt::CfMethod::kGd;
+  // Combined vertex space with edges in both directions (vertexlab's layout,
+  // so the two engines run the identical CfGdProgram).
+  EdgeList edges;
+  edges.num_vertices = g.num_users() + g.num_items();
+  edges.edges.reserve(g.num_ratings() * 2);
+  for (VertexId u = 0; u < g.num_users(); ++u) {
+    for (const auto& e : g.UserRatings(u)) {
+      edges.edges.push_back({u, g.num_users() + e.id});
+      edges.edges.push_back({g.num_users() + e.id, u});
+    }
+  }
+  Graph combined = Graph::FromEdges(edges, GraphDirections::kOutOnly);
+
+  rt::CfResult result;
+  result.k = opt.k;
+  native::CfInitFactors(g.num_users(), opt.k, opt.seed, &result.user_factors);
+  native::CfInitFactors(g.num_items(), opt.k, opt.seed ^ 0x1234567ull,
+                        &result.item_factors);
+
+  vertex::CfGdProgram program;
+  program.ratings = &g;
+  program.options = opt;
+  program.user_count = g.num_users();
+  program.gamma = opt.learning_rate;
+  program.init_users = &result.user_factors;
+  program.init_items = &result.item_factors;
+
+  Engine<vertex::CfGdProgram> engine(edges, combined, config);
+  engine.Run(&program, opt.iterations + 1);
+
+  const auto& values = engine.values();
+  for (VertexId u = 0; u < g.num_users(); ++u) {
+    std::copy(values[u].begin(), values[u].end(),
+              result.user_factors.begin() + static_cast<ptrdiff_t>(u) * opt.k);
+  }
+  for (VertexId v = 0; v < g.num_items(); ++v) {
+    std::copy(values[g.num_users() + v].begin(),
+              values[g.num_users() + v].end(),
+              result.item_factors.begin() + static_cast<ptrdiff_t>(v) * opt.k);
+  }
+  result.iterations = opt.iterations;
+  result.final_rmse =
+      native::CfRmse(g, result.user_factors, result.item_factors, opt.k);
+  result.rmse_per_iteration.push_back(result.final_rmse);
+  result.metrics = engine.Finish();
+  return result;
+}
+
+namespace {
+
+// Weighted tile in gather form with a per-column transpose view only — SSSP's
+// SpMSpV is always column-driven (the frontier is the set of vertices whose
+// distance improved last round).
+struct WeightedTile {
+  VertexId row_begin = 0;
+  VertexId col_begin = 0;
+  VertexId col_end = 0;
+  std::vector<EdgeId> col_offsets;  // Per local column.
+  std::vector<VertexId> dsts;
+  std::vector<float> weights;
+
+  size_t MemoryBytes() const {
+    return col_offsets.size() * sizeof(EdgeId) +
+           dsts.size() * (sizeof(VertexId) + sizeof(float));
+  }
+};
+
+}  // namespace
+
+rt::SsspResult Sssp(const WeightedGraph& g, const rt::SsspOptions& options,
+                    rt::EngineConfig config) {
+  const VertexId n = g.num_vertices();
+  const rt::Grid2D grid = rt::Grid2D::ForRanks(config.num_ranks);
+  const int side = grid.side;
+  rt::SimClock clock(config.num_ranks, config.comm, config.trace,
+                     config.faults);
+
+  // Vertex-balanced range bounds, the DistMatrix convention.
+  std::vector<VertexId> bounds(side + 1);
+  for (int i = 0; i <= side; ++i) {
+    bounds[i] = static_cast<VertexId>(
+        (static_cast<uint64_t>(n) * static_cast<uint64_t>(i)) / side);
+  }
+  auto range_of = [&](VertexId v) {
+    auto it = std::upper_bound(bounds.begin(), bounds.end(), v);
+    return static_cast<int>(it - bounds.begin()) - 1;
+  };
+
+  // Tile the weighted adjacency: tile (i, j) holds arcs src in col-range j,
+  // dst in row-range i, CSC per source column with destinations ascending.
+  std::vector<WeightedTile> tiles(static_cast<size_t>(side) * side);
+  for (int i = 0; i < side; ++i) {
+    for (int j = 0; j < side; ++j) {
+      WeightedTile& t = tiles[grid.RankOf(i, j)];
+      t.row_begin = bounds[i];
+      t.col_begin = bounds[j];
+      t.col_end = bounds[j + 1];
+      t.col_offsets.assign(t.col_end - t.col_begin + 1, 0);
+    }
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    const int j = range_of(u);
+    for (const auto& arc : g.OutArcs(u)) {
+      ++tiles[grid.RankOf(range_of(arc.dst), j)]
+            .col_offsets[u - bounds[j] + 1];
+    }
+  }
+  for (WeightedTile& t : tiles) {
+    for (size_t c = 1; c < t.col_offsets.size(); ++c) {
+      t.col_offsets[c] += t.col_offsets[c - 1];
+    }
+    t.dsts.resize(t.col_offsets.back());
+    t.weights.resize(t.col_offsets.back());
+  }
+  {
+    std::vector<std::vector<EdgeId>> cursor(tiles.size());
+    for (size_t k = 0; k < tiles.size(); ++k) {
+      cursor[k].assign(tiles[k].col_offsets.begin(),
+                       tiles[k].col_offsets.end() - 1);
+    }
+    for (VertexId u = 0; u < n; ++u) {
+      const int j = range_of(u);
+      for (const auto& arc : g.OutArcs(u)) {
+        const size_t k = grid.RankOf(range_of(arc.dst), j);
+        EdgeId slot = cursor[k][u - bounds[j]]++;
+        tiles[k].dsts[slot] = arc.dst;
+        tiles[k].weights[slot] = arc.weight;
+      }
+    }
+  }
+
+  using Semi = matrix::MinPlus<float>;
+  rt::SsspResult result;
+  result.distance.assign(n, rt::SsspResult::kUnreachable);
+  if (options.source < n) result.distance[options.source] = 0.0f;
+  std::vector<float>& dist = result.distance;
+
+  Bitvector frontier(n);
+  Bitvector next(n);
+  if (options.source < n) frontier.Set(options.source);
+  std::vector<uint32_t> xs;
+  std::vector<float> xval;
+
+  int rounds = 0;
+  while (frontier.Count() > 0 && rounds < static_cast<int>(n)) {
+    ++rounds;
+    // Snapshot the frontier's distances: tiles in grid row i write dist in
+    // row-range i while tiles in grid column i read the same range, so the
+    // relaxation reads the round-start values regardless of schedule.
+    xs.clear();
+    frontier.AppendSetBits(&xs);
+    xval.resize(xs.size());
+    for (size_t k = 0; k < xs.size(); ++k) xval[k] = dist[xs[k]];
+
+    rt::ForEachRank(side, [&](int i) {
+      for (int j = 0; j < side; ++j) {
+        rt::RankTimer t;
+        const WeightedTile& tile = tiles[grid.RankOf(i, j)];
+        auto lo = std::lower_bound(xs.begin(), xs.end(), tile.col_begin);
+        auto hi = std::lower_bound(lo, xs.end(), tile.col_end);
+        for (auto it = lo; it != hi; ++it) {
+          const VertexId src = *it;
+          const float d_src = xval[it - xs.begin()];
+          const VertexId c = src - tile.col_begin;
+          for (EdgeId e = tile.col_offsets[c]; e < tile.col_offsets[c + 1];
+               ++e) {
+            const float cand = Semi::Multiply(d_src, tile.weights[e]);
+            const VertexId dst = tile.dsts[e];
+            if (cand < dist[dst]) {
+              dist[dst] = cand;
+              next.SetAtomic(dst);
+            }
+          }
+        }
+        clock.RecordCompute(grid.RankOf(i, j), t.Seconds());
+      }
+    });
+
+    // Broadcast the frontier segments down their columns, reduce the improved
+    // segments back to their diagonal owners; 8 bytes per (id, distance) pair.
+    if (side > 1) {
+      std::vector<uint64_t> xbytes(side, 0);
+      std::vector<uint64_t> ybytes(side, 0);
+      {
+        int seg = 0;
+        for (uint32_t v : xs) {
+          while (v >= static_cast<uint32_t>(bounds[seg + 1])) ++seg;
+          xbytes[seg] += 8;
+        }
+      }
+      std::vector<uint32_t> ys;
+      next.AppendSetBits(&ys);
+      {
+        int seg = 0;
+        for (uint32_t v : ys) {
+          while (v >= static_cast<uint32_t>(bounds[seg + 1])) ++seg;
+          ybytes[seg] += 8;
+        }
+      }
+      for (int j = 0; j < side; ++j) {
+        if (xbytes[j] == 0) continue;
+        for (int i = 0; i < side; ++i) {
+          if (i != j) {
+            clock.RecordSend(grid.RankOf(j, j), grid.RankOf(i, j), xbytes[j],
+                             1);
+          }
+        }
+      }
+      for (int i = 0; i < side; ++i) {
+        if (ybytes[i] == 0) continue;
+        for (int j = 0; j < side; ++j) {
+          if (j != i) {
+            clock.RecordSend(grid.RankOf(i, j), grid.RankOf(i, i), ybytes[i],
+                             1);
+          }
+        }
+      }
+    }
+    clock.EndStep(/*overlap_comm=*/false);
+
+    std::swap(frontier, next);
+    next.Reset();
+  }
+
+  uint64_t tile_bytes = 0;
+  for (const WeightedTile& t : tiles) tile_bytes += t.MemoryBytes();
+  clock.ChargeMemory(0, obs::MemPhase::kGraph,
+                     tile_bytes / std::max(1, config.num_ranks));
+  clock.ChargeMemory(0, obs::MemPhase::kEngineState,
+                     static_cast<uint64_t>(n) * sizeof(float));
+  clock.ChargeMemory(0, obs::MemPhase::kMessageBuffers,
+                     static_cast<uint64_t>(n) * 2 * sizeof(float));
+  result.rounds = rounds;
+  result.metrics = clock.Finish(/*intra_rank_utilization=*/0.95);
+  return result;
+}
+
+}  // namespace maze::gmat

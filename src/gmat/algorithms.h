@@ -1,0 +1,49 @@
+// The five paper workloads plus SSSP on the gmat compiling engine. Each entry
+// point instantiates the *same* Program struct vertexlab interprets
+// (vertex/programs.h) and hands it to gmat::Engine, which lowers supersteps to
+// semiring SpMV. SSSP has no vertex-Program form (the concept cannot read edge
+// weights), so it lowers directly over the MinPlus semiring of weighted tiles.
+#ifndef MAZE_GMAT_ALGORITHMS_H_
+#define MAZE_GMAT_ALGORITHMS_H_
+
+#include "core/bipartite.h"
+#include "core/edge_list.h"
+#include "core/weighted_graph.h"
+#include "rt/algo.h"
+
+namespace maze::gmat {
+
+rt::CommModel DefaultComm();
+
+// `directed` is the deduplicated directed edge list.
+rt::PageRankResult PageRank(const EdgeList& directed,
+                            const rt::PageRankOptions& options,
+                            rt::EngineConfig config);
+
+// `undirected` must be symmetric.
+rt::BfsResult Bfs(const EdgeList& undirected, const rt::BfsOptions& options,
+                  rt::EngineConfig config);
+
+// `undirected` must be symmetric.
+rt::ConnectedComponentsResult ConnectedComponents(
+    const EdgeList& undirected, const rt::ConnectedComponentsOptions& options,
+    rt::EngineConfig config);
+
+// `oriented` must satisfy src < dst (§4.1.2 preprocessing).
+rt::TriangleCountResult TriangleCount(const EdgeList& oriented,
+                                      const rt::TriangleCountOptions& options,
+                                      rt::EngineConfig config);
+
+// Gradient-descent CF over the combined user+item vertex space (GD only, like
+// every non-native engine, §3.2).
+rt::CfResult CollaborativeFiltering(const BipartiteGraph& ratings,
+                                    const rt::CfOptions& options,
+                                    rt::EngineConfig config);
+
+// Frontier-synchronous Bellman-Ford over MinPlus<float> weighted tiles.
+rt::SsspResult Sssp(const WeightedGraph& g, const rt::SsspOptions& options,
+                    rt::EngineConfig config);
+
+}  // namespace maze::gmat
+
+#endif  // MAZE_GMAT_ALGORITHMS_H_

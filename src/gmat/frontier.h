@@ -1,0 +1,35 @@
+// Sparse frontier vector for the gmat lowering: the set of vertices that
+// broadcast this superstep (the GraphMat "sparse vector" x in y = A^T (x)),
+// stored as a membership bitset plus a dense payload array indexed by vertex.
+//
+// The dense payload keeps the SpMV inner loop branch-free on the all-active
+// path (PageRank, CF) while the bitset carries the sparsity the BFS/CC path
+// exploits; both views describe the same frontier, so kernels pick whichever
+// access pattern fits their traversal order.
+#ifndef MAZE_GMAT_FRONTIER_H_
+#define MAZE_GMAT_FRONTIER_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "util/bitvector.h"
+
+namespace maze::gmat {
+
+template <typename Payload>
+struct SparseVec {
+  explicit SparseVec(VertexId n) : has(n), values(n) {}
+
+  // Membership: has.Test(v) iff v broadcast this superstep. Written with
+  // SetAtomic during the compute phase (concurrent rank tasks share words at
+  // segment boundaries), read-only during the SpMV phase.
+  Bitvector has;
+  std::vector<Payload> values;
+
+  void Clear() { has.Reset(); }
+  uint64_t Count() const { return has.Count(); }
+};
+
+}  // namespace maze::gmat
+
+#endif  // MAZE_GMAT_FRONTIER_H_

@@ -1,0 +1,43 @@
+#include "gmat/lower.h"
+
+#include <utility>
+
+namespace maze::gmat {
+
+LoweredMatrix LoweredMatrix::Build(const EdgeList& edges, int num_ranks) {
+  LoweredMatrix lm;
+  lm.m_ = matrix::DistMatrix::FromEdges(edges, num_ranks);
+  const int side = lm.m_.grid().side;
+  lm.transpose_.resize(static_cast<size_t>(side) * side);
+  for (int i = 0; i < side; ++i) {
+    for (int j = 0; j < side; ++j) {
+      const matrix::Tile& t = lm.m_.tile(i, j);
+      TileTranspose& tt = lm.transpose_[lm.m_.grid().RankOf(i, j)];
+      const VertexId cols = t.col_end - t.col_begin;
+      tt.col_offsets.assign(cols + 1, 0);
+      for (VertexId src : t.sources) ++tt.col_offsets[src - t.col_begin + 1];
+      for (VertexId c = 0; c < cols; ++c) {
+        tt.col_offsets[c + 1] += tt.col_offsets[c];
+      }
+      tt.dsts.resize(t.nnz());
+      std::vector<EdgeId> cursor(tt.col_offsets.begin(),
+                                 tt.col_offsets.end() - 1);
+      // Rows ascending, so each column's destination list comes out ascending —
+      // the order the column-driven kernel relies on.
+      for (VertexId r = 0; r < t.num_rows(); ++r) {
+        for (EdgeId e = t.offsets[r]; e < t.offsets[r + 1]; ++e) {
+          tt.dsts[cursor[t.sources[e] - t.col_begin]++] = t.row_begin + r;
+        }
+      }
+    }
+  }
+  return lm;
+}
+
+size_t LoweredMatrix::MemoryBytes() const {
+  size_t total = m_.MemoryBytes();
+  for (const TileTranspose& tt : transpose_) total += tt.MemoryBytes();
+  return total;
+}
+
+}  // namespace maze::gmat

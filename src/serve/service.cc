@@ -30,13 +30,6 @@ std::string FormatValue(double v) {
   return buf;
 }
 
-StatusOr<bench::EngineKind> EngineByName(const std::string& name) {
-  for (bench::EngineKind e : bench::AllEngines()) {
-    if (name == bench::EngineName(e)) return e;
-  }
-  return Status::InvalidArgument("unknown engine '" + name + "'");
-}
-
 bool AlgoHasPerVertexResult(const std::string& algo) {
   return algo == "pagerank" || algo == "bfs" || algo == "cc";
 }
@@ -47,7 +40,7 @@ bool AlgoHasPerVertexResult(const std::string& algo) {
 // or deduped payload is byte-identical to a fresh run's.
 StatusOr<ExecResultPtr> ExecuteRequest(const Request& request,
                                        const Snapshot& snap) {
-  auto engine = EngineByName(request.engine);
+  auto engine = bench::EngineByName(request.engine);
   MAZE_RETURN_IF_ERROR(engine.status());
   bench::RunConfig config;
   config.num_ranks = request.ranks;
@@ -223,7 +216,7 @@ struct Service::Flight {
 
 StatusOr<std::string> Service::ExecKey(const Request& request,
                                        const Snapshot& snap) {
-  auto engine = EngineByName(request.engine);
+  auto engine = bench::EngineByName(request.engine);
   MAZE_RETURN_IF_ERROR(engine.status());
   if (request.ranks < 1) {
     return Status::InvalidArgument("ranks must be >= 1");

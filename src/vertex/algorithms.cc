@@ -16,226 +16,11 @@
 #include "util/timer.h"
 #include "vertex/async_engine.h"
 #include "vertex/engine.h"
+#include "vertex/programs.h"
 
 namespace maze::vertex {
-namespace {
-
-// --- PageRank: Algorithm 1 of the paper --------------------------------------
-
-struct PageRankProgram {
-  using Value = double;
-  using Message = double;
-  static constexpr bool kCombinable = true;
-  static constexpr bool kAllActive = true;
-
-  const Graph* graph = nullptr;
-  int iterations = 0;
-  double jump = 0.3;
-
-  void Init(VertexId, const Graph&, Value* value) { *value = 1.0; }
-
-  bool Compute(Context<Message>* ctx, VertexId v, Value* value,
-               const Message* msgs, size_t count) {
-    if (ctx->superstep() > 0) {
-      double sum = count > 0 ? msgs[0] : 0.0;
-      *value = jump + (1.0 - jump) * sum;
-    }
-    if (ctx->superstep() < iterations) {
-      EdgeId deg = graph->OutDegree(v);
-      if (deg > 0) ctx->SendToOutNeighbors(*value / static_cast<double>(deg));
-      return true;
-    }
-    return false;
-  }
-
-  static Message Combine(const Message& a, const Message& b) { return a + b; }
-  static size_t MessageWireBytes(const Message&) { return sizeof(Message); }
-};
-
-// --- BFS: Algorithm 2 ---------------------------------------------------------
-
-struct BfsProgram {
-  using Value = uint32_t;
-  using Message = uint32_t;
-  static constexpr bool kCombinable = true;
-  static constexpr bool kAllActive = false;
-
-  VertexId source = 0;
-
-  void Init(VertexId v, const Graph&, Value* value) {
-    *value = (v == source) ? 0 : kInfiniteDistance;
-  }
-
-  bool Compute(Context<Message>* ctx, VertexId v, Value* value,
-               const Message* msgs, size_t count) {
-    if (ctx->superstep() == 0) {
-      if (v == source) ctx->SendToOutNeighbors(0);
-      return false;
-    }
-    if (count > 0) {
-      uint32_t candidate = msgs[0] + 1;
-      if (candidate < *value) {
-        *value = candidate;
-        ctx->SendToOutNeighbors(*value);
-      }
-    }
-    return false;
-  }
-
-  static Message Combine(const Message& a, const Message& b) {
-    return std::min(a, b);
-  }
-  static size_t MessageWireBytes(const Message&) { return sizeof(Message); }
-};
-
-// --- Triangle Counting --------------------------------------------------------
-// Superstep 0: each vertex ships its out-neighborhood to its out-neighbors.
-// Superstep 1: each vertex intersects received lists against its own
-// neighborhood, held in a cuckoo hash (the GraphLab data-structure optimization
-// the paper credits in §5.3(4)).
-
-struct TriangleProgram {
-  using Value = uint64_t;
-  using Message = std::vector<VertexId>;
-  static constexpr bool kCombinable = false;
-  static constexpr bool kAllActive = true;
-
-  const Graph* graph = nullptr;
-
-  void Init(VertexId, const Graph&, Value* value) { *value = 0; }
-
-  bool Compute(Context<Message>* ctx, VertexId v, Value* value,
-               const Message* msgs, size_t count) {
-    if (ctx->superstep() == 0) {
-      const auto neighbors = graph->OutNeighbors(v);
-      if (!neighbors.empty()) {
-        ctx->SendToOutNeighbors(Message(neighbors.begin(), neighbors.end()));
-      }
-      return true;
-    }
-    if (count > 0) {
-      const auto own = graph->OutNeighbors(v);
-      CuckooSet own_set(own.size());
-      for (VertexId w : own) own_set.Insert(w);
-      uint64_t found = 0;
-      for (size_t i = 0; i < count; ++i) {
-        for (VertexId w : msgs[i]) {
-          if (own_set.Contains(w)) ++found;
-        }
-      }
-      *value += found;
-    }
-    return false;
-  }
-
-  static size_t MessageWireBytes(const Message& m) {
-    return 4 + m.size() * sizeof(VertexId);
-  }
-};
-
-// --- Collaborative Filtering (Gradient Descent) --------------------------------
-// Users and items share one vertex space: users [0, U), items [U, U + I). Every
-// superstep each vertex broadcasts its factor vector (Table 1's 8K-byte messages)
-// and integrates the factors received from the opposite side using equations
-// (11)/(12).
-
-struct CfGdProgram {
-  using Value = std::vector<double>;
-  // (sender id, sender factor) — the receiver looks up the edge's rating.
-  using Message = std::pair<VertexId, std::vector<double>>;
-  static constexpr bool kCombinable = false;
-  static constexpr bool kAllActive = true;
-
-  const BipartiteGraph* ratings = nullptr;
-  rt::CfOptions options;
-  VertexId user_count = 0;
-  double gamma = 0.0;
-  // Shared deterministic initialization (same arrays native uses), row-major.
-  const std::vector<double>* init_users = nullptr;
-  const std::vector<double>* init_items = nullptr;
-
-  void Init(VertexId v, const Graph&, Value* value) {
-    const std::vector<double>& src = v < user_count ? *init_users : *init_items;
-    size_t row = v < user_count ? v : v - user_count;
-    value->assign(src.begin() + static_cast<ptrdiff_t>(row * options.k),
-                  src.begin() + static_cast<ptrdiff_t>((row + 1) * options.k));
-  }
-
-  float RatingFor(VertexId me, VertexId other) const {
-    // Adjacency lists are sorted by id, so the edge lookup is a binary search.
-    auto adj = me < user_count ? ratings->UserRatings(me)
-                               : ratings->ItemRatings(me - user_count);
-    VertexId key = me < user_count ? other - user_count : other;
-    auto it = std::lower_bound(
-        adj.begin(), adj.end(), key,
-        [](const BipartiteGraph::Entry& e, VertexId id) { return e.id < id; });
-    MAZE_CHECK(it != adj.end() && it->id == key);
-    return it->rating;
-  }
-
-  bool Compute(Context<Message>* ctx, VertexId v, Value* value,
-               const Message* msgs, size_t count) {
-    bool is_user = v < user_count;
-    double lambda = is_user ? options.lambda_p : options.lambda_q;
-    if (ctx->superstep() > 0 && count > 0) {
-      std::vector<double> grad(options.k, 0.0);
-      for (size_t i = 0; i < count; ++i) {
-        const auto& [sender, factor] = msgs[i];
-        double rating = RatingFor(v, sender);
-        double dot = 0;
-        for (int d = 0; d < options.k; ++d) dot += (*value)[d] * factor[d];
-        double err = rating - dot;
-        for (int d = 0; d < options.k; ++d) {
-          grad[d] += err * factor[d] - lambda * (*value)[d];
-        }
-      }
-      for (int d = 0; d < options.k; ++d) (*value)[d] += gamma * grad[d];
-    }
-    if (ctx->superstep() < options.iterations) {
-      ctx->SendToOutNeighbors(Message{v, *value});
-      return true;
-    }
-    return false;
-  }
-
-  static size_t MessageWireBytes(const Message& m) {
-    return 4 + m.second.size() * sizeof(double);
-  }
-};
-
-// --- Connected Components (extension) -------------------------------------------
-// Min-label propagation: superstep 0 broadcasts every vertex's own id; later
-// supersteps shrink labels from combined ($MIN) messages and re-broadcast on
-// improvement, exactly the BFS activity pattern.
-
-struct CcProgram {
-  using Value = VertexId;
-  using Message = VertexId;
-  static constexpr bool kCombinable = true;
-  static constexpr bool kAllActive = false;
-
-  void Init(VertexId v, const Graph&, Value* value) { *value = v; }
-
-  bool Compute(Context<Message>* ctx, VertexId, Value* value,
-               const Message* msgs, size_t count) {
-    if (ctx->superstep() == 0) {
-      ctx->SendToOutNeighbors(*value);
-      return false;
-    }
-    if (count > 0 && msgs[0] < *value) {
-      *value = msgs[0];
-      ctx->SendToOutNeighbors(*value);
-    }
-    return false;
-  }
-
-  static Message Combine(const Message& a, const Message& b) {
-    return std::min(a, b);
-  }
-  static size_t MessageWireBytes(const Message&) { return sizeof(Message); }
-};
-
-}  // namespace
+// The Program structs live in vertex/programs.h, shared with the gmat
+// compiling engine.
 
 rt::CommModel DefaultComm() { return rt::CommModel::Socket(); }
 

@@ -47,6 +47,11 @@
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
+namespace maze::gmat {
+template <typename P>
+class Engine;
+}  // namespace maze::gmat
+
 namespace maze::vertex {
 
 // Handed to Program::Compute; collects outgoing messages for one vertex.
@@ -70,6 +75,10 @@ class Context {
  private:
   template <typename P>
   friend class SyncEngine;
+  // The gmat engine executes the same Program concept by lowering supersteps to
+  // semiring SpMV; it drives Context identically to SyncEngine.
+  template <typename P>
+  friend class ::maze::gmat::Engine;
 
   void Reset() {
     send_all_ = false;

@@ -280,6 +280,48 @@ TEST(CliTest, RunRejectsUnknownEngineAndAlgo) {
                    .ok());
 }
 
+TEST(CliTest, UnknownEngineErrorListsValidNames) {
+  std::string out;
+  Status s = RunCli({"run", "--algo", "pagerank", "--engine", "spark",
+                  "--dataset", "facebook"},
+                 &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The message enumerates the registry so a typo is actionable.
+  EXPECT_NE(s.message().find("spark"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("native"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("gmat"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("taskflow"), std::string::npos) << s.message();
+}
+
+TEST(CliTest, RunGmatEngineOnDatasetStandin) {
+  std::string out;
+  ASSERT_TRUE(RunCli({"run", "--algo", "pagerank", "--engine", "gmat",
+                   "--dataset", "facebook", "--iterations", "2", "--ranks",
+                   "4"},
+                  &out)
+                  .ok())
+      << out;
+  EXPECT_NE(out.find("engine=gmat"), std::string::npos) << out;
+}
+
+TEST(CliTest, EngineAllIncludesGmat) {
+  std::string graph = TempPath("cli_engine_all_gmat.txt");
+  std::string out;
+  ASSERT_TRUE(RunCli({"generate", "--kind", "graph", "--scale", "7", "--out",
+                   graph},
+                  &out)
+                  .ok());
+  ASSERT_TRUE(RunCli({"run", "--algo", "pagerank", "--engine", "all", "--ranks",
+                   "4", "--iterations", "2", "--input", graph},
+                  &out)
+                  .ok())
+      << out;
+  // The registry-driven sweep covers all seven engines, gmat included.
+  EXPECT_NE(out.find("engine=gmat"), std::string::npos) << out;
+  EXPECT_NE(out.find("engine=native"), std::string::npos) << out;
+  std::remove(graph.c_str());
+}
+
 TEST(CliTest, RunTrianglesOnDatasetStandin) {
   std::string out;
   // Uses the registry stand-in path (scaled down inside the CLI).

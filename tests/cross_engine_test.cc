@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/graph.h"
+#include "core/weighted_graph.h"
 #include "native/cf.h"
 #include "native/reference.h"
+#include "native/sssp.h"
 #include "tests/test_graphs.h"
 
 namespace maze::bench {
@@ -28,7 +32,20 @@ std::vector<Case> AllCases() {
   std::vector<Case> cases;
   for (EngineKind e : AllEngines()) {
     cases.push_back({e, 1});
-    if (e != EngineKind::kTaskflow) cases.push_back({e, 4});
+    if (e != EngineKind::kTaskflow) {
+      cases.push_back({e, 4});
+      cases.push_back({e, 16});
+    }
+  }
+  return cases;
+}
+
+// Engines with an SSSP implementation (weighted graphs are an extension; see
+// EngineSupportsSssp).
+std::vector<Case> SsspCases() {
+  std::vector<Case> cases;
+  for (const Case& c : AllCases()) {
+    if (EngineSupportsSssp(c.engine)) cases.push_back(c);
   }
   return cases;
 }
@@ -93,12 +110,100 @@ TEST_P(CrossEngineTest, CfConverges) {
 INSTANTIATE_TEST_SUITE_P(Engines, CrossEngineTest,
                          ::testing::ValuesIn(AllCases()), CaseName);
 
+class SsspEngineTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SsspEngineTest, SsspMatchesDijkstra) {
+  EdgeList el = testgraphs::SmallRmatUndirected(9, 6, 7);
+  WeightedGraph g = WeightedGraph::FromEdgesWithRandomWeights(el, 8.0f, 7);
+  RunConfig config;
+  config.num_ranks = GetParam().ranks;
+  auto result = RunSssp(GetParam().engine, g, rt::SsspOptions{3}, config);
+  auto expected = native::ReferenceDijkstra(g, 3);
+  ASSERT_EQ(result.distance.size(), expected.size());
+  for (size_t v = 0; v < expected.size(); ++v) {
+    if (std::isinf(expected[v])) {
+      EXPECT_TRUE(std::isinf(result.distance[v])) << "vertex " << v;
+    } else {
+      EXPECT_NEAR(result.distance[v], expected[v], 1e-4) << "vertex " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, SsspEngineTest,
+                         ::testing::ValuesIn(SsspCases()), CaseName);
+
+// --- Degenerate graph shapes --------------------------------------------------
+// Empty edge sets, dangling sinks, and self-loops must come out identical on
+// every engine; these shapes stress the frontier bookkeeping each engine keeps
+// differently.
+
+class EdgeCaseTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EdgeCaseTest, PageRankOnEdgelessGraph) {
+  EdgeList el;
+  el.num_vertices = 16;
+  Graph g = Graph::FromEdges(el, GraphDirections::kBoth);
+  rt::PageRankOptions opt;
+  opt.iterations = 3;
+  RunConfig config;
+  config.num_ranks = GetParam().ranks;
+  auto result = RunPageRank(GetParam().engine, el, opt, config);
+  auto expected = native::ReferencePageRank(g, 3, opt.jump);
+  ASSERT_EQ(result.ranks.size(), expected.size());
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result.ranks[v], expected[v], 1e-12) << "vertex " << v;
+  }
+}
+
+TEST_P(EdgeCaseTest, PageRankWithDanglingAndSelfLoops) {
+  // 0→0 self-loop, a path into sink 3 (dangling), isolated 5, 6→6 plus 6→1.
+  EdgeList el;
+  el.num_vertices = 7;
+  el.edges = {{0, 0}, {0, 1}, {1, 2}, {2, 3}, {4, 3}, {6, 6}, {6, 1}};
+  Graph g = Graph::FromEdges(el, GraphDirections::kBoth);
+  rt::PageRankOptions opt;
+  opt.iterations = 5;
+  RunConfig config;
+  config.num_ranks = GetParam().ranks;
+  auto result = RunPageRank(GetParam().engine, el, opt, config);
+  auto expected = native::ReferencePageRank(g, 5, opt.jump);
+  ASSERT_EQ(result.ranks.size(), expected.size());
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result.ranks[v], expected[v], 1e-12) << "vertex " << v;
+  }
+}
+
+TEST_P(EdgeCaseTest, BfsWithSelfLoopsAndUnreachable) {
+  // Symmetric component {0,1,2} with a self-loop at 1; {3,4} unreachable from 0.
+  EdgeList el;
+  el.num_vertices = 6;
+  el.edges = {{0, 1}, {1, 0}, {1, 1}, {1, 2}, {2, 1}, {3, 4}, {4, 3}};
+  Graph g = Graph::FromEdges(el, GraphDirections::kOutOnly);
+  RunConfig config;
+  config.num_ranks = GetParam().ranks;
+  auto result = RunBfs(GetParam().engine, el, rt::BfsOptions{0}, config);
+  EXPECT_EQ(result.distance, native::ReferenceBfs(g, 0));
+}
+
+TEST_P(EdgeCaseTest, ConnectedComponentsOnEdgelessGraph) {
+  EdgeList el;
+  el.num_vertices = 9;
+  RunConfig config;
+  config.num_ranks = GetParam().ranks;
+  auto result = RunConnectedComponents(GetParam().engine, el, {}, config);
+  EXPECT_EQ(result.num_components, 9u);
+  for (VertexId v = 0; v < 9; ++v) EXPECT_EQ(result.label[v], v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, EdgeCaseTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
 TEST(RunnerTest, EngineNamesAreUnique) {
   std::vector<std::string> names;
   for (EngineKind e : AllEngines()) names.push_back(EngineName(e));
   std::sort(names.begin(), names.end());
   EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 7u);
 }
 
 TEST(RunnerTest, MatblasRanksRoundsToSquares) {
@@ -115,7 +220,7 @@ TEST(RunnerTest, MultiNodeEnginesExcludeTaskflow) {
   for (EngineKind e : MultiNodeEngines()) {
     EXPECT_NE(e, EngineKind::kTaskflow);
   }
-  EXPECT_EQ(MultiNodeEngines().size(), 5u);
+  EXPECT_EQ(MultiNodeEngines().size(), 6u);
 }
 
 TEST(RunnerTest, PerformanceOrderingOnSingleNodePageRank) {

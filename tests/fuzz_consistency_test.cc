@@ -2,6 +2,7 @@
 // every engine agrees with the serial references on every algorithm. This is
 // the repository's strongest end-to-end invariant — performance may differ by
 // orders of magnitude, answers may not.
+#include <cmath>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -9,8 +10,10 @@
 #include "bench_support/runner.h"
 #include "core/graph.h"
 #include "core/rmat.h"
+#include "core/weighted_graph.h"
 #include "native/cc.h"
 #include "native/reference.h"
+#include "native/sssp.h"
 #include "rt/fault.h"
 
 namespace maze {
@@ -92,6 +95,33 @@ TEST_P(FuzzConsistencyTest, AllEnginesAgreeOnComponents) {
     config.num_ranks = engine == bench::EngineKind::kTaskflow ? 1 : 2;
     auto result = bench::RunConnectedComponents(engine, el, {}, config);
     ASSERT_EQ(result.label, expected) << bench::EngineName(engine);
+  }
+}
+
+TEST_P(FuzzConsistencyTest, SsspEnginesAgreeWithDijkstra) {
+  const FuzzCase fuzz = GetParam();
+  EdgeList el = FuzzGraph(fuzz, true);
+  WeightedGraph g = WeightedGraph::FromEdgesWithRandomWeights(el, 8.0f, fuzz.seed);
+  VertexId source = 0;
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    if (g.OutDegree(v) > g.OutDegree(source)) source = v;
+  }
+  auto expected = native::ReferenceDijkstra(g, source);
+  for (bench::EngineKind engine : bench::AllEngines()) {
+    if (!bench::EngineSupportsSssp(engine)) continue;
+    bench::RunConfig config;
+    config.num_ranks = engine == bench::EngineKind::kTaskflow ? 1 : 4;
+    auto result = bench::RunSssp(engine, g, rt::SsspOptions{source}, config);
+    ASSERT_EQ(result.distance.size(), expected.size());
+    for (size_t v = 0; v < expected.size(); ++v) {
+      if (std::isinf(expected[v])) {
+        ASSERT_TRUE(std::isinf(result.distance[v]))
+            << bench::EngineName(engine) << " vertex " << v;
+      } else {
+        ASSERT_NEAR(result.distance[v], expected[v], 1e-4)
+            << bench::EngineName(engine) << " vertex " << v;
+      }
+    }
   }
 }
 
