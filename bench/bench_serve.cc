@@ -18,6 +18,13 @@
 //      bound with distinct keys, further distinct submissions are rejected
 //      (kUnavailable) while identical ones still join in-flight work: rejects
 //      happen iff the queue is at its bound.
+//   4. Bill conservation — after the full concurrent sweep (plus a faulted
+//      tail), the per-request bills sum exactly back to the engine-run flight
+//      costs: integers exactly, seconds to <= 1e-9 relative (serve/bill.h).
+//   5. SLO-trip forensic determinism — the same serialized request sequence,
+//      run once under the serial and once under the rank-parallel schedule,
+//      trips the watchdog into byte-identical bills dumps (canonical fields
+//      only; the dump names the same top-cost request ids either way).
 //
 // Writes BENCH_serve.json (path via MAZE_BENCH_JSON, default
 // ./BENCH_serve.json).
@@ -31,8 +38,13 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "obs/counters.h"
 #include "obs/openmetrics.h"
+#include "obs/telemetry.h"
+#include "rt/rank_exec.h"
+#include "serve/bill.h"
 #include "serve/service.h"
+#include "serve/slo.h"
 
 namespace maze::bench {
 namespace {
@@ -97,6 +109,68 @@ double PercentileMs(std::vector<double>& sorted_seconds, double q) {
   if (sorted_seconds.empty()) return 0;
   size_t idx = static_cast<size_t>(q * (sorted_seconds.size() - 1));
   return sorted_seconds[idx] * 1e3;
+}
+
+std::string Slurp(const std::string& path) {
+  std::string content;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return content;
+}
+
+// Check 5 driver: a fixed serialized request sequence under a forced rank
+// schedule (1 = serial, 0 = rank-parallel), with the watchdog armed to trip
+// at its single scrape and dump forensics to `dump_path`. Returns the dump
+// bytes. The process-global serve counters are reset and a baseline scrape
+// taken before arming, so the evaluation window holds exactly this sequence.
+std::string SloTripDumpForSchedule(int forced_serial,
+                                   const std::string& dump_path) {
+  rt::SetSerialRanks(forced_serial);
+  obs::ResetCountersAndHistograms();
+  Service service(ServiceOptions{});
+  service.registry().Install("g", ServeGraph());
+  obs::TelemetryRegistry telemetry;
+  telemetry.ScrapeOnce();  // Baseline window before arming.
+
+  serve::SloOptions slo;
+  slo.p99_target_ms = 1e-3;  // 1 us: every execution lands over target.
+  slo.dump_top_k = 3;
+  slo.dump_path = dump_path;
+  serve::SloWatchdog watchdog(slo, &telemetry, &service, nullptr);
+
+  // Serialized calls so request ids and the amortization order are schedule
+  // independent; ranks=2 gives the rank-parallel schedule real work, and the
+  // faulted straggler must top the canonical cost ranking in both dumps.
+  for (int it : {2, 4}) {
+    Request r;
+    r.snapshot = "g";
+    r.algo = "pagerank";
+    r.engine = "native";
+    r.iterations = it;
+    r.ranks = 2;
+    Response resp = service.Call(r);
+    if (!resp.status.ok()) {
+      std::fprintf(stderr, "FAIL: slo-trip sequence: %s\n",
+                   resp.status.ToString().c_str());
+    }
+    if (it == 2) service.Call(r);  // A cache hit rides along at zero cost.
+  }
+  Request straggler;
+  straggler.snapshot = "g";
+  straggler.algo = "pagerank";
+  straggler.engine = "native";
+  straggler.iterations = 3;
+  straggler.ranks = 2;
+  straggler.faults = "seed=7,straggle=0x64";
+  service.Call(straggler);
+
+  telemetry.ScrapeOnce();  // Trips the watchdog; writes the dump.
+  rt::SetSerialRanks(-1);
+  return Slurp(dump_path);
 }
 
 int Main() {
@@ -272,11 +346,65 @@ int Main() {
     }
   }
 
+  // --- Bill conservation over the whole concurrent run (check 4) -----------
+  // Tail the sweep with faulted flights so fault seconds are on the ledger
+  // too, then require both sides to agree.
+  for (int seed : {3, 7}) {
+    Request r = mix[0];
+    r.iterations = 30 + seed;
+    r.faults = "seed=" + std::to_string(seed) + ",straggle=0x64";
+    Response resp = service.Call(r);
+    if (!resp.status.ok()) {
+      std::fprintf(stderr, "FAIL: faulted tail: %s\n",
+                   resp.status.ToString().c_str());
+      ++failures;
+    }
+  }
+  service.Drain();
+  serve::BillLedger ledger = service.Bills();
+  const bool bills_conserve =
+      serve::BillsConserve(ledger.flights, ledger.billed);
+  if (!bills_conserve) {
+    std::fprintf(stderr,
+                 "FAIL: bill conservation: flights %s\n  vs billed %s\n",
+                 ledger.flights.ToJson().c_str(),
+                 ledger.billed.ToJson().c_str());
+    ++failures;
+  }
+
+  // --- SLO-trip forensic determinism (check 5) ------------------------------
+  const std::string dump_serial = "bench_serve_slo_dump_serial.json";
+  const std::string dump_parallel = "bench_serve_slo_dump_parallel.json";
+  std::string serial_dump = SloTripDumpForSchedule(1, dump_serial);
+  std::string parallel_dump = SloTripDumpForSchedule(0, dump_parallel);
+  const bool dump_stable =
+      !serial_dump.empty() && serial_dump == parallel_dump;
+  const bool dump_names_culprit =
+      serial_dump.find("\"top\"") != std::string::npos &&
+      serial_dump.find("\"faults_injected\"") != std::string::npos;
+  if (!dump_stable) {
+    std::fprintf(stderr,
+                 "FAIL: SLO-trip dump differs across schedules "
+                 "(%zu vs %zu bytes); kept %s / %s for diffing\n",
+                 serial_dump.size(), parallel_dump.size(),
+                 dump_serial.c_str(), dump_parallel.c_str());
+    ++failures;
+  } else {
+    std::remove(dump_serial.c_str());
+    std::remove(dump_parallel.c_str());
+  }
+  if (!dump_names_culprit) {
+    std::fprintf(stderr, "FAIL: SLO-trip dump names no culprits\n");
+    ++failures;
+  }
+
   std::printf("self-check: identity %s, closed-loop rejects %s, "
-              "admission bound %s\n",
+              "admission bound %s, bill conservation %s, slo dump %s\n",
               identity_mismatches == 0 ? "ok" : "FAILED",
               closed_loop_rejects == 0 ? "ok" : "FAILED",
-              admission_exact ? "ok" : "FAILED");
+              admission_exact ? "ok" : "FAILED",
+              bills_conserve ? "ok" : "FAILED",
+              dump_stable && dump_names_culprit ? "ok" : "FAILED");
 
   // --- BENCH_serve.json ----------------------------------------------------
   const char* out_env = std::getenv("MAZE_BENCH_JSON");
@@ -313,6 +441,14 @@ int Main() {
                admission_exact ? "true" : "false");
   std::fprintf(f, "  \"identity_mismatches\": %llu,\n",
                static_cast<unsigned long long>(identity_mismatches));
+  std::fprintf(f,
+               "  \"bill_conservation\": {\"flights\": %s, \"billed\": %s, "
+               "\"conserved\": %s},\n",
+               ledger.flights.ToJson().c_str(),
+               ledger.billed.ToJson().c_str(),
+               bills_conserve ? "true" : "false");
+  std::fprintf(f, "  \"slo_dump_stable\": %s,\n",
+               dump_stable && dump_names_culprit ? "true" : "false");
   std::fprintf(f, "  \"ok\": %s\n", failures == 0 ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);

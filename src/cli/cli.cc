@@ -483,6 +483,86 @@ Status CmdRun(const ParsedArgs& parsed, std::ostream& out) {
   return Status::OK();
 }
 
+// The serve --metrics dump: the final ServiceReport plus name-sorted
+// counter/gauge/histogram snapshots and the telemetry time-series rings, one
+// JSON object — everything the live endpoint could have served, persisted at
+// exit for offline analysis.
+Status WriteServeMetricsJson(const serve::ServiceReport& report,
+                             const obs::TelemetryRegistry& telemetry,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << "{\n\"report\": " << report.ToJson() << ",\n\"counters\": [\n";
+  auto counters = obs::SnapshotCounters();
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out << "  {\"name\": \"" << obs::JsonEscape(counters[i].name)
+        << "\", \"value\": " << counters[i].value << "}"
+        << (i + 1 < counters.size() ? "," : "") << "\n";
+  }
+  out << "],\n\"gauges\": [\n";
+  auto gauges = obs::SnapshotGauges();
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out << "  {\"name\": \"" << obs::JsonEscape(gauges[i].name)
+        << "\", \"value\": " << gauges[i].value << "}"
+        << (i + 1 < gauges.size() ? "," : "") << "\n";
+  }
+  out << "],\n\"histograms\": [\n";
+  auto hists = obs::SnapshotHistograms();
+  for (size_t i = 0; i < hists.size(); ++i) {
+    const auto& h = hists[i];
+    out << "  {\"name\": \"" << obs::JsonEscape(h.name)
+        << "\", \"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"max\": " << h.max << ", \"p50\": " << h.p50
+        << ", \"p95\": " << h.p95 << ", \"p99\": " << h.p99 << "}"
+        << (i + 1 < hists.size() ? "," : "") << "\n";
+  }
+  out << "],\n\"telemetry\": {\"scrapes\": " << telemetry.scrapes()
+      << ",\n\"counters\": [\n";
+  auto counter_series = telemetry.Counters();
+  for (size_t i = 0; i < counter_series.size(); ++i) {
+    const auto& s = counter_series[i];
+    out << "  {\"name\": \"" << obs::JsonEscape(s.name) << "\", \"windows\": [";
+    for (size_t w = 0; w < s.windows.size(); ++w) {
+      out << (w == 0 ? "" : ", ") << "{\"scrape\": " << s.windows[w].scrape
+          << ", \"value\": " << s.windows[w].value
+          << ", \"delta\": " << s.windows[w].delta << "}";
+    }
+    out << "]}" << (i + 1 < counter_series.size() ? "," : "") << "\n";
+  }
+  out << "],\n\"gauges\": [\n";
+  auto gauge_series = telemetry.Gauges();
+  for (size_t i = 0; i < gauge_series.size(); ++i) {
+    const auto& s = gauge_series[i];
+    out << "  {\"name\": \"" << obs::JsonEscape(s.name) << "\", \"windows\": [";
+    for (size_t w = 0; w < s.windows.size(); ++w) {
+      out << (w == 0 ? "" : ", ") << "{\"scrape\": " << s.windows[w].scrape
+          << ", \"value\": " << s.windows[w].value
+          << ", \"delta\": " << s.windows[w].delta << "}";
+    }
+    out << "]}" << (i + 1 < gauge_series.size() ? "," : "") << "\n";
+  }
+  out << "],\n\"histograms\": [\n";
+  auto hist_series = telemetry.Histograms();
+  for (size_t i = 0; i < hist_series.size(); ++i) {
+    const auto& s = hist_series[i];
+    out << "  {\"name\": \"" << obs::JsonEscape(s.name) << "\", \"windows\": [";
+    for (size_t w = 0; w < s.windows.size(); ++w) {
+      const auto& win = s.windows[w];
+      out << (w == 0 ? "" : ", ") << "{\"scrape\": " << win.scrape
+          << ", \"count\": " << win.count << ", \"sum\": " << win.sum
+          << ", \"delta_count\": " << win.delta_count
+          << ", \"delta_sum\": " << win.delta_sum
+          << ", \"delta_p50\": " << win.delta_p50
+          << ", \"delta_p99\": " << win.delta_p99
+          << ", \"delta_max\": " << win.delta_max << "}";
+    }
+    out << "]}" << (i + 1 < hist_series.size() ? "," : "") << "\n";
+  }
+  out << "]\n}\n}\n";
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
 Status CmdServe(const ParsedArgs& parsed, std::ostream& out) {
   MAZE_RETURN_IF_ERROR(ApplyThreadsFlag(parsed, out));
   std::string script_path = FlagOr(parsed, "script", "");
@@ -532,6 +612,13 @@ Status CmdServe(const ParsedArgs& parsed, std::ostream& out) {
   if (slo_burn.value() <= 0) {
     return Status::InvalidArgument("--slo-burn must be > 0");
   }
+  std::string slo_dump = FlagOr(parsed, "slo-dump", "");
+  std::string slo_perfetto = FlagOr(parsed, "slo-perfetto", "");
+  if ((!slo_dump.empty() || !slo_perfetto.empty()) &&
+      parsed.flags.count("slo-p99-ms") == 0) {
+    return Status::InvalidArgument(
+        "--slo-dump/--slo-perfetto need --slo-p99-ms (no watchdog to trip)");
+  }
 
   std::ifstream script(script_path);
   if (!script) return Status::IoError("cannot open " + script_path);
@@ -570,6 +657,8 @@ Status CmdServe(const ParsedArgs& parsed, std::ostream& out) {
     serve::SloOptions slo;
     slo.p99_target_ms = slo_p99.value();
     slo.burn_threshold = slo_burn.value();
+    slo.dump_path = slo_dump;
+    slo.perfetto_path = slo_perfetto;
     // Events go to stderr: background scrapes emit from the telemetry thread,
     // and stderr is a synchronized standard stream while `out` may not be.
     watchdog = std::make_unique<serve::SloWatchdog>(slo, &telemetry, &service,
@@ -591,6 +680,11 @@ Status CmdServe(const ParsedArgs& parsed, std::ostream& out) {
     f << report.ToJson() << "\n";
     if (!f.good()) return Status::IoError("write failed for " + report_path);
     out << "report: wrote " << report_path << "\n";
+  }
+  std::string metrics_path = FlagOr(parsed, "metrics", "");
+  if (!metrics_path.empty()) {
+    MAZE_RETURN_IF_ERROR(WriteServeMetricsJson(report, telemetry, metrics_path));
+    out << "metrics: wrote " << metrics_path << "\n";
   }
   return Status::OK();
 }

@@ -15,6 +15,7 @@ namespace {
 struct CounterRegistry {
   std::mutex mu;
   std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>> histograms;
 
   static CounterRegistry& Get() {
@@ -95,6 +96,15 @@ Counter& GetCounter(const std::string& name) {
   return *slot;
 }
 
+Gauge& GetGauge(const std::string& name) {
+  g_registry_lookups.fetch_add(1, std::memory_order_relaxed);
+  CounterRegistry& reg = CounterRegistry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto& slot = reg.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
 Histogram& GetHistogram(const std::string& name) {
   g_registry_lookups.fetch_add(1, std::memory_order_relaxed);
   CounterRegistry& reg = CounterRegistry::Get();
@@ -125,6 +135,17 @@ std::vector<std::pair<std::string, Counter*>> AllCounters() {
   return out;
 }
 
+std::vector<std::pair<std::string, Gauge*>> AllGauges() {
+  CounterRegistry& reg = CounterRegistry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, Gauge*>> out;
+  out.reserve(reg.gauges.size());
+  for (const auto& [name, gauge] : reg.gauges) {
+    out.emplace_back(name, gauge.get());
+  }
+  return out;
+}
+
 std::vector<std::pair<std::string, Histogram*>> AllHistograms() {
   CounterRegistry& reg = CounterRegistry::Get();
   std::lock_guard<std::mutex> lock(reg.mu);
@@ -147,6 +168,17 @@ std::vector<CounterSnapshot> SnapshotCounters() {
   return out;
 }
 
+std::vector<GaugeSnapshot> SnapshotGauges() {
+  CounterRegistry& reg = CounterRegistry::Get();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<GaugeSnapshot> out;
+  out.reserve(reg.gauges.size());
+  for (const auto& [name, gauge] : reg.gauges) {
+    out.push_back({name, gauge->value()});
+  }
+  return out;
+}
+
 std::vector<HistogramSnapshot> SnapshotHistograms() {
   CounterRegistry& reg = CounterRegistry::Get();
   std::lock_guard<std::mutex> lock(reg.mu);
@@ -163,6 +195,7 @@ void ResetCountersAndHistograms() {
   CounterRegistry& reg = CounterRegistry::Get();
   std::lock_guard<std::mutex> lock(reg.mu);
   for (auto& [name, counter] : reg.counters) counter->Reset();
+  for (auto& [name, gauge] : reg.gauges) gauge->Reset();
   for (auto& [name, h] : reg.histograms) h->Reset();
 }
 

@@ -32,6 +32,22 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+// A value that goes both ways (queue depth, in-flight count, degradation
+// level): Set publishes the current level, Add nudges it. Unlike counters,
+// gauges carry no monotonicity contract — the telemetry scraper records the
+// sampled value per window, and the OpenMetrics exposition renders the bare
+// sample (no `_total`).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 class Histogram {
  public:
   // 2^3 = 8 sub-buckets per power of two: <= 12.5% relative bucket width.
@@ -78,9 +94,10 @@ class Histogram {
 // Registry lookup; creates on first use. The reference stays valid for the
 // life of the process (Reset zeroes values but never invalidates).
 Counter& GetCounter(const std::string& name);
+Gauge& GetGauge(const std::string& name);
 Histogram& GetHistogram(const std::string& name);
 
-// Total GetCounter/GetHistogram/GetExemplars calls so far. Each lookup takes
+// Total GetCounter/GetGauge/GetHistogram/GetExemplars calls so far. Each lookup takes
 // the registry lock, so per-request hot paths must cache the returned
 // references; serve_stress_test asserts the delta across a request storm is
 // zero using this.
@@ -96,11 +113,16 @@ void BumpRegistryLookup();
 // The pointers stay valid for the life of the process; does not count as a
 // lookup (it is the scraper's periodic enumeration, not a hot-path miss).
 std::vector<std::pair<std::string, Counter*>> AllCounters();
+std::vector<std::pair<std::string, Gauge*>> AllGauges();
 std::vector<std::pair<std::string, Histogram*>> AllHistograms();
 
 struct CounterSnapshot {
   std::string name;
   uint64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  int64_t value = 0;
 };
 struct HistogramSnapshot {
   std::string name;
@@ -112,11 +134,13 @@ struct HistogramSnapshot {
   uint64_t p99 = 0;
 };
 
-// Name-sorted snapshots of every registered counter/histogram.
+// Name-sorted snapshots of every registered counter/gauge/histogram.
 std::vector<CounterSnapshot> SnapshotCounters();
+std::vector<GaugeSnapshot> SnapshotGauges();
 std::vector<HistogramSnapshot> SnapshotHistograms();
 
-// Zeroes all registered counters and histograms (names stay registered).
+// Zeroes all registered counters, gauges, and histograms (names stay
+// registered).
 void ResetCountersAndHistograms();
 
 }  // namespace maze::obs

@@ -81,10 +81,13 @@ std::string OpenMetricsText(const TelemetryRegistry& telemetry) {
   // Sanitized-name order, so the exposition is stable regardless of internal
   // naming; sharing a sanitized name keeps the last series (see header).
   std::map<std::string, const CounterSeries*> counters;
+  std::map<std::string, const GaugeSeries*> gauges;
   std::map<std::string, const HistogramSeries*> histograms;
   auto counter_series = telemetry.Counters();
+  auto gauge_series = telemetry.Gauges();
   auto histogram_series = telemetry.Histograms();
   for (const auto& s : counter_series) counters[OpenMetricsName(s.name)] = &s;
+  for (const auto& s : gauge_series) gauges[OpenMetricsName(s.name)] = &s;
   for (const auto& s : histogram_series) {
     histograms[OpenMetricsName(s.name)] = &s;
   }
@@ -101,6 +104,16 @@ std::string OpenMetricsText(const TelemetryRegistry& telemetry) {
            OpenMetricsEscape(series->name) + "'\n";
     out += name + "_total " + std::to_string(series->windows.back().value) +
            "\n";
+  }
+
+  // Gauges render as a bare sample (no _total suffix): the sampled level at
+  // the latest scrape.
+  for (const auto& [name, series] : gauges) {
+    if (series->windows.empty()) continue;
+    out += "# TYPE " + name + " gauge\n";
+    out += "# HELP " + name + " maze gauge '" +
+           OpenMetricsEscape(series->name) + "'\n";
+    out += name + " " + std::to_string(series->windows.back().value) + "\n";
   }
 
   for (const auto& [name, series] : histograms) {

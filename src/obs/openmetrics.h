@@ -2,9 +2,10 @@
 //
 // OpenMetricsText renders the latest TelemetryRegistry scrape in the
 // OpenMetrics/Prometheus text format: one `# TYPE`/`# HELP` pair per metric
-// family, `_total` samples for counters, cumulative `_bucket{le="..."}` /
-// `_count` / `_sum` samples for histograms (with request-id exemplars on
-// buckets that have them), terminated by `# EOF`. Internal metric names
+// family, `_total` samples for counters, bare-name samples for gauges (the
+// latest scraped level), cumulative `_bucket{le="..."}` / `_count` / `_sum`
+// samples for histograms (with request-id exemplars on buckets that have
+// them), terminated by `# EOF`. Internal metric names
 // ("serve.latency_us") are sanitized to the OpenMetrics charset with a
 // `maze_` prefix ("maze_serve_latency_us"); distinct internal names that
 // sanitize to the same exposition name share one family (last write wins,

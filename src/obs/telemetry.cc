@@ -146,6 +146,7 @@ uint64_t TelemetryRegistry::ScrapeOnce() {
 
   // Enumerate outside mu_ (AllCounters takes the counter-registry lock).
   auto counters = AllCounters();
+  auto gauges = AllGauges();
   auto histograms = AllHistograms();
 
   {
@@ -159,6 +160,20 @@ uint64_t TelemetryRegistry::ScrapeOnce() {
       w.delta = state.ring.windows.empty()
                     ? w.value
                     : w.value - std::min(w.value, state.ring.windows.back().value);
+      state.ring.windows.push_back(w);
+      if (state.ring.windows.size() > options_.ring_windows) {
+        state.ring.windows.erase(state.ring.windows.begin());
+      }
+    }
+    for (auto& [name, src] : gauges) {
+      GaugeState& state = gauges_[name];
+      state.src = src;
+      GaugeWindow w;
+      w.scrape = scrape;
+      w.value = src->value();
+      w.delta = state.ring.windows.empty()
+                    ? w.value
+                    : w.value - state.ring.windows.back().value;
       state.ring.windows.push_back(w);
       if (state.ring.windows.size() > options_.ring_windows) {
         state.ring.windows.erase(state.ring.windows.begin());
@@ -274,6 +289,16 @@ std::vector<CounterSeries> TelemetryRegistry::Counters() const {
   return out;
 }
 
+std::vector<GaugeSeries> TelemetryRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GaugeSeries> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, state] : gauges_) {
+    out.push_back({name, state.ring.windows});
+  }
+  return out;
+}
+
 std::vector<HistogramSeries> TelemetryRegistry::Histograms() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<HistogramSeries> out;
@@ -293,6 +318,16 @@ std::optional<CounterWindow> TelemetryRegistry::LatestCounter(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end() || it->second.ring.windows.empty()) {
+    return std::nullopt;
+  }
+  return it->second.ring.windows.back();
+}
+
+std::optional<GaugeWindow> TelemetryRegistry::LatestGauge(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end() || it->second.ring.windows.empty()) {
     return std::nullopt;
   }
   return it->second.ring.windows.back();

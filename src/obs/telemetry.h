@@ -47,6 +47,14 @@ struct CounterWindow {
                         // cumulative value on a metric's first window).
 };
 
+// One scrape of a gauge: the sampled level plus its signed change since the
+// previous scrape (gauges go both ways; no monotonicity contract).
+struct GaugeWindow {
+  uint64_t scrape = 0;
+  int64_t value = 0;  // Sampled value at scrape time.
+  int64_t delta = 0;  // value - previous window's value (value on the first).
+};
+
 // One scrape of a histogram: cumulative totals plus the delta distribution of
 // values recorded inside this window.
 struct HistogramWindow {
@@ -63,6 +71,11 @@ struct HistogramWindow {
 struct CounterSeries {
   std::string name;
   std::vector<CounterWindow> windows;  // Oldest first, at most ring_windows.
+};
+
+struct GaugeSeries {
+  std::string name;
+  std::vector<GaugeWindow> windows;
 };
 
 struct HistogramSeries {
@@ -147,8 +160,10 @@ class TelemetryRegistry {
 
   // Time-series accessors (name-sorted; windows oldest first).
   std::vector<CounterSeries> Counters() const;
+  std::vector<GaugeSeries> Gauges() const;
   std::vector<HistogramSeries> Histograms() const;
   std::optional<CounterWindow> LatestCounter(const std::string& name) const;
+  std::optional<GaugeWindow> LatestGauge(const std::string& name) const;
   std::optional<HistogramWindow> LatestHistogram(const std::string& name) const;
 
   const TelemetryOptions& options() const { return options_; }
@@ -161,6 +176,10 @@ class TelemetryRegistry {
   struct CounterState {
     Counter* src = nullptr;
     Ring<CounterWindow> ring;
+  };
+  struct GaugeState {
+    Gauge* src = nullptr;
+    Ring<GaugeWindow> ring;
   };
   struct HistogramState {
     Histogram* src = nullptr;
@@ -177,6 +196,7 @@ class TelemetryRegistry {
   // Guards the series maps; held briefly by scrapes and readers.
   mutable std::mutex mu_;
   std::map<std::string, CounterState> counters_;
+  std::map<std::string, GaugeState> gauges_;
   std::map<std::string, HistogramState> histograms_;
   std::atomic<uint64_t> scrapes_{0};
 

@@ -1,0 +1,335 @@
+#include "serve/bill.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "obs/attrib.h"
+#include "obs/json.h"
+
+namespace maze::serve {
+
+namespace {
+
+std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+// Doubles in artifacts render with %.17g: enough digits to round-trip, so
+// equal doubles are equal bytes (the determinism contract).
+std::string D(double v) { return Fmt("%.17g", v); }
+
+std::string U(uint64_t v) { return std::to_string(v); }
+
+// Replaces measured per-rank compute with a pure function of schedule-
+// invariant inputs — the attrib_differential_test canonicalization, extended
+// with the plan's straggler multiplier so a deliberately slowed rank dilates
+// the canonical clock the way it dilates the measured one. Everything else in
+// the records (wire seconds, bytes, fault stalls) is already modeled and
+// schedule-invariant.
+void CanonicalizeCompute(rt::RunMetrics* m, const rt::fault::FaultSpec& faults) {
+  double elapsed = 0;
+  for (rt::StepRecord& s : m->steps) {
+    if (!s.rank_compute_seconds.empty() && s.StepSeconds() > 0) {
+      double max = 0;
+      for (size_t r = 0; r < s.rank_compute_seconds.size(); ++r) {
+        uint64_t bytes = r < s.rank_bytes.size() ? s.rank_bytes[r] : 0;
+        double fake = (1e-4 * (1 + (s.step * 31 + static_cast<int>(r) * 7) % 5) +
+                       static_cast<double>(bytes) * 1e-12) *
+                      faults.StragglerMultiplier(static_cast<int>(r));
+        s.rank_compute_seconds[r] = fake;
+        max = std::max(max, fake);
+      }
+      s.compute_seconds = max;
+    }
+    elapsed += s.StepSeconds();
+  }
+  m->elapsed_seconds = elapsed;
+}
+
+}  // namespace
+
+FlightCost ComputeFlightCost(const rt::RunMetrics& metrics, int ranks,
+                             const rt::fault::FaultSpec& faults) {
+  FlightCost c;
+  c.ranks = ranks;
+  c.modeled_seconds = metrics.elapsed_seconds;
+  obs::attrib::Attribution a = obs::attrib::Attribute(metrics);
+  if (a.available) {
+    c.compute_seconds = a.critical_compute_seconds;
+    c.wire_seconds = a.critical_wire_seconds;
+    c.imbalance_seconds = a.imbalance_idle_seconds;
+    c.fault_seconds = a.fault_recovery_seconds;
+  } else {
+    // Untraced run: nothing to split, charge the whole clock as compute.
+    c.compute_seconds = metrics.elapsed_seconds;
+  }
+  c.cpu_seconds = metrics.total_compute_seconds;
+
+  rt::RunMetrics canon = metrics;
+  CanonicalizeCompute(&canon, faults);
+  obs::attrib::Attribution ca = obs::attrib::Attribute(canon);
+  c.canon_modeled_seconds = canon.elapsed_seconds;
+  if (ca.available) {
+    c.canon_compute_seconds = ca.critical_compute_seconds;
+    c.canon_wire_seconds = ca.critical_wire_seconds;
+    c.canon_imbalance_seconds = ca.imbalance_idle_seconds;
+    c.canon_fault_seconds = ca.fault_recovery_seconds;
+  } else {
+    c.canon_compute_seconds = canon.elapsed_seconds;
+  }
+
+  c.wire_bytes = metrics.bytes_sent;
+  c.messages = metrics.messages_sent;
+  c.state_bytes = metrics.memory_state_bytes;
+  c.msgbuf_bytes = metrics.memory_msgbuf_bytes;
+  c.peak_bytes = metrics.memory_peak_bytes;
+  c.faults_injected = metrics.faults_injected;
+  c.transport_retries = metrics.transport_retries;
+  return c;
+}
+
+const char* BillPathName(BillPath path) {
+  switch (path) {
+    case BillPath::kFresh:
+      return "fresh";
+    case BillPath::kDedup:
+      return "dedup";
+    case BillPath::kCacheHit:
+      return "cache_hit";
+  }
+  return "unknown";
+}
+
+void FillShare(const FlightCostPtr& flight, size_t i, size_t n,
+               QueryBill* bill) {
+  const FlightCost& c = *flight;
+  const double dn = static_cast<double>(n);
+  bill->share_count = static_cast<int>(n);
+  bill->modeled_seconds = c.modeled_seconds / dn;
+  bill->compute_seconds = c.compute_seconds / dn;
+  bill->wire_seconds = c.wire_seconds / dn;
+  bill->imbalance_seconds = c.imbalance_seconds / dn;
+  bill->fault_seconds = c.fault_seconds / dn;
+  bill->cpu_seconds = c.cpu_seconds / dn;
+  bill->canon_modeled_seconds = c.canon_modeled_seconds / dn;
+  bill->wire_bytes = IntegerShare(c.wire_bytes, i, n);
+  bill->messages = IntegerShare(c.messages, i, n);
+  bill->flight = flight;
+}
+
+void BillTotals::AddFlight(const FlightCost& cost) {
+  ++entries;
+  modeled_seconds += cost.modeled_seconds;
+  compute_seconds += cost.compute_seconds;
+  wire_seconds += cost.wire_seconds;
+  imbalance_seconds += cost.imbalance_seconds;
+  fault_seconds += cost.fault_seconds;
+  cpu_seconds += cost.cpu_seconds;
+  wire_bytes += cost.wire_bytes;
+  messages += cost.messages;
+}
+
+void BillTotals::AddBill(const QueryBill& bill) {
+  ++entries;
+  modeled_seconds += bill.modeled_seconds;
+  compute_seconds += bill.compute_seconds;
+  wire_seconds += bill.wire_seconds;
+  imbalance_seconds += bill.imbalance_seconds;
+  fault_seconds += bill.fault_seconds;
+  cpu_seconds += bill.cpu_seconds;
+  wire_bytes += bill.wire_bytes;
+  messages += bill.messages;
+}
+
+std::string BillTotals::ToJson() const {
+  std::string out = "{";
+  out += "\"entries\": " + U(entries);
+  out += ", \"modeled_seconds\": " + D(modeled_seconds);
+  out += ", \"compute_seconds\": " + D(compute_seconds);
+  out += ", \"wire_seconds\": " + D(wire_seconds);
+  out += ", \"imbalance_seconds\": " + D(imbalance_seconds);
+  out += ", \"fault_seconds\": " + D(fault_seconds);
+  out += ", \"cpu_seconds\": " + D(cpu_seconds);
+  out += ", \"wire_bytes\": " + U(wire_bytes);
+  out += ", \"messages\": " + U(messages);
+  out += "}";
+  return out;
+}
+
+namespace {
+bool Close(double flight, double billed, double rel_tol) {
+  double scale = std::max(1.0, std::abs(flight));
+  return std::abs(flight - billed) <= rel_tol * scale;
+}
+}  // namespace
+
+bool BillsConserve(const BillTotals& flights, const BillTotals& billed,
+                   double rel_tol) {
+  return flights.wire_bytes == billed.wire_bytes &&
+         flights.messages == billed.messages &&
+         Close(flights.modeled_seconds, billed.modeled_seconds, rel_tol) &&
+         Close(flights.compute_seconds, billed.compute_seconds, rel_tol) &&
+         Close(flights.wire_seconds, billed.wire_seconds, rel_tol) &&
+         Close(flights.imbalance_seconds, billed.imbalance_seconds, rel_tol) &&
+         Close(flights.fault_seconds, billed.fault_seconds, rel_tol) &&
+         Close(flights.cpu_seconds, billed.cpu_seconds, rel_tol);
+}
+
+bool CostGreater(const QueryBill& a, const QueryBill& b) {
+  if (a.canon_modeled_seconds != b.canon_modeled_seconds) {
+    return a.canon_modeled_seconds > b.canon_modeled_seconds;
+  }
+  if (a.wire_bytes != b.wire_bytes) return a.wire_bytes > b.wire_bytes;
+  return a.request_id < b.request_id;
+}
+
+std::vector<QueryBill> TopCostRanked(std::vector<QueryBill> bills, size_t k) {
+  std::sort(bills.begin(), bills.end(), CostGreater);
+  if (bills.size() > k) bills.resize(k);
+  return bills;
+}
+
+std::string BillJson(const QueryBill& bill, bool canonical_only) {
+  std::string out = "{";
+  out += "\"request_id\": " + U(bill.request_id);
+  out += ", \"key\": \"" + obs::JsonEscape(bill.key) + "\"";
+  out += ", \"path\": \"" + std::string(BillPathName(bill.path)) + "\"";
+  out += ", \"share_count\": " + std::to_string(bill.share_count);
+  if (!canonical_only) {
+    out += ", \"modeled_seconds\": " + D(bill.modeled_seconds);
+    out += ", \"compute_seconds\": " + D(bill.compute_seconds);
+    out += ", \"wire_seconds\": " + D(bill.wire_seconds);
+    out += ", \"imbalance_seconds\": " + D(bill.imbalance_seconds);
+    out += ", \"fault_seconds\": " + D(bill.fault_seconds);
+    out += ", \"cpu_seconds\": " + D(bill.cpu_seconds);
+    out += ", \"wall_seconds\": " + D(bill.wall_seconds);
+  }
+  out += ", \"canon_modeled_seconds\": " + D(bill.canon_modeled_seconds);
+  out += ", \"wire_bytes\": " + U(bill.wire_bytes);
+  out += ", \"messages\": " + U(bill.messages);
+  if (bill.flight != nullptr) {
+    const FlightCost& c = *bill.flight;
+    out += ", \"flight\": {";
+    out += "\"ranks\": " + std::to_string(c.ranks);
+    if (!canonical_only) {
+      out += ", \"modeled_seconds\": " + D(c.modeled_seconds);
+      out += ", \"cpu_seconds\": " + D(c.cpu_seconds);
+    }
+    out += ", \"canon_modeled_seconds\": " + D(c.canon_modeled_seconds);
+    out += ", \"canon_compute_seconds\": " + D(c.canon_compute_seconds);
+    out += ", \"canon_wire_seconds\": " + D(c.canon_wire_seconds);
+    out += ", \"canon_imbalance_seconds\": " + D(c.canon_imbalance_seconds);
+    out += ", \"canon_fault_seconds\": " + D(c.canon_fault_seconds);
+    out += ", \"wire_bytes\": " + U(c.wire_bytes);
+    out += ", \"messages\": " + U(c.messages);
+    out += ", \"state_bytes\": " + U(c.state_bytes);
+    out += ", \"msgbuf_bytes\": " + U(c.msgbuf_bytes);
+    out += ", \"peak_bytes\": " + U(c.peak_bytes);
+    out += ", \"faults_injected\": " + U(c.faults_injected);
+    out += ", \"transport_retries\": " + U(c.transport_retries);
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+uint64_t FlightRecorder::Push(QueryBill bill) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(bill));
+  } else {
+    ring_[seq % capacity_] = std::move(bill);
+  }
+  return seq;
+}
+
+uint64_t FlightRecorder::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::vector<QueryBill> FlightRecorder::Since(uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t held = ring_.size();
+  uint64_t oldest = next_seq_ - held;
+  if (seq < oldest) seq = oldest;
+  std::vector<QueryBill> out;
+  out.reserve(next_seq_ - seq);
+  for (uint64_t s = seq; s < next_seq_; ++s) {
+    out.push_back(ring_[s % capacity_]);
+  }
+  return out;
+}
+
+std::vector<QueryBill> FlightRecorder::Snapshot() const { return Since(0); }
+
+std::vector<QueryBill> FlightRecorder::TopK(size_t k) const {
+  return TopCostRanked(Snapshot(), k);
+}
+
+std::string ForensicDumpJson(const SloTripInfo& trip,
+                             const std::vector<QueryBill>& window,
+                             const std::vector<QueryBill>& ring, size_t top_k) {
+  auto bill_array = [](const std::vector<QueryBill>& bills) {
+    std::string out = "[";
+    for (size_t i = 0; i < bills.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += BillJson(bills[i], /*canonical_only=*/true);
+    }
+    out += "]";
+    return out;
+  };
+  std::string out = "{\n";
+  out += "  \"event\": \"slo_trip\",\n";
+  out += "  \"scrape\": " + U(trip.scrape) + ",\n";
+  out += "  \"level\": " + std::to_string(trip.level) + ",\n";
+  out += "  \"prev_level\": " + std::to_string(trip.prev_level) + ",\n";
+  out += "  \"window\": " + bill_array(window) + ",\n";
+  out += "  \"ring\": " + bill_array(ring) + ",\n";
+  // The named culprits: the window's bills ranked by deterministic cost. An
+  // idle tripping window (e.g. a burst that drained before the scrape) falls
+  // back to ranking the ring.
+  out += "  \"top\": " +
+         bill_array(TopCostRanked(window.empty() ? ring : window, top_k)) +
+         "\n";
+  out += "}\n";
+  return out;
+}
+
+Status WriteFlightsTrace(const std::string& path,
+                         const std::vector<QueryBill>& bills) {
+  std::string out = "{\"traceEvents\":[";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(kFlightsPid) +
+         ",\"tid\":0,\"args\":{\"name\":\"query flights\"}}";
+  for (const QueryBill& b : bills) {
+    uint64_t dur = static_cast<uint64_t>(b.wall_seconds * 1e6);
+    uint64_t ts = b.wall_end_us > dur ? b.wall_end_us - dur : 0;
+    out += ",{\"name\":\"" + obs::JsonEscape(b.key) + "\",\"cat\":\"flight\"," +
+           "\"ph\":\"X\",\"pid\":" + std::to_string(kFlightsPid) +
+           ",\"tid\":0,\"ts\":" + U(ts) + ",\"dur\":" + U(dur) +
+           ",\"args\":{\"request_id\":" + U(b.request_id) + ",\"path\":\"" +
+           BillPathName(b.path) +
+           "\",\"canon_modeled_us\":" + D(b.canon_modeled_seconds * 1e6) +
+           ",\"wire_bytes\":" + U(b.wire_bytes) + "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (written != out.size()) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace maze::serve

@@ -1,0 +1,245 @@
+// maze::serve::bill — per-request resource attribution (query bills).
+//
+// PRs 3/5 decompose whole *runs* into compute/wire/imbalance/fault terms with
+// memory and wire totals; this module carries that decomposition to query
+// granularity. Every engine execution ("flight") produces one immutable
+// FlightCost; every OK response carries a QueryBill that charges it a share of
+// some flight with exact amortization semantics:
+//
+//   - a fresh execution with one requester is billed the whole flight;
+//   - dedup joiners split the flight N ways: integer resources (wire bytes,
+//     messages) split exactly — joiner i of N gets v/N + (i < v%N ? 1 : 0),
+//     in submission order — and modeled seconds split evenly;
+//   - cache hits carry the originating flight's cost for context at *zero*
+//     marginal cost (the execution was already paid for; a fully-cached
+//     service burns nothing per request).
+//
+// The load-bearing identity is conservation: after Drain(), the sum of all
+// marginal bills equals the sum of all flight costs — exactly for integers,
+// to <= 1e-9 relative for seconds (BillsConserve). The service keeps both
+// sides of that ledger (BillTotals) and bench_serve exits non-zero if they
+// ever diverge.
+//
+// Two decompositions ride on each cost:
+//   - measured: obs::attrib over the run's real step records (host-timing
+//     dependent, what you monitor);
+//   - canonical: the same attribution over canonicalized records where each
+//     per-rank compute sample is a pure function of (step, rank, bytes,
+//     straggler multiplier) — byte-stable across the serial and rank-parallel
+//     schedules (the attrib_differential_test idiom), so deterministic
+//     artifacts (SLO-trip forensic dumps, cost rankings) use canonical fields
+//     and stay byte-identical no matter how the host scheduled the run.
+//
+// FlightRecorder is a fixed-size ring of recent bills feeding the cost-ranked
+// top-K table in ServiceReport and the SLO-trip forensics: when the watchdog
+// escalates, the tripping window's bills plus the ring dump as a
+// deterministic JSON artifact (ForensicDumpJson) and a Perfetto track of
+// recent flights (WriteFlightsTrace), so a degradation event names the
+// queries that caused it.
+#ifndef MAZE_SERVE_BILL_H_
+#define MAZE_SERVE_BILL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rt/fault.h"
+#include "rt/metrics.h"
+#include "util/status.h"
+
+namespace maze::serve {
+
+// What one engine execution cost, in the Figure 6 axes: modeled time (split
+// by obs::attrib), host CPU, wire traffic, and memory high watermarks.
+// Immutable once built; shared by every joiner and cache hit it backs.
+struct FlightCost {
+  int ranks = 1;
+
+  // Measured modeled decomposition (obs::attrib over the real step records);
+  // the four components sum to modeled_seconds to <= 1e-9 rel.
+  double modeled_seconds = 0;
+  double compute_seconds = 0;
+  double wire_seconds = 0;
+  double imbalance_seconds = 0;
+  double fault_seconds = 0;
+
+  // Host CPU actually burned across ranks (measured; never byte-stable).
+  double cpu_seconds = 0;
+
+  // Canonical decomposition: byte-stable across schedules (see file comment).
+  double canon_modeled_seconds = 0;
+  double canon_compute_seconds = 0;
+  double canon_wire_seconds = 0;
+  double canon_imbalance_seconds = 0;
+  double canon_fault_seconds = 0;
+
+  // Exact wire totals (schedule-invariant by the §4a SimClock argument).
+  uint64_t wire_bytes = 0;
+  uint64_t messages = 0;
+
+  // Memory high watermarks (obs::resource arenas via RunMetrics). Watermarks
+  // are not additive — bills carry the flight's watermark whole, and they are
+  // excluded from the conservation ledger.
+  uint64_t state_bytes = 0;
+  uint64_t msgbuf_bytes = 0;
+  uint64_t peak_bytes = 0;
+
+  // Fault accounting for the flight.
+  uint64_t faults_injected = 0;
+  uint64_t transport_retries = 0;
+};
+using FlightCostPtr = std::shared_ptr<const FlightCost>;
+
+// Builds a flight's cost from its traced run metrics (pure). `faults` is the
+// plan the run executed under: the canonical decomposition applies its
+// straggler multipliers so a straggle-spiked query still ranks top in
+// deterministic artifacts.
+FlightCost ComputeFlightCost(const rt::RunMetrics& metrics, int ranks,
+                             const rt::fault::FaultSpec& faults);
+
+// How a response was served (which amortization rule applied).
+enum class BillPath {
+  kFresh = 0,     // Sole requester of its execution.
+  kDedup = 1,     // One of N joiners splitting a flight.
+  kCacheHit = 2,  // Zero marginal cost; carries the originating flight.
+};
+const char* BillPathName(BillPath path);
+
+// The itemized bill attached to one OK response. The marginal fields are this
+// request's share and feed the conservation ledger; `flight` is the full
+// originating execution for context (shared, never null for a billed
+// response).
+struct QueryBill {
+  uint64_t request_id = 0;
+  std::string key;  // Canonical ExecKey of the execution it rode.
+  BillPath path = BillPath::kFresh;
+  int share_count = 1;  // Joiners the flight was split across (0 = cache hit).
+
+  // Marginal share (measured decomposition + CPU).
+  double modeled_seconds = 0;
+  double compute_seconds = 0;
+  double wire_seconds = 0;
+  double imbalance_seconds = 0;
+  double fault_seconds = 0;
+  double cpu_seconds = 0;
+  // Marginal share of the canonical modeled time: the deterministic cost rank.
+  double canon_modeled_seconds = 0;
+  // Exact integer shares.
+  uint64_t wire_bytes = 0;
+  uint64_t messages = 0;
+
+  // Wall-clock fields for the Perfetto flights track only; excluded from the
+  // deterministic dump (they are host timing).
+  uint64_t wall_end_us = 0;
+  double wall_seconds = 0;
+
+  FlightCostPtr flight;
+};
+
+// Exact integer amortization: element i of an N-way split of v.
+inline uint64_t IntegerShare(uint64_t v, size_t i, size_t n) {
+  return v / n + (i < v % n ? 1 : 0);
+}
+
+// Fills a bill's marginal fields with joiner i's share of an N-way split
+// (i < n, n >= 1). Identity fields (request_id/key/path/wall) are the
+// caller's.
+void FillShare(const FlightCostPtr& flight, size_t i, size_t n,
+               QueryBill* bill);
+
+// One side of the conservation ledger: additive totals over flights (what
+// executions cost) or over bills (what requests were charged).
+struct BillTotals {
+  uint64_t entries = 0;  // Flights executed, or responses billed.
+  double modeled_seconds = 0;
+  double compute_seconds = 0;
+  double wire_seconds = 0;
+  double imbalance_seconds = 0;
+  double fault_seconds = 0;
+  double cpu_seconds = 0;
+  uint64_t wire_bytes = 0;
+  uint64_t messages = 0;
+
+  void AddFlight(const FlightCost& cost);
+  void AddBill(const QueryBill& bill);
+  std::string ToJson() const;
+};
+
+// Both sides of the service's ledger, as sampled by Service::Bills().
+struct BillLedger {
+  BillTotals flights;
+  BillTotals billed;
+};
+
+// True when the two sides agree: integers exactly, seconds to rel_tol
+// relative (scale = max(1, |flight value|)).
+bool BillsConserve(const BillTotals& flights, const BillTotals& billed,
+                   double rel_tol = 1e-9);
+
+// Deterministic cost order: canonical marginal seconds descending, then wire
+// bytes descending, then request id ascending.
+bool CostGreater(const QueryBill& a, const QueryBill& b);
+// The k most expensive bills of `bills` under CostGreater.
+std::vector<QueryBill> TopCostRanked(std::vector<QueryBill> bills, size_t k);
+
+// One bill as JSON. `canonical_only` renders exclusively schedule-invariant
+// fields (ids, key, path, shares, canonical seconds, wire/memory/fault
+// integers) for byte-stable artifacts; otherwise measured seconds, CPU, and
+// wall latency ride along.
+std::string BillJson(const QueryBill& bill, bool canonical_only);
+
+// Fixed-size flight recorder: the last `capacity` bills, each stamped with a
+// monotonic sequence number so a consumer (the SLO watchdog) can ask for
+// "every bill since seq S" as its evaluation window.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity);
+
+  // Records a bill; returns its sequence number.
+  uint64_t Push(QueryBill bill);
+
+  // Sequence number the next Push will get (== bills recorded so far).
+  uint64_t next_seq() const;
+
+  // Bills still held, oldest first.
+  std::vector<QueryBill> Snapshot() const;
+  // Bills with sequence >= seq still held, oldest first.
+  std::vector<QueryBill> Since(uint64_t seq) const;
+  // The k most expensive held bills (CostGreater order).
+  std::vector<QueryBill> TopK(size_t k) const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t next_seq_ = 0;
+  std::vector<QueryBill> ring_;  // Slot seq % capacity_.
+};
+
+// What tripped: the scrape that escalated and the level transition.
+struct SloTripInfo {
+  uint64_t scrape = 0;
+  int level = 0;
+  int prev_level = 0;
+};
+
+// The forensic artifact written when the watchdog escalates: trip info, the
+// tripping window's bills, the whole ring, and the top-k expensive queries.
+// Canonical fields only — byte-stable across schedules for the same request
+// sequence.
+std::string ForensicDumpJson(const SloTripInfo& trip,
+                             const std::vector<QueryBill>& window,
+                             const std::vector<QueryBill>& ring, size_t top_k);
+
+// Synthetic pid of the query-flights Perfetto track.
+inline constexpr int kFlightsPid = 30000;
+
+// Chrome-trace JSON of recent flights (one slice per bill, wall-clock
+// timestamps — a companion artifact, not byte-stable).
+Status WriteFlightsTrace(const std::string& path,
+                         const std::vector<QueryBill>& bills);
+
+}  // namespace maze::serve
+
+#endif  // MAZE_SERVE_BILL_H_

@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serve/bill.h"
+
 namespace maze::serve {
 
 // The outcome of one underlying engine execution, shared by the request that
@@ -34,10 +36,16 @@ struct ExecResult {
   std::vector<double> per_vertex;
   // Modeled seconds of the execution that produced this result.
   double modeled_seconds = 0;
+  // Full cost of the execution that produced this result. Cache hits attach it
+  // to their (zero-marginal) bill, so a cached answer still names what its
+  // original run cost. Never null for results published by the service.
+  FlightCostPtr cost;
 
   // Approximate resident bytes, charged against the cache budget.
   size_t CacheBytes() const {
-    return payload.size() + summary.size() + per_vertex.size() * sizeof(double);
+    return payload.size() + summary.size() +
+           per_vertex.size() * sizeof(double) +
+           (cost != nullptr ? sizeof(FlightCost) : 0);
   }
 };
 

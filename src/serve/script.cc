@@ -234,12 +234,18 @@ Status RunServeScript(Service& service, std::istream& script,
           if (key == "target_ms") slo.p99_target_ms = v.value();
           if (key == "burn") slo.burn_threshold = v.value();
           if (key == "budget") slo.error_budget = v.value();
-        } else if (key == "recover" || key == "min" || key == "log_windows") {
+        } else if (key == "recover" || key == "min" || key == "log_windows" ||
+                   key == "top") {
           auto v = ParseInt(key, value);
           if (!v.ok()) return error(v.status().message());
           if (key == "recover") slo.recover_windows = static_cast<int>(v.value());
           if (key == "min") slo.min_window_requests = static_cast<uint64_t>(v.value());
           if (key == "log_windows") slo.log_windows = v.value() != 0;
+          if (key == "top") slo.dump_top_k = static_cast<size_t>(v.value());
+        } else if (key == "dump") {
+          slo.dump_path = value;
+        } else if (key == "perfetto") {
+          slo.perfetto_path = value;
         } else {
           return error("unknown slo parameter '" + key + "'");
         }
@@ -256,6 +262,26 @@ Status RunServeScript(Service& service, std::istream& script,
         std::ofstream sink(cmd.kv["file"], std::ios::trunc);
         if (!sink) return error("cannot write '" + cmd.kv["file"] + "'");
         sink << obs::OpenMetricsText(*scrape_target());
+      }
+    } else if (cmd.command == "bills") {
+      size_t top = 5;
+      for (const auto& [key, value] : cmd.kv) {
+        if (key != "top") return error("unknown bills parameter '" + key + "'");
+        auto v = ParseInt(key, value);
+        if (!v.ok()) return error(v.status().message());
+        if (v.value() < 1) return error("top must be >= 1");
+        top = static_cast<size_t>(v.value());
+      }
+      BillLedger ledger = service.Bills();
+      out << "bills flights=" << ledger.flights.entries
+          << " billed=" << ledger.billed.entries << " conserved="
+          << (BillsConserve(ledger.flights, ledger.billed) ? "yes" : "NO")
+          << "\n";
+      std::vector<QueryBill> ranked = service.TopBills(top);
+      for (size_t i = 0; i < ranked.size(); ++i) {
+        // Canonical fields only, so the listing is byte-stable across
+        // schedules for the same request sequence.
+        out << "bill[" << i << "] " << BillJson(ranked[i], true) << "\n";
       }
     } else if (cmd.command == "degrade") {
       if (cmd.positional.size() != 1) return error("degrade needs LEVEL");

@@ -30,8 +30,15 @@
 //   report
 //       Prints the service report as markdown.
 //   slo target_ms=F [burn=F] [budget=F] [recover=N] [min=N] [log_windows=0|1]
+//       [dump=PATH] [perfetto=PATH] [top=N]
 //       Arms the SLO watchdog (serve/slo.h) over the script's telemetry
-//       registry; watchdog events print to the script output.
+//       registry; watchdog events print to the script output. dump=/perfetto=
+//       write the SLO-trip forensic artifacts (bill.h) on every escalation;
+//       top= bounds the culprit list in the dump.
+//   bills [top=N]
+//       Prints the conservation ledger ("bills flights=F billed=B
+//       conserved=yes|NO") and the top-N bills by canonical cost, one
+//       deterministic JSON object per line.
 //   scrape [file=PATH]
 //       Closes one telemetry window (runs watchdog evaluation) and prints
 //       "scrape N"; with file=, also writes the OpenMetrics exposition there.

@@ -44,6 +44,9 @@ StatusOr<ExecResultPtr> ExecuteRequest(const Request& request,
   MAZE_RETURN_IF_ERROR(engine.status());
   bench::RunConfig config;
   config.num_ranks = request.ranks;
+  // Every serve execution is traced: the per-step records feed the bill's
+  // attribution decomposition (ComputeFlightCost).
+  config.trace = true;
   if (!request.faults.empty()) {
     auto faults = rt::fault::ParseFaultSpec(request.faults);
     MAZE_RETURN_IF_ERROR(faults.status());
@@ -51,6 +54,7 @@ StatusOr<ExecResultPtr> ExecuteRequest(const Request& request,
   }
 
   auto result = std::make_shared<ExecResult>();
+  rt::RunMetrics run_metrics;
   char head[160];
   if (request.algo == "pagerank") {
     rt::PageRankOptions opt;
@@ -59,6 +63,7 @@ StatusOr<ExecResultPtr> ExecuteRequest(const Request& request,
     result->per_vertex.assign(r.ranks.begin(), r.ranks.end());
     result->summary = "pagerank: " + std::to_string(r.iterations) + " iterations";
     result->modeled_seconds = r.metrics.elapsed_seconds;
+    run_metrics = std::move(r.metrics);
     std::snprintf(head, sizeof(head), "pagerank n=%zu iterations=%d\n",
                   r.ranks.size(), r.iterations);
   } else if (request.algo == "bfs") {
@@ -75,6 +80,7 @@ StatusOr<ExecResultPtr> ExecuteRequest(const Request& request,
     result->summary = "bfs: reached " + std::to_string(reached) +
                       " vertices in " + std::to_string(r.levels) + " levels";
     result->modeled_seconds = r.metrics.elapsed_seconds;
+    run_metrics = std::move(r.metrics);
     std::snprintf(head, sizeof(head), "bfs n=%zu source=%u levels=%d\n",
                   r.distance.size(), request.source, r.levels);
   } else if (request.algo == "cc") {
@@ -84,6 +90,7 @@ StatusOr<ExecResultPtr> ExecuteRequest(const Request& request,
     result->summary =
         "cc: " + std::to_string(r.num_components) + " components";
     result->modeled_seconds = r.metrics.elapsed_seconds;
+    run_metrics = std::move(r.metrics);
     std::snprintf(head, sizeof(head), "cc n=%zu components=%llu\n",
                   r.label.size(),
                   static_cast<unsigned long long>(r.num_components));
@@ -94,11 +101,14 @@ StatusOr<ExecResultPtr> ExecuteRequest(const Request& request,
     auto r = bench::RunTriangleCount(engine.value(), snap.oriented, {}, config);
     result->summary = "triangles: " + std::to_string(r.triangles);
     result->modeled_seconds = r.metrics.elapsed_seconds;
+    run_metrics = std::move(r.metrics);
     std::snprintf(head, sizeof(head), "triangles %llu\n",
                   static_cast<unsigned long long>(r.triangles));
   } else {
     return Status::InvalidArgument("unknown algo '" + request.algo + "'");
   }
+  result->cost = std::make_shared<FlightCost>(
+      ComputeFlightCost(run_metrics, config.num_ranks, config.faults));
 
   result->payload = head;
   for (double v : result->per_vertex) {
@@ -170,6 +180,22 @@ struct ServeObs {
   obs::Histogram& modeled_us = obs::GetHistogram("serve.modeled_us");
   obs::ExemplarStore& latency_exemplars = obs::GetExemplars("serve.latency_us");
   obs::ExemplarStore& modeled_exemplars = obs::GetExemplars("serve.modeled_us");
+  // Instantaneous service levels, exported as OpenMetrics gauges.
+  obs::Gauge& queue_depth = obs::GetGauge("serve.queue_depth");
+  obs::Gauge& inflight = obs::GetGauge("serve.inflight");
+  obs::Gauge& degradation = obs::GetGauge("serve.degradation");
+  // Per-request attribution (bill.h): flight/billed totals as counters plus
+  // marginal-cost distributions with request-id exemplars, so a scrape can
+  // walk from a maze_bill_* p99 bucket to the request that landed there.
+  obs::Counter& bill_flights = obs::GetCounter("bill.flights");
+  obs::Counter& bill_wire_bytes = obs::GetCounter("bill.wire_bytes");
+  obs::Counter& bill_messages = obs::GetCounter("bill.messages");
+  obs::Histogram& bill_modeled_us = obs::GetHistogram("bill.request_modeled_us");
+  obs::Histogram& bill_wire = obs::GetHistogram("bill.request_wire_bytes");
+  obs::ExemplarStore& bill_modeled_exemplars =
+      obs::GetExemplars("bill.request_modeled_us");
+  obs::ExemplarStore& bill_wire_exemplars =
+      obs::GetExemplars("bill.request_wire_bytes");
 
   static ServeObs& Get() {
     static ServeObs* o = new ServeObs();
@@ -267,7 +293,9 @@ StatusOr<std::string> Service::ExecKey(const Request& request,
 }
 
 Service::Service(const ServiceOptions& options)
-    : options_(options), cache_(options.cache_bytes) {
+    : options_(options),
+      cache_(options.cache_bytes),
+      recorder_(options.bill_ring) {
   ServeObs::Get();  // Resolve every obs handle before the first request.
   int workers = std::max(1, options.workers);
   workers_.reserve(workers);
@@ -340,8 +368,21 @@ std::shared_future<Response> Service::Submit(const Request& request) {
     so.completed.Add(1);
     Response r = BuildResponse(request, *hit, snap->epoch);
     r.cache_hit = true;
+    // Zero-marginal bill: the execution was already paid for; the flight cost
+    // rides along for context only (share_count 0 keeps it off the ledger's
+    // additive fields).
+    auto bill = std::make_shared<QueryBill>();
+    bill->request_id = request_id;
+    bill->key = key;
+    bill->path = BillPath::kCacheHit;
+    bill->share_count = 0;
+    bill->flight = hit->cost;
+    bill->wall_seconds = SecondsSince(submitted);
+    bill->wall_end_us = static_cast<uint64_t>(obs::NowMicros());
+    r.bill = bill;
     auto fut = reply_now(std::move(r));
     ObserveResponse(fut.get());
+    RecordBill(bill);
     return fut;
   }
 
@@ -398,6 +439,7 @@ std::shared_future<Response> Service::Submit(const Request& request) {
   inflight_.emplace(key, flight);
   queue_.push_back(std::move(flight));
   queue_peak_ = std::max<uint64_t>(queue_peak_, queue_.size());
+  so.queue_depth.Set(static_cast<int64_t>(queue_.size()));
   lock.unlock();
   work_cv_.notify_one();
   {
@@ -409,7 +451,9 @@ std::shared_future<Response> Service::Submit(const Request& request) {
 }
 
 void Service::SetDegradation(int level) {
-  degradation_.store(std::clamp(level, 0, 2), std::memory_order_relaxed);
+  const int clamped = std::clamp(level, 0, 2);
+  degradation_.store(clamped, std::memory_order_relaxed);
+  ServeObs::Get().degradation.Set(clamped);
 }
 
 void Service::ObserveResponse(const Response& r) {
@@ -430,6 +474,41 @@ void Service::ObserveResponse(const Response& r) {
   so.slo_requests.Add(1);
   const uint64_t target = slo_target_us_.load(std::memory_order_relaxed);
   if (target != 0 && modeled_us > target) so.slo_over_target.Add(1);
+}
+
+void Service::RecordBill(const std::shared_ptr<const QueryBill>& bill) {
+  ServeObs& so = ServeObs::Get();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ledger_.billed.AddBill(*bill);
+  }
+  recorder_.Push(*bill);
+  // Distributions use the canonical marginal cost — deterministic across
+  // schedules, so the same request sequence fills the same buckets.
+  const uint64_t modeled_us = ToMicros(bill->canon_modeled_seconds);
+  so.bill_modeled_us.Record(modeled_us);
+  so.bill_modeled_exemplars.Record(modeled_us, bill->request_id);
+  so.bill_wire.Record(bill->wire_bytes);
+  so.bill_wire_exemplars.Record(bill->wire_bytes, bill->request_id);
+}
+
+BillLedger Service::Bills() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return ledger_;
+}
+
+std::vector<QueryBill> Service::RecentBills() const {
+  return recorder_.Snapshot();
+}
+
+std::vector<QueryBill> Service::TopBills(size_t k) const {
+  return recorder_.TopK(k);
+}
+
+uint64_t Service::bill_seq() const { return recorder_.next_seq(); }
+
+std::vector<QueryBill> Service::BillsSince(uint64_t seq) const {
+  return recorder_.Since(seq);
 }
 
 Response Service::Call(const Request& request) {
@@ -455,6 +534,7 @@ void Service::Drain() {
 }
 
 void Service::WorkerMain() {
+  ServeObs& so = ServeObs::Get();
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     work_cv_.wait(lock,
@@ -463,10 +543,13 @@ void Service::WorkerMain() {
     FlightPtr flight = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
+    so.queue_depth.Set(static_cast<int64_t>(queue_.size()));
+    so.inflight.Set(active_);
     lock.unlock();
     ExecuteFlight(flight);
     lock.lock();
     --active_;
+    so.inflight.Set(active_);
     if (queue_.empty() && active_ == 0) drain_cv_.notify_all();
   }
 }
@@ -516,11 +599,14 @@ void Service::ExecuteFlight(const FlightPtr& flight) {
   }
 
   const uint64_t epoch = flight->snap->epoch;
+  const size_t share_n = joiners.size();
   uint64_t completed = 0, failed = 0, expired_count = 0;
   std::vector<Response> responses;
   responses.reserve(joiners.size());
+  std::vector<std::shared_ptr<const QueryBill>> bills;
   ServeObs& so = ServeObs::Get();
-  for (Flight::Joiner& j : joiners) {
+  for (size_t i = 0; i < joiners.size(); ++i) {
+    Flight::Joiner& j = joiners[i];
     Response r;
     if (result.ok()) {
       r = BuildResponse(j.req, *result.value(), epoch);
@@ -544,6 +630,19 @@ void Service::ExecuteFlight(const FlightPtr& flight) {
     }
     r.latency_seconds = SecondsSince(j.submitted);
     r.request_id = j.request_id;
+    if (result.ok()) {
+      // Joiner i of N is billed the i-th share of the flight, in submission
+      // order — exact for integers (IntegerShare), even for seconds.
+      auto bill = std::make_shared<QueryBill>();
+      bill->request_id = j.request_id;
+      bill->key = flight->key;
+      bill->path = share_n == 1 ? BillPath::kFresh : BillPath::kDedup;
+      FillShare(result.value()->cost, i, share_n, bill.get());
+      bill->wall_seconds = r.latency_seconds;
+      bill->wall_end_us = static_cast<uint64_t>(obs::NowMicros());
+      r.bill = bill;
+      bills.push_back(std::move(bill));
+    }
     ObserveResponse(r);
     responses.push_back(std::move(r));
   }
@@ -556,6 +655,9 @@ void Service::ExecuteFlight(const FlightPtr& flight) {
       stats_.expired += expired_count;
     } else if (result.ok()) {
       ++stats_.executed;
+      // The flight side of the conservation ledger: one entry per execution,
+      // added exactly once no matter how many joiners split it.
+      ledger_.flights.AddFlight(*result.value()->cost);
     } else {
       ++stats_.exec_failed;
     }
@@ -565,9 +667,16 @@ void Service::ExecuteFlight(const FlightPtr& flight) {
   if (!expired) {
     (result.ok() ? so.executed : so.exec_failed).Add(1);
   }
+  if (result.ok()) {
+    const FlightCost& cost = *result.value()->cost;
+    so.bill_flights.Add(1);
+    so.bill_wire_bytes.Add(cost.wire_bytes);
+    so.bill_messages.Add(cost.messages);
+  }
   so.completed.Add(completed);
   so.failed.Add(failed);
   so.expired.Add(expired_count);
+  for (const auto& bill : bills) RecordBill(bill);
 
   for (size_t i = 0; i < joiners.size(); ++i) {
     joiners[i].promise.set_value(std::move(responses[i]));
@@ -598,6 +707,8 @@ ServiceReport Service::Report() const {
   report.latency = SnapshotOf("serve.latency_us", latency_us_);
   report.queue_wait = SnapshotOf("serve.queue_wait_us", queue_wait_us_);
   report.modeled = SnapshotOf("serve.modeled_us", modeled_us_);
+  report.bills = Bills();
+  report.top_bills = TopBills(5);
   for (const SnapshotPtr& snap : registry_.All()) {
     ServiceReport::SnapshotRow row;
     row.name = snap->name;
@@ -648,6 +759,16 @@ std::string ServiceReport::ToJson() const {
   hist("latency_us", latency);
   hist("queue_wait_us", queue_wait);
   hist("modeled_us", modeled);
+  out += "\"bills\": {\"flights\": " + bills.flights.ToJson() +
+         ", \"billed\": " + bills.billed.ToJson() + ", \"conserved\": " +
+         (BillsConserve(bills.flights, bills.billed) ? "true" : "false") +
+         "},\n";
+  out += "\"top_bills\": [";
+  for (size_t i = 0; i < top_bills.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += BillJson(top_bills[i], /*canonical_only=*/false);
+  }
+  out += "],\n";
   out += "\"cache\": {";
   field("hits", stats.cache.hits);
   field("misses", stats.cache.misses);
@@ -702,6 +823,22 @@ std::string ServiceReport::ToMarkdown() const {
   hrow("request latency", latency);
   hrow("queue wait", queue_wait);
   hrow("modeled run time", modeled);
+  out += "\n## Query bills\n\n";
+  out += "flights=" + std::to_string(bills.flights.entries) +
+         " billed=" + std::to_string(bills.billed.entries) + " conserved=" +
+         (BillsConserve(bills.flights, bills.billed) ? "yes" : "NO") + "\n\n";
+  out += "| rank | request | path | share | canon modeled s | wire bytes | "
+         "messages |\n|---|---|---|---|---|---|---|\n";
+  for (size_t i = 0; i < top_bills.size(); ++i) {
+    const QueryBill& b = top_bills[i];
+    char canon[32];
+    std::snprintf(canon, sizeof(canon), "%.6g", b.canon_modeled_seconds);
+    out += "| " + std::to_string(i + 1) + " | " +
+           std::to_string(b.request_id) + " | " + BillPathName(b.path) +
+           " | " + std::to_string(b.share_count) + " | " + canon + " | " +
+           std::to_string(b.wire_bytes) + " | " + std::to_string(b.messages) +
+           " |\n";
+  }
   out += "\n## Cache\n\n| hits | misses | insertions | evictions | entries | "
          "bytes | budget |\n|---|---|---|---|---|---|---|\n| " +
          std::to_string(stats.cache.hits) + " | " +

@@ -47,6 +47,7 @@
 
 #include "core/types.h"
 #include "obs/counters.h"
+#include "serve/bill.h"
 #include "serve/cache.h"
 #include "serve/snapshot.h"
 #include "util/status.h"
@@ -98,6 +99,10 @@ struct Response {
   // exemplar on the serve.* histograms and tagged onto the execution's trace
   // span, so a latency outlier links back to its Perfetto slice.
   uint64_t request_id = 0;
+  // Itemized resource bill: this request's marginal share of its execution
+  // plus the full flight cost for context (bill.h amortization rules). Set on
+  // every OK response — fresh, dedup-joined, or cache-hit — null on errors.
+  std::shared_ptr<const QueryBill> bill;
 };
 
 // Monotonic service counters. After Drain(), the request-accounting identity
@@ -129,6 +134,7 @@ struct ServiceOptions {
   int workers = 2;               // Dispatcher threads.
   size_t queue_depth = 64;       // Admission bound (flights, not joiners).
   size_t cache_bytes = 64 << 20; // Result-cache byte budget.
+  size_t bill_ring = 256;        // Flight-recorder capacity (recent bills).
 };
 
 // Rendered service-level statistics: counters, latency distributions, and the
@@ -148,6 +154,10 @@ struct ServiceReport {
     uint64_t bytes = 0;      // All prebuilt views.
   };
   std::vector<SnapshotRow> snapshots;
+  // Both sides of the conservation ledger (flights executed vs. requests
+  // billed) and the most expensive recent bills by canonical cost.
+  BillLedger bills;
+  std::vector<QueryBill> top_bills;
 
   std::string ToJson() const;
   std::string ToMarkdown() const;
@@ -185,6 +195,18 @@ class Service {
 
   ServiceStats Stats() const;
   ServiceReport Report() const;
+
+  // Per-request attribution surfaces (bill.h). Bills() returns both ledger
+  // sides; after Drain(), BillsConserve(l.flights, l.billed) must hold —
+  // bench_serve and the serve tests pin that. The recorder accessors expose
+  // the flight-recorder ring: RecentBills (oldest first), TopBills (canonical
+  // cost order), and the seq-window protocol the SLO watchdog uses to name
+  // the bills that landed inside a tripping scrape window.
+  BillLedger Bills() const;
+  std::vector<QueryBill> RecentBills() const;
+  std::vector<QueryBill> TopBills(size_t k) const;
+  uint64_t bill_seq() const;
+  std::vector<QueryBill> BillsSince(uint64_t seq) const;
 
   // Graceful degradation under SLO pressure (normally driven by SloWatchdog,
   // exposed for tests and the script driver's `degrade` command):
@@ -235,6 +257,9 @@ class Service {
   // Records latency/modeled histograms, exemplars, and SLO counters for one
   // answered request (not called for rejected/invalid submissions).
   void ObserveResponse(const Response& r);
+  // Feeds one bill to the billed ledger side, the flight recorder, and the
+  // bill.* metrics (caller holds no locks).
+  void RecordBill(const std::shared_ptr<const QueryBill>& bill);
 
   const ServiceOptions options_;
   SnapshotRegistry registry_;
@@ -254,9 +279,12 @@ class Service {
   // obs registry as serve.* counters for traces and --metrics dumps.
   mutable std::mutex stats_mu_;
   ServiceStats stats_;
+  BillLedger ledger_;  // Guarded by stats_mu_.
   obs::Histogram latency_us_;
   obs::Histogram queue_wait_us_;
   obs::Histogram modeled_us_;
+
+  FlightRecorder recorder_;  // Internally locked.
 
   std::atomic<uint64_t> next_request_id_{0};
   std::atomic<int> degradation_{0};

@@ -22,6 +22,7 @@ SloWatchdog::SloWatchdog(const SloOptions& options,
     : options_(options), telemetry_(telemetry), service_(service), log_(log) {
   service_->SetSloTargetUs(
       static_cast<uint64_t>(options_.p99_target_ms * 1000.0));
+  window_start_seq_ = service_->bill_seq();
   hook_token_ =
       telemetry_->AddScrapeHook([this](uint64_t scrape) { OnScrape(scrape); });
 }
@@ -102,8 +103,43 @@ void SloWatchdog::OnScrape(uint64_t scrape) {
   if (level_ != old_level) {
     service_->SetDegradation(level_);
     Emit(fields(level_ > old_level ? "slo_degrade" : "slo_recover"));
+    if (level_ > old_level) {
+      DumpForensics(scrape, level_, old_level, window_start_seq_);
+    }
   }
   if (options_.log_windows) Emit(fields("slo_window"));
+  // Close this evaluation window: bills recorded from here on belong to the
+  // next scrape's window.
+  window_start_seq_ = service_->bill_seq();
+}
+
+void SloWatchdog::DumpForensics(uint64_t scrape, int level, int prev_level,
+                                uint64_t window_start) {
+  if (options_.dump_path.empty() && options_.perfetto_path.empty()) return;
+  std::vector<QueryBill> ring = service_->RecentBills();
+  if (!options_.dump_path.empty()) {
+    SloTripInfo trip;
+    trip.scrape = scrape;
+    trip.level = level;
+    trip.prev_level = prev_level;
+    std::string dump = ForensicDumpJson(trip, service_->BillsSince(window_start),
+                                        ring, options_.dump_top_k);
+    std::FILE* f = std::fopen(options_.dump_path.c_str(), "wb");
+    if (f != nullptr) {
+      std::fwrite(dump.data(), 1, dump.size(), f);
+      std::fclose(f);
+    } else {
+      Emit("{\"event\":\"slo_dump_error\",\"path\":\"" + options_.dump_path +
+           "\"}");
+    }
+  }
+  if (!options_.perfetto_path.empty()) {
+    Status s = WriteFlightsTrace(options_.perfetto_path, ring);
+    if (!s.ok()) {
+      Emit("{\"event\":\"slo_dump_error\",\"path\":\"" +
+           options_.perfetto_path + "\"}");
+    }
+  }
 }
 
 }  // namespace maze::serve

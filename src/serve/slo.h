@@ -27,6 +27,14 @@
 // Events are one-line JSON objects ("slo_degrade", "slo_recover", and — when
 // log_windows is set — "slo_window") appended to the log stream and retained
 // in EventLines() for tests.
+//
+// SLO-trip forensics: when dump_path is set, every escalation writes a
+// deterministic JSON artifact (bill.h ForensicDumpJson) naming the bills that
+// landed inside the tripping scrape window plus the flight-recorder ring and
+// the top-cost culprits; perfetto_path additionally writes a Chrome-trace
+// track of the recorder's recent flights. The window is delimited by the
+// recorder sequence captured at the end of the previous scrape, so "the
+// tripping window's bills" is exact, not time-based.
 #ifndef MAZE_SERVE_SLO_H_
 #define MAZE_SERVE_SLO_H_
 
@@ -48,6 +56,11 @@ struct SloOptions {
   int recover_windows = 2;       // Healthy windows per level step-down.
   uint64_t min_window_requests = 1;  // Below this a window is idle.
   bool log_windows = false;      // Emit slo_window lines for every scrape.
+  // Forensics on escalation (empty = disabled). dump_path receives the
+  // deterministic bills JSON; perfetto_path the wall-clock flights trace.
+  std::string dump_path;
+  std::string perfetto_path;
+  size_t dump_top_k = 5;         // Culprits named in the dump's "top" array.
 };
 
 class SloWatchdog {
@@ -76,10 +89,17 @@ class SloWatchdog {
   std::ostream* const log_;
   size_t hook_token_ = 0;
 
+  // Writes the forensic artifacts for an escalation to `level` at `scrape`
+  // (called with mu_ held; window_start is the recorder seq that opened the
+  // tripping window).
+  void DumpForensics(uint64_t scrape, int level, int prev_level,
+                     uint64_t window_start);
+
   mutable std::mutex mu_;
   int level_ = 0;
   int healthy_streak_ = 0;
   uint64_t windows_ = 0;
+  uint64_t window_start_seq_ = 0;  // Recorder seq at the last scrape's end.
   std::vector<std::string> events_;
 };
 

@@ -10,6 +10,7 @@
 
 #include "core/datasets.h"
 #include "core/io.h"
+#include "tests/json_checker.h"
 #include "tests/openmetrics_checker.h"
 #include "util/thread_pool.h"
 
@@ -458,6 +459,76 @@ TEST(CliTest, ServeListenSloAndScrapeFile) {
       << exposition;
   std::remove(script_path.c_str());
   std::remove(metrics_path.c_str());
+}
+
+TEST(CliTest, ServeMetricsFlagWritesFinalTelemetryJson) {
+  std::string script_path = TempPath("cli_serve_metrics_script.txt");
+  std::string metrics_path = TempPath("cli_serve_metrics.json");
+  {
+    std::ofstream f(script_path);
+    f << "load g dataset=facebook scale_adjust=-6\n"
+      << "run algo=pagerank engine=native snapshot=g iterations=2 repeat=2\n"
+      << "wait\n"
+      << "scrape\n"
+      << "bills\n";
+  }
+  std::string out;
+  ASSERT_TRUE(
+      RunCli({"serve", "--script", script_path, "--metrics", metrics_path},
+             &out)
+          .ok())
+      << out;
+  EXPECT_NE(out.find("metrics: wrote " + metrics_path), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("conserved=yes"), std::string::npos) << out;
+  std::string json = Slurp(metrics_path);
+  EXPECT_TRUE(testutil::JsonChecker(json).Valid()) << json;
+  // The artifact bundles the final service report with the telemetry rings:
+  // counter, gauge, and histogram series with their per-scrape windows.
+  EXPECT_NE(json.find("\"report\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bills\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"telemetry\""), std::string::npos) << json;
+  EXPECT_NE(json.find("serve.queue_depth"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"windows\""), std::string::npos) << json;
+  std::remove(script_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(CliTest, ServeSloDumpWritesForensicsOnTrip) {
+  std::string script_path = TempPath("cli_serve_dump_script.txt");
+  std::string dump_path = TempPath("cli_serve_slo_dump.json");
+  {
+    std::ofstream f(script_path);
+    // 1 us target: the execution window trips the watchdog at its scrape.
+    f << "load g dataset=facebook scale_adjust=-6\n"
+      << "run algo=pagerank engine=native snapshot=g iterations=2\n"
+      << "wait\n"
+      << "scrape\n";
+  }
+  std::string out;
+  ASSERT_TRUE(RunCli({"serve", "--script", script_path, "--slo-p99-ms",
+                   "0.001", "--slo-dump", dump_path},
+                  &out)
+                  .ok())
+      << out;
+  std::string dump = Slurp(dump_path);
+  EXPECT_TRUE(testutil::JsonChecker(dump).Valid()) << dump;
+  EXPECT_NE(dump.find("\"event\": \"slo_trip\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"request_id\": 1"), std::string::npos) << dump;
+  std::remove(script_path.c_str());
+  std::remove(dump_path.c_str());
+
+  // The forensics flags only make sense with an armed watchdog.
+  EXPECT_EQ(RunCli({"serve", "--script", script_path, "--slo-dump", "x.json"},
+                &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      RunCli({"serve", "--script", script_path, "--slo-perfetto", "x.json"},
+             &out)
+          .code(),
+      StatusCode::kInvalidArgument);
 }
 
 TEST(CliTest, ServeRejectsBadTelemetryFlags) {

@@ -9,6 +9,8 @@
 //   * metric-name charset [a-zA-Z0-9_:], label-name charset, quoted and
 //     escaped label values
 //   * counter families expose exactly `name_total` with a non-negative value
+//   * gauge families expose exactly the bare `name` sample (the only family
+//     kind allowed a negative value; gauges are exempt from monotonicity)
 //   * histogram families expose `_bucket{le="..."}` with strictly ascending
 //     le, non-decreasing cumulative counts, a `+Inf` bucket equal to
 //     `_count`, and a `_sum`
@@ -49,6 +51,8 @@ class OpenMetricsChecker {
   // Parsed `name_total` samples, keyed by family name (with the `maze_`
   // prefix, e.g. "maze_serve_submitted") — the reconciliation surface.
   const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  // Parsed bare gauge samples, keyed by family name ("maze_serve_inflight").
+  const std::map<std::string, int64_t>& gauges() const { return gauges_; }
   const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
   }
@@ -183,7 +187,8 @@ class OpenMetricsChecker {
     return false;
   }
 
-  bool ParseValue(const std::string& text, int line_no, double* out) {
+  bool ParseValue(const std::string& text, int line_no, double* out,
+                  bool allow_negative = false) {
     if (text == "+Inf") {
       *out = std::numeric_limits<double>::infinity();
       return true;
@@ -194,7 +199,7 @@ class OpenMetricsChecker {
       Fail(line_no, "bad sample value '" + text + "'");
       return false;
     }
-    if (value < 0) {
+    if (value < 0 && !allow_negative) {
       Fail(line_no, "negative sample value '" + text + "'");
       return false;
     }
@@ -224,8 +229,12 @@ class OpenMetricsChecker {
     std::string value_text = line.substr(
         pos, value_end == std::string::npos ? std::string::npos
                                             : value_end - pos);
+    // Negatives are validated after the family type resolves: only gauges may
+    // go below zero.
     double value = 0;
-    if (!ParseValue(value_text, line_no, &value)) return;
+    if (!ParseValue(value_text, line_no, &value, /*allow_negative=*/true)) {
+      return;
+    }
 
     bool has_exemplar = false;
     if (value_end != std::string::npos) {
@@ -248,7 +257,8 @@ class OpenMetricsChecker {
       has_exemplar = true;
     }
 
-    // Resolve the family from the sample-name suffix.
+    // Resolve the family: gauges sample under their bare family name, so an
+    // exact # TYPE match wins before trying the counter/histogram suffixes.
     auto suffix_is = [&](const char* suffix) {
       std::string s = suffix;
       return name.size() > s.size() &&
@@ -256,13 +266,18 @@ class OpenMetricsChecker {
     };
     std::string family;
     std::string suffix;
-    for (const char* candidate : {"_total", "_bucket", "_count", "_sum"}) {
-      if (!suffix_is(candidate)) continue;
-      std::string base = name.substr(0, name.size() - std::string(candidate).size());
-      if (types_.count(base) != 0) {
-        family = base;
-        suffix = candidate;
-        break;
+    if (types_.count(name) != 0 && types_[name] == "gauge") {
+      family = name;
+    } else {
+      for (const char* candidate : {"_total", "_bucket", "_count", "_sum"}) {
+        if (!suffix_is(candidate)) continue;
+        std::string base =
+            name.substr(0, name.size() - std::string(candidate).size());
+        if (types_.count(base) != 0) {
+          family = base;
+          suffix = candidate;
+          break;
+        }
       }
     }
     if (family.empty()) {
@@ -274,6 +289,10 @@ class OpenMetricsChecker {
       Fail(line_no, "exemplar outside a histogram bucket");
       return;
     }
+    if (value < 0 && type != "gauge") {
+      Fail(line_no, "negative sample value '" + value_text + "'");
+      return;
+    }
 
     if (type == "counter") {
       if (suffix != "_total") {
@@ -283,8 +302,16 @@ class OpenMetricsChecker {
       counters_[family] = static_cast<uint64_t>(value);
       return;
     }
+    if (type == "gauge") {
+      if (!suffix.empty()) {
+        Fail(line_no, "gauge family " + family + " exposes " + name);
+        return;
+      }
+      gauges_[family] = static_cast<int64_t>(value);
+      return;
+    }
     if (type != "histogram") {
-      return;  // Gauges: charset/value checks above are all we assert.
+      return;
     }
     Histogram& hist = histograms_[family];
     if (suffix == "_bucket") {
@@ -419,6 +446,7 @@ class OpenMetricsChecker {
   std::string error_;
   std::map<std::string, std::string> types_;
   std::map<std::string, uint64_t> counters_;
+  std::map<std::string, int64_t> gauges_;
   std::map<std::string, Histogram> histograms_;
 };
 

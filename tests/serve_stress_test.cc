@@ -19,6 +19,7 @@
 
 #include "core/datasets.h"
 #include "obs/counters.h"
+#include "serve/bill.h"
 #include "serve/service.h"
 #include "util/check.h"
 
@@ -143,6 +144,14 @@ TEST(ServeStressTest, ConcurrentClientsEpochBumpsAndPauseChurn) {
   EXPECT_EQ(s.invalid, 0u);
   EXPECT_EQ(s.queue_depth, 0u);
   EXPECT_EQ(s.inflight, 0u);
+
+  // Bill conservation survives arbitrary interleaving: every OK response was
+  // billed, and the bills sum back to the flight costs.
+  BillLedger ledger = service.Bills();
+  EXPECT_EQ(ledger.billed.entries, s.completed);
+  EXPECT_TRUE(BillsConserve(ledger.flights, ledger.billed))
+      << "flights " << ledger.flights.ToJson() << " vs billed "
+      << ledger.billed.ToJson();
 }
 
 // Tight loop on the hot Submit path with a single hot key: maximizes
@@ -190,6 +199,14 @@ TEST(ServeStressTest, HotKeySubmitStorm) {
   // exact split depends on timing, but the identity must balance.
   EXPECT_EQ(s.admitted + s.dedup_joined + s.cache_hits, kTotal);
   EXPECT_GE(s.cache_hits + s.dedup_joined, kTotal - s.admitted);
+
+  // One hot key billed kTotal ways across fresh/dedup/hit paths: the split
+  // must still sum back to exactly what the (rare) executions cost.
+  BillLedger ledger = service.Bills();
+  EXPECT_EQ(ledger.billed.entries, kTotal);
+  EXPECT_TRUE(BillsConserve(ledger.flights, ledger.billed))
+      << "flights " << ledger.flights.ToJson() << " vs billed "
+      << ledger.billed.ToJson();
 }
 
 // The serve hot path must never take the obs registry lock per request: every

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -20,11 +22,15 @@
 #include "core/datasets.h"
 #include "obs/counters.h"
 #include "obs/telemetry.h"
+#include "rt/rank_exec.h"
+#include "serve/bill.h"
 #include "serve/cache.h"
 #include "serve/script.h"
 #include "serve/slo.h"
 #include "serve/snapshot.h"
+#include "obs/openmetrics.h"
 #include "tests/json_checker.h"
+#include "tests/openmetrics_checker.h"
 
 namespace maze::serve {
 namespace {
@@ -843,6 +849,455 @@ TEST(ServeScriptTest, ScriptErrorsAreReportedWithLineNumbers) {
     EXPECT_NE(s.message().find("NOT_FOUND"), std::string::npos)
         << s.ToString();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Service-level gauges
+
+// queue depth, inflight, and SLO degradation export as OpenMetrics gauges:
+// instantaneous levels the scraper samples, not monotone counters.
+TEST(ServiceGaugeTest, ServiceLevelsExportAsGauges) {
+  obs::ResetCountersAndHistograms();
+  ServiceOptions options;
+  options.queue_depth = 8;
+  Service service(options);
+  service.registry().Install("g", TestGraph());
+  obs::TelemetryRegistry telemetry;
+
+  service.Pause();
+  std::vector<std::shared_future<Response>> futures;
+  for (int it = 1; it <= 3; ++it) {
+    Request r = PageRankRequest("native");
+    r.iterations = it;
+    futures.push_back(service.Submit(r));
+  }
+  service.SetDegradation(2);  // After the submits: level 2 sheds fresh keys.
+  telemetry.ScrapeOnce();
+  auto depth = telemetry.LatestGauge("serve.queue_depth");
+  auto degradation = telemetry.LatestGauge("serve.degradation");
+  ASSERT_TRUE(depth.has_value());
+  ASSERT_TRUE(degradation.has_value());
+  EXPECT_EQ(depth->value, 3);
+  EXPECT_EQ(degradation->value, 2);
+
+  service.SetDegradation(0);
+  service.Resume();
+  service.Drain();
+  for (auto& f : futures) f.wait();
+  telemetry.ScrapeOnce();
+  depth = telemetry.LatestGauge("serve.queue_depth");
+  auto inflight = telemetry.LatestGauge("serve.inflight");
+  degradation = telemetry.LatestGauge("serve.degradation");
+  ASSERT_TRUE(depth.has_value());
+  ASSERT_TRUE(inflight.has_value());
+  EXPECT_EQ(depth->value, 0);
+  EXPECT_EQ(depth->delta, -3) << "gauge deltas are signed";
+  EXPECT_EQ(inflight->value, 0);
+  EXPECT_EQ(degradation->value, 0);
+
+  // And the exposition carries them as gauge families.
+  std::string text = obs::OpenMetricsText(telemetry);
+  testutil::OpenMetricsChecker checker(text);
+  ASSERT_TRUE(checker.Valid()) << checker.error();
+  EXPECT_EQ(checker.gauges().count("maze_serve_queue_depth"), 1u);
+  EXPECT_EQ(checker.gauges().count("maze_serve_inflight"), 1u);
+  EXPECT_EQ(checker.gauges().count("maze_serve_degradation"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Query bills (per-request resource attribution)
+
+TEST(BillMathTest, IntegerShareIsAnExactPartition) {
+  for (uint64_t v : {0ull, 1ull, 7ull, 100ull, 12345ull}) {
+    for (size_t n : {1, 2, 3, 7}) {
+      uint64_t sum = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t share = IntegerShare(v, i, n);
+        EXPECT_LE(share, v / n + 1);
+        sum += share;
+      }
+      EXPECT_EQ(sum, v) << "v=" << v << " n=" << n;
+    }
+  }
+}
+
+TEST(BillMathTest, CostGreaterOrdersByCanonThenWireThenId) {
+  QueryBill cheap, dear, tied;
+  cheap.request_id = 1;
+  cheap.canon_modeled_seconds = 0.5;
+  dear.request_id = 2;
+  dear.canon_modeled_seconds = 1.5;
+  tied.request_id = 3;
+  tied.canon_modeled_seconds = 1.5;
+  tied.wire_bytes = 10;
+  EXPECT_TRUE(CostGreater(dear, cheap));
+  EXPECT_FALSE(CostGreater(cheap, dear));
+  EXPECT_TRUE(CostGreater(tied, dear)) << "wire bytes break the tie";
+  // Full tie: lower request id ranks first (deterministic order).
+  QueryBill dup = dear;
+  dup.request_id = 9;
+  EXPECT_TRUE(CostGreater(dear, dup));
+  EXPECT_FALSE(CostGreater(dup, dear));
+
+  std::vector<QueryBill> top = TopCostRanked({cheap, dear, tied}, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].request_id, 3u);
+  EXPECT_EQ(top[1].request_id, 2u);
+}
+
+TEST(FlightRecorderTest, RingKeepsLastCapacityWithSequenceWindows) {
+  FlightRecorder recorder(3);
+  EXPECT_EQ(recorder.next_seq(), 0u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    QueryBill b;
+    b.request_id = 100 + i;
+    b.canon_modeled_seconds = static_cast<double>(i);
+    EXPECT_EQ(recorder.Push(b), i);
+  }
+  EXPECT_EQ(recorder.next_seq(), 5u);
+  auto held = recorder.Snapshot();
+  ASSERT_EQ(held.size(), 3u) << "capacity bounds the ring";
+  EXPECT_EQ(held[0].request_id, 102u);
+  EXPECT_EQ(held[2].request_id, 104u);
+  // Since() clamps to the oldest held sequence.
+  EXPECT_EQ(recorder.Since(4).size(), 1u);
+  EXPECT_EQ(recorder.Since(0).size(), 3u);
+  EXPECT_EQ(recorder.Since(5).size(), 0u);
+  auto top = recorder.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].request_id, 104u);
+}
+
+// Every OK response carries a bill; a sole fresh execution is billed the
+// whole flight and the ledger conserves.
+TEST(ServiceBillTest, FreshCallIsBilledTheWholeFlight) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  Response r = service.Call(PageRankRequest("native"));
+  ASSERT_TRUE(r.status.ok());
+  service.Drain();
+  ASSERT_NE(r.bill, nullptr);
+  EXPECT_EQ(r.bill->request_id, r.request_id);
+  EXPECT_EQ(r.bill->path, BillPath::kFresh);
+  EXPECT_EQ(r.bill->share_count, 1);
+  ASSERT_NE(r.bill->flight, nullptr);
+  const FlightCost& flight = *r.bill->flight;
+  EXPECT_GT(flight.modeled_seconds, 0.0);
+  EXPECT_GT(flight.canon_modeled_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.bill->modeled_seconds, flight.modeled_seconds);
+  EXPECT_EQ(r.bill->wire_bytes, flight.wire_bytes);
+  EXPECT_EQ(r.bill->messages, flight.messages);
+  // The measured decomposition sums back to the modeled total.
+  EXPECT_NEAR(flight.compute_seconds + flight.wire_seconds +
+                  flight.imbalance_seconds + flight.fault_seconds,
+              flight.modeled_seconds, 1e-9 * flight.modeled_seconds);
+  EXPECT_NEAR(flight.canon_compute_seconds + flight.canon_wire_seconds +
+                  flight.canon_imbalance_seconds + flight.canon_fault_seconds,
+              flight.canon_modeled_seconds,
+              1e-9 * flight.canon_modeled_seconds);
+
+  BillLedger ledger = service.Bills();
+  EXPECT_EQ(ledger.flights.entries, 1u);
+  EXPECT_EQ(ledger.billed.entries, 1u);
+  EXPECT_TRUE(BillsConserve(ledger.flights, ledger.billed));
+}
+
+// Dedup joiners split one flight N ways: integers exactly, seconds evenly.
+TEST(ServiceBillTest, DedupJoinersSplitTheFlightExactly) {
+  constexpr int kCopies = 5;
+  Service service;
+  service.registry().Install("g", TestGraph());
+  service.Pause();
+  std::vector<std::shared_future<Response>> futures;
+  for (int i = 0; i < kCopies; ++i) {
+    futures.push_back(service.Submit(PageRankRequest("native")));
+  }
+  service.Resume();
+  service.Drain();
+
+  uint64_t wire_sum = 0, msg_sum = 0;
+  double modeled_sum = 0;
+  FlightCostPtr flight;
+  for (auto& f : futures) {
+    Response r = f.get();
+    ASSERT_TRUE(r.status.ok());
+    ASSERT_NE(r.bill, nullptr);
+    EXPECT_EQ(r.bill->path, BillPath::kDedup);
+    EXPECT_EQ(r.bill->share_count, kCopies);
+    if (flight == nullptr) flight = r.bill->flight;
+    EXPECT_EQ(r.bill->flight, flight) << "joiners share one FlightCost";
+    wire_sum += r.bill->wire_bytes;
+    msg_sum += r.bill->messages;
+    modeled_sum += r.bill->modeled_seconds;
+  }
+  ASSERT_NE(flight, nullptr);
+  EXPECT_EQ(wire_sum, flight->wire_bytes) << "integer split must be exact";
+  EXPECT_EQ(msg_sum, flight->messages);
+  EXPECT_NEAR(modeled_sum, flight->modeled_seconds,
+              1e-9 * std::max(1.0, flight->modeled_seconds));
+
+  BillLedger ledger = service.Bills();
+  EXPECT_EQ(ledger.flights.entries, 1u);
+  EXPECT_EQ(ledger.billed.entries, static_cast<uint64_t>(kCopies));
+  EXPECT_TRUE(BillsConserve(ledger.flights, ledger.billed));
+}
+
+// Cache hits carry the originating flight for context at zero marginal cost;
+// a fully-cached service adds nothing to the billed ledger side.
+TEST(ServiceBillTest, CacheHitsAreZeroMarginal) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  Response first = service.Call(PageRankRequest("native"));
+  ASSERT_TRUE(first.status.ok());
+  Response second = service.Call(PageRankRequest("native"));
+  ASSERT_TRUE(second.status.ok());
+  ASSERT_TRUE(second.cache_hit);
+  service.Drain();
+
+  ASSERT_NE(second.bill, nullptr);
+  EXPECT_EQ(second.bill->path, BillPath::kCacheHit);
+  EXPECT_EQ(second.bill->share_count, 0);
+  EXPECT_EQ(second.bill->modeled_seconds, 0.0);
+  EXPECT_EQ(second.bill->canon_modeled_seconds, 0.0);
+  EXPECT_EQ(second.bill->wire_bytes, 0u);
+  EXPECT_EQ(second.bill->messages, 0u);
+  EXPECT_EQ(second.bill->flight, first.bill->flight)
+      << "hit carries the originating execution's cost for context";
+
+  BillLedger ledger = service.Bills();
+  EXPECT_EQ(ledger.flights.entries, 1u);
+  EXPECT_EQ(ledger.billed.entries, 2u) << "the hit is billed (at zero)";
+  EXPECT_EQ(ledger.billed.wire_bytes, ledger.flights.wire_bytes);
+  EXPECT_TRUE(BillsConserve(ledger.flights, ledger.billed));
+}
+
+// A faulted flight bills its fault time and injection counts, and still
+// conserves.
+TEST(ServiceBillTest, FaultedFlightBillsFaultTimeAndConserves) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  Request clean_req = PageRankRequest("native");
+  clean_req.ranks = 2;  // Drops need wire traffic, so run on two ranks.
+  Response clean = service.Call(clean_req);
+  ASSERT_TRUE(clean.status.ok());
+  Request faulted_req = clean_req;
+  faulted_req.faults = "seed=7,straggle=0x64,drop=0.4";
+  Response faulted = service.Call(faulted_req);
+  ASSERT_TRUE(faulted.status.ok());
+  service.Drain();
+
+  ASSERT_NE(faulted.bill, nullptr);
+  EXPECT_GT(faulted.bill->fault_seconds, 0.0);
+  EXPECT_GT(faulted.bill->flight->faults_injected, 0u);
+  EXPECT_EQ(clean.bill->fault_seconds, 0.0);
+  EXPECT_GT(faulted.bill->canon_modeled_seconds,
+            clean.bill->canon_modeled_seconds)
+      << "the straggler multiplier must surface in the canonical rank";
+
+  BillLedger ledger = service.Bills();
+  EXPECT_EQ(ledger.flights.entries, 2u);
+  EXPECT_TRUE(BillsConserve(ledger.flights, ledger.billed));
+  // The faulted query tops the deterministic cost ranking.
+  auto top = service.TopBills(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].request_id, faulted.request_id);
+}
+
+// The conservation identity across every path at once — fresh, dedup, cache
+// hit, invalid, and deadline-expired submissions in one mix.
+TEST(ServiceBillTest, ConservationHoldsAcrossMixedPaths) {
+  ServiceOptions options;
+  options.queue_depth = 16;
+  Service service(options);
+  service.registry().Install("g", TestGraph());
+  // A warm key for cache hits.
+  ASSERT_TRUE(service.Call(PageRankRequest("native")).status.ok());
+
+  service.Pause();
+  std::vector<std::shared_future<Response>> futures;
+  for (int i = 0; i < 12; ++i) {
+    Request r = PageRankRequest("native");
+    r.iterations = 1 + (i % 4);  // Duplicates dedup; iterations=3 hits cache.
+    futures.push_back(service.Submit(r));
+  }
+  Request expired = PageRankRequest("native");
+  expired.iterations = 9;
+  expired.deadline_seconds = 1e-4;
+  futures.push_back(service.Submit(expired));
+  Request invalid = PageRankRequest("native");
+  invalid.snapshot = "ghost";
+  futures.push_back(service.Submit(invalid));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.Resume();
+  service.Drain();
+  for (auto& f : futures) f.wait();
+
+  uint64_t billed_ok = 1;  // The warm-up call.
+  for (auto& f : futures) {
+    const Response& r = f.get();
+    if (r.status.ok()) {
+      ASSERT_NE(r.bill, nullptr) << "every OK response must carry a bill";
+      ++billed_ok;
+    } else {
+      EXPECT_EQ(r.bill, nullptr) << "failed responses are not billed";
+    }
+  }
+  BillLedger ledger = service.Bills();
+  EXPECT_EQ(ledger.billed.entries, billed_ok);
+  EXPECT_TRUE(BillsConserve(ledger.flights, ledger.billed))
+      << "flights " << ledger.flights.ToJson() << " vs billed "
+      << ledger.billed.ToJson();
+}
+
+// Canonical bill fields are byte-stable across the serial and rank-parallel
+// schedules for the same request sequence (the measured fields are not).
+TEST(ServiceBillTest, CanonicalBillsAreScheduleInvariant) {
+  auto run_sequence = [] {
+    Service service;
+    service.registry().Install("g", TestGraph());
+    std::vector<std::string> lines;
+    for (int it : {3, 5}) {
+      Request r = PageRankRequest("native");
+      r.ranks = 2;
+      r.iterations = it;
+      Response resp = service.Call(r);
+      EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+      if (resp.bill != nullptr) {
+        lines.push_back(BillJson(*resp.bill, /*canonical_only=*/true));
+      }
+    }
+    return lines;
+  };
+  rt::SetSerialRanks(1);
+  auto serial = run_sequence();
+  rt::SetSerialRanks(0);
+  auto parallel = run_sequence();
+  rt::SetSerialRanks(-1);
+  ASSERT_EQ(serial.size(), 2u);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "bill " << i;
+  }
+}
+
+TEST(ServiceBillTest, ReportRendersLedgerAndTopBills) {
+  Service service;
+  service.registry().Install("g", TestGraph());
+  service.Call(PageRankRequest("native"));
+  service.Call(PageRankRequest("native"));  // Cache hit.
+  service.Drain();
+  ServiceReport report = service.Report();
+  EXPECT_TRUE(testutil::JsonChecker(report.ToJson()).Valid())
+      << report.ToJson();
+  EXPECT_NE(report.ToJson().find("\"bills\""), std::string::npos);
+  EXPECT_NE(report.ToJson().find("\"conserved\": true"), std::string::npos)
+      << report.ToJson();
+  EXPECT_EQ(report.bills.flights.entries, 1u);
+  EXPECT_EQ(report.bills.billed.entries, 2u);
+  ASSERT_FALSE(report.top_bills.empty());
+  EXPECT_EQ(report.top_bills[0].request_id, 1u)
+      << "the fresh execution outranks its zero-cost cache hit";
+  std::string md = report.ToMarkdown();
+  EXPECT_NE(md.find("## Query bills"), std::string::npos) << md;
+  EXPECT_NE(md.find("conserved=yes"), std::string::npos) << md;
+}
+
+TEST(ServeScriptTest, BillsCommandPrintsLedgerAndTopBills) {
+  std::istringstream script(R"(
+load g dataset=facebook scale_adjust=-6
+run algo=pagerank engine=native snapshot=g iterations=3 repeat=2
+run algo=pagerank engine=native snapshot=g iterations=5
+wait
+bills top=2
+)");
+  ScriptOptions options;
+  std::ostringstream out;
+  Status s = RunServeScript(script, options, out);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("conserved=yes"), std::string::npos) << text;
+  EXPECT_NE(text.find("bill[0] {\"request_id\": "), std::string::npos) << text;
+  EXPECT_NE(text.find("bill[1] "), std::string::npos) << text;
+  EXPECT_EQ(text.find("bill[2] "), std::string::npos) << "top=2 bounds";
+  // iterations=5 costs more than iterations=3 in the canonical rank.
+  EXPECT_NE(text.find("iterations=5"), std::string::npos) << text;
+  EXPECT_LT(text.find("iterations=5", text.find("bill[0]")),
+            text.find("bill[1]"))
+      << text;
+  {
+    std::istringstream bad("bills frob=1\n");
+    std::ostringstream out2;
+    EXPECT_EQ(RunServeScript(bad, options, out2).code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+// An SLO escalation writes the forensic artifacts: a deterministic bills dump
+// naming the top-cost request ids, and a Perfetto track of recent flights.
+TEST(SloWatchdogTest, EscalationWritesForensicDump) {
+  obs::ResetCountersAndHistograms();
+  Service service;
+  service.registry().Install("g", TestGraph());
+  obs::TelemetryRegistry telemetry;
+  telemetry.ScrapeOnce();  // Baseline window before arming.
+
+  const std::string dump_path = "serve_test_slo_dump.json";
+  const std::string trace_path = "serve_test_slo_flights.json";
+  std::remove(dump_path.c_str());
+  std::remove(trace_path.c_str());
+
+  SloOptions slo;
+  slo.p99_target_ms = 1e-3;  // Every real execution exceeds 1 us.
+  slo.dump_path = dump_path;
+  slo.perfetto_path = trace_path;
+  slo.dump_top_k = 2;
+  std::ostringstream log;
+  SloWatchdog watchdog(slo, &telemetry, &service, &log);
+
+  std::vector<uint64_t> ids;
+  for (int it = 1; it <= 3; ++it) {
+    Request r = PageRankRequest("native");
+    r.iterations = it;
+    Response resp = service.Call(r);
+    ASSERT_TRUE(resp.status.ok());
+    ids.push_back(resp.request_id);
+  }
+  telemetry.ScrapeOnce();
+  ASSERT_EQ(watchdog.level(), 2) << log.str();
+
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << "escalation must write the bills dump";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string dump = buffer.str();
+  EXPECT_TRUE(testutil::JsonChecker(dump).Valid()) << dump;
+  EXPECT_NE(dump.find("\"event\": \"slo_trip\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"level\": 2"), std::string::npos);
+  // The tripping window holds all three bills; the top array names the
+  // heaviest request ids (iterations=3 then iterations=2).
+  for (uint64_t id : ids) {
+    EXPECT_NE(dump.find("\"request_id\": " + std::to_string(id)),
+              std::string::npos)
+        << dump;
+  }
+  size_t top_pos = dump.find("\"top\"");
+  ASSERT_NE(top_pos, std::string::npos);
+  EXPECT_LT(dump.find("\"request_id\": " + std::to_string(ids[2]), top_pos),
+            dump.find("\"request_id\": " + std::to_string(ids[1]), top_pos))
+      << "top array must rank the costliest query first:\n" << dump;
+  // Wall-clock fields stay out of the deterministic artifact.
+  EXPECT_EQ(dump.find("wall_seconds"), std::string::npos);
+  EXPECT_EQ(dump.find("cpu_seconds"), std::string::npos);
+
+  std::ifstream trace(trace_path);
+  ASSERT_TRUE(trace.good());
+  std::stringstream tbuf;
+  tbuf << trace.rdbuf();
+  EXPECT_TRUE(testutil::JsonChecker(tbuf.str()).Valid()) << tbuf.str();
+  EXPECT_NE(tbuf.str().find("query flights"), std::string::npos);
+
+  std::remove(dump_path.c_str());
+  std::remove(trace_path.c_str());
 }
 
 }  // namespace

@@ -71,6 +71,48 @@ TEST(TelemetryRegistryTest, CounterWindowsTrackDeltas) {
   EXPECT_EQ(reg.scrapes(), 2u);
 }
 
+// Satellite (PR 10): gauges scrape like counters but carry signed values and
+// signed, unclamped window deltas — levels go both ways.
+TEST(TelemetryRegistryTest, GaugeWindowsTrackSignedDeltas) {
+  Gauge& g = GetGauge("tmt.gw.depth");
+  g.Reset();
+  g.Set(5);
+  TelemetryRegistry reg;
+  EXPECT_EQ(reg.ScrapeOnce(), 1u);
+  g.Set(2);  // Down: the delta must go negative, not clamp.
+  EXPECT_EQ(reg.ScrapeOnce(), 2u);
+  g.Add(-4);  // Below zero: gauges are signed throughout.
+  EXPECT_EQ(reg.ScrapeOnce(), 3u);
+
+  auto latest = reg.LatestGauge("tmt.gw.depth");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->scrape, 3u);
+  EXPECT_EQ(latest->value, -2);
+  EXPECT_EQ(latest->delta, -4);
+  for (const auto& series : reg.Gauges()) {
+    if (series.name != "tmt.gw.depth") continue;
+    ASSERT_EQ(series.windows.size(), 3u);
+    EXPECT_EQ(series.windows[0].value, 5);
+    EXPECT_EQ(series.windows[0].delta, 5);
+    EXPECT_EQ(series.windows[1].value, 2);
+    EXPECT_EQ(series.windows[1].delta, -3);
+  }
+  EXPECT_FALSE(reg.LatestGauge("tmt.gw.never").has_value());
+}
+
+TEST(TelemetryRegistryTest, GaugeLookupCountsTowardRegistryLookups) {
+  uint64_t before = RegistryLookups();
+  GetGauge("tmt.greg.depth");
+  EXPECT_EQ(RegistryLookups(), before + 1);
+  Gauge& g = GetGauge("tmt.greg.depth");
+  EXPECT_EQ(RegistryLookups(), before + 2);
+  // Set/Add/value on a held handle take no lookups (hot-path contract).
+  g.Set(3);
+  g.Add(1);
+  EXPECT_EQ(g.value(), 4);
+  EXPECT_EQ(RegistryLookups(), before + 2);
+}
+
 TEST(TelemetryRegistryTest, HistogramWindowsTrackDeltaDistribution) {
   Histogram& h = GetHistogram("tmt.hw.latency");
   h.Reset();
@@ -240,6 +282,62 @@ TEST(OpenMetricsTest, ExpositionValidatesUnderChecker) {
   ASSERT_EQ(checker.histograms().count("maze_tmt_expo_latency"), 1u);
   EXPECT_EQ(checker.histograms().at("maze_tmt_expo_latency").count, 3u);
   EXPECT_EQ(checker.histograms().at("maze_tmt_expo_latency").sum, 906u);
+}
+
+TEST(OpenMetricsTest, GaugeExpositionValidatesUnderChecker) {
+  Gauge& g = GetGauge("tmt.gexpo.depth");
+  g.Reset();
+  g.Set(-7);  // Negative samples are legal for gauges (and only gauges).
+  Counter& c = GetCounter("tmt.gexpo.counter");
+  c.Reset();
+  c.Add(2);
+  TelemetryRegistry reg;
+  reg.ScrapeOnce();
+  std::string text = OpenMetricsText(reg);
+  testutil::OpenMetricsChecker checker(text);
+  ASSERT_TRUE(checker.Valid()) << checker.error() << "\n" << text;
+  ASSERT_EQ(checker.gauges().count("maze_tmt_gexpo_depth"), 1u);
+  EXPECT_EQ(checker.gauges().at("maze_tmt_gexpo_depth"), -7);
+  // Gauges render the bare name (no _total) and the latest scraped level.
+  EXPECT_NE(text.find("# TYPE maze_tmt_gexpo_depth gauge\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\nmaze_tmt_gexpo_depth -7\n"), std::string::npos)
+      << text;
+
+  g.Set(3);
+  reg.ScrapeOnce();
+  std::string second = OpenMetricsText(reg);
+  testutil::OpenMetricsChecker checker2(second);
+  ASSERT_TRUE(checker2.Valid()) << checker2.error();
+  EXPECT_EQ(checker2.gauges().at("maze_tmt_gexpo_depth"), 3);
+  // A gauge moving down must not trip the counter monotonicity check.
+  g.Set(1);
+  reg.ScrapeOnce();
+  testutil::OpenMetricsChecker checker3(OpenMetricsText(reg));
+  ASSERT_TRUE(checker3.Valid()) << checker3.error();
+  std::string why;
+  EXPECT_TRUE(
+      testutil::OpenMetricsChecker::CheckMonotonic(checker2, checker3, &why))
+      << why;
+}
+
+TEST(OpenMetricsCheckerTest, RejectsMalformedGaugeExpositions) {
+  // A negative sample under a counter family stays illegal.
+  EXPECT_FALSE(testutil::OpenMetricsChecker(
+                   "# TYPE maze_x counter\nmaze_x_total -1\n# EOF\n")
+                   .Valid());
+  // Negative gauge samples are fine.
+  EXPECT_TRUE(testutil::OpenMetricsChecker(
+                  "# TYPE maze_g gauge\nmaze_g -3\n# EOF\n")
+                  .Valid());
+  // A gauge family must expose the bare name, not counter/histogram suffixes.
+  EXPECT_FALSE(testutil::OpenMetricsChecker(
+                   "# TYPE maze_g gauge\nmaze_g_total 1\n# EOF\n")
+                   .Valid());
+  EXPECT_FALSE(testutil::OpenMetricsChecker(
+                   "# TYPE maze_g gauge\nmaze_g_count 1\n# EOF\n")
+                   .Valid());
 }
 
 TEST(OpenMetricsTest, ExpositionMonotonicAcrossScrapes) {
